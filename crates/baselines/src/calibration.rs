@@ -1,0 +1,181 @@
+//! Calibration constants for the baseline platform emulations.
+//!
+//! Every constant cites the paper measurement it reproduces. The goal is
+//! shape fidelity: linear cascades, the OpenWhisk pool jump at chain
+//! length 5, the ASF/ADF keep-alive cliffs, and the relative magnitudes
+//! between platforms.
+
+use xanadu_sandbox::profile::{ConcurrencyPenalty, IsolationProfile, SandboxProfiles};
+use xanadu_simcore::{Distribution, SimDuration};
+
+fn lognormal(mean: f64, std: f64) -> Distribution {
+    Distribution::log_normal(mean, std).expect("calibration constants valid")
+}
+
+/// Builds a [`SandboxProfiles`] whose *container* profile is replaced by a
+/// platform-specific per-function provisioning profile (baseline workloads
+/// deploy functions at the default container isolation level).
+fn with_container_profile(container: IsolationProfile) -> SandboxProfiles {
+    let mut p = SandboxProfiles::paper_defaults();
+    *p.profile_mut(xanadu_chain::IsolationLevel::Container) = container;
+    p
+}
+
+/// Knative per-function provisioning profile.
+///
+/// Calibration: Figure 12a reports a depth-10 linear chain overhead of
+/// **76.34 s** on Knative, i.e. ≈7.6 s per function: Docker container cold
+/// start (~3 s) plus Knative's activator/autoscaler reaction path. Split:
+/// 6.3 s environment provisioning (scale-from-zero), 0.8 s library setup,
+/// 0.4 s process startup.
+pub fn knative_profiles() -> SandboxProfiles {
+    with_container_profile(IsolationProfile {
+        env_provision: lognormal(6300.0, 700.0),
+        library_setup: lognormal(800.0, 120.0),
+        process_startup: lognormal(400.0, 70.0),
+        provision_cpu_rate: 1.0,
+        idle_cpu_rate: 0.01,
+        warm_dispatch: lognormal(40.0, 10.0),
+    })
+}
+
+/// OpenWhisk per-function provisioning profile.
+///
+/// Calibration: Figure 12a reports a depth-10 overhead of **44.38 s** on
+/// OpenWhisk, ≈4.4 s per function (invoker + Docker runtime). Split:
+/// 3.2 s environment provisioning, 0.8 s library setup, 0.4 s process
+/// startup.
+pub fn openwhisk_profiles() -> SandboxProfiles {
+    let mut p = with_container_profile(IsolationProfile {
+        env_provision: lognormal(3200.0, 400.0),
+        library_setup: lognormal(800.0, 120.0),
+        process_startup: lognormal(400.0, 70.0),
+        provision_cpu_rate: 1.0,
+        idle_cpu_rate: 0.01,
+        warm_dispatch: lognormal(30.0, 8.0),
+    });
+    // OpenWhisk in standalone mode also suffers Docker's concurrency
+    // bottleneck (§3.2 cites Mohan et al. for this).
+    p.container_concurrency = ConcurrencyPenalty {
+        free_concurrency: 2,
+        slope: 0.02,
+    };
+    p
+}
+
+/// OpenWhisk standalone keeps "a limited number of containers warm, even
+/// for consecutive requests, which explains the sudden increase in cold
+/// start latency for chain length 5" (§2.3). We bound live containers at 4
+/// so depth-5 chains pay an eviction.
+pub const OPENWHISK_MAX_LIVE: usize = 4;
+
+/// Latency of evicting a warm container when the OpenWhisk pool is full.
+pub fn openwhisk_eviction_delay() -> Distribution {
+    lognormal(800.0, 150.0)
+}
+
+/// AWS Step Functions per-function profile.
+///
+/// Calibration: Figure 3 reports cold-start overhead averaging **48.5 %**
+/// of total runtime for 500 ms-function chains — ≈470 ms overhead per
+/// function — and warm overhead of **13.2 %** (≈75 ms per function).
+/// Figure 5 shows resources reclaimed after ≈**10 minutes** idle, with
+/// overhead dropping from ≈2.5 s to ≈0.5 s for a depth-5 chain.
+pub fn asf_profiles() -> SandboxProfiles {
+    with_container_profile(IsolationProfile {
+        env_provision: lognormal(260.0, 40.0),
+        library_setup: lognormal(120.0, 25.0),
+        process_startup: lognormal(90.0, 20.0),
+        provision_cpu_rate: 1.0,
+        idle_cpu_rate: 0.005,
+        warm_dispatch: lognormal(75.0, 15.0),
+    })
+}
+
+/// ASF keep-alive: "the ASF platform reclaims workflow resources after
+/// ~10 minutes of idle time" (§2.3, Figure 5).
+pub const ASF_KEEP_ALIVE: SimDuration = SimDuration::from_mins(10);
+
+/// Azure Durable Functions per-function profile.
+///
+/// Calibration: Figure 3 reports **41.2 %** cold overhead (≈350 ms per
+/// 500 ms function) and **13.8 %** warm (≈80 ms); §2.3 notes ADF metrics
+/// were *less stable* than ASF's, hence the wider distributions. Figure 5
+/// shows reclamation after ≈**20 minutes**.
+pub fn adf_profiles() -> SandboxProfiles {
+    with_container_profile(IsolationProfile {
+        env_provision: lognormal(190.0, 70.0),
+        library_setup: lognormal(90.0, 35.0),
+        process_startup: lognormal(70.0, 30.0),
+        provision_cpu_rate: 1.0,
+        idle_cpu_rate: 0.005,
+        warm_dispatch: lognormal(80.0, 30.0),
+    })
+}
+
+/// ADF keep-alive: "a similar drop in overhead can be observed after
+/// inter-arrival times less than ~20 minutes" (§2.3, Figure 5).
+pub const ADF_KEEP_ALIVE: SimDuration = SimDuration::from_mins(20);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xanadu_chain::IsolationLevel;
+
+    #[test]
+    fn per_function_overheads_match_paper_magnitudes() {
+        let knative = knative_profiles()
+            .profile(IsolationLevel::Container)
+            .mean_cold_start_ms();
+        let openwhisk = openwhisk_profiles()
+            .profile(IsolationLevel::Container)
+            .mean_cold_start_ms();
+        let asf = asf_profiles()
+            .profile(IsolationLevel::Container)
+            .mean_cold_start_ms();
+        let adf = adf_profiles()
+            .profile(IsolationLevel::Container)
+            .mean_cold_start_ms();
+        assert!((knative - 7500.0).abs() < 300.0, "knative {knative}");
+        assert!((openwhisk - 4400.0).abs() < 300.0, "openwhisk {openwhisk}");
+        assert!((asf - 470.0).abs() < 60.0, "asf {asf}");
+        assert!((adf - 350.0).abs() < 60.0, "adf {adf}");
+        // Ordering from Figure 4 vs Figure 3: OSS platforms have "even more
+        // overhead compared to ASF and ADF".
+        assert!(knative > openwhisk && openwhisk > asf && asf > adf);
+    }
+
+    #[test]
+    fn warm_overheads_are_small_fractions() {
+        // Warm overhead ≈13 % of a 500 ms function (Figure 3): dispatch
+        // must stay well under 100 ms for the cloud platforms.
+        for p in [asf_profiles(), adf_profiles()] {
+            let warm = p.profile(IsolationLevel::Container).warm_dispatch.mean_ms();
+            assert!((50.0..110.0).contains(&warm), "warm {warm}");
+        }
+    }
+
+    #[test]
+    fn keep_alive_constants() {
+        assert_eq!(ASF_KEEP_ALIVE, SimDuration::from_mins(10));
+        assert_eq!(ADF_KEEP_ALIVE, SimDuration::from_mins(20));
+        assert!(ADF_KEEP_ALIVE > ASF_KEEP_ALIVE);
+    }
+
+    #[test]
+    fn adf_is_noisier_than_asf() {
+        // §2.3: "performance metrics obtained from ASF were more stable
+        // compared to that obtained from ADF". Compare coefficient of
+        // variation of the env-provision component.
+        let cv = |d: &Distribution| match *d {
+            Distribution::LogNormal { mean_ms, std_ms } => std_ms / mean_ms,
+            _ => panic!("expected lognormal"),
+        };
+        let asf = asf_profiles();
+        let adf = adf_profiles();
+        assert!(
+            cv(&adf.profile(IsolationLevel::Container).env_provision)
+                > cv(&asf.profile(IsolationLevel::Container).env_provision)
+        );
+    }
+}

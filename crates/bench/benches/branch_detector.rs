@@ -1,0 +1,38 @@
+//! Microbenchmark: branch-detector updates (Algorithm 3) and probability
+//! queries under a fanout of learned children.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xanadu_profiler::BranchDetector;
+
+fn bench_detector(c: &mut Criterion) {
+    let mut group = c.benchmark_group("branch_detector");
+    for &fanout in &[2usize, 8, 32] {
+        group.bench_with_input(
+            BenchmarkId::new("observe", fanout),
+            &fanout,
+            |b, &fanout| {
+                let mut d = BranchDetector::new();
+                let children: Vec<String> = (0..fanout).map(|i| format!("child{i}")).collect();
+                let mut i = 0usize;
+                b.iter(|| {
+                    d.observe_request("parent", None);
+                    d.observe_request(&children[i % fanout], Some("parent"));
+                    i += 1;
+                });
+            },
+        );
+    }
+    // Query path: sorted children of a well-populated parent.
+    let mut d = BranchDetector::new();
+    for i in 0..10_000 {
+        d.observe_request("p", None);
+        d.observe_request(&format!("c{}", i % 16), Some("p"));
+    }
+    group.bench_function("children_query_fanout16", |b| {
+        b.iter(|| d.children(std::hint::black_box("p")));
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_detector);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Microbenchmark: discrete-event kernel throughput — raw event queue
+//! operations and a full platform run of a 10-deep chain request.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xanadu_chain::{linear_chain, FunctionSpec};
+use xanadu_core::speculation::ExecutionMode;
+use xanadu_platform::{Platform, PlatformConfig};
+use xanadu_simcore::{EventQueue, SimTime};
+
+fn bench_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_1k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0..1000u64 {
+                q.schedule(SimTime::from_micros((i * 7919) % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            std::hint::black_box(sum)
+        });
+    });
+}
+
+fn bench_platform_request(c: &mut Criterion) {
+    let dag = linear_chain("bench", 10, &FunctionSpec::new("f").service_ms(5000.0)).expect("chain");
+    c.bench_function("platform_jit_depth10_request", |b| {
+        b.iter(|| {
+            let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 1));
+            p.deploy(dag.clone()).expect("deploy");
+            p.trigger_at("bench", SimTime::ZERO).expect("trigger");
+            p.run_until_idle();
+            std::hint::black_box(p.finish().results.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_queue, bench_platform_request);
+criterion_main!(benches);

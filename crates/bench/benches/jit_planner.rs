@@ -1,0 +1,33 @@
+//! Microbenchmark: JIT deployment-plan generation (Algorithm 2).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xanadu_chain::{linear_chain, FunctionSpec};
+use xanadu_core::estimate::{NodeEstimate, StaticEstimates};
+use xanadu_core::jit::plan_jit;
+use xanadu_core::mlp::infer_mlp;
+
+fn bench_planner(c: &mut Criterion) {
+    let est = StaticEstimates::uniform(NodeEstimate {
+        cold_start_ms: 3000.0,
+        startup_ms: 3000.0,
+        warm_runtime_ms: 500.0,
+    });
+    let mut group = c.benchmark_group("jit_plan");
+    for &n in &[5usize, 20, 100] {
+        let dag = linear_chain("bench", n, &FunctionSpec::new("f")).expect("chain");
+        let mlp = infer_mlp(&dag, |_, _| None);
+        group.bench_with_input(BenchmarkId::new("linear", n), &n, |b, _| {
+            b.iter(|| {
+                plan_jit(
+                    std::hint::black_box(&dag),
+                    std::hint::black_box(&mlp.path),
+                    &est,
+                )
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_planner);
+criterion_main!(benches);

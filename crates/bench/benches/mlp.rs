@@ -1,0 +1,46 @@
+//! Microbenchmark: MLP inference (Algorithm 1) over linear chains and
+//! random XOR trees of increasing size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use xanadu_chain::paths::{enumerate_outcomes, execution_probabilities};
+use xanadu_chain::{linear_chain, FunctionSpec};
+use xanadu_core::mlp::infer_mlp;
+use xanadu_workloads::{random_binary_tree, RandomTreeConfig};
+
+fn bench_mlp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mlp_inference");
+    for &n in &[5usize, 20, 100] {
+        let chain = linear_chain("bench", n, &FunctionSpec::new("f")).expect("chain");
+        group.bench_with_input(BenchmarkId::new("linear", n), &chain, |b, dag| {
+            b.iter(|| infer_mlp(std::hint::black_box(dag), |_, _| None));
+        });
+    }
+    for &n in &[10usize, 50] {
+        let cfg = RandomTreeConfig {
+            nodes: n,
+            ..Default::default()
+        };
+        let tree = random_binary_tree(&cfg, 7).expect("tree");
+        group.bench_with_input(BenchmarkId::new("xor_tree", n), &tree, |b, dag| {
+            b.iter(|| infer_mlp(std::hint::black_box(dag), |_, _| None));
+        });
+    }
+    group.finish();
+}
+
+fn bench_paths(c: &mut Criterion) {
+    let cfg = RandomTreeConfig {
+        nodes: 10,
+        ..Default::default()
+    };
+    let tree = random_binary_tree(&cfg, 3).expect("tree");
+    c.bench_function("enumerate_outcomes_10_node_tree", |b| {
+        b.iter(|| enumerate_outcomes(std::hint::black_box(&tree), 10_000));
+    });
+    c.bench_function("execution_probabilities_10_node_tree", |b| {
+        b.iter(|| execution_probabilities(std::hint::black_box(&tree)));
+    });
+}
+
+criterion_group!(benches, bench_mlp, bench_paths);
+criterion_main!(benches);

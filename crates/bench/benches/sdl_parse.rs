@@ -1,0 +1,28 @@
+//! Microbenchmark: state-definition-language parsing and serialization.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xanadu_chain::sdl;
+use xanadu_chain::{linear_chain, FunctionSpec};
+
+fn document(n: usize) -> String {
+    let dag = linear_chain("bench", n, &FunctionSpec::new("f")).expect("chain");
+    sdl::to_sdl(&dag)
+}
+
+fn bench_sdl(c: &mut Criterion) {
+    let small = document(5);
+    let large = document(50);
+    c.bench_function("sdl_parse_5_functions", |b| {
+        b.iter(|| sdl::parse("bench", std::hint::black_box(&small)).expect("parse"));
+    });
+    c.bench_function("sdl_parse_50_functions", |b| {
+        b.iter(|| sdl::parse("bench", std::hint::black_box(&large)).expect("parse"));
+    });
+    let dag = linear_chain("bench", 20, &FunctionSpec::new("f")).expect("chain");
+    c.bench_function("sdl_serialize_20_functions", |b| {
+        b.iter(|| sdl::to_sdl(std::hint::black_box(&dag)));
+    });
+}
+
+criterion_group!(benches, bench_sdl);
+criterion_main!(benches);

@@ -1,0 +1,49 @@
+//! `xanadu-repro` — regenerates the paper's tables and figures.
+//!
+//! Usage:
+//!
+//! ```text
+//! xanadu-repro all            # every experiment (markdown to stdout)
+//! xanadu-repro fig12 tab1    # a subset
+//! xanadu-repro --list        # known experiment ids
+//! ```
+
+use std::process::ExitCode;
+use xanadu_bench::experiments::{run_by_id, ALL_IDS};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
+        eprintln!("usage: xanadu-repro [--list] <experiment-id>... | all");
+        eprintln!("known ids: {}", ALL_IDS.join(", "));
+        return ExitCode::SUCCESS;
+    }
+    if args.iter().any(|a| a == "--list") {
+        for id in ALL_IDS {
+            println!("{id}");
+        }
+        return ExitCode::SUCCESS;
+    }
+
+    let mut all_hold = true;
+    for arg in &args {
+        match run_by_id(arg) {
+            None => {
+                eprintln!("unknown experiment id `{arg}` (try --list)");
+                return ExitCode::FAILURE;
+            }
+            Some(experiments) => {
+                for e in experiments {
+                    println!("{}", e.render());
+                    all_hold &= e.all_hold();
+                }
+            }
+        }
+    }
+    if all_hold {
+        ExitCode::SUCCESS
+    } else {
+        eprintln!("some findings did NOT hold — see the tables above");
+        ExitCode::FAILURE
+    }
+}

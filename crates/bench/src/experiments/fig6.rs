@@ -1,0 +1,154 @@
+//! Figure 6: runtime overhead profile of a lightly loaded workflow.
+//!
+//! A depth-5 chain receives ≈2 requests/hour (inter-arrival times
+//! U(0, 60) min) for 16 simulated hours on emulated ASF and ADF. The
+//! paper thresholds warm latency at 1000 ms (ASF) / 1500 ms (ADF) and
+//! observes 78.1 % / 62.5 % of requests suffering cascading cold starts,
+//! with mean overheads ≈1800 ms / ≈1400 ms, stable over the whole run (no
+//! learning optimizations).
+
+use crate::harness::{mean, within, Experiment, Finding};
+use xanadu_baselines::{baseline_platform, BaselineKind};
+use xanadu_chain::{linear_chain, FunctionSpec};
+use xanadu_simcore::report::{fmt_f64, render_series, Table};
+use xanadu_simcore::{SimDuration, SimTime};
+use xanadu_workloads::arrivals::uniform_random;
+
+const HOURS: u64 = 16;
+const SEEDS: u64 = 5;
+
+struct Profile {
+    cold_fraction: f64,
+    mean_overhead_ms: f64,
+    first_half_cold: f64,
+    second_half_cold: f64,
+    timeline: Vec<(f64, f64)>,
+}
+
+fn profile(kind: BaselineKind, threshold_ms: f64) -> Profile {
+    let mut cold = 0usize;
+    let mut total = 0usize;
+    let mut overheads = Vec::new();
+    let mut halves = [0usize; 2];
+    let mut half_totals = [0usize; 2];
+    let mut timeline = Vec::new();
+    for seed in 0..SEEDS {
+        let arrivals = uniform_random(
+            SimTime::ZERO,
+            SimDuration::from_mins(HOURS * 60),
+            500 + seed,
+        );
+        let mut p = baseline_platform(kind, 600 + seed);
+        let dag =
+            linear_chain("fig6", 5, &FunctionSpec::new("f").service_ms(100.0)).expect("valid");
+        p.deploy(dag).expect("deploy");
+        for &t in &arrivals {
+            p.trigger_at("fig6", t).expect("trigger");
+        }
+        p.run_until_idle();
+        for r in p.results() {
+            let o = r.overhead.as_millis_f64();
+            let is_cold = o > threshold_ms;
+            cold += is_cold as usize;
+            total += 1;
+            overheads.push(o);
+            let half = (r.trigger.as_secs_f64() / 3600.0 >= HOURS as f64 / 2.0) as usize;
+            halves[half] += is_cold as usize;
+            half_totals[half] += 1;
+            if seed == 0 {
+                timeline.push((r.trigger.as_secs_f64() / 3600.0, o));
+            }
+        }
+    }
+    Profile {
+        cold_fraction: cold as f64 / total as f64,
+        mean_overhead_ms: mean(overheads),
+        first_half_cold: halves[0] as f64 / half_totals[0].max(1) as f64,
+        second_half_cold: halves[1] as f64 / half_totals[1].max(1) as f64,
+        timeline,
+    }
+}
+
+/// Runs the experiment.
+pub fn run() -> Experiment {
+    let mut output = String::new();
+    let mut findings = Vec::new();
+
+    for (kind, threshold, claimed_cold_pct, claimed_overhead) in [
+        (BaselineKind::AwsStepFunctions, 1000.0, 78.1, 1800.0),
+        (BaselineKind::AzureDurableFunctions, 1500.0, 62.5, 1400.0),
+    ] {
+        let prof = profile(kind, threshold);
+        let mut table = Table::new(
+            &format!("Figure 6 — {kind} lightly loaded profile (16h, U(0,60)min arrivals)"),
+            &["metric", "value"],
+        );
+        table.row(&[
+            "cold-start fraction",
+            &format!("{}%", fmt_f64(prof.cold_fraction * 100.0, 1)),
+        ]);
+        table.row(&["mean overhead (ms)", &fmt_f64(prof.mean_overhead_ms, 0)]);
+        table.row(&[
+            "cold fraction 1st/2nd half",
+            &format!(
+                "{}% / {}%",
+                fmt_f64(prof.first_half_cold * 100.0, 1),
+                fmt_f64(prof.second_half_cold * 100.0, 1)
+            ),
+        ]);
+        output.push_str(&table.render());
+        output.push_str(&render_series(
+            &format!("{kind}-timeline(seed0)"),
+            &prof.timeline,
+            "t_hours",
+            "overhead_ms",
+        ));
+
+        let measured_pct = prof.cold_fraction * 100.0;
+        findings.push(Finding::new(
+            format!("{kind}: ≈{claimed_cold_pct}% of requests suffer cascading cold starts"),
+            format!("{}%", fmt_f64(measured_pct, 1)),
+            within(
+                measured_pct,
+                claimed_cold_pct - 18.0,
+                claimed_cold_pct + 18.0,
+            ),
+        ));
+        findings.push(Finding::new(
+            format!("{kind}: average overhead ≈{claimed_overhead}ms"),
+            format!("{}ms", fmt_f64(prof.mean_overhead_ms, 0)),
+            within(
+                prof.mean_overhead_ms,
+                claimed_overhead * 0.5,
+                claimed_overhead * 1.7,
+            ),
+        ));
+        findings.push(Finding::new(
+            format!("{kind}: cold-start profile stable over the run (no learning)"),
+            format!(
+                "halves differ by {} points",
+                fmt_f64(
+                    (prof.first_half_cold - prof.second_half_cold).abs() * 100.0,
+                    1
+                )
+            ),
+            (prof.first_half_cold - prof.second_half_cold).abs() < 0.25,
+        ));
+    }
+
+    Experiment {
+        id: "fig6",
+        title: "Lightly loaded workflow overhead timeline (emulated ASF/ADF)",
+        output,
+        findings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn findings_hold() {
+        let e = super::run();
+        assert!(e.all_hold(), "{}", e.render());
+    }
+}

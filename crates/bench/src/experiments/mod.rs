@@ -1,0 +1,120 @@
+//! One module per paper table/figure, plus ablations.
+//!
+//! | id | artifact | module |
+//! |----|----------|--------|
+//! | `fig1` | Figure 1 — cascading cold starts, container chains | [`fig1`] |
+//! | `fig3` | Figure 3 — ASF/ADF cold vs warm linear growth | [`fig3`] |
+//! | `fig4` | Figure 4 — Knative/OpenWhisk cascades | [`fig4`] |
+//! | `fig5` | Figure 5 — keep-alive reclamation probes | [`fig5`] |
+//! | `fig6` | Figure 6 — lightly loaded workflow timeline | [`fig6`] |
+//! | `fig7` | Figure 7 — isolation environment overheads | [`fig7`] |
+//! | `fig9` | Figure 9 — MLP estimation stages | [`fig9`] |
+//! | `tab1` | Table 1 — speculation under prediction misses | [`tab1`] |
+//! | `fig12` | Figure 12 — C_D and φ vs chain length | [`fig12`] |
+//! | `fig13` | Figure 13 — C_R CPU and memory cost profiles | [`fig13`] |
+//! | `fig14` | Figure 14 — MLP convergence across random trees | [`fig14`] |
+//! | `fig15` | Figure 15 — conditional chains scatter profiles | [`fig15`] |
+//! | `fig16` | Figure 16 — sandboxing impact at depth 10 | [`fig16`] |
+//! | `fig17` | Figure 17 — e-commerce & image pipeline case studies | [`fig17`] |
+//! | `abl-*` | ablations (aggressiveness, keep-alive, EMA, miss policy) | [`ablations`] |
+
+pub mod ablations;
+pub mod fig1;
+pub mod fig12;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+pub mod fig17;
+pub mod fig3;
+pub mod fig4;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig9;
+pub mod tab1;
+
+use crate::harness::Experiment;
+
+/// Runs every experiment by id, or all of them for `"all"`. Unknown ids
+/// yield `None`.
+pub fn run_by_id(id: &str) -> Option<Vec<Experiment>> {
+    let one = |e: Experiment| Some(vec![e]);
+    match id {
+        "fig1" => one(fig1::run()),
+        "fig3" => one(fig3::run()),
+        "fig4" => one(fig4::run()),
+        "fig5" => one(fig5::run()),
+        "fig6" => one(fig6::run()),
+        "fig7" => one(fig7::run()),
+        "fig9" => one(fig9::run()),
+        "tab1" => one(tab1::run()),
+        "fig12" => one(fig12::run()),
+        "fig13" => one(fig13::run()),
+        "fig14" => one(fig14::run()),
+        "fig15" => one(fig15::run()),
+        "fig16" => one(fig16::run()),
+        "fig17" | "fig17a" | "fig17b" => one(fig17::run()),
+        "abl-aggr" => one(ablations::aggressiveness()),
+        "abl-keepalive" => one(ablations::keepalive()),
+        "abl-ema" => one(ablations::ema()),
+        "abl-miss" => one(ablations::miss_policy()),
+        "abl-trace" => one(ablations::fleet_trace()),
+        "abl-hedge" => one(ablations::hedging()),
+        "abl-pool" => one(ablations::pool_baseline()),
+        "all" => Some(all()),
+        _ => None,
+    }
+}
+
+/// Every experiment, papers first then ablations.
+pub fn all() -> Vec<Experiment> {
+    vec![
+        fig1::run(),
+        fig3::run(),
+        fig4::run(),
+        fig5::run(),
+        fig6::run(),
+        fig7::run(),
+        fig9::run(),
+        tab1::run(),
+        fig12::run(),
+        fig13::run(),
+        fig14::run(),
+        fig15::run(),
+        fig16::run(),
+        fig17::run(),
+        ablations::aggressiveness(),
+        ablations::keepalive(),
+        ablations::ema(),
+        ablations::miss_policy(),
+        ablations::fleet_trace(),
+        ablations::hedging(),
+        ablations::pool_baseline(),
+    ]
+}
+
+/// All known experiment ids.
+pub const ALL_IDS: [&str; 21] = [
+    "fig1",
+    "fig3",
+    "fig4",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig9",
+    "tab1",
+    "fig12",
+    "fig13",
+    "fig14",
+    "fig15",
+    "fig16",
+    "fig17",
+    "abl-aggr",
+    "abl-keepalive",
+    "abl-ema",
+    "abl-miss",
+    "abl-trace",
+    "abl-hedge",
+    "abl-pool",
+];

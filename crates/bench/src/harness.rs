@@ -1,0 +1,210 @@
+//! Shared experiment infrastructure.
+
+use xanadu_chain::WorkflowDag;
+use xanadu_core::speculation::ExecutionMode;
+use xanadu_platform::{Platform, PlatformConfig, RunResult};
+use xanadu_simcore::report::fmt_f64;
+use xanadu_simcore::{SimDuration, SimTime};
+
+/// One paper-claim-versus-measured comparison.
+#[derive(Debug, Clone)]
+pub struct Finding {
+    /// What the paper reports.
+    pub claim: String,
+    /// What this reproduction measured.
+    pub measured: String,
+    /// Whether the reproduction preserves the claim's shape.
+    pub holds: bool,
+}
+
+impl Finding {
+    /// Creates a finding.
+    pub fn new(claim: impl Into<String>, measured: impl Into<String>, holds: bool) -> Self {
+        Finding {
+            claim: claim.into(),
+            measured: measured.into(),
+            holds,
+        }
+    }
+}
+
+/// One regenerated experiment: rendered output plus claim checks.
+#[derive(Debug, Clone)]
+pub struct Experiment {
+    /// Short id (`fig12`, `tab1`, `abl-aggr`, …).
+    pub id: &'static str,
+    /// Human title.
+    pub title: &'static str,
+    /// Rendered tables/series.
+    pub output: String,
+    /// Paper-vs-measured comparisons.
+    pub findings: Vec<Finding>,
+}
+
+impl Experiment {
+    /// Renders the experiment as a markdown section.
+    pub fn render(&self) -> String {
+        let mut out = format!("# {} — {}\n\n{}\n", self.id, self.title, self.output);
+        if !self.findings.is_empty() {
+            out.push_str("\n### Paper vs. measured\n\n");
+            out.push_str("| paper claim | measured | holds |\n|---|---|---|\n");
+            for f in &self.findings {
+                out.push_str(&format!(
+                    "| {} | {} | {} |\n",
+                    f.claim,
+                    f.measured,
+                    if f.holds { "yes" } else { "NO" }
+                ));
+            }
+        }
+        out
+    }
+
+    /// Whether every finding holds.
+    pub fn all_hold(&self) -> bool {
+        self.findings.iter().all(|f| f.holds)
+    }
+}
+
+/// Builds a Xanadu platform in the given execution mode.
+pub fn xanadu(mode: ExecutionMode, seed: u64) -> Platform {
+    Platform::new(PlatformConfig::for_mode(mode, seed))
+}
+
+/// Runs `triggers` independent cold-condition requests of `dag`: each
+/// trigger gets a *fresh* platform (no warm state carries over), matching
+/// the paper's "requests in cold start condition" methodology (§5.1).
+///
+/// `make(seed)` constructs the platform; seeds are distinct per trigger.
+pub fn cold_runs(
+    make: &dyn Fn(u64) -> Platform,
+    dag: &WorkflowDag,
+    triggers: u64,
+    implicit: bool,
+) -> Vec<RunResult> {
+    let mut out = Vec::with_capacity(triggers as usize);
+    for i in 0..triggers {
+        let mut p = make(1000 + i);
+        if implicit {
+            p.deploy_implicit(dag.clone()).expect("deploy");
+        } else {
+            p.deploy(dag.clone()).expect("deploy");
+        }
+        p.trigger_at(dag.name(), SimTime::ZERO).expect("trigger");
+        p.run_until_idle();
+        let report = p.finish();
+        out.extend(report.results);
+    }
+    out
+}
+
+/// Runs a learning sequence on a *single* platform: `warmup` unmeasured
+/// triggers followed by `measure` measured ones, all spaced `gap` apart
+/// (choose `gap` larger than keep-alive to keep every request cold-
+/// conditioned while the learned model persists).
+pub fn learned_runs(
+    platform: &mut Platform,
+    workflow: &str,
+    warmup: u64,
+    measure: u64,
+    gap: SimDuration,
+) -> Vec<RunResult> {
+    let mut t = SimTime::ZERO;
+    for _ in 0..warmup {
+        platform.trigger_at(workflow, t).expect("trigger");
+        platform.run_until_idle();
+        platform.roll_profile_window();
+        t += gap;
+    }
+    let before = platform.results().len();
+    for _ in 0..measure {
+        platform.trigger_at(workflow, t).expect("trigger");
+        platform.run_until_idle();
+        platform.roll_profile_window();
+        t += gap;
+    }
+    platform.results()[before..].to_vec()
+}
+
+/// Arithmetic mean of an iterator (0 when empty).
+pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        sum += v;
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        sum / n as f64
+    }
+}
+
+/// Mean latency overhead in milliseconds across runs.
+pub fn mean_overhead_ms(runs: &[RunResult]) -> f64 {
+    mean(runs.iter().map(|r| r.overhead.as_millis_f64()))
+}
+
+/// Mean end-to-end latency in milliseconds across runs.
+pub fn mean_end_to_end_ms(runs: &[RunResult]) -> f64 {
+    mean(runs.iter().map(|r| r.end_to_end.as_millis_f64()))
+}
+
+/// Formats milliseconds as seconds with two decimals (`"7.62"`).
+pub fn ms_as_s(ms: f64) -> String {
+    fmt_f64(ms / 1000.0, 2)
+}
+
+/// Checks that `measured` is within `[lo, hi]` and renders the comparison.
+pub fn within(measured: f64, lo: f64, hi: f64) -> bool {
+    measured >= lo && measured <= hi
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xanadu_chain::{linear_chain, FunctionSpec};
+
+    #[test]
+    fn cold_runs_are_independent() {
+        let dag = linear_chain("c", 2, &FunctionSpec::new("f").service_ms(100.0)).unwrap();
+        let runs = cold_runs(&|seed| xanadu(ExecutionMode::Cold, seed), &dag, 3, false);
+        assert_eq!(runs.len(), 3);
+        // All cold: warm reuse impossible across fresh platforms.
+        assert!(runs.iter().all(|r| r.warm_starts == 0));
+        assert!(runs.iter().all(|r| r.cold_starts == 2));
+    }
+
+    #[test]
+    fn learned_runs_measures_only_tail() {
+        let dag = linear_chain("c", 2, &FunctionSpec::new("f").service_ms(100.0)).unwrap();
+        let mut p = xanadu(ExecutionMode::Speculative, 3);
+        p.deploy_implicit(dag).unwrap();
+        let measured = learned_runs(&mut p, "c", 2, 3, SimDuration::from_mins(20));
+        assert_eq!(measured.len(), 3);
+    }
+
+    #[test]
+    fn mean_helpers() {
+        assert_eq!(mean([1.0, 2.0, 3.0]), 2.0);
+        assert_eq!(mean(std::iter::empty::<f64>()), 0.0);
+        assert_eq!(ms_as_s(7620.0), "7.62");
+        assert!(within(5.0, 4.0, 6.0));
+        assert!(!within(7.0, 4.0, 6.0));
+    }
+
+    #[test]
+    fn experiment_render_contains_findings() {
+        let e = Experiment {
+            id: "x",
+            title: "t",
+            output: "body".into(),
+            findings: vec![Finding::new("a", "b", true)],
+        };
+        let r = e.render();
+        assert!(r.contains("# x — t"));
+        assert!(r.contains("| a | b | yes |"));
+        assert!(e.all_hold());
+    }
+}

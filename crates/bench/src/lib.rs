@@ -1,0 +1,24 @@
+//! # xanadu-bench
+//!
+//! The experiment harness: regenerates every table and figure of the
+//! Xanadu paper's evaluation (§2.3, §3.1, §5) against this reproduction,
+//! plus ablation studies for the design knobs DESIGN.md calls out.
+//!
+//! Each experiment is a function returning an [`Experiment`] — a rendered
+//! text report (tables and data series) plus a list of [`Finding`]s that
+//! compare the paper's claim with the measured value. The `xanadu-repro`
+//! binary runs any subset and prints markdown suitable for
+//! `EXPERIMENTS.md`.
+//!
+//! ```
+//! let exp = xanadu_bench::experiments::fig7::run();
+//! assert!(exp.findings.iter().all(|f| f.holds));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod harness;
+
+pub use harness::{Experiment, Finding};

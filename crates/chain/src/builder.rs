@@ -1,0 +1,359 @@
+//! Programmatic workflow construction.
+
+use crate::dag::{BranchMode, Edge, NodeData, WorkflowDag, XorDecision};
+use crate::error::ChainError;
+use crate::id::NodeId;
+use crate::spec::FunctionSpec;
+use std::collections::HashSet;
+
+/// Incremental, validating builder for [`WorkflowDag`].
+///
+/// Cycles are rejected at `link` time so a builder can never accumulate an
+/// invalid graph; [`build`](Self::build) performs the final whole-graph
+/// validation.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_chain::{WorkflowBuilder, FunctionSpec};
+///
+/// let mut b = WorkflowBuilder::new("checkout");
+/// let order = b.add(FunctionSpec::new("order").service_ms(2000.0))?;
+/// let pay = b.add(FunctionSpec::new("payment").service_ms(2500.0))?;
+/// let ok = b.add(FunctionSpec::new("invoice").service_ms(300.0))?;
+/// let retry = b.add(FunctionSpec::new("retry").service_ms(50.0))?;
+/// b.link(order, pay)?;
+/// b.link_xor(pay, &[(ok, 0.9), (retry, 0.1)])?; // conditional point
+/// let dag = b.build()?;
+/// assert_eq!(dag.conditional_points(), 1);
+/// # Ok::<(), xanadu_chain::ChainError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct WorkflowBuilder {
+    name: String,
+    nodes: Vec<NodeData>,
+    names: HashSet<String>,
+    children: Vec<Vec<Edge>>,
+    parents: Vec<Vec<NodeId>>,
+}
+
+impl WorkflowBuilder {
+    /// Starts an empty workflow with the given name.
+    pub fn new(name: impl Into<String>) -> Self {
+        WorkflowBuilder {
+            name: name.into(),
+            nodes: Vec::new(),
+            names: HashSet::new(),
+            children: Vec::new(),
+            parents: Vec::new(),
+        }
+    }
+
+    /// Adds a function node and returns its id.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::DuplicateFunction`] if a function with the same
+    /// name exists, or [`ChainError::InvalidSpec`] if the spec fails
+    /// validation.
+    pub fn add(&mut self, spec: FunctionSpec) -> Result<NodeId, ChainError> {
+        spec.validate()?;
+        if !self.names.insert(spec.name().to_string()) {
+            return Err(ChainError::DuplicateFunction(spec.name().into()));
+        }
+        let id = NodeId::from_index(self.nodes.len());
+        self.nodes.push(NodeData::new(spec, BranchMode::Multicast));
+        self.children.push(Vec::new());
+        self.parents.push(Vec::new());
+        Ok(id)
+    }
+
+    /// Adds a multicast edge `from -> to` with probability 1 (the 1:1 /
+    /// 1:m / m:1 relationships of §2.1).
+    ///
+    /// # Errors
+    ///
+    /// See [`link_weighted`](Self::link_weighted).
+    pub fn link(&mut self, from: NodeId, to: NodeId) -> Result<(), ChainError> {
+        self.link_weighted(from, to, 1.0)
+    }
+
+    /// Adds a multicast edge with an explicit ground-truth probability
+    /// (useful for modelling children that fire only sometimes).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownNode`] for ids not in this builder,
+    /// [`ChainError::InvalidWeight`] for non-finite / non-positive weights,
+    /// [`ChainError::DuplicateEdge`] if the edge exists, or
+    /// [`ChainError::CycleDetected`] if the edge would close a cycle.
+    pub fn link_weighted(
+        &mut self,
+        from: NodeId,
+        to: NodeId,
+        weight: f64,
+    ) -> Result<(), ChainError> {
+        self.check_node(from)?;
+        self.check_node(to)?;
+        if !weight.is_finite() || weight <= 0.0 {
+            return Err(ChainError::InvalidWeight { weight });
+        }
+        if self.children[from.index()].iter().any(|e| e.to == to) {
+            return Err(ChainError::DuplicateEdge { from, to });
+        }
+        if from == to || self.reaches(to, from) {
+            return Err(ChainError::CycleDetected { from, to });
+        }
+        self.children[from.index()].push(Edge { to, weight });
+        self.parents[to.index()].push(from);
+        Ok(())
+    }
+
+    /// Marks `from` as an XOR-cast node and links it to each `(child,
+    /// weight)` pair; exactly one child fires per execution, drawn with the
+    /// weights as probabilities.
+    ///
+    /// Any edges previously added from `from` are retained and become part
+    /// of the XOR group.
+    ///
+    /// # Errors
+    ///
+    /// Same conditions as [`link_weighted`](Self::link_weighted); on error,
+    /// edges added earlier in the same call remain.
+    pub fn link_xor(&mut self, from: NodeId, branches: &[(NodeId, f64)]) -> Result<(), ChainError> {
+        self.check_node(from)?;
+        for &(to, weight) in branches {
+            self.link_weighted(from, to, weight)?;
+        }
+        self.nodes[from.index()].set_branch_mode(BranchMode::Xor);
+        Ok(())
+    }
+
+    /// Sets the branch mode of an existing node directly.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownNode`] if `id` is not in this builder.
+    pub fn set_branch_mode(&mut self, id: NodeId, mode: BranchMode) -> Result<(), ChainError> {
+        self.check_node(id)?;
+        self.nodes[id.index()].set_branch_mode(mode);
+        Ok(())
+    }
+
+    /// Attaches a data-driven XOR decision to `id` (which must already be
+    /// an XOR node whose edges cover every node the decision references).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::UnknownNode`] for ids outside this builder, or
+    /// [`ChainError::InvalidSpec`] when the decision references nodes that
+    /// are not children of `id`.
+    pub fn set_decision(&mut self, id: NodeId, decision: XorDecision) -> Result<(), ChainError> {
+        self.check_node(id)?;
+        for target in decision.on_true.iter().chain(&decision.on_false) {
+            self.check_node(*target)?;
+            if !self.children[id.index()].iter().any(|e| e.to == *target) {
+                return Err(ChainError::InvalidSpec(format!(
+                    "decision on {id} references non-child {target}"
+                )));
+            }
+        }
+        self.nodes[id.index()].set_decision(decision);
+        Ok(())
+    }
+
+    /// Number of nodes added so far.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Whether no nodes have been added.
+    pub fn is_empty(&self) -> bool {
+        self.nodes.is_empty()
+    }
+
+    /// Finalizes the workflow.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChainError::EmptyWorkflow`] if no functions were added, or
+    /// any validation error (defensive; `add`/`link` keep the graph valid).
+    pub fn build(self) -> Result<WorkflowDag, ChainError> {
+        if self.nodes.is_empty() {
+            return Err(ChainError::EmptyWorkflow);
+        }
+        let dag = WorkflowDag::from_parts(self.name, self.nodes, self.children, self.parents);
+        dag.validate()?;
+        Ok(dag)
+    }
+
+    fn check_node(&self, id: NodeId) -> Result<(), ChainError> {
+        if id.index() >= self.nodes.len() {
+            Err(ChainError::UnknownNode(id))
+        } else {
+            Ok(())
+        }
+    }
+
+    /// DFS reachability from `start` to `target` over current edges.
+    fn reaches(&self, start: NodeId, target: NodeId) -> bool {
+        let mut stack = vec![start];
+        let mut seen = vec![false; self.nodes.len()];
+        while let Some(id) = stack.pop() {
+            if id == target {
+                return true;
+            }
+            if seen[id.index()] {
+                continue;
+            }
+            seen[id.index()] = true;
+            for e in &self.children[id.index()] {
+                stack.push(e.to);
+            }
+        }
+        false
+    }
+}
+
+/// Convenience constructor for the paper's workhorse workload: a linear
+/// chain `f0 -> f1 -> … -> f(n-1)` of identical functions.
+///
+/// # Errors
+///
+/// Returns [`ChainError::EmptyWorkflow`] if `n == 0`.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_chain::{FunctionSpec, linear_chain};
+///
+/// let dag = linear_chain("chain5", 5, &FunctionSpec::new("f").service_ms(5000.0))?;
+/// assert_eq!(dag.depth(), 5);
+/// assert_eq!(dag.total_service_ms(), 25_000.0);
+/// # Ok::<(), xanadu_chain::ChainError>(())
+/// ```
+pub fn linear_chain(
+    name: impl Into<String>,
+    n: usize,
+    template: &FunctionSpec,
+) -> Result<WorkflowDag, ChainError> {
+    let mut b = WorkflowBuilder::new(name);
+    let mut prev: Option<NodeId> = None;
+    for i in 0..n {
+        let spec = template.clone().rename(format!("{}{}", template.name(), i));
+        let id = b.add(spec)?;
+        if let Some(p) = prev {
+            b.link(p, id)?;
+        }
+        prev = Some(id);
+    }
+    b.build()
+}
+
+impl FunctionSpec {
+    /// Returns a copy of this spec with a different name (used when stamping
+    /// out chains from a template).
+    pub fn rename(mut self, name: impl Into<String>) -> Self {
+        self.set_name(name.into());
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_rejects_duplicate_names() {
+        let mut b = WorkflowBuilder::new("w");
+        b.add(FunctionSpec::new("f")).unwrap();
+        assert_eq!(
+            b.add(FunctionSpec::new("f")),
+            Err(ChainError::DuplicateFunction("f".into()))
+        );
+    }
+
+    #[test]
+    fn link_rejects_unknown_and_self_and_duplicate() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.add(FunctionSpec::new("a")).unwrap();
+        let c = b.add(FunctionSpec::new("c")).unwrap();
+        assert!(matches!(
+            b.link(a, NodeId::from_index(9)),
+            Err(ChainError::UnknownNode(_))
+        ));
+        assert!(matches!(
+            b.link(a, a),
+            Err(ChainError::CycleDetected { .. })
+        ));
+        b.link(a, c).unwrap();
+        assert!(matches!(
+            b.link(a, c),
+            Err(ChainError::DuplicateEdge { .. })
+        ));
+    }
+
+    #[test]
+    fn link_rejects_cycles_transitively() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.add(FunctionSpec::new("a")).unwrap();
+        let c = b.add(FunctionSpec::new("c")).unwrap();
+        let d = b.add(FunctionSpec::new("d")).unwrap();
+        b.link(a, c).unwrap();
+        b.link(c, d).unwrap();
+        assert!(matches!(
+            b.link(d, a),
+            Err(ChainError::CycleDetected { .. })
+        ));
+    }
+
+    #[test]
+    fn link_rejects_bad_weights() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.add(FunctionSpec::new("a")).unwrap();
+        let c = b.add(FunctionSpec::new("c")).unwrap();
+        for w in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                b.link_weighted(a, c, w),
+                Err(ChainError::InvalidWeight { .. })
+            ));
+        }
+    }
+
+    #[test]
+    fn empty_build_fails() {
+        assert_eq!(
+            WorkflowBuilder::new("w").build().unwrap_err(),
+            ChainError::EmptyWorkflow
+        );
+    }
+
+    #[test]
+    fn xor_sets_mode() {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.add(FunctionSpec::new("a")).unwrap();
+        let c = b.add(FunctionSpec::new("c")).unwrap();
+        let d = b.add(FunctionSpec::new("d")).unwrap();
+        b.link_xor(a, &[(c, 0.7), (d, 0.3)]).unwrap();
+        let dag = b.build().unwrap();
+        assert_eq!(dag.node(a).branch_mode(), BranchMode::Xor);
+        assert_eq!(dag.children(a).len(), 2);
+    }
+
+    #[test]
+    fn linear_chain_helper() {
+        let dag = linear_chain("lc", 4, &FunctionSpec::new("fn").service_ms(100.0)).unwrap();
+        assert_eq!(dag.len(), 4);
+        assert_eq!(dag.depth(), 4);
+        assert_eq!(dag.node_by_name("fn2"), Some(NodeId::from_index(2)));
+        assert!(linear_chain("lc", 0, &FunctionSpec::new("fn")).is_err());
+    }
+
+    #[test]
+    fn len_and_is_empty() {
+        let mut b = WorkflowBuilder::new("w");
+        assert!(b.is_empty());
+        b.add(FunctionSpec::new("a")).unwrap();
+        assert_eq!(b.len(), 1);
+    }
+}

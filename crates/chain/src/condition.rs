@@ -1,0 +1,52 @@
+//! Data-driven branch conditions.
+//!
+//! Listing 1's conditional blocks compare a field of a function's JSON
+//! output against a literal (`{"op1": "f1.x", "op2": 7, "op": "lte"}`).
+//! When a workflow's functions declare outputs, the platform evaluates the
+//! condition to decide the XOR outcome; otherwise it falls back to the
+//! configured branch probability.
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+use std::collections::HashMap;
+
+/// A comparison condition evaluated on a function's JSON output
+/// (Listing 1's `{"op1": "f1.x", "op2": 7, "op": "lte"}`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Condition {
+    /// Left operand: a `function.field` path into a function's output.
+    pub op1: String,
+    /// Right operand: a JSON literal to compare against.
+    pub op2: Value,
+    /// Operator: one of `lt`, `lte`, `gt`, `gte`, `eq`, `neq`.
+    pub op: String,
+}
+
+impl Condition {
+    /// Evaluates the condition against the outputs of already-completed
+    /// functions (`outputs[function_name]` is that function's JSON result).
+    ///
+    /// Returns `None` when the referenced output/field is missing, the
+    /// operator is unknown, or the operands are not comparable; the caller
+    /// decides the fallback (the simulator falls back to the configured
+    /// branch probability).
+    pub fn evaluate(&self, outputs: &HashMap<String, Value>) -> Option<bool> {
+        let (func, field) = self.op1.split_once('.')?;
+        let lhs = outputs.get(func)?.get(field)?;
+        match self.op.as_str() {
+            "eq" => Some(lhs == &self.op2),
+            "neq" => Some(lhs != &self.op2),
+            "lt" | "lte" | "gt" | "gte" => {
+                let l = lhs.as_f64()?;
+                let r = self.op2.as_f64()?;
+                Some(match self.op.as_str() {
+                    "lt" => l < r,
+                    "lte" => l <= r,
+                    "gt" => l > r,
+                    _ => l >= r,
+                })
+            }
+            _ => None,
+        }
+    }
+}

@@ -1,0 +1,133 @@
+//! Graphviz DOT export of workflow DAGs.
+//!
+//! Renders a workflow in the visual language of the paper's figures: solid
+//! edges for the likely direction of XOR decisions (Figure 8 draws the 70 %
+//! edges solid), dashed edges for the unlikely siblings, plain edges for
+//! multicast links, and per-node labels carrying the deployment parameters.
+
+use crate::dag::{BranchMode, WorkflowDag};
+use std::fmt::Write as _;
+
+/// Renders `dag` as a Graphviz DOT digraph.
+///
+/// XOR edges are annotated with their normalized probability; the
+/// most-probable sibling of each XOR group is drawn solid and the rest
+/// dashed, mirroring the paper's Figure 8 convention.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_chain::{WorkflowBuilder, FunctionSpec, to_dot};
+///
+/// let mut b = WorkflowBuilder::new("demo");
+/// let a = b.add(FunctionSpec::new("a"))?;
+/// let c = b.add(FunctionSpec::new("c"))?;
+/// b.link(a, c)?;
+/// let dot = to_dot(&b.build()?);
+/// assert!(dot.starts_with("digraph \"demo\""));
+/// assert!(dot.contains("\"a\" -> \"c\""));
+/// # Ok::<(), xanadu_chain::ChainError>(())
+/// ```
+pub fn to_dot(dag: &WorkflowDag) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph \"{}\" {{", dag.name());
+    let _ = writeln!(out, "  rankdir=TB;");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for id in dag.node_ids() {
+        let node = dag.node(id);
+        let spec = node.spec();
+        let shape_attr = match node.branch_mode() {
+            BranchMode::Xor if dag.children(id).len() > 1 => ", peripheries=2",
+            _ => "",
+        };
+        let _ = writeln!(
+            out,
+            "  \"{}\" [label=\"{}\\n{} MB · {} · {:.0}ms\"{}];",
+            spec.name(),
+            spec.name(),
+            spec.memory(),
+            spec.isolation_level(),
+            spec.mean_service_ms(),
+            shape_attr,
+        );
+    }
+    for id in dag.node_ids() {
+        let from = dag.node(id).spec().name();
+        let edges = dag.children(id);
+        match dag.node(id).branch_mode() {
+            BranchMode::Multicast => {
+                for e in edges {
+                    let to = dag.node(e.to).spec().name();
+                    let _ = writeln!(out, "  \"{from}\" -> \"{to}\";");
+                }
+            }
+            BranchMode::Xor => {
+                let best = edges
+                    .iter()
+                    .map(|e| dag.edge_probability(id, e.to).unwrap_or(0.0))
+                    .fold(0.0f64, f64::max);
+                for e in edges {
+                    let to = dag.node(e.to).spec().name();
+                    let p = dag.edge_probability(id, e.to).unwrap_or(0.0);
+                    let style = if (p - best).abs() < 1e-12 {
+                        "solid"
+                    } else {
+                        "dashed"
+                    };
+                    let _ = writeln!(
+                        out,
+                        "  \"{from}\" -> \"{to}\" [label=\"{p:.2}\", style={style}];"
+                    );
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+    use crate::spec::FunctionSpec;
+    use crate::{linear_chain, IsolationLevel};
+
+    #[test]
+    fn linear_chain_dot() {
+        let dag = linear_chain("lc", 3, &FunctionSpec::new("f").service_ms(250.0)).unwrap();
+        let dot = to_dot(&dag);
+        assert!(dot.starts_with("digraph \"lc\""));
+        assert!(dot.contains("\"f0\" -> \"f1\";"));
+        assert!(dot.contains("\"f1\" -> \"f2\";"));
+        assert!(dot.contains("512 MB · container · 250ms"));
+        assert!(dot.trim_end().ends_with('}'));
+    }
+
+    #[test]
+    fn xor_edges_styled_by_probability() {
+        let mut b = WorkflowBuilder::new("x");
+        let a = b.add(FunctionSpec::new("a")).unwrap();
+        let hot = b.add(FunctionSpec::new("hot")).unwrap();
+        let cold = b
+            .add(FunctionSpec::new("cold").isolation(IsolationLevel::Process))
+            .unwrap();
+        b.link_xor(a, &[(hot, 0.7), (cold, 0.3)]).unwrap();
+        let dot = to_dot(&b.build().unwrap());
+        assert!(dot.contains("\"a\" -> \"hot\" [label=\"0.70\", style=solid];"));
+        assert!(dot.contains("\"a\" -> \"cold\" [label=\"0.30\", style=dashed];"));
+        // Conditional points get a double border.
+        assert!(dot.contains("peripheries=2"));
+        assert!(dot.contains("process"));
+    }
+
+    #[test]
+    fn every_node_appears_exactly_once_as_declaration() {
+        let dag = linear_chain("lc", 5, &FunctionSpec::new("f")).unwrap();
+        let dot = to_dot(&dag);
+        for i in 0..5 {
+            let decl = format!("\"f{i}\" [label=");
+            assert_eq!(dot.matches(&decl).count(), 1);
+        }
+    }
+}

@@ -1,0 +1,51 @@
+//! Node identity within a workflow.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Identifier of a function node within one [`WorkflowDag`].
+///
+/// Node ids are dense indices assigned by the builder in insertion order;
+/// they are only meaningful relative to the workflow that created them.
+///
+/// [`WorkflowDag`]: crate::WorkflowDag
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(pub(crate) u32);
+
+impl NodeId {
+    /// The dense index of this node.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Constructs a node id from a raw index.
+    ///
+    /// Intended for deserialization and test fixtures; passing an index that
+    /// does not exist in the target workflow will cause panics on lookup.
+    pub fn from_index(index: usize) -> Self {
+        NodeId(index as u32)
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn index_roundtrip() {
+        let id = NodeId::from_index(7);
+        assert_eq!(id.index(), 7);
+        assert_eq!(id.to_string(), "n7");
+    }
+
+    #[test]
+    fn ordering_follows_index() {
+        assert!(NodeId::from_index(1) < NodeId::from_index(2));
+    }
+}

@@ -1,0 +1,127 @@
+//! Isolation sandbox levels.
+//!
+//! Xanadu workers support *multi-granular isolation* (§4): users pick, per
+//! function, the sandbox technology trading off startup latency against
+//! isolation strength — V8-style isolates (thread-level), OS processes, or
+//! containers. The choice is part of the workflow specification (the
+//! `runtime` parameter of a function block in Listing 1), which is why the
+//! type lives in the workflow-model crate.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::str::FromStr;
+
+/// The isolation sandbox a function executes in, ordered from weakest /
+/// fastest to strongest / slowest (§2.3, Figure 7).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+#[serde(rename_all = "lowercase")]
+pub enum IsolationLevel {
+    /// Thread-level isolation (V8 isolate style): fastest startup, weakest
+    /// isolation. Cold start on the order of ~100 ms.
+    Isolate,
+    /// OS process isolation: ~1000 ms cold start in the paper's measurements.
+    Process,
+    /// Container isolation (Docker style): strongest of the three, ~3000 ms
+    /// cold start. This is the paper's default and the default here.
+    #[default]
+    Container,
+}
+
+impl IsolationLevel {
+    /// All levels, weakest to strongest.
+    pub const ALL: [IsolationLevel; 3] = [
+        IsolationLevel::Isolate,
+        IsolationLevel::Process,
+        IsolationLevel::Container,
+    ];
+
+    /// The lowercase name used in the state-definition language
+    /// (`"isolate"`, `"process"`, `"container"`).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            IsolationLevel::Isolate => "isolate",
+            IsolationLevel::Process => "process",
+            IsolationLevel::Container => "container",
+        }
+    }
+}
+
+impl fmt::Display for IsolationLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// Error parsing an isolation level name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseIsolationError(String);
+
+impl fmt::Display for ParseIsolationError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "unknown isolation level `{}`, expected one of isolate/process/container",
+            self.0
+        )
+    }
+}
+
+impl std::error::Error for ParseIsolationError {}
+
+impl FromStr for IsolationLevel {
+    type Err = ParseIsolationError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "isolate" | "v8" | "thread" => Ok(IsolationLevel::Isolate),
+            "process" => Ok(IsolationLevel::Process),
+            "container" | "docker" => Ok(IsolationLevel::Container),
+            other => Err(ParseIsolationError(other.to_string())),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_canonical_names() {
+        assert_eq!("isolate".parse(), Ok(IsolationLevel::Isolate));
+        assert_eq!("process".parse(), Ok(IsolationLevel::Process));
+        assert_eq!("container".parse(), Ok(IsolationLevel::Container));
+    }
+
+    #[test]
+    fn parse_aliases_and_case() {
+        assert_eq!("Docker".parse(), Ok(IsolationLevel::Container));
+        assert_eq!("V8".parse(), Ok(IsolationLevel::Isolate));
+        assert_eq!("THREAD".parse(), Ok(IsolationLevel::Isolate));
+    }
+
+    #[test]
+    fn parse_unknown_fails_with_message() {
+        let err = "vm".parse::<IsolationLevel>().unwrap_err();
+        assert!(err.to_string().contains("vm"));
+    }
+
+    #[test]
+    fn ordering_weakest_to_strongest() {
+        assert!(IsolationLevel::Isolate < IsolationLevel::Process);
+        assert!(IsolationLevel::Process < IsolationLevel::Container);
+    }
+
+    #[test]
+    fn display_roundtrips_through_parse() {
+        for lvl in IsolationLevel::ALL {
+            assert_eq!(lvl.to_string().parse(), Ok(lvl));
+        }
+    }
+
+    #[test]
+    fn default_is_container() {
+        assert_eq!(IsolationLevel::default(), IsolationLevel::Container);
+    }
+}

@@ -1,0 +1,739 @@
+//! The JSON **state-definition language** (SDL) for explicit chains.
+//!
+//! Xanadu supports explicit chaining "using a state definition language we
+//! developed based on JSON" (§4, Listing 1). An SDL document is a JSON
+//! object mapping block names to blocks of three kinds:
+//!
+//! * **`function`** — a deployable function: memory, runtime (isolation
+//!   sandbox), a `wait_for` dependency list, an optional `service_ms`
+//!   ground-truth runtime for simulation, and an optional `conditional`
+//!   pointer naming the conditional block that consumes its output.
+//! * **`conditional`** — a branching point: `wait_for` parents, a
+//!   `condition` (`op1` / `op2` / `op`), `success` / `fail` branch names,
+//!   and an optional `success_probability` used to drive simulated
+//!   executions (defaults to 0.5).
+//! * **`branch`** — a named group of nested function blocks forming one arm
+//!   of a conditional; functions inside a branch `wait_for` each other by
+//!   (possibly nested) name.
+//!
+//! Parsing lowers the document onto a [`WorkflowDag`]: each conditional
+//! turns its (single) parent function into an XOR-cast node whose two edge
+//! groups enter the success and fail branches with probabilities `p` and
+//! `1-p`.
+//!
+//! # Example
+//!
+//! ```
+//! let doc = r#"{
+//!   "f1": {"type": "function", "memory": 512, "runtime": "container",
+//!           "wait_for": [], "service_ms": 2000, "conditional": "cond"},
+//!   "cond": {"type": "conditional", "wait_for": ["f1"],
+//!            "condition": {"op1": "f1.x", "op2": 7, "op": "lte"},
+//!            "success": "b1", "fail": "b2", "success_probability": 0.7},
+//!   "b1": {"type": "branch",
+//!          "f2": {"type": "function", "memory": 256, "runtime": "process",
+//!                  "wait_for": [], "service_ms": 100}},
+//!   "b2": {"type": "branch",
+//!          "f3": {"type": "function", "memory": 256, "runtime": "process",
+//!                  "wait_for": [], "service_ms": 300}}
+//! }"#;
+//! let dag = xanadu_chain::sdl::parse("checkout", doc)?;
+//! assert_eq!(dag.len(), 3);
+//! assert_eq!(dag.conditional_points(), 1);
+//! # Ok::<(), xanadu_chain::ChainError>(())
+//! ```
+
+use crate::builder::WorkflowBuilder;
+use crate::condition::Condition;
+use crate::dag::{BranchMode, WorkflowDag};
+use crate::error::ChainError;
+use crate::id::NodeId;
+use crate::isolation::IsolationLevel;
+use crate::spec::FunctionSpec;
+use serde_json::{Map, Value};
+use std::collections::HashMap;
+
+pub use crate::condition::Condition as SdlCondition;
+
+#[derive(Debug)]
+struct RawFunction {
+    name: String,
+    memory: u32,
+    runtime: IsolationLevel,
+    wait_for: Vec<String>,
+    service_ms: f64,
+    /// Name of the conditional block consuming this function's output, if
+    /// declared. Cross-checked against the conditional's own `wait_for`
+    /// during lowering.
+    conditional: Option<String>,
+    /// Declared static output, consumed by data-driven conditionals.
+    output: Option<Value>,
+}
+
+#[derive(Debug)]
+struct RawConditional {
+    name: String,
+    wait_for: Vec<String>,
+    condition: Condition,
+    success: String,
+    fail: String,
+    success_probability: f64,
+}
+
+#[derive(Debug)]
+struct RawBranch {
+    name: String,
+    functions: Vec<RawFunction>,
+}
+
+/// Parses an SDL document into a validated [`WorkflowDag`] named `name`.
+///
+/// # Errors
+///
+/// Returns [`ChainError::Sdl`] for malformed JSON or schema violations, and
+/// other [`ChainError`] variants for structural problems (duplicate names,
+/// cycles introduced by `wait_for`, dangling references).
+pub fn parse(name: &str, document: &str) -> Result<WorkflowDag, ChainError> {
+    let value: Value =
+        serde_json::from_str(document).map_err(|e| ChainError::Sdl(format!("bad json: {e}")))?;
+    let root = value
+        .as_object()
+        .ok_or_else(|| ChainError::Sdl("top level must be an object".into()))?;
+
+    let mut functions = Vec::new();
+    let mut conditionals = Vec::new();
+    let mut branches = Vec::new();
+
+    for (block_name, block) in root {
+        let obj = block
+            .as_object()
+            .ok_or_else(|| ChainError::Sdl(format!("block `{block_name}` must be an object")))?;
+        match block_type(block_name, obj)? {
+            "function" => functions.push(parse_function(block_name, obj)?),
+            "conditional" => conditionals.push(parse_conditional(block_name, obj)?),
+            "branch" => branches.push(parse_branch(block_name, obj)?),
+            other => {
+                return Err(ChainError::Sdl(format!(
+                    "block `{block_name}` has unknown type `{other}`"
+                )))
+            }
+        }
+    }
+
+    lower(name, functions, conditionals, branches)
+}
+
+fn block_type<'a>(block_name: &str, obj: &'a Map<String, Value>) -> Result<&'a str, ChainError> {
+    obj.get("type")
+        .and_then(Value::as_str)
+        .ok_or_else(|| ChainError::Sdl(format!("block `{block_name}` is missing `type`")))
+}
+
+fn parse_function(name: &str, obj: &Map<String, Value>) -> Result<RawFunction, ChainError> {
+    let memory = obj
+        .get("memory")
+        .and_then(Value::as_u64)
+        .unwrap_or(u64::from(crate::spec::DEFAULT_MEMORY_MB)) as u32;
+    let runtime = match obj.get("runtime").and_then(Value::as_str) {
+        None => IsolationLevel::default(),
+        Some(s) => s
+            .parse()
+            .map_err(|e| ChainError::Sdl(format!("function `{name}`: {e}")))?,
+    };
+    let wait_for = parse_string_list(name, obj.get("wait_for"))?;
+    let service_ms = obj
+        .get("service_ms")
+        .and_then(Value::as_f64)
+        .unwrap_or(crate::spec::DEFAULT_SERVICE_MS);
+    if !service_ms.is_finite() || service_ms < 0.0 {
+        return Err(ChainError::Sdl(format!(
+            "function `{name}` has invalid service_ms {service_ms}"
+        )));
+    }
+    let conditional = obj
+        .get("conditional")
+        .and_then(Value::as_str)
+        .map(str::to_string);
+    let output = obj.get("output").cloned();
+    Ok(RawFunction {
+        name: name.to_string(),
+        memory,
+        runtime,
+        wait_for,
+        service_ms,
+        conditional,
+        output,
+    })
+}
+
+fn parse_conditional(name: &str, obj: &Map<String, Value>) -> Result<RawConditional, ChainError> {
+    let wait_for = parse_string_list(name, obj.get("wait_for"))?;
+    let condition: Condition = serde_json::from_value(
+        obj.get("condition")
+            .cloned()
+            .ok_or_else(|| ChainError::Sdl(format!("conditional `{name}` missing `condition`")))?,
+    )
+    .map_err(|e| ChainError::Sdl(format!("conditional `{name}`: bad condition: {e}")))?;
+    let get_name = |key: &str| -> Result<String, ChainError> {
+        obj.get(key)
+            .and_then(Value::as_str)
+            .map(str::to_string)
+            .ok_or_else(|| ChainError::Sdl(format!("conditional `{name}` missing `{key}`")))
+    };
+    let success_probability = obj
+        .get("success_probability")
+        .and_then(Value::as_f64)
+        .unwrap_or(0.5);
+    if !(0.0..=1.0).contains(&success_probability) {
+        return Err(ChainError::Sdl(format!(
+            "conditional `{name}` success_probability {success_probability} outside [0,1]"
+        )));
+    }
+    Ok(RawConditional {
+        name: name.to_string(),
+        wait_for,
+        condition,
+        success: get_name("success")?,
+        fail: get_name("fail")?,
+        success_probability,
+    })
+}
+
+fn parse_branch(name: &str, obj: &Map<String, Value>) -> Result<RawBranch, ChainError> {
+    let mut functions = Vec::new();
+    for (key, val) in obj {
+        if key == "type" {
+            continue;
+        }
+        let fobj = val
+            .as_object()
+            .ok_or_else(|| ChainError::Sdl(format!("branch `{name}`: `{key}` not an object")))?;
+        match block_type(key, fobj)? {
+            "function" => functions.push(parse_function(key, fobj)?),
+            other => return Err(ChainError::Sdl(format!(
+                "branch `{name}`: nested block `{key}` has type `{other}`; only functions may nest"
+            ))),
+        }
+    }
+    if functions.is_empty() {
+        return Err(ChainError::Sdl(format!("branch `{name}` is empty")));
+    }
+    Ok(RawBranch {
+        name: name.to_string(),
+        functions,
+    })
+}
+
+fn parse_string_list(owner: &str, v: Option<&Value>) -> Result<Vec<String>, ChainError> {
+    match v {
+        None => Ok(Vec::new()),
+        Some(Value::Array(items)) => items
+            .iter()
+            .map(|i| {
+                i.as_str().map(str::to_string).ok_or_else(|| {
+                    ChainError::Sdl(format!("`{owner}`: wait_for entries must be strings"))
+                })
+            })
+            .collect(),
+        Some(_) => Err(ChainError::Sdl(format!(
+            "`{owner}`: wait_for must be an array"
+        ))),
+    }
+}
+
+/// Lowers parsed blocks onto a `WorkflowDag`.
+fn lower(
+    workflow_name: &str,
+    functions: Vec<RawFunction>,
+    conditionals: Vec<RawConditional>,
+    branches: Vec<RawBranch>,
+) -> Result<WorkflowDag, ChainError> {
+    let mut b = WorkflowBuilder::new(workflow_name);
+    let mut ids: HashMap<String, NodeId> = HashMap::new();
+
+    let add_function = |b: &mut WorkflowBuilder,
+                        ids: &mut HashMap<String, NodeId>,
+                        f: &RawFunction|
+     -> Result<NodeId, ChainError> {
+        let mut spec = FunctionSpec::new(&f.name)
+            .memory_mb(f.memory)
+            .isolation(f.runtime)
+            .service_ms(f.service_ms);
+        if let Some(output) = &f.output {
+            spec = spec.with_output(output.clone());
+        }
+        let id = b.add(spec)?;
+        ids.insert(f.name.clone(), id);
+        Ok(id)
+    };
+
+    // Pass 1: create all nodes (top-level + nested in branches).
+    for f in &functions {
+        add_function(&mut b, &mut ids, f)?;
+    }
+    let mut branch_map: HashMap<String, &RawBranch> = HashMap::new();
+    for br in &branches {
+        branch_map.insert(br.name.clone(), br);
+        for f in &br.functions {
+            add_function(&mut b, &mut ids, f)?;
+        }
+    }
+
+    let lookup = |ids: &HashMap<String, NodeId>, name: &str| -> Result<NodeId, ChainError> {
+        ids.get(name)
+            .copied()
+            .ok_or_else(|| ChainError::UnknownName(name.to_string()))
+    };
+
+    // Pass 2: wire wait_for edges for every function.
+    let all_functions = functions
+        .iter()
+        .chain(branches.iter().flat_map(|br| br.functions.iter()));
+    for f in all_functions {
+        let to = lookup(&ids, &f.name)?;
+        for dep in &f.wait_for {
+            let from = lookup(&ids, dep)?;
+            b.link(from, to)?;
+        }
+    }
+
+    // Pass 3: lower conditionals. The conditional's parent (its single
+    // wait_for function) becomes an XOR node with edges into the entry
+    // functions of the success/fail branches.
+    for c in &conditionals {
+        if c.wait_for.len() != 1 {
+            return Err(ChainError::Sdl(format!(
+                "conditional `{}` must wait_for exactly one function, got {}",
+                c.name,
+                c.wait_for.len()
+            )));
+        }
+        // Cross-check: if the parent function declares a `conditional`
+        // pointer, it must name this block.
+        if let Some(parent_fn) = functions
+            .iter()
+            .chain(branches.iter().flat_map(|br| br.functions.iter()))
+            .find(|f| f.name == c.wait_for[0])
+        {
+            if let Some(declared) = &parent_fn.conditional {
+                if declared != &c.name {
+                    return Err(ChainError::Sdl(format!(
+                        "function `{}` declares conditional `{declared}` but `{}` waits on it",
+                        parent_fn.name, c.name
+                    )));
+                }
+            }
+        }
+        let parent = lookup(&ids, &c.wait_for[0])?;
+        let p = c.success_probability;
+        let mut entry_groups: Vec<Vec<NodeId>> = Vec::with_capacity(2);
+        for (branch_name, prob) in [(&c.success, p), (&c.fail, 1.0 - p)] {
+            let br = branch_map.get(branch_name.as_str()).ok_or_else(|| {
+                ChainError::UnknownName(format!("branch `{branch_name}` of `{}`", c.name))
+            })?;
+            // Entry functions of a branch: those with no wait_for inside the
+            // branch itself (they implicitly depend on the conditional parent).
+            let intra: std::collections::HashSet<&str> =
+                br.functions.iter().map(|f| f.name.as_str()).collect();
+            let entries: Vec<NodeId> = br
+                .functions
+                .iter()
+                .filter(|f| !f.wait_for.iter().any(|d| intra.contains(d.as_str())))
+                .map(|f| lookup(&ids, &f.name))
+                .collect::<Result<_, _>>()?;
+            if entries.is_empty() {
+                return Err(ChainError::Sdl(format!(
+                    "branch `{branch_name}` has no entry function"
+                )));
+            }
+            let prob = prob.max(1e-9); // builder rejects zero weights
+            for &entry in &entries {
+                b.link_weighted(parent, entry, prob)?;
+            }
+            entry_groups.push(entries);
+        }
+        b.set_branch_mode(parent, BranchMode::Xor)?;
+        // Attach the data-driven decision: when declared outputs let the
+        // condition evaluate, the platform follows it instead of drawing
+        // from `success_probability`.
+        let on_false = entry_groups.pop().expect("two groups pushed");
+        let on_true = entry_groups.pop().expect("two groups pushed");
+        b.set_decision(
+            parent,
+            crate::dag::XorDecision {
+                condition: c.condition.clone(),
+                on_true,
+                on_false,
+            },
+        )?;
+    }
+
+    b.build()
+}
+
+/// Serializes a [`WorkflowDag`] back to an SDL document.
+///
+/// XOR nodes are rendered as a `conditional` block per XOR parent with
+/// synthetic branch blocks; multicast edges become `wait_for` entries. The
+/// output always re-parses to an equivalent DAG (see the round-trip tests),
+/// though block names may differ from any original document.
+pub fn to_sdl(dag: &WorkflowDag) -> String {
+    let mut doc = Map::new();
+    // Which nodes are XOR children (reached via a conditional rather than
+    // wait_for)?
+    let mut xor_child: HashMap<NodeId, (NodeId, f64)> = HashMap::new();
+    for id in dag.node_ids() {
+        if dag.node(id).branch_mode() == BranchMode::Xor {
+            for e in dag.children(id) {
+                xor_child.insert(e.to, (id, dag.edge_probability(id, e.to).unwrap_or(0.0)));
+            }
+        }
+    }
+
+    for id in dag.node_ids() {
+        let node = dag.node(id);
+        let mut fblock = Map::new();
+        fblock.insert("type".into(), Value::String("function".into()));
+        fblock.insert("memory".into(), Value::from(node.spec().memory()));
+        fblock.insert(
+            "runtime".into(),
+            Value::String(node.spec().isolation_level().as_str().into()),
+        );
+        let wait_for: Vec<Value> = dag
+            .parents(id)
+            .iter()
+            .filter(|p| {
+                // Parents reached through an XOR decision are expressed via
+                // the conditional block instead.
+                !matches!(xor_child.get(&id), Some((xp, _)) if xp == *p)
+            })
+            .map(|p| Value::String(dag.node(*p).spec().name().into()))
+            .collect();
+        fblock.insert("wait_for".into(), Value::Array(wait_for));
+        fblock.insert(
+            "service_ms".into(),
+            Value::from(node.spec().mean_service_ms()),
+        );
+        if node.branch_mode() == BranchMode::Xor {
+            fblock.insert(
+                "conditional".into(),
+                Value::String(format!("{}__cond", node.spec().name())),
+            );
+        }
+        doc.insert(node.spec().name().to_string(), Value::Object(fblock));
+    }
+
+    // Conditionals: group XOR children into success (highest probability)
+    // and fail (the rest) branches.
+    for id in dag.node_ids() {
+        if dag.node(id).branch_mode() != BranchMode::Xor {
+            continue;
+        }
+        let name = dag.node(id).spec().name();
+        let mut kids: Vec<(NodeId, f64)> = dag
+            .children(id)
+            .iter()
+            .map(|e| (e.to, dag.edge_probability(id, e.to).unwrap_or(0.0)))
+            .collect();
+        kids.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap_or(std::cmp::Ordering::Equal));
+        let (success, rest) = kids.split_first().expect("xor node has children");
+
+        let branch_block = |members: &[(NodeId, f64)]| -> Value {
+            let mut m = Map::new();
+            m.insert("type".into(), Value::String("branch".into()));
+            for (nid, _) in members {
+                let child = dag.node(*nid);
+                let mut fb = Map::new();
+                fb.insert("type".into(), Value::String("function".into()));
+                fb.insert("memory".into(), Value::from(child.spec().memory()));
+                fb.insert(
+                    "runtime".into(),
+                    Value::String(child.spec().isolation_level().as_str().into()),
+                );
+                fb.insert("wait_for".into(), Value::Array(vec![]));
+                fb.insert(
+                    "service_ms".into(),
+                    Value::from(child.spec().mean_service_ms()),
+                );
+                m.insert(format!("{}__stub", child.spec().name()), Value::Object(fb));
+            }
+            Value::Object(m)
+        };
+        let _ = branch_block; // branches reference existing functions below
+
+        let mut cond = Map::new();
+        cond.insert("type".into(), Value::String("conditional".into()));
+        cond.insert(
+            "wait_for".into(),
+            Value::Array(vec![Value::String(name.into())]),
+        );
+        let mut condition = Map::new();
+        condition.insert("op1".into(), Value::String(format!("{name}.out")));
+        condition.insert("op2".into(), Value::from(0));
+        condition.insert("op".into(), Value::String("gte".into()));
+        cond.insert("condition".into(), Value::Object(condition));
+        cond.insert("success".into(), Value::String(format!("{name}__success")));
+        cond.insert("fail".into(), Value::String(format!("{name}__fail")));
+        cond.insert("success_probability".into(), Value::from(success.1));
+        doc.insert(format!("{name}__cond"), Value::Object(cond));
+
+        // Branch blocks referencing the children by moving their function
+        // definitions into the branch (and removing the top-level copies).
+        let mut mk_branch = |branch_name: String, members: &[(NodeId, f64)]| {
+            let mut m = Map::new();
+            m.insert("type".into(), Value::String("branch".into()));
+            for (nid, _) in members {
+                let child_name = dag.node(*nid).spec().name().to_string();
+                if let Some(mut fb) = doc.remove(&child_name) {
+                    // Children of an XOR are entered via the conditional, so
+                    // their wait_for (already excluding the XOR parent) stays.
+                    if let Some(obj) = fb.as_object_mut() {
+                        obj.remove("conditional");
+                    }
+                    m.insert(child_name, fb);
+                }
+            }
+            doc.insert(branch_name, Value::Object(m));
+        };
+        mk_branch(format!("{name}__success"), std::slice::from_ref(success));
+        mk_branch(format!("{name}__fail"), rest);
+    }
+
+    serde_json::to_string_pretty(&Value::Object(doc)).expect("sdl serialization cannot fail")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::builder::WorkflowBuilder;
+
+    const LISTING1: &str = r#"{
+        "f1": {"type": "function", "memory": 512, "runtime": "container",
+               "wait_for": [], "service_ms": 1000, "conditional": "condition1"},
+        "condition1": {"type": "conditional", "wait_for": ["f1"],
+                       "condition": {"op1": "f1.x", "op2": 7, "op": "lte"},
+                       "success": "branch1", "fail": "branch2",
+                       "success_probability": 0.7},
+        "branch1": {"type": "branch",
+                    "f3": {"type": "function", "memory": 256, "runtime": "process",
+                           "wait_for": [], "service_ms": 200},
+                    "f4": {"type": "function", "memory": 256, "runtime": "process",
+                           "wait_for": ["f3"], "service_ms": 100}},
+        "branch2": {"type": "branch",
+                    "f5": {"type": "function", "memory": 128, "runtime": "isolate",
+                           "wait_for": [], "service_ms": 400}}
+    }"#;
+
+    #[test]
+    fn parses_listing1_style_document() {
+        let dag = parse("listing1", LISTING1).unwrap();
+        assert_eq!(dag.len(), 4);
+        let f1 = dag.node_by_name("f1").unwrap();
+        let f3 = dag.node_by_name("f3").unwrap();
+        let f4 = dag.node_by_name("f4").unwrap();
+        let f5 = dag.node_by_name("f5").unwrap();
+        assert_eq!(dag.node(f1).branch_mode(), BranchMode::Xor);
+        assert!((dag.edge_probability(f1, f3).unwrap() - 0.7).abs() < 1e-9);
+        assert!((dag.edge_probability(f1, f5).unwrap() - 0.3).abs() < 1e-9);
+        assert_eq!(dag.parents(f4), &[f3]);
+        assert_eq!(
+            dag.node(f5).spec().isolation_level(),
+            IsolationLevel::Isolate
+        );
+        assert_eq!(dag.node(f3).spec().memory(), 256);
+        assert_eq!(dag.conditional_points(), 1);
+    }
+
+    #[test]
+    fn parses_plain_linear_document() {
+        let doc = r#"{
+            "a": {"type": "function", "wait_for": [], "service_ms": 10},
+            "b": {"type": "function", "wait_for": ["a"], "service_ms": 20},
+            "c": {"type": "function", "wait_for": ["b"], "service_ms": 30}
+        }"#;
+        let dag = parse("lin", doc).unwrap();
+        assert_eq!(dag.depth(), 3);
+        assert_eq!(dag.total_service_ms(), 60.0);
+        // Defaults applied.
+        let a = dag.node_by_name("a").unwrap();
+        assert_eq!(dag.node(a).spec().memory(), 512);
+        assert_eq!(
+            dag.node(a).spec().isolation_level(),
+            IsolationLevel::Container
+        );
+    }
+
+    #[test]
+    fn barrier_via_multiple_wait_for() {
+        let doc = r#"{
+            "a": {"type": "function", "wait_for": []},
+            "b": {"type": "function", "wait_for": []},
+            "j": {"type": "function", "wait_for": ["a", "b"]}
+        }"#;
+        let dag = parse("barrier", doc).unwrap();
+        let j = dag.node_by_name("j").unwrap();
+        assert_eq!(dag.parents(j).len(), 2);
+        assert_eq!(dag.roots().len(), 2);
+    }
+
+    #[test]
+    fn output_field_populates_spec_and_decision() {
+        let doc = r#"{
+            "f1": {"type": "function", "wait_for": [], "service_ms": 100,
+                    "conditional": "c", "output": {"x": 42}},
+            "c": {"type": "conditional", "wait_for": ["f1"],
+                   "condition": {"op1": "f1.x", "op2": 7, "op": "lte"},
+                   "success": "b1", "fail": "b2"},
+            "b1": {"type": "branch",
+                   "win": {"type": "function", "wait_for": []}},
+            "b2": {"type": "branch",
+                   "lose": {"type": "function", "wait_for": []}}
+        }"#;
+        let dag = parse("o", doc).unwrap();
+        let f1 = dag.node_by_name("f1").unwrap();
+        assert_eq!(dag.node(f1).spec().output().unwrap()["x"], 42);
+        let decision = dag.node(f1).decision().expect("decision attached");
+        assert_eq!(decision.condition.op, "lte");
+        assert_eq!(decision.on_true, vec![dag.node_by_name("win").unwrap()]);
+        assert_eq!(decision.on_false, vec![dag.node_by_name("lose").unwrap()]);
+        // x=42 > 7 → lte fails → fail branch when evaluated.
+        let outputs: std::collections::HashMap<String, Value> =
+            [("f1".to_string(), serde_json::json!({"x": 42}))].into();
+        assert_eq!(decision.condition.evaluate(&outputs), Some(false));
+    }
+
+    #[test]
+    fn rejects_bad_json_and_schema() {
+        assert!(matches!(parse("w", "not json"), Err(ChainError::Sdl(_))));
+        assert!(matches!(parse("w", "[1,2]"), Err(ChainError::Sdl(_))));
+        assert!(matches!(
+            parse("w", r#"{"f": {"memory": 1}}"#),
+            Err(ChainError::Sdl(_))
+        ));
+        assert!(matches!(
+            parse("w", r#"{"f": {"type": "mystery"}}"#),
+            Err(ChainError::Sdl(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_wait_for_target() {
+        let doc = r#"{"b": {"type": "function", "wait_for": ["ghost"]}}"#;
+        assert!(matches!(parse("w", doc), Err(ChainError::UnknownName(_))));
+    }
+
+    #[test]
+    fn rejects_invalid_runtime_and_probability() {
+        let doc = r#"{"f": {"type": "function", "runtime": "vm", "wait_for": []}}"#;
+        assert!(matches!(parse("w", doc), Err(ChainError::Sdl(_))));
+        let doc = r#"{
+            "f": {"type": "function", "wait_for": [], "conditional": "c"},
+            "c": {"type": "conditional", "wait_for": ["f"],
+                  "condition": {"op1": "f.x", "op2": 1, "op": "lt"},
+                  "success": "b1", "fail": "b2", "success_probability": 1.5},
+            "b1": {"type": "branch", "g": {"type": "function", "wait_for": []}},
+            "b2": {"type": "branch", "h": {"type": "function", "wait_for": []}}
+        }"#;
+        assert!(matches!(parse("w", doc), Err(ChainError::Sdl(_))));
+    }
+
+    #[test]
+    fn rejects_empty_branch_and_missing_branch() {
+        let doc = r#"{
+            "f": {"type": "function", "wait_for": []},
+            "c": {"type": "conditional", "wait_for": ["f"],
+                  "condition": {"op1": "f.x", "op2": 1, "op": "lt"},
+                  "success": "nope", "fail": "nope2"}
+        }"#;
+        assert!(matches!(parse("w", doc), Err(ChainError::UnknownName(_))));
+        let doc = r#"{
+            "f": {"type": "function", "wait_for": []},
+            "b": {"type": "branch"}
+        }"#;
+        assert!(matches!(parse("w", doc), Err(ChainError::Sdl(_))));
+    }
+
+    #[test]
+    fn condition_evaluation() {
+        let cond = Condition {
+            op1: "f1.x".into(),
+            op2: Value::from(7),
+            op: "lte".into(),
+        };
+        let mut outputs = HashMap::new();
+        outputs.insert("f1".to_string(), serde_json::json!({"x": 5}));
+        assert_eq!(cond.evaluate(&outputs), Some(true));
+        outputs.insert("f1".to_string(), serde_json::json!({"x": 9}));
+        assert_eq!(cond.evaluate(&outputs), Some(false));
+        outputs.insert("f1".to_string(), serde_json::json!({"y": 9}));
+        assert_eq!(cond.evaluate(&outputs), None, "missing field");
+        outputs.clear();
+        assert_eq!(cond.evaluate(&outputs), None, "missing function");
+    }
+
+    #[test]
+    fn condition_operators() {
+        let mut outputs = HashMap::new();
+        outputs.insert("f".to_string(), serde_json::json!({"x": 3, "s": "hi"}));
+        let eval = |op: &str, op2: Value| {
+            Condition {
+                op1: "f.x".into(),
+                op2,
+                op: op.into(),
+            }
+            .evaluate(&outputs)
+        };
+        assert_eq!(eval("lt", Value::from(4)), Some(true));
+        assert_eq!(eval("gt", Value::from(4)), Some(false));
+        assert_eq!(eval("gte", Value::from(3)), Some(true));
+        assert_eq!(eval("eq", Value::from(3)), Some(true));
+        assert_eq!(eval("neq", Value::from(3)), Some(false));
+        assert_eq!(eval("magic", Value::from(3)), None);
+        let string_eq = Condition {
+            op1: "f.s".into(),
+            op2: Value::from("hi"),
+            op: "eq".into(),
+        };
+        assert_eq!(string_eq.evaluate(&outputs), Some(true));
+        let string_lt = Condition {
+            op1: "f.s".into(),
+            op2: Value::from("hi"),
+            op: "lt".into(),
+        };
+        assert_eq!(string_lt.evaluate(&outputs), None, "strings not ordered");
+    }
+
+    #[test]
+    fn to_sdl_roundtrips_linear_chain() {
+        let mut b = WorkflowBuilder::new("rt");
+        let a = b.add(FunctionSpec::new("a").service_ms(10.0)).unwrap();
+        let c = b.add(FunctionSpec::new("c").service_ms(20.0)).unwrap();
+        b.link(a, c).unwrap();
+        let dag = b.build().unwrap();
+        let doc = to_sdl(&dag);
+        let reparsed = parse("rt", &doc).unwrap();
+        assert_eq!(reparsed.len(), dag.len());
+        assert_eq!(reparsed.depth(), dag.depth());
+        let ra = reparsed.node_by_name("a").unwrap();
+        let rc = reparsed.node_by_name("c").unwrap();
+        assert_eq!(reparsed.children(ra)[0].to, rc);
+    }
+
+    #[test]
+    fn to_sdl_roundtrips_xor() {
+        let mut b = WorkflowBuilder::new("rtx");
+        let a = b.add(FunctionSpec::new("a")).unwrap();
+        let s = b.add(FunctionSpec::new("s")).unwrap();
+        let f = b.add(FunctionSpec::new("f")).unwrap();
+        b.link_xor(a, &[(s, 0.8), (f, 0.2)]).unwrap();
+        let dag = b.build().unwrap();
+        let doc = to_sdl(&dag);
+        let reparsed = parse("rtx", &doc).unwrap();
+        assert_eq!(reparsed.len(), 3);
+        let ra = reparsed.node_by_name("a").unwrap();
+        let rs = reparsed.node_by_name("s").unwrap();
+        assert_eq!(reparsed.node(ra).branch_mode(), BranchMode::Xor);
+        assert!((reparsed.edge_probability(ra, rs).unwrap() - 0.8).abs() < 1e-9);
+        assert_eq!(reparsed.conditional_points(), 1);
+    }
+}

@@ -1,0 +1,144 @@
+//! Estimate sources: what the planner believes about function timings.
+//!
+//! The JIT planner (Algorithm 2) consumes per-function estimates of
+//! cold-start time, worker startup time and warm-start runtime, plus
+//! per-edge invocation delays for implicit chains. In production these come
+//! from the profiler's EMAs; in tests and planning-only contexts they come
+//! from static tables. The [`EstimateSource`] trait abstracts over both.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xanadu_chain::{FunctionSpec, NodeId};
+
+/// Timing estimates for one function, in milliseconds.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NodeEstimate {
+    /// Estimated total cold-start latency (sandbox provisioning through
+    /// runtime ready).
+    pub cold_start_ms: f64,
+    /// Estimated worker startup time `S_c`: how long before a sandbox
+    /// provisioned now becomes warm. For fresh sandboxes this equals the
+    /// cold start; kept separate because profiled startup can differ once
+    /// layers are cached.
+    pub startup_ms: f64,
+    /// Estimated warm-start runtime — the planner's proxy for the
+    /// function's lifetime (§3.2.2).
+    pub warm_runtime_ms: f64,
+}
+
+/// A supplier of planning estimates.
+pub trait EstimateSource {
+    /// Estimates for `node` with deployment parameters `spec`.
+    fn estimate(&self, node: NodeId, spec: &FunctionSpec) -> NodeEstimate;
+
+    /// The estimated parent→child invocation delay for implicit chains,
+    /// or `None` when unobserved (the planner then falls back to the
+    /// explicit-chain rule).
+    fn invoke_delay_ms(&self, _parent: NodeId, _child: NodeId) -> Option<f64> {
+        None
+    }
+}
+
+/// A static estimate table, useful for tests, planning what-ifs, and
+/// seeding before any profile exists.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_core::estimate::{StaticEstimates, NodeEstimate, EstimateSource};
+/// use xanadu_chain::{FunctionSpec, NodeId};
+///
+/// let est = StaticEstimates::uniform(NodeEstimate {
+///     cold_start_ms: 3000.0,
+///     startup_ms: 3000.0,
+///     warm_runtime_ms: 500.0,
+/// });
+/// let spec = FunctionSpec::new("f");
+/// assert_eq!(est.estimate(NodeId::from_index(0), &spec).cold_start_ms, 3000.0);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StaticEstimates {
+    default: NodeEstimate,
+    overrides: HashMap<usize, NodeEstimate>,
+    invoke_delays: HashMap<(usize, usize), f64>,
+}
+
+impl StaticEstimates {
+    /// The same estimate for every node.
+    pub fn uniform(default: NodeEstimate) -> Self {
+        StaticEstimates {
+            default,
+            overrides: HashMap::new(),
+            invoke_delays: HashMap::new(),
+        }
+    }
+
+    /// Overrides the estimate for one node.
+    pub fn set(&mut self, node: NodeId, estimate: NodeEstimate) -> &mut Self {
+        self.overrides.insert(node.index(), estimate);
+        self
+    }
+
+    /// Sets an implicit-chain invocation delay for an edge.
+    pub fn set_invoke_delay(&mut self, parent: NodeId, child: NodeId, ms: f64) -> &mut Self {
+        self.invoke_delays
+            .insert((parent.index(), child.index()), ms);
+        self
+    }
+}
+
+impl EstimateSource for StaticEstimates {
+    fn estimate(&self, node: NodeId, _spec: &FunctionSpec) -> NodeEstimate {
+        self.overrides
+            .get(&node.index())
+            .copied()
+            .unwrap_or(self.default)
+    }
+
+    fn invoke_delay_ms(&self, parent: NodeId, child: NodeId) -> Option<f64> {
+        self.invoke_delays
+            .get(&(parent.index(), child.index()))
+            .copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn base() -> NodeEstimate {
+        NodeEstimate {
+            cold_start_ms: 3000.0,
+            startup_ms: 2800.0,
+            warm_runtime_ms: 500.0,
+        }
+    }
+
+    #[test]
+    fn uniform_and_overrides() {
+        let mut est = StaticEstimates::uniform(base());
+        let spec = FunctionSpec::new("f");
+        let n0 = NodeId::from_index(0);
+        let n1 = NodeId::from_index(1);
+        assert_eq!(est.estimate(n0, &spec).warm_runtime_ms, 500.0);
+        est.set(
+            n1,
+            NodeEstimate {
+                warm_runtime_ms: 9.0,
+                ..base()
+            },
+        );
+        assert_eq!(est.estimate(n1, &spec).warm_runtime_ms, 9.0);
+        assert_eq!(est.estimate(n0, &spec).warm_runtime_ms, 500.0);
+    }
+
+    #[test]
+    fn invoke_delays_default_to_none() {
+        let mut est = StaticEstimates::uniform(base());
+        let (a, b) = (NodeId::from_index(0), NodeId::from_index(1));
+        assert_eq!(est.invoke_delay_ms(a, b), None);
+        est.set_invoke_delay(a, b, 120.0);
+        assert_eq!(est.invoke_delay_ms(a, b), Some(120.0));
+        assert_eq!(est.invoke_delay_ms(b, a), None);
+    }
+}

@@ -1,0 +1,279 @@
+//! Adaptive worker keep-alive (the paper's future work, §7).
+//!
+//! "Xanadu's Speculative deployment prevents a significant amount of cold
+//! starts. This eliminates the need for workers with long keep-alive
+//! period. As part of future work, we plan to take advantage of this to
+//! reduce the Keepalive time of workers from tens of minutes to a few
+//! seconds, enabling us more significant resource savings."
+//!
+//! This module implements that controller. Per function it tracks two
+//! signals:
+//!
+//! * the **speculation hit rate** — the fraction of recent invocations
+//!   whose sandbox was pre-warmed by the speculation/JIT machinery rather
+//!   than reused from keep-alive;
+//! * the **inter-arrival gaps** between invocations.
+//!
+//! When speculation reliably covers a function, retaining its workers is
+//! pure waste: the controller recommends the floor ("a few seconds").
+//! When speculation cannot help (e.g. the function heads a workflow whose
+//! triggers are external), the controller sizes keep-alive to cover a
+//! configurable quantile of observed gaps, bounded above by a ceiling.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xanadu_simcore::{SimDuration, SimTime};
+
+/// Configuration of the adaptive keep-alive controller.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KeepAliveConfig {
+    /// Floor: "a few seconds" (§7).
+    pub min: SimDuration,
+    /// Ceiling: the conventional tens-of-minutes retention.
+    pub max: SimDuration,
+    /// A function whose recent speculation hit rate is at least this is
+    /// considered covered and gets the floor.
+    pub speculation_threshold: f64,
+    /// The gap quantile keep-alive must cover for uncovered functions.
+    pub gap_quantile: f64,
+    /// How many recent observations to keep per function.
+    pub window: usize,
+}
+
+impl Default for KeepAliveConfig {
+    fn default() -> Self {
+        KeepAliveConfig {
+            min: SimDuration::from_secs(5),
+            max: SimDuration::from_mins(10),
+            speculation_threshold: 0.8,
+            gap_quantile: 0.9,
+            window: 64,
+        }
+    }
+}
+
+#[derive(Debug, Clone, Default)]
+struct FunctionSignal {
+    last_arrival: Option<SimTime>,
+    gaps: Vec<SimDuration>,
+    outcomes: Vec<bool>, // true = invocation was covered by speculation
+}
+
+/// Per-function adaptive keep-alive recommendations.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_core::keepalive::{AdaptiveKeepAlive, KeepAliveConfig};
+/// use xanadu_simcore::{SimDuration, SimTime};
+///
+/// let mut ka = AdaptiveKeepAlive::new(KeepAliveConfig::default());
+/// // A downstream function always pre-warmed by speculation:
+/// for i in 0..20 {
+///     ka.observe("pay", SimTime::from_mins(i * 30), true);
+/// }
+/// // Recommendation collapses to the floor.
+/// assert_eq!(ka.recommend("pay"), SimDuration::from_secs(5));
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct AdaptiveKeepAlive {
+    config: KeepAliveConfig,
+    signals: HashMap<String, FunctionSignal>,
+}
+
+impl AdaptiveKeepAlive {
+    /// Creates a controller.
+    pub fn new(config: KeepAliveConfig) -> Self {
+        AdaptiveKeepAlive {
+            config,
+            signals: HashMap::new(),
+        }
+    }
+
+    /// The controller's configuration.
+    pub fn config(&self) -> KeepAliveConfig {
+        self.config
+    }
+
+    /// Records one invocation of `function` at `at`;
+    /// `covered_by_speculation` says whether the sandbox had been
+    /// pre-warmed by the speculation machinery (as opposed to a keep-alive
+    /// reuse or a cold start).
+    pub fn observe(&mut self, function: &str, at: SimTime, covered_by_speculation: bool) {
+        let window = self.config.window.max(1);
+        let signal = self.signals.entry(function.to_string()).or_default();
+        if let Some(prev) = signal.last_arrival {
+            signal.gaps.push(at.saturating_since(prev));
+            if signal.gaps.len() > window {
+                signal.gaps.remove(0);
+            }
+        }
+        signal.last_arrival = Some(at);
+        signal.outcomes.push(covered_by_speculation);
+        if signal.outcomes.len() > window {
+            signal.outcomes.remove(0);
+        }
+    }
+
+    /// The function's recent speculation hit rate (0 when unobserved).
+    pub fn speculation_hit_rate(&self, function: &str) -> f64 {
+        let Some(signal) = self.signals.get(function) else {
+            return 0.0;
+        };
+        if signal.outcomes.is_empty() {
+            return 0.0;
+        }
+        signal.outcomes.iter().filter(|&&c| c).count() as f64 / signal.outcomes.len() as f64
+    }
+
+    /// The recommended keep-alive for `function`.
+    ///
+    /// * Unobserved functions get the ceiling (no evidence to cut).
+    /// * Functions covered by speculation get the floor.
+    /// * Otherwise, the configured quantile of observed inter-arrival
+    ///   gaps, clamped to `[min, max]` — retaining a worker only makes
+    ///   sense if the next request will plausibly arrive within its
+    ///   lifetime.
+    pub fn recommend(&self, function: &str) -> SimDuration {
+        let Some(signal) = self.signals.get(function) else {
+            return self.config.max;
+        };
+        if self.speculation_hit_rate(function) >= self.config.speculation_threshold {
+            return self.config.min;
+        }
+        if signal.gaps.is_empty() {
+            return self.config.max;
+        }
+        let mut sorted = signal.gaps.clone();
+        sorted.sort();
+        let q = self.config.gap_quantile.clamp(0.0, 1.0);
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        sorted[idx].clamp(self.config.min, self.config.max)
+    }
+
+    /// Estimated memory-seconds saved per idle period by the
+    /// recommendation versus a fixed `baseline` keep-alive, for a worker
+    /// of `memory_mb` (coarse planning figure: the worker idles for the
+    /// retention window when no request arrives).
+    pub fn estimated_saving_mbs(
+        &self,
+        function: &str,
+        memory_mb: u32,
+        baseline: SimDuration,
+    ) -> f64 {
+        let recommended = self.recommend(function);
+        let saved = baseline.saturating_sub(recommended);
+        memory_mb as f64 * saved.as_secs_f64()
+    }
+
+    /// Functions with at least one observation.
+    pub fn observed_functions(&self) -> usize {
+        self.signals.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> KeepAliveConfig {
+        KeepAliveConfig::default()
+    }
+
+    #[test]
+    fn unobserved_functions_keep_the_ceiling() {
+        let ka = AdaptiveKeepAlive::new(cfg());
+        assert_eq!(ka.recommend("ghost"), SimDuration::from_mins(10));
+        assert_eq!(ka.speculation_hit_rate("ghost"), 0.0);
+    }
+
+    #[test]
+    fn speculation_covered_functions_get_the_floor() {
+        let mut ka = AdaptiveKeepAlive::new(cfg());
+        for i in 0..30 {
+            ka.observe("pay", SimTime::from_mins(i * 25), true);
+        }
+        assert_eq!(ka.recommend("pay"), SimDuration::from_secs(5));
+        assert_eq!(ka.speculation_hit_rate("pay"), 1.0);
+    }
+
+    #[test]
+    fn uncovered_functions_size_to_gap_quantile() {
+        let mut ka = AdaptiveKeepAlive::new(cfg());
+        // Steady 3-minute gaps, never speculated (workflow root).
+        for i in 0..40 {
+            ka.observe("root", SimTime::from_mins(i * 3), false);
+        }
+        let rec = ka.recommend("root");
+        assert_eq!(rec, SimDuration::from_mins(3));
+    }
+
+    #[test]
+    fn gap_quantile_clamped_to_bounds() {
+        let mut ka = AdaptiveKeepAlive::new(cfg());
+        // Hour-long gaps: clamp at the 10 min ceiling.
+        for i in 0..10 {
+            ka.observe("rare", SimTime::from_mins(i * 60), false);
+        }
+        assert_eq!(ka.recommend("rare"), SimDuration::from_mins(10));
+        // Sub-second gaps: clamp at the 5 s floor.
+        let mut ka = AdaptiveKeepAlive::new(cfg());
+        for i in 0..10 {
+            ka.observe("hot", SimTime::from_millis(i * 100), false);
+        }
+        assert_eq!(ka.recommend("hot"), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn mixed_coverage_below_threshold_uses_gaps() {
+        let mut ka = AdaptiveKeepAlive::new(cfg());
+        for i in 0..20 {
+            // Only half the invocations are covered: below the 0.8 bar.
+            ka.observe("flaky", SimTime::from_mins(i * 2), i % 2 == 0);
+        }
+        assert_eq!(ka.speculation_hit_rate("flaky"), 0.5);
+        assert_eq!(ka.recommend("flaky"), SimDuration::from_mins(2));
+    }
+
+    #[test]
+    fn window_bounds_memory_and_adapts() {
+        let mut ka = AdaptiveKeepAlive::new(KeepAliveConfig { window: 8, ..cfg() });
+        // Long-ago history says uncovered; recent window says covered.
+        let mut t = SimTime::ZERO;
+        for _ in 0..50 {
+            ka.observe("f", t, false);
+            t += SimDuration::from_mins(1);
+        }
+        for _ in 0..8 {
+            ka.observe("f", t, true);
+            t += SimDuration::from_mins(1);
+        }
+        assert_eq!(ka.speculation_hit_rate("f"), 1.0, "window forgot old data");
+        assert_eq!(ka.recommend("f"), SimDuration::from_secs(5));
+    }
+
+    #[test]
+    fn savings_estimate() {
+        let mut ka = AdaptiveKeepAlive::new(cfg());
+        for i in 0..30 {
+            ka.observe("pay", SimTime::from_mins(i * 25), true);
+        }
+        // 10 min baseline → 5 s recommended: saves 595 s of 512 MB.
+        let saved = ka.estimated_saving_mbs("pay", 512, SimDuration::from_mins(10));
+        assert!((saved - 512.0 * 595.0).abs() < 1e-6);
+        // Recommendation equal to baseline saves nothing.
+        assert_eq!(
+            ka.estimated_saving_mbs("ghost", 512, SimDuration::from_mins(10)),
+            0.0
+        );
+    }
+
+    #[test]
+    fn observed_functions_counts() {
+        let mut ka = AdaptiveKeepAlive::new(cfg());
+        assert_eq!(ka.observed_functions(), 0);
+        ka.observe("a", SimTime::ZERO, true);
+        ka.observe("b", SimTime::ZERO, false);
+        assert_eq!(ka.observed_functions(), 2);
+    }
+}

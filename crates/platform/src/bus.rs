@@ -1,0 +1,168 @@
+//! Internal message bus (the paper's Kafka substitute).
+//!
+//! Xanadu "uses Apache Kafka for internal communication between the
+//! Dispatch Manager and the Dispatch Daemon and also for state management
+//! of Xanadu workers" (§4). In this reproduction the platform components
+//! live in one process, so the bus is a typed topic-based pub/sub built on
+//! `crossbeam` channels: the Dispatch Manager publishes worker and request
+//! lifecycle messages, and observers (tests, monitoring, the experiment
+//! harness) subscribe per topic.
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xanadu_simcore::SimTime;
+
+/// A message published on the bus.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct BusMessage {
+    /// Topic the message was published to.
+    pub topic: String,
+    /// Simulation time of the event.
+    pub at: SimTime,
+    /// JSON payload.
+    pub payload: serde_json::Value,
+}
+
+/// A subscription handle: drain messages with
+/// [`try_next`](Subscription::try_next) or [`drain`](Subscription::drain).
+#[derive(Debug)]
+pub struct Subscription {
+    rx: Receiver<BusMessage>,
+}
+
+impl Subscription {
+    /// Next pending message, or `None` when the queue is currently empty.
+    pub fn try_next(&self) -> Option<BusMessage> {
+        self.rx.try_recv().ok()
+    }
+
+    /// Drains all pending messages.
+    pub fn drain(&self) -> Vec<BusMessage> {
+        std::iter::from_fn(|| self.try_next()).collect()
+    }
+}
+
+/// Topic-based publish/subscribe bus.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_platform::bus::Bus;
+/// use xanadu_simcore::SimTime;
+///
+/// let mut bus = Bus::new();
+/// let sub = bus.subscribe("worker.ready");
+/// bus.publish("worker.ready", SimTime::ZERO, serde_json::json!({"worker": 7}));
+/// let msgs = sub.drain();
+/// assert_eq!(msgs.len(), 1);
+/// assert_eq!(msgs[0].payload["worker"], 7);
+/// ```
+#[derive(Debug, Default)]
+pub struct Bus {
+    topics: HashMap<String, Vec<Sender<BusMessage>>>,
+    published: u64,
+}
+
+impl Bus {
+    /// Creates an empty bus.
+    pub fn new() -> Self {
+        Bus::default()
+    }
+
+    /// Subscribes to `topic`; messages published after this call are
+    /// delivered to the returned handle.
+    pub fn subscribe(&mut self, topic: &str) -> Subscription {
+        let (tx, rx) = unbounded();
+        self.topics.entry(topic.to_string()).or_default().push(tx);
+        Subscription { rx }
+    }
+
+    /// Publishes a message to every current subscriber of `topic`.
+    /// Messages to topics without subscribers are dropped (fire-and-forget,
+    /// like an unconsumed Kafka topic).
+    pub fn publish(&mut self, topic: &str, at: SimTime, payload: serde_json::Value) {
+        self.published += 1;
+        if let Some(subs) = self.topics.get_mut(topic) {
+            let msg = BusMessage {
+                topic: topic.to_string(),
+                at,
+                payload,
+            };
+            // Drop senders whose receiver is gone.
+            subs.retain(|tx| tx.send(msg.clone()).is_ok());
+        }
+    }
+
+    /// Total messages published (including unconsumed ones).
+    pub fn published_count(&self) -> u64 {
+        self.published
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let mut bus = Bus::new();
+        let a = bus.subscribe("t");
+        let b = bus.subscribe("t");
+        bus.publish("t", SimTime::ZERO, json!({"x": 1}));
+        assert_eq!(a.drain().len(), 1);
+        assert_eq!(b.drain().len(), 1);
+    }
+
+    #[test]
+    fn topics_are_isolated() {
+        let mut bus = Bus::new();
+        let a = bus.subscribe("a");
+        bus.publish("b", SimTime::ZERO, json!(null));
+        assert!(a.try_next().is_none());
+    }
+
+    #[test]
+    fn unsubscribed_topics_drop_messages() {
+        let mut bus = Bus::new();
+        bus.publish("nobody", SimTime::ZERO, json!(1));
+        assert_eq!(bus.published_count(), 1);
+    }
+
+    #[test]
+    fn dropped_subscribers_are_pruned() {
+        let mut bus = Bus::new();
+        let sub = bus.subscribe("t");
+        drop(sub);
+        bus.publish("t", SimTime::ZERO, json!(1));
+        bus.publish("t", SimTime::ZERO, json!(2)); // second publish after prune
+        assert_eq!(bus.published_count(), 2);
+    }
+
+    #[test]
+    fn messages_carry_time_and_payload() {
+        let mut bus = Bus::new();
+        let sub = bus.subscribe("t");
+        bus.publish("t", SimTime::from_secs(5), json!({"k": "v"}));
+        let m = sub.try_next().unwrap();
+        assert_eq!(m.at, SimTime::from_secs(5));
+        assert_eq!(m.topic, "t");
+        assert_eq!(m.payload["k"], "v");
+    }
+
+    #[test]
+    fn drain_preserves_order() {
+        let mut bus = Bus::new();
+        let sub = bus.subscribe("t");
+        for i in 0..5 {
+            bus.publish("t", SimTime::ZERO, json!(i));
+        }
+        let payloads: Vec<i64> = sub
+            .drain()
+            .into_iter()
+            .map(|m| m.payload.as_i64().unwrap())
+            .collect();
+        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+    }
+}

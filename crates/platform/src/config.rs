@@ -1,0 +1,136 @@
+//! Platform configuration.
+
+use crate::hosts::{HostSpec, PlacementPolicy};
+use serde::{Deserialize, Serialize};
+use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
+use xanadu_sandbox::PoolConfig;
+use xanadu_simcore::Distribution;
+
+/// The cluster the Dispatch Daemons run on: hosts plus the placement
+/// policy the Dispatch Manager uses (Figure 11 of the paper).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClusterConfig {
+    /// Placement policy for new workers.
+    pub policy: PlacementPolicy,
+    /// The hosts; empty means "the paper's single-machine testbed".
+    pub hosts: Vec<HostSpec>,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            policy: PlacementPolicy::LeastLoaded,
+            hosts: Vec::new(),
+        }
+    }
+}
+
+/// Configuration of a [`Platform`](crate::Platform).
+///
+/// Besides Xanadu's own knobs (speculation mode, aggressiveness, pool
+/// policy), the config exposes the platform-shape parameters that the
+/// baseline emulations in `xanadu-baselines` override: per-hop
+/// orchestration overhead, a live-worker cap with eviction delay (the
+/// OpenWhisk warm-pool limitation of §2.3), and whether workflow structure
+/// may be consulted at all (chain-agnostic baselines).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PlatformConfig {
+    /// Human-readable platform label used in experiment output.
+    pub label: String,
+    /// Speculation mode / aggressiveness / miss policy.
+    pub speculation: SpeculationConfig,
+    /// Warm-pool keep-alive and cap policy.
+    pub pool: PoolConfig,
+    /// Master RNG seed; every derived stream is deterministic in it.
+    pub seed: u64,
+    /// Per-hop orchestration latency (request routing, signalling): added
+    /// between a trigger/parent-completion and the child invocation. The
+    /// paper calls these "networking and signalling delays … orders of
+    /// magnitude lower" than cold starts (§1).
+    pub orchestration_overhead: Distribution,
+    /// Maximum number of live workers (any state), or `None` for
+    /// unlimited. When at the cap, provisioning must first evict an idle
+    /// warm worker, paying `eviction_delay` — this models OpenWhisk's
+    /// limited container pool (§2.3).
+    pub max_live: Option<usize>,
+    /// Latency of evicting a warm worker when `max_live` forces it.
+    pub eviction_delay: Distribution,
+    /// Kill speculated workers that never served once their request
+    /// completes (per-request accounting hygiene; the paper discards
+    /// mispredicted deployments, §3.2).
+    pub discard_unused_after_run: bool,
+    /// Whether planning consults learned (detector/EMA) probabilities
+    /// before falling back to the workflow's declared probabilities.
+    pub use_learned_probabilities: bool,
+    /// The hosts the Dispatch Daemons manage.
+    pub cluster: ClusterConfig,
+    /// Pre-crafted worker pool size per function (0 = off). When set, the
+    /// platform keeps this many workers warm for *every* deployed
+    /// function, replenishing after use and exempting them from
+    /// keep-alive reclamation — the long-running pool approach of the
+    /// paper's related work (§6), used by the `abl-pool` ablation as a
+    /// cost foil for JIT speculation.
+    pub static_prewarm: usize,
+}
+
+impl PlatformConfig {
+    /// A Xanadu platform in the given execution mode with the paper's
+    /// default pool policy.
+    pub fn for_mode(mode: ExecutionMode, seed: u64) -> Self {
+        PlatformConfig {
+            label: mode.label().to_string(),
+            speculation: SpeculationConfig::for_mode(mode),
+            pool: PoolConfig::default(),
+            seed,
+            orchestration_overhead: Distribution::log_normal(20.0, 5.0)
+                .expect("default overhead valid"),
+            max_live: None,
+            eviction_delay: Distribution::Constant { value_ms: 500.0 },
+            discard_unused_after_run: true,
+            use_learned_probabilities: false,
+            cluster: ClusterConfig::default(),
+            static_prewarm: 0,
+        }
+    }
+
+    /// Builder-style label override.
+    pub fn labeled(mut self, label: impl Into<String>) -> Self {
+        self.label = label.into();
+        self
+    }
+}
+
+impl Default for PlatformConfig {
+    fn default() -> Self {
+        Self::for_mode(ExecutionMode::Jit, 0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn for_mode_sets_label_and_mode() {
+        let c = PlatformConfig::for_mode(ExecutionMode::Speculative, 7);
+        assert_eq!(c.label, "xanadu-spec");
+        assert_eq!(c.speculation.mode, ExecutionMode::Speculative);
+        assert_eq!(c.seed, 7);
+        assert!(c.max_live.is_none());
+        assert!(c.discard_unused_after_run);
+    }
+
+    #[test]
+    fn labeled_overrides() {
+        let c = PlatformConfig::default().labeled("knative");
+        assert_eq!(c.label, "knative");
+    }
+
+    #[test]
+    fn default_is_jit() {
+        assert_eq!(
+            PlatformConfig::default().speculation.mode,
+            ExecutionMode::Jit
+        );
+    }
+}

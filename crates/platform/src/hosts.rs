@@ -1,0 +1,347 @@
+//! Dispatch Daemons: the per-host worker-management layer.
+//!
+//! In the paper's architecture (Figure 11) "the Dispatch Daemon (DD) runs
+//! on individual host machines and performs resource provisioning and
+//! maintenance of Xanadu workers", while the central Dispatch Manager
+//! decides *what* to provision. This module models that layer: a registry
+//! of hosts with memory capacity, a placement policy choosing the host
+//! for each new worker, and per-host load accounting.
+//!
+//! Placement matters for the cost model: a saturated host delays
+//! provisioning (the request queues at the daemon), and co-locating many
+//! provisioning containers on one host amplifies the Docker concurrency
+//! bottleneck. The default single-host registry reproduces the paper's
+//! single 64-core testbed.
+
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use std::fmt;
+use xanadu_sandbox::WorkerId;
+
+/// Identifier of a host (a machine running a Dispatch Daemon).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct HostId(pub u32);
+
+impl fmt::Display for HostId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "host{}", self.0)
+    }
+}
+
+/// Static description of one host.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct HostSpec {
+    /// Human-readable name.
+    pub name: String,
+    /// Memory capacity in MB available to workers.
+    pub memory_mb: u64,
+}
+
+/// How the Dispatch Manager chooses a host for a new worker.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum PlacementPolicy {
+    /// Cycle through hosts regardless of load.
+    RoundRobin,
+    /// Choose the host with the most free memory (default; ties broken by
+    /// host id for determinism).
+    #[default]
+    LeastLoaded,
+    /// Choose the first host (lowest id) with enough free memory.
+    FirstFit,
+}
+
+/// Error placing a worker.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlacementError {
+    /// No host has enough free memory for the requested worker.
+    ClusterFull {
+        /// The memory that was requested, in MB.
+        requested_mb: u32,
+    },
+    /// The registry has no hosts at all.
+    NoHosts,
+}
+
+impl fmt::Display for PlacementError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlacementError::ClusterFull { requested_mb } => {
+                write!(f, "no host has {requested_mb} MB free")
+            }
+            PlacementError::NoHosts => write!(f, "host registry is empty"),
+        }
+    }
+}
+
+impl std::error::Error for PlacementError {}
+
+#[derive(Debug, Clone)]
+struct HostState {
+    spec: HostSpec,
+    used_mb: u64,
+    workers: HashMap<WorkerId, u32>,
+}
+
+/// The cluster view: every registered host plus which worker lives where.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_platform::hosts::{HostRegistry, HostSpec, PlacementPolicy};
+/// use xanadu_sandbox::WorkerId;
+///
+/// let mut cluster = HostRegistry::new(PlacementPolicy::LeastLoaded);
+/// let a = cluster.add_host(HostSpec { name: "a".into(), memory_mb: 1024 });
+/// let b = cluster.add_host(HostSpec { name: "b".into(), memory_mb: 1024 });
+///
+/// let h1 = cluster.place(WorkerId(1), 512)?;
+/// let h2 = cluster.place(WorkerId(2), 512)?;
+/// // Least-loaded spreads the two workers across both hosts.
+/// assert_ne!(h1, h2);
+/// assert_eq!(cluster.free_mb(a) + cluster.free_mb(b), 1024);
+/// # Ok::<(), xanadu_platform::hosts::PlacementError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HostRegistry {
+    policy: PlacementPolicy,
+    hosts: Vec<HostState>,
+    next_round_robin: usize,
+    location: HashMap<WorkerId, HostId>,
+}
+
+impl HostRegistry {
+    /// Creates an empty registry with the given placement policy.
+    pub fn new(policy: PlacementPolicy) -> Self {
+        HostRegistry {
+            policy,
+            hosts: Vec::new(),
+            next_round_robin: 0,
+            location: HashMap::new(),
+        }
+    }
+
+    /// A single-host cluster mirroring the paper's testbed: one 64-core /
+    /// 128 GB machine (§5).
+    pub fn paper_testbed() -> Self {
+        let mut r = HostRegistry::new(PlacementPolicy::LeastLoaded);
+        r.add_host(HostSpec {
+            name: "xeon-64c-128g".into(),
+            memory_mb: 128 * 1024,
+        });
+        r
+    }
+
+    /// Registers a host, returning its id.
+    pub fn add_host(&mut self, spec: HostSpec) -> HostId {
+        let id = HostId(self.hosts.len() as u32);
+        self.hosts.push(HostState {
+            spec,
+            used_mb: 0,
+            workers: HashMap::new(),
+        });
+        id
+    }
+
+    /// Number of registered hosts.
+    pub fn len(&self) -> usize {
+        self.hosts.len()
+    }
+
+    /// Whether the registry has no hosts.
+    pub fn is_empty(&self) -> bool {
+        self.hosts.is_empty()
+    }
+
+    /// The placement policy in use.
+    pub fn policy(&self) -> PlacementPolicy {
+        self.policy
+    }
+
+    /// Free memory on `host` in MB.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not registered.
+    pub fn free_mb(&self, host: HostId) -> u64 {
+        let h = &self.hosts[host.0 as usize];
+        h.spec.memory_mb - h.used_mb
+    }
+
+    /// Number of workers currently placed on `host`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `host` is not registered.
+    pub fn worker_count(&self, host: HostId) -> usize {
+        self.hosts[host.0 as usize].workers.len()
+    }
+
+    /// The host a worker was placed on, if it is placed.
+    pub fn host_of(&self, worker: WorkerId) -> Option<HostId> {
+        self.location.get(&worker).copied()
+    }
+
+    /// Places a worker needing `memory_mb` MB, charging the host.
+    ///
+    /// # Errors
+    ///
+    /// [`PlacementError::NoHosts`] if the registry is empty, or
+    /// [`PlacementError::ClusterFull`] if no host can fit the worker.
+    pub fn place(&mut self, worker: WorkerId, memory_mb: u32) -> Result<HostId, PlacementError> {
+        if self.hosts.is_empty() {
+            return Err(PlacementError::NoHosts);
+        }
+        let need = u64::from(memory_mb);
+        let fits = |h: &HostState| h.spec.memory_mb - h.used_mb >= need;
+        let chosen = match self.policy {
+            PlacementPolicy::FirstFit => self.hosts.iter().position(fits),
+            PlacementPolicy::LeastLoaded => self
+                .hosts
+                .iter()
+                .enumerate()
+                .filter(|(_, h)| fits(h))
+                .max_by_key(|(i, h)| (h.spec.memory_mb - h.used_mb, std::cmp::Reverse(*i)))
+                .map(|(i, _)| i),
+            PlacementPolicy::RoundRobin => {
+                let n = self.hosts.len();
+                (0..n)
+                    .map(|k| (self.next_round_robin + k) % n)
+                    .find(|&i| fits(&self.hosts[i]))
+            }
+        };
+        let Some(index) = chosen else {
+            return Err(PlacementError::ClusterFull {
+                requested_mb: memory_mb,
+            });
+        };
+        if self.policy == PlacementPolicy::RoundRobin {
+            self.next_round_robin = (index + 1) % self.hosts.len();
+        }
+        let host = HostId(index as u32);
+        let state = &mut self.hosts[index];
+        state.used_mb += need;
+        state.workers.insert(worker, memory_mb);
+        self.location.insert(worker, host);
+        Ok(host)
+    }
+
+    /// Releases a worker's memory back to its host. Unknown workers are
+    /// ignored (idempotent teardown).
+    pub fn release(&mut self, worker: WorkerId) {
+        if let Some(host) = self.location.remove(&worker) {
+            let state = &mut self.hosts[host.0 as usize];
+            if let Some(mb) = state.workers.remove(&worker) {
+                state.used_mb -= u64::from(mb);
+            }
+        }
+    }
+
+    /// Total memory in use across the cluster, in MB.
+    pub fn total_used_mb(&self) -> u64 {
+        self.hosts.iter().map(|h| h.used_mb).sum()
+    }
+}
+
+impl Default for HostRegistry {
+    fn default() -> Self {
+        Self::paper_testbed()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn two_hosts(policy: PlacementPolicy) -> HostRegistry {
+        let mut r = HostRegistry::new(policy);
+        r.add_host(HostSpec {
+            name: "a".into(),
+            memory_mb: 2048,
+        });
+        r.add_host(HostSpec {
+            name: "b".into(),
+            memory_mb: 2048,
+        });
+        r
+    }
+
+    #[test]
+    fn least_loaded_balances() {
+        let mut r = two_hosts(PlacementPolicy::LeastLoaded);
+        let mut counts = [0usize; 2];
+        for i in 0..8 {
+            let h = r.place(WorkerId(i), 512).unwrap();
+            counts[h.0 as usize] += 1;
+        }
+        assert_eq!(counts, [4, 4]);
+        assert_eq!(r.total_used_mb(), 8 * 512);
+    }
+
+    #[test]
+    fn first_fit_fills_in_order() {
+        let mut r = two_hosts(PlacementPolicy::FirstFit);
+        for i in 0..4 {
+            assert_eq!(r.place(WorkerId(i), 512).unwrap(), HostId(0));
+        }
+        // Host 0 is full at 2048 MB; next goes to host 1.
+        assert_eq!(r.place(WorkerId(9), 512).unwrap(), HostId(1));
+    }
+
+    #[test]
+    fn round_robin_cycles() {
+        let mut r = two_hosts(PlacementPolicy::RoundRobin);
+        let hosts: Vec<u32> = (0..4)
+            .map(|i| r.place(WorkerId(i), 128).unwrap().0)
+            .collect();
+        assert_eq!(hosts, vec![0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn round_robin_skips_full_hosts() {
+        let mut r = two_hosts(PlacementPolicy::RoundRobin);
+        r.place(WorkerId(0), 2048).unwrap(); // host 0 full
+        assert_eq!(r.place(WorkerId(1), 512).unwrap(), HostId(1));
+        assert_eq!(r.place(WorkerId(2), 512).unwrap(), HostId(1));
+    }
+
+    #[test]
+    fn cluster_full_and_no_hosts_errors() {
+        let mut empty = HostRegistry::new(PlacementPolicy::LeastLoaded);
+        assert_eq!(empty.place(WorkerId(0), 64), Err(PlacementError::NoHosts));
+        let mut r = two_hosts(PlacementPolicy::LeastLoaded);
+        r.place(WorkerId(0), 2048).unwrap();
+        r.place(WorkerId(1), 2048).unwrap();
+        assert_eq!(
+            r.place(WorkerId(2), 1),
+            Err(PlacementError::ClusterFull { requested_mb: 1 })
+        );
+    }
+
+    #[test]
+    fn release_returns_capacity() {
+        let mut r = two_hosts(PlacementPolicy::FirstFit);
+        let h = r.place(WorkerId(0), 2048).unwrap();
+        assert_eq!(r.free_mb(h), 0);
+        assert_eq!(r.host_of(WorkerId(0)), Some(h));
+        r.release(WorkerId(0));
+        assert_eq!(r.free_mb(h), 2048);
+        assert_eq!(r.host_of(WorkerId(0)), None);
+        r.release(WorkerId(0)); // idempotent
+        assert_eq!(r.worker_count(h), 0);
+    }
+
+    #[test]
+    fn paper_testbed_is_single_large_host() {
+        let r = HostRegistry::paper_testbed();
+        assert_eq!(r.len(), 1);
+        assert_eq!(r.free_mb(HostId(0)), 128 * 1024);
+        assert!(!r.is_empty());
+    }
+
+    #[test]
+    fn displays() {
+        assert_eq!(HostId(3).to_string(), "host3");
+        let e = PlacementError::ClusterFull { requested_mb: 512 };
+        assert!(e.to_string().contains("512"));
+    }
+}

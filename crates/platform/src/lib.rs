@@ -1,0 +1,54 @@
+//! # xanadu-platform
+//!
+//! The Xanadu FaaS platform (§4 of the paper): the Dispatch Manager
+//! orchestration layer executing function workflows over the sandbox
+//! substrate, with the speculative / just-in-time provisioning of
+//! `xanadu-core` wired in.
+//!
+//! The architecture mirrors Figure 11 of the paper:
+//!
+//! * [`Platform`] — the Dispatch Manager: reverse proxy (request routing),
+//!   function resource allocator (worker acquisition), speculation engine,
+//!   metrics engine and branch detector, all driven by a deterministic
+//!   discrete-event loop.
+//! * [`PlatformConfig`] — execution mode (cold / speculative / JIT),
+//!   aggressiveness, keep-alive and pool policy, plus the platform-shape
+//!   knobs that the baseline emulations (`xanadu-baselines`) override.
+//! * [`bus`] — the internal topic-based message bus (the paper's Kafka
+//!   substitute) carrying worker/request lifecycle messages.
+//! * [`metastore`] — the revisioned JSON document store (the paper's
+//!   CouchDB substitute) persisting metrics and branch metadata.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use xanadu_chain::{linear_chain, FunctionSpec};
+//! use xanadu_core::speculation::ExecutionMode;
+//! use xanadu_platform::{Platform, PlatformConfig};
+//! use xanadu_simcore::SimTime;
+//!
+//! let dag = linear_chain("chain", 3, &FunctionSpec::new("f").service_ms(500.0))?;
+//! let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 42));
+//! p.deploy(dag)?;
+//! p.trigger_at("chain", SimTime::ZERO);
+//! p.run_until_idle();
+//! let report = p.finish();
+//! assert_eq!(report.results.len(), 1);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bus;
+mod config;
+mod estimates;
+pub mod hosts;
+pub mod metastore;
+mod result;
+mod sim;
+pub mod timeline;
+
+pub use config::PlatformConfig;
+pub use result::{PlatformReport, RunResult};
+pub use sim::{report_total_costs, Platform, PlatformError};

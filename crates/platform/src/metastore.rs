@@ -1,0 +1,185 @@
+//! Revisioned JSON document store (the paper's CouchDB substitute).
+//!
+//! Xanadu "uses Apache CouchDB to store metrics and function
+//! branch-related metadata", chosen for "native JSON data support" (§4).
+//! This in-memory store preserves that usage pattern: JSON documents keyed
+//! by id, optimistic concurrency via revision numbers, and prefix queries
+//! for scanning related documents (function profiles, branch trees, run
+//! results).
+
+use serde_json::Value;
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error from a conflicting or missing-document operation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum StoreError {
+    /// The supplied revision does not match the stored one.
+    Conflict {
+        /// The revision currently stored.
+        current: u64,
+    },
+    /// No document with the given id exists.
+    NotFound,
+}
+
+impl fmt::Display for StoreError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StoreError::Conflict { current } => {
+                write!(f, "revision conflict, current revision is {current}")
+            }
+            StoreError::NotFound => write!(f, "document not found"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {}
+
+/// An in-memory revisioned JSON document store.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_platform::metastore::MetaStore;
+/// use serde_json::json;
+///
+/// let mut store = MetaStore::new();
+/// let rev = store.put("profile/pay", json!({"warm_ms": 2500}));
+/// assert_eq!(rev, 1);
+/// let (doc, rev) = store.get("profile/pay").unwrap();
+/// assert_eq!(doc["warm_ms"], 2500);
+/// assert_eq!(rev, 1);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct MetaStore {
+    docs: BTreeMap<String, (u64, Value)>,
+}
+
+impl MetaStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        MetaStore::default()
+    }
+
+    /// Inserts or unconditionally overwrites a document, returning the new
+    /// revision (1 for fresh documents).
+    pub fn put(&mut self, id: &str, doc: Value) -> u64 {
+        let rev = self.docs.get(id).map_or(0, |(r, _)| *r) + 1;
+        self.docs.insert(id.to_string(), (rev, doc));
+        rev
+    }
+
+    /// Updates a document only if `expected_rev` matches the stored
+    /// revision (optimistic concurrency, CouchDB-style).
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::NotFound`] if the document does not exist,
+    /// [`StoreError::Conflict`] if the revision does not match.
+    pub fn put_rev(&mut self, id: &str, doc: Value, expected_rev: u64) -> Result<u64, StoreError> {
+        match self.docs.get_mut(id) {
+            None => Err(StoreError::NotFound),
+            Some((rev, stored)) => {
+                if *rev != expected_rev {
+                    return Err(StoreError::Conflict { current: *rev });
+                }
+                *rev += 1;
+                *stored = doc;
+                Ok(*rev)
+            }
+        }
+    }
+
+    /// Fetches a document and its revision.
+    pub fn get(&self, id: &str) -> Option<(&Value, u64)> {
+        self.docs.get(id).map(|(rev, doc)| (doc, *rev))
+    }
+
+    /// Deletes a document; returns whether it existed.
+    pub fn delete(&mut self, id: &str) -> bool {
+        self.docs.remove(id).is_some()
+    }
+
+    /// All documents whose id starts with `prefix`, in id order.
+    pub fn query_prefix(&self, prefix: &str) -> Vec<(&str, &Value)> {
+        self.docs
+            .range(prefix.to_string()..)
+            .take_while(|(k, _)| k.starts_with(prefix))
+            .map(|(k, (_, v))| (k.as_str(), v))
+            .collect()
+    }
+
+    /// Number of stored documents.
+    pub fn len(&self) -> usize {
+        self.docs.len()
+    }
+
+    /// Whether the store is empty.
+    pub fn is_empty(&self) -> bool {
+        self.docs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use serde_json::json;
+
+    #[test]
+    fn put_get_roundtrip_with_revisions() {
+        let mut s = MetaStore::new();
+        assert_eq!(s.put("a", json!(1)), 1);
+        assert_eq!(s.put("a", json!(2)), 2);
+        let (doc, rev) = s.get("a").unwrap();
+        assert_eq!(doc, &json!(2));
+        assert_eq!(rev, 2);
+    }
+
+    #[test]
+    fn optimistic_concurrency() {
+        let mut s = MetaStore::new();
+        let rev = s.put("a", json!({"v": 1}));
+        assert_eq!(s.put_rev("a", json!({"v": 2}), rev), Ok(2));
+        assert_eq!(
+            s.put_rev("a", json!({"v": 3}), rev),
+            Err(StoreError::Conflict { current: 2 })
+        );
+        assert_eq!(
+            s.put_rev("missing", json!(null), 1),
+            Err(StoreError::NotFound)
+        );
+    }
+
+    #[test]
+    fn delete_and_emptiness() {
+        let mut s = MetaStore::new();
+        assert!(s.is_empty());
+        s.put("a", json!(1));
+        assert!(s.delete("a"));
+        assert!(!s.delete("a"));
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    fn prefix_queries_scan_in_order() {
+        let mut s = MetaStore::new();
+        s.put("profile/b", json!(2));
+        s.put("profile/a", json!(1));
+        s.put("runs/0", json!(0));
+        let profiles = s.query_prefix("profile/");
+        assert_eq!(profiles.len(), 2);
+        assert_eq!(profiles[0].0, "profile/a");
+        assert_eq!(profiles[1].0, "profile/b");
+        assert!(s.query_prefix("ghost/").is_empty());
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn deleted_doc_revision_restarts() {
+        let mut s = MetaStore::new();
+        s.put("a", json!(1));
+        s.delete("a");
+        assert_eq!(s.put("a", json!(1)), 1);
+    }
+}

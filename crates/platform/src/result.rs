@@ -1,0 +1,179 @@
+//! Per-request and per-run results.
+
+use serde::{Deserialize, Serialize};
+use xanadu_core::cost::{PenaltyFactors, ResourceCosts, WorkflowRunCosts};
+use xanadu_sandbox::WorkerRecord;
+use xanadu_simcore::{SimDuration, SimTime};
+
+/// Outcome of one workflow request.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunResult {
+    /// Request id (platform-assigned, dense).
+    pub request: u64,
+    /// The triggered workflow's name.
+    pub workflow: String,
+    /// When the trigger fired.
+    pub trigger: SimTime,
+    /// When the last activated function completed.
+    pub end: SimTime,
+    /// End-to-end latency `R_F`.
+    pub end_to_end: SimDuration,
+    /// Execution-time reference: the critical path of the activated
+    /// subgraph using the actually drawn service times (the `Σ rᵢ` /
+    /// slowest-branch baseline of Equation 1).
+    pub exec_reference: SimDuration,
+    /// Latency overhead `C_D = R_F − exec_reference`.
+    pub overhead: SimDuration,
+    /// Functions that experienced a cold start (no warm sandbox at
+    /// invocation).
+    pub cold_starts: u32,
+    /// Functions served by an already warm sandbox.
+    pub warm_starts: u32,
+    /// Prediction misses (invoked functions absent from the plan).
+    pub misses: u32,
+    /// Workers provisioned on behalf of this request.
+    pub workers_spawned: u32,
+    /// Functions that executed.
+    pub executed_functions: u32,
+    /// Resource cost `C_R` attributed to this request's workers.
+    pub resources: ResourceCosts,
+}
+
+impl RunResult {
+    /// The request's joint penalty factors `φ = C_R · C_D`.
+    pub fn penalties(&self) -> PenaltyFactors {
+        WorkflowRunCosts {
+            c_d: self.overhead,
+            resources: self.resources,
+        }
+        .penalties()
+    }
+}
+
+/// Final report of a platform run: every request result plus the complete
+/// worker accounting.
+#[derive(Debug, Clone, Default)]
+pub struct PlatformReport {
+    /// Per-request outcomes, in completion order.
+    pub results: Vec<RunResult>,
+    /// Lifetime records of every worker the platform ever created.
+    pub worker_records: Vec<WorkerRecord>,
+}
+
+impl PlatformReport {
+    /// Mean latency overhead `C_D` across requests (ms), 0 if empty.
+    pub fn mean_overhead_ms(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results
+            .iter()
+            .map(|r| r.overhead.as_millis_f64())
+            .sum::<f64>()
+            / self.results.len() as f64
+    }
+
+    /// Mean end-to-end latency across requests (ms), 0 if empty.
+    pub fn mean_end_to_end_ms(&self) -> f64 {
+        if self.results.is_empty() {
+            return 0.0;
+        }
+        self.results
+            .iter()
+            .map(|r| r.end_to_end.as_millis_f64())
+            .sum::<f64>()
+            / self.results.len() as f64
+    }
+
+    /// Total resource cost across requests.
+    pub fn total_resources(&self) -> ResourceCosts {
+        let mut total = ResourceCosts::default();
+        for r in &self.results {
+            total.add(r.resources);
+        }
+        total
+    }
+
+    /// Total cold and warm start counts.
+    pub fn start_counts(&self) -> (u32, u32) {
+        self.results
+            .iter()
+            .fold((0, 0), |(c, w), r| (c + r.cold_starts, w + r.warm_starts))
+    }
+
+    /// Mean per-request penalties `φ`.
+    pub fn mean_penalties(&self) -> PenaltyFactors {
+        if self.results.is_empty() {
+            return PenaltyFactors::default();
+        }
+        let n = self.results.len() as f64;
+        let mut phi_cpu = 0.0;
+        let mut phi_mem = 0.0;
+        for r in &self.results {
+            let p = r.penalties();
+            phi_cpu += p.phi_cpu_s2;
+            phi_mem += p.phi_mem_mbs2;
+        }
+        PenaltyFactors {
+            phi_cpu_s2: phi_cpu / n,
+            phi_mem_mbs2: phi_mem / n,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn result(overhead_ms: u64, cpu: f64, mem: f64) -> RunResult {
+        RunResult {
+            request: 0,
+            workflow: "w".into(),
+            trigger: SimTime::ZERO,
+            end: SimTime::from_millis(1000 + overhead_ms),
+            end_to_end: SimDuration::from_millis(1000 + overhead_ms),
+            exec_reference: SimDuration::from_millis(1000),
+            overhead: SimDuration::from_millis(overhead_ms),
+            cold_starts: 1,
+            warm_starts: 2,
+            misses: 0,
+            workers_spawned: 3,
+            executed_functions: 3,
+            resources: ResourceCosts {
+                cpu_s: cpu,
+                mem_mbs: mem,
+            },
+        }
+    }
+
+    #[test]
+    fn penalties_multiply() {
+        let r = result(2000, 3.0, 100.0);
+        let p = r.penalties();
+        assert!((p.phi_cpu_s2 - 6.0).abs() < 1e-9);
+        assert!((p.phi_mem_mbs2 - 200.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn report_aggregates() {
+        let report = PlatformReport {
+            results: vec![result(1000, 1.0, 10.0), result(3000, 3.0, 30.0)],
+            worker_records: Vec::new(),
+        };
+        assert_eq!(report.mean_overhead_ms(), 2000.0);
+        assert_eq!(report.mean_end_to_end_ms(), 3000.0);
+        let total = report.total_resources();
+        assert_eq!(total.cpu_s, 4.0);
+        assert_eq!(total.mem_mbs, 40.0);
+        assert_eq!(report.start_counts(), (2, 4));
+        let p = report.mean_penalties();
+        assert!((p.phi_cpu_s2 - (1.0 + 9.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_report_is_zero() {
+        let report = PlatformReport::default();
+        assert_eq!(report.mean_overhead_ms(), 0.0);
+        assert_eq!(report.mean_penalties(), PenaltyFactors::default());
+    }
+}

@@ -1,0 +1,352 @@
+//! Per-request execution timelines.
+//!
+//! The platform records, for every request, the sequence of orchestration
+//! events that Figure 10 of the paper narrates — planning-driven
+//! deployments, function invocations, dispatches into workers, completions
+//! and prediction misses — as a [`Trace`]. Traces power debugging, the
+//! CLI's `--trace` output, and assertions about *when* things happened
+//! rather than only aggregate latencies.
+
+use serde::{Deserialize, Serialize};
+use std::fmt::Write as _;
+use xanadu_simcore::{SimDuration, SimTime};
+
+/// One traced orchestration event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum TraceEventKind {
+    /// The workflow trigger arrived.
+    Triggered,
+    /// A sandbox deployment started for `function` (speculation/JIT plan
+    /// or on-demand).
+    DeployStarted {
+        /// The function being provisioned.
+        function: String,
+        /// Whether a waiting request forced this provision.
+        on_demand: bool,
+    },
+    /// The orchestrator invoked `function` (its dependencies were met).
+    Invoked {
+        /// The invoked function.
+        function: String,
+    },
+    /// `function` began executing in a worker.
+    ExecStarted {
+        /// The executing function.
+        function: String,
+        /// Whether its sandbox was warm at invocation.
+        warm: bool,
+    },
+    /// `function` finished executing.
+    ExecEnded {
+        /// The finished function.
+        function: String,
+    },
+    /// `function` was invoked but absent from the speculation plan.
+    PredictionMiss {
+        /// The mispredicted function.
+        function: String,
+    },
+    /// The request completed.
+    Completed,
+}
+
+/// A timestamped trace event.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TraceEvent {
+    /// When the event happened.
+    pub at: SimTime,
+    /// What happened.
+    pub kind: TraceEventKind,
+}
+
+/// The ordered event timeline of one request.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct Trace {
+    events: Vec<TraceEvent>,
+}
+
+impl Trace {
+    /// Records an event (events arrive in simulation order).
+    pub(crate) fn record(&mut self, at: SimTime, kind: TraceEventKind) {
+        self.events.push(TraceEvent { at, kind });
+    }
+
+    /// The events, in order.
+    pub fn events(&self) -> &[TraceEvent] {
+        &self.events
+    }
+
+    /// Number of events.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether the trace is empty.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// The execution interval of `function` (exec start → exec end), if it
+    /// ran to completion.
+    pub fn exec_interval(&self, function: &str) -> Option<(SimTime, SimTime)> {
+        let start = self.events.iter().find_map(|e| match &e.kind {
+            TraceEventKind::ExecStarted { function: f, .. } if f == function => Some(e.at),
+            _ => None,
+        })?;
+        let end = self.events.iter().find_map(|e| match &e.kind {
+            TraceEventKind::ExecEnded { function: f } if f == function => Some(e.at),
+            _ => None,
+        })?;
+        Some((start, end))
+    }
+
+    /// Renders the trace as an ASCII Gantt chart: one row per function,
+    /// bars for provisioning-to-exec (`░`) and execution (`█`), `width`
+    /// columns spanning trigger to completion.
+    ///
+    /// Returns an empty string for traces without a `Triggered` event.
+    pub fn render_gantt(&self, width: usize) -> String {
+        let width = width.clamp(20, 200);
+        let Some(start) = self.events.first().map(|e| e.at) else {
+            return String::new();
+        };
+        let end = self.events.last().map(|e| e.at).unwrap_or(start);
+        let span = end.saturating_since(start).as_millis_f64().max(1.0);
+        let col = |t: SimTime| -> usize {
+            let frac = t.saturating_since(start).as_millis_f64() / span;
+            ((frac * (width - 1) as f64).round() as usize).min(width - 1)
+        };
+
+        // Collect per-function milestones.
+        let mut functions: Vec<String> = Vec::new();
+        for e in &self.events {
+            let name = match &e.kind {
+                TraceEventKind::DeployStarted { function, .. }
+                | TraceEventKind::Invoked { function }
+                | TraceEventKind::ExecStarted { function, .. }
+                | TraceEventKind::ExecEnded { function }
+                | TraceEventKind::PredictionMiss { function } => Some(function),
+                _ => None,
+            };
+            if let Some(n) = name {
+                if !functions.contains(n) {
+                    functions.push(n.clone());
+                }
+            }
+        }
+        let name_width = functions.iter().map(String::len).max().unwrap_or(4).max(4);
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "{:>name_width$} |{}| {:.1}s total",
+            "",
+            "-".repeat(width),
+            span / 1000.0
+        );
+        for f in &functions {
+            let deploy = self.events.iter().find_map(|e| match &e.kind {
+                TraceEventKind::DeployStarted { function, .. } if function == f => Some(e.at),
+                _ => None,
+            });
+            let exec = self.exec_interval(f);
+            let mut row = vec![' '; width];
+            if let (Some(d), Some((xs, _))) = (deploy, exec) {
+                for cell in row.iter_mut().take(col(xs)).skip(col(d)) {
+                    *cell = '░';
+                }
+            }
+            if let Some((xs, xe)) = exec {
+                for cell in row.iter_mut().take(col(xe) + 1).skip(col(xs)) {
+                    *cell = '█';
+                }
+            }
+            let missed = self.events.iter().any(
+                |e| matches!(&e.kind, TraceEventKind::PredictionMiss { function } if function == f),
+            );
+            let marker = if missed { " (miss)" } else { "" };
+            let _ = writeln!(
+                out,
+                "{f:>name_width$} |{}|{marker}",
+                row.iter().collect::<String>()
+            );
+        }
+        out
+    }
+
+    /// Renders the raw event list (`t+…  event`), one per line.
+    pub fn render_events(&self) -> String {
+        let mut out = String::new();
+        for e in &self.events {
+            let desc = match &e.kind {
+                TraceEventKind::Triggered => "triggered".to_string(),
+                TraceEventKind::DeployStarted {
+                    function,
+                    on_demand,
+                } => format!(
+                    "deploy {} ({})",
+                    function,
+                    if *on_demand { "on-demand" } else { "planned" }
+                ),
+                TraceEventKind::Invoked { function } => format!("invoke {function}"),
+                TraceEventKind::ExecStarted { function, warm } => format!(
+                    "exec-start {} ({})",
+                    function,
+                    if *warm { "warm" } else { "cold" }
+                ),
+                TraceEventKind::ExecEnded { function } => format!("exec-end {function}"),
+                TraceEventKind::PredictionMiss { function } => {
+                    format!("prediction-miss {function}")
+                }
+                TraceEventKind::Completed => "completed".to_string(),
+            };
+            let _ = writeln!(out, "{}  {desc}", e.at);
+        }
+        out
+    }
+
+    /// Total time `function` spent between its (planned or on-demand)
+    /// deployment start and its execution start — the provisioning + idle
+    /// window the cost model charges.
+    pub fn prestart_window(&self, function: &str) -> Option<SimDuration> {
+        let deploy = self.events.iter().find_map(|e| match &e.kind {
+            TraceEventKind::DeployStarted { function: f, .. } if f == function => Some(e.at),
+            _ => None,
+        })?;
+        let (exec_start, _) = self.exec_interval(function)?;
+        Some(exec_start.saturating_since(deploy))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Trace {
+        let mut t = Trace::default();
+        let ms = SimTime::from_millis;
+        t.record(ms(0), TraceEventKind::Triggered);
+        t.record(
+            ms(0),
+            TraceEventKind::DeployStarted {
+                function: "a".into(),
+                on_demand: false,
+            },
+        );
+        t.record(
+            ms(20),
+            TraceEventKind::Invoked {
+                function: "a".into(),
+            },
+        );
+        t.record(
+            ms(3000),
+            TraceEventKind::ExecStarted {
+                function: "a".into(),
+                warm: false,
+            },
+        );
+        t.record(
+            ms(3500),
+            TraceEventKind::ExecEnded {
+                function: "a".into(),
+            },
+        );
+        t.record(
+            ms(3520),
+            TraceEventKind::PredictionMiss {
+                function: "b".into(),
+            },
+        );
+        t.record(
+            ms(3520),
+            TraceEventKind::Invoked {
+                function: "b".into(),
+            },
+        );
+        t.record(
+            ms(3520),
+            TraceEventKind::DeployStarted {
+                function: "b".into(),
+                on_demand: true,
+            },
+        );
+        t.record(
+            ms(6600),
+            TraceEventKind::ExecStarted {
+                function: "b".into(),
+                warm: false,
+            },
+        );
+        t.record(
+            ms(7100),
+            TraceEventKind::ExecEnded {
+                function: "b".into(),
+            },
+        );
+        t.record(ms(7100), TraceEventKind::Completed);
+        t
+    }
+
+    #[test]
+    fn intervals_and_windows() {
+        let t = sample();
+        assert_eq!(
+            t.exec_interval("a"),
+            Some((SimTime::from_millis(3000), SimTime::from_millis(3500)))
+        );
+        assert_eq!(t.exec_interval("ghost"), None);
+        assert_eq!(t.prestart_window("a"), Some(SimDuration::from_millis(3000)));
+        assert_eq!(t.prestart_window("b"), Some(SimDuration::from_millis(3080)));
+        assert_eq!(t.len(), 11);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn gantt_renders_rows_and_miss_markers() {
+        let g = sample().render_gantt(60);
+        let lines: Vec<&str> = g.lines().collect();
+        assert_eq!(lines.len(), 3, "header + one row per function: {g}");
+        assert!(lines[1].trim_start().starts_with('a'));
+        assert!(lines[2].contains("(miss)"));
+        assert!(g.contains('█'), "execution bars present");
+        assert!(g.contains('░'), "provisioning bars present");
+        // Execution of `b` ends at the right edge (char positions — the
+        // block glyphs are multi-byte).
+        let b_row: Vec<char> = lines[2].chars().collect();
+        let bar_end = b_row.iter().rposition(|&c| c == '█').unwrap();
+        let bar_close = b_row.iter().rposition(|&c| c == '|').unwrap();
+        assert!(
+            bar_close - bar_end <= 1,
+            "b runs to completion: {}",
+            lines[2]
+        );
+    }
+
+    #[test]
+    fn event_log_renders_each_event() {
+        let log = sample().render_events();
+        assert!(log.contains("triggered"));
+        assert!(log.contains("deploy a (planned)"));
+        assert!(log.contains("deploy b (on-demand)"));
+        assert!(log.contains("exec-start a (cold)"));
+        assert!(log.contains("prediction-miss b"));
+        assert!(log.contains("completed"));
+        assert_eq!(log.lines().count(), 11);
+    }
+
+    #[test]
+    fn empty_trace_renders_empty() {
+        let t = Trace::default();
+        assert!(t.render_gantt(60).is_empty());
+        assert!(t.render_events().is_empty());
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let t = sample();
+        let json = serde_json::to_string(&t).unwrap();
+        let back: Trace = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, t);
+    }
+}

@@ -1,0 +1,167 @@
+//! Exponential moving average.
+
+use serde::{Deserialize, Serialize};
+
+/// An exponential moving average over scalar observations.
+///
+/// The paper smooths all function-related metrics — "start times, runtimes,
+/// and branch probabilities" — with exponential averaging so the model
+/// "adapts to changes in a workflow's path likelihood while being
+/// tolerant of outlier behaviour" (§3.1).
+///
+/// The first observation seeds the average directly; later observations
+/// blend with weight `alpha`:
+/// `value ← alpha · observation + (1 − alpha) · value`.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_profiler::Ema;
+///
+/// let mut ema = Ema::new(0.5);
+/// ema.record(100.0);
+/// ema.record(200.0);
+/// assert_eq!(ema.value(), Some(150.0));
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Ema {
+    alpha: f64,
+    value: Option<f64>,
+    count: u64,
+}
+
+impl Ema {
+    /// The smoothing factor used across Xanadu's profiles unless an
+    /// experiment overrides it: responsive but outlier-tolerant.
+    pub const DEFAULT_ALPHA: f64 = 0.3;
+
+    /// Creates an EMA with smoothing factor `alpha`, clamped to `(0, 1]`.
+    pub fn new(alpha: f64) -> Self {
+        let alpha = if alpha.is_finite() {
+            alpha.clamp(f64::MIN_POSITIVE, 1.0)
+        } else {
+            Self::DEFAULT_ALPHA
+        };
+        Ema {
+            alpha,
+            value: None,
+            count: 0,
+        }
+    }
+
+    /// Records one observation.
+    pub fn record(&mut self, observation: f64) {
+        self.count += 1;
+        self.value = Some(match self.value {
+            None => observation,
+            Some(v) => self.alpha * observation + (1.0 - self.alpha) * v,
+        });
+    }
+
+    /// The current average, or `None` before any observation.
+    pub fn value(&self) -> Option<f64> {
+        self.value
+    }
+
+    /// The current average, or `fallback` before any observation.
+    pub fn value_or(&self, fallback: f64) -> f64 {
+        self.value.unwrap_or(fallback)
+    }
+
+    /// Number of observations recorded.
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// The smoothing factor.
+    pub fn alpha(&self) -> f64 {
+        self.alpha
+    }
+}
+
+impl Default for Ema {
+    fn default() -> Self {
+        Ema::new(Self::DEFAULT_ALPHA)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_observation_seeds() {
+        let mut e = Ema::new(0.1);
+        assert_eq!(e.value(), None);
+        assert_eq!(e.value_or(42.0), 42.0);
+        e.record(500.0);
+        assert_eq!(e.value(), Some(500.0));
+        assert_eq!(e.count(), 1);
+    }
+
+    #[test]
+    fn blending_formula() {
+        let mut e = Ema::new(0.25);
+        e.record(100.0);
+        e.record(200.0);
+        // 0.25*200 + 0.75*100 = 125
+        assert_eq!(e.value(), Some(125.0));
+    }
+
+    #[test]
+    fn alpha_one_tracks_latest() {
+        let mut e = Ema::new(1.0);
+        e.record(1.0);
+        e.record(9.0);
+        assert_eq!(e.value(), Some(9.0));
+    }
+
+    #[test]
+    fn converges_to_constant_signal() {
+        let mut e = Ema::new(0.3);
+        for _ in 0..100 {
+            e.record(77.0);
+        }
+        assert!((e.value().unwrap() - 77.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn adapts_to_level_shift() {
+        let mut e = Ema::new(0.3);
+        for _ in 0..50 {
+            e.record(100.0);
+        }
+        for _ in 0..50 {
+            e.record(300.0);
+        }
+        let v = e.value().unwrap();
+        assert!(v > 295.0, "should have adapted, got {v}");
+    }
+
+    #[test]
+    fn tolerant_of_single_outlier() {
+        let mut e = Ema::new(0.3);
+        for _ in 0..20 {
+            e.record(100.0);
+        }
+        e.record(10_000.0);
+        let v = e.value().unwrap();
+        assert!(v < 3100.0, "one outlier must not dominate, got {v}");
+        for _ in 0..10 {
+            e.record(100.0);
+        }
+        assert!((e.value().unwrap() - 100.0).abs() < 100.0);
+    }
+
+    #[test]
+    fn invalid_alpha_clamped() {
+        assert_eq!(Ema::new(5.0).alpha(), 1.0);
+        assert!(Ema::new(0.0).alpha() > 0.0);
+        assert_eq!(Ema::new(f64::NAN).alpha(), Ema::DEFAULT_ALPHA);
+    }
+
+    #[test]
+    fn default_uses_default_alpha() {
+        assert_eq!(Ema::default().alpha(), Ema::DEFAULT_ALPHA);
+    }
+}

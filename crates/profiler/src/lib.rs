@@ -1,0 +1,35 @@
+//! # xanadu-profiler
+//!
+//! The function-profiling layer of Xanadu (§3.2.2 and §3.3 of the paper).
+//!
+//! Xanadu profiles the runtime characteristics of workflow functions —
+//! cold-start time, worker startup time, warm-start runtime — with
+//! exponential moving averages, and for implicit chains also measures the
+//! parent→child *invocation delay*. Those profiles feed the JIT deployment
+//! planner in `xanadu-core`.
+//!
+//! This crate provides:
+//!
+//! * [`Ema`] — the exponential moving average primitive, with the paper's
+//!   fixed-interval update semantics (§3.1).
+//! * [`MetricsEngine`] — per-function profiles (cold start, warm runtime,
+//!   startup) and per-edge invoke-delay estimates.
+//! * [`BranchDetector`] — Algorithm 3: learns the workflow branch tree and
+//!   its conditional probabilities from dispatched requests carrying a
+//!   parent-function header.
+//! * [`RequestCorrelator`] — the chronological parent↔child request
+//!   matching (§3.2.2) used to infer invocation delays for implicit
+//!   chains.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod branch;
+mod correlate;
+mod ema;
+mod metrics;
+
+pub use branch::{BranchDetector, LearnedEdge};
+pub use correlate::RequestCorrelator;
+pub use ema::Ema;
+pub use metrics::{FunctionProfile, MetricsEngine};

@@ -1,0 +1,218 @@
+//! The metrics engine: per-function and per-edge runtime profiles.
+
+use crate::ema::Ema;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+use xanadu_simcore::SimDuration;
+
+/// EMA-smoothed runtime profile of one function (§3.2.2): cold-start time,
+/// worker startup time, and warm-start runtime.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct FunctionProfile {
+    cold_start_ms: Ema,
+    startup_ms: Ema,
+    warm_runtime_ms: Ema,
+}
+
+impl FunctionProfile {
+    /// Creates an empty profile with the given smoothing factor.
+    pub fn with_alpha(alpha: f64) -> Self {
+        FunctionProfile {
+            cold_start_ms: Ema::new(alpha),
+            startup_ms: Ema::new(alpha),
+            warm_runtime_ms: Ema::new(alpha),
+        }
+    }
+
+    /// Estimated cold-start latency (ms), or `fallback` if unobserved.
+    pub fn cold_start_ms(&self, fallback: f64) -> f64 {
+        self.cold_start_ms.value_or(fallback)
+    }
+
+    /// Estimated worker startup (sandbox readiness) latency (ms).
+    pub fn startup_ms(&self, fallback: f64) -> f64 {
+        self.startup_ms.value_or(fallback)
+    }
+
+    /// Estimated warm-start runtime (ms). The JIT planner uses this "as a
+    /// reasonable estimate of a function's lifetime" (§3.2.2).
+    pub fn warm_runtime_ms(&self, fallback: f64) -> f64 {
+        self.warm_runtime_ms.value_or(fallback)
+    }
+
+    /// Whether any warm runtime has been observed yet.
+    pub fn has_runtime_observation(&self) -> bool {
+        self.warm_runtime_ms.count() > 0
+    }
+}
+
+/// Collects runtime observations for every function of every workflow and
+/// per-edge invocation delays for implicit chains.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_profiler::MetricsEngine;
+/// use xanadu_simcore::SimDuration;
+///
+/// let mut m = MetricsEngine::new();
+/// m.record_cold_start("pay", SimDuration::from_millis(3000));
+/// m.record_warm_runtime("pay", SimDuration::from_millis(2500));
+/// assert_eq!(m.profile("pay").unwrap().warm_runtime_ms(0.0), 2500.0);
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct MetricsEngine {
+    alpha: f64,
+    profiles: HashMap<String, FunctionProfile>,
+    /// Keyed by `(parent, child)`; serialized as a list of entries because
+    /// JSON maps need string keys.
+    #[serde(with = "invoke_delay_serde")]
+    invoke_delays: HashMap<(String, String), Ema>,
+}
+
+mod invoke_delay_serde {
+    use super::Ema;
+    use serde::de::Deserializer;
+    use serde::ser::Serializer;
+    use serde::{Deserialize, Serialize};
+    use std::collections::HashMap;
+
+    pub fn serialize<S: Serializer>(
+        map: &HashMap<(String, String), Ema>,
+        s: S,
+    ) -> Result<S::Ok, S::Error> {
+        let entries: Vec<(&String, &String, &Ema)> =
+            map.iter().map(|((p, c), e)| (p, c, e)).collect();
+        entries.serialize(s)
+    }
+
+    pub fn deserialize<'de, D: Deserializer<'de>>(
+        d: D,
+    ) -> Result<HashMap<(String, String), Ema>, D::Error> {
+        let entries: Vec<(String, String, Ema)> = Vec::deserialize(d)?;
+        Ok(entries.into_iter().map(|(p, c, e)| ((p, c), e)).collect())
+    }
+}
+
+impl MetricsEngine {
+    /// Creates an engine with the default smoothing factor.
+    pub fn new() -> Self {
+        Self::with_alpha(Ema::DEFAULT_ALPHA)
+    }
+
+    /// Creates an engine with a custom smoothing factor.
+    pub fn with_alpha(alpha: f64) -> Self {
+        MetricsEngine {
+            alpha,
+            profiles: HashMap::new(),
+            invoke_delays: HashMap::new(),
+        }
+    }
+
+    fn profile_entry(&mut self, function: &str) -> &mut FunctionProfile {
+        let alpha = self.alpha;
+        self.profiles
+            .entry(function.to_string())
+            .or_insert_with(|| FunctionProfile::with_alpha(alpha))
+    }
+
+    /// Records an observed cold-start latency for `function`.
+    pub fn record_cold_start(&mut self, function: &str, latency: SimDuration) {
+        self.profile_entry(function)
+            .cold_start_ms
+            .record(latency.as_millis_f64());
+    }
+
+    /// Records an observed worker startup latency for `function`.
+    pub fn record_startup(&mut self, function: &str, latency: SimDuration) {
+        self.profile_entry(function)
+            .startup_ms
+            .record(latency.as_millis_f64());
+    }
+
+    /// Records an observed warm-start runtime for `function`.
+    pub fn record_warm_runtime(&mut self, function: &str, runtime: SimDuration) {
+        self.profile_entry(function)
+            .warm_runtime_ms
+            .record(runtime.as_millis_f64());
+    }
+
+    /// Records an observed parent→child invocation delay (implicit chains,
+    /// §3.2.2).
+    pub fn record_invoke_delay(&mut self, parent: &str, child: &str, delay: SimDuration) {
+        let alpha = self.alpha;
+        self.invoke_delays
+            .entry((parent.to_string(), child.to_string()))
+            .or_insert_with(|| Ema::new(alpha))
+            .record(delay.as_millis_f64());
+    }
+
+    /// The profile of `function`, if any observation exists.
+    pub fn profile(&self, function: &str) -> Option<&FunctionProfile> {
+        self.profiles.get(function)
+    }
+
+    /// The estimated parent→child invocation delay (ms), or `None` if
+    /// unobserved.
+    pub fn invoke_delay_ms(&self, parent: &str, child: &str) -> Option<f64> {
+        self.invoke_delays
+            .get(&(parent.to_string(), child.to_string()))
+            .and_then(Ema::value)
+    }
+
+    /// Number of functions with at least one observation.
+    pub fn profiled_functions(&self) -> usize {
+        self.profiles.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn profiles_created_on_demand() {
+        let mut m = MetricsEngine::new();
+        assert!(m.profile("f").is_none());
+        m.record_startup("f", SimDuration::from_millis(400));
+        assert_eq!(m.profile("f").unwrap().startup_ms(0.0), 400.0);
+        assert_eq!(m.profiled_functions(), 1);
+    }
+
+    #[test]
+    fn fallbacks_used_when_unobserved() {
+        let mut m = MetricsEngine::new();
+        m.record_cold_start("f", SimDuration::from_millis(3000));
+        let p = m.profile("f").unwrap();
+        assert_eq!(p.cold_start_ms(1.0), 3000.0);
+        assert_eq!(p.warm_runtime_ms(777.0), 777.0);
+        assert!(!p.has_runtime_observation());
+    }
+
+    #[test]
+    fn ema_smoothing_applied() {
+        let mut m = MetricsEngine::with_alpha(0.5);
+        m.record_warm_runtime("f", SimDuration::from_millis(100));
+        m.record_warm_runtime("f", SimDuration::from_millis(300));
+        assert_eq!(m.profile("f").unwrap().warm_runtime_ms(0.0), 200.0);
+    }
+
+    #[test]
+    fn invoke_delays_are_per_edge() {
+        let mut m = MetricsEngine::new();
+        m.record_invoke_delay("a", "b", SimDuration::from_millis(50));
+        m.record_invoke_delay("a", "c", SimDuration::from_millis(90));
+        assert_eq!(m.invoke_delay_ms("a", "b"), Some(50.0));
+        assert_eq!(m.invoke_delay_ms("a", "c"), Some(90.0));
+        assert_eq!(m.invoke_delay_ms("b", "a"), None);
+    }
+
+    #[test]
+    fn separate_functions_do_not_interfere() {
+        let mut m = MetricsEngine::new();
+        m.record_cold_start("f", SimDuration::from_millis(1000));
+        m.record_cold_start("g", SimDuration::from_millis(3000));
+        assert_eq!(m.profile("f").unwrap().cold_start_ms(0.0), 1000.0);
+        assert_eq!(m.profile("g").unwrap().cold_start_ms(0.0), 3000.0);
+    }
+}

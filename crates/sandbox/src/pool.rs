@@ -1,0 +1,379 @@
+//! Warm-worker pools with keep-alive reclamation.
+//!
+//! FaaS platforms keep finished workers warm for a platform-specific
+//! interval so subsequent triggers can reuse them (§1). The pool implements
+//! that policy plus two refinements the paper studies:
+//!
+//! * **keep-alive** — workers idle past the keep-alive window are reaped
+//!   (ASF ≈ 10 min, ADF ≈ 20 min in §2.3; Xanadu's future work proposes
+//!   seconds, §7).
+//! * **warm-pool cap** — OpenWhisk "keeps a limited number of containers
+//!   warm, even for consecutive requests, which explains the sudden
+//!   increase in cold start latency for chain length 5" (§2.3). The cap
+//!   bounds the number of simultaneously warm (idle) workers; exceeding it
+//!   evicts the least-recently-used warm worker.
+
+use crate::worker::{Worker, WorkerId, WorkerRecord, WorkerState};
+use serde::{Deserialize, Serialize};
+use std::collections::{HashMap, HashSet};
+use xanadu_simcore::{SimDuration, SimTime};
+
+/// Configuration of a [`WorkerPool`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PoolConfig {
+    /// How long an idle warm worker is retained before being reaped.
+    pub keep_alive: SimDuration,
+    /// Maximum number of simultaneously *warm idle* workers, or `None` for
+    /// unlimited. Busy and provisioning workers do not count.
+    pub max_warm: Option<usize>,
+}
+
+impl Default for PoolConfig {
+    /// Ten minutes keep-alive (the ASF reclamation interval measured in
+    /// §2.3) and no warm cap.
+    fn default() -> Self {
+        PoolConfig {
+            keep_alive: SimDuration::from_mins(10),
+            max_warm: None,
+        }
+    }
+}
+
+/// Tracks every worker of a platform run: live workers by state, warm
+/// workers indexed by function for reuse, and the accounting records of
+/// dead workers.
+#[derive(Debug, Clone, Default)]
+pub struct WorkerPool {
+    config: PoolConfig,
+    next_id: u64,
+    live: HashMap<WorkerId, Worker>,
+    dead: Vec<WorkerRecord>,
+}
+
+impl WorkerPool {
+    /// Creates a pool with the given configuration.
+    pub fn new(config: PoolConfig) -> Self {
+        WorkerPool {
+            config,
+            next_id: 0,
+            live: HashMap::new(),
+            dead: Vec::new(),
+        }
+    }
+
+    /// The pool's configuration.
+    pub fn config(&self) -> PoolConfig {
+        self.config
+    }
+
+    /// Allocates a fresh worker id.
+    pub fn next_worker_id(&mut self) -> WorkerId {
+        let id = WorkerId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Registers a newly provisioning worker.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a worker with the same id is already tracked.
+    pub fn insert(&mut self, worker: Worker) {
+        let prev = self.live.insert(worker.id(), worker);
+        assert!(prev.is_none(), "worker id reused");
+    }
+
+    /// Borrow a live worker.
+    pub fn get(&self, id: WorkerId) -> Option<&Worker> {
+        self.live.get(&id)
+    }
+
+    /// Mutably borrow a live worker.
+    pub fn get_mut(&mut self, id: WorkerId) -> Option<&mut Worker> {
+        self.live.get_mut(&id)
+    }
+
+    /// Finds a warm idle worker for `function` whose keep-alive has not
+    /// expired at `now`, preferring the most recently active (best cache
+    /// locality, and matches typical platform LIFO reuse). Returns its id
+    /// without changing its state.
+    pub fn find_warm(&self, function: &str, now: SimTime) -> Option<WorkerId> {
+        self.live
+            .values()
+            .filter(|w| {
+                w.state() == WorkerState::Warm
+                    && w.function() == function
+                    && now >= w.ready_at()
+                    && now.saturating_since(w.last_active()) <= self.config.keep_alive
+            })
+            .max_by_key(|w| (w.last_active(), w.id()))
+            .map(|w| w.id())
+    }
+
+    /// Kills a live worker at `now`, moving its record to the dead list.
+    /// Returns the record, or `None` if the id is unknown.
+    pub fn kill(&mut self, id: WorkerId, now: SimTime) -> Option<WorkerRecord> {
+        let worker = self.live.remove(&id)?;
+        let record = worker.kill(now);
+        self.dead.push(record.clone());
+        Some(record)
+    }
+
+    /// Reaps every warm worker whose idle time exceeded keep-alive at
+    /// `now`, returning how many were reaped.
+    pub fn reap_expired(&mut self, now: SimTime) -> usize {
+        let expired: Vec<WorkerId> = self
+            .live
+            .values()
+            .filter(|w| {
+                w.state() == WorkerState::Warm
+                    && now.saturating_since(w.last_active()) > self.config.keep_alive
+            })
+            .map(Worker::id)
+            .collect();
+        let n = expired.len();
+        for id in expired {
+            self.kill(id, now);
+        }
+        n
+    }
+
+    /// Enforces the warm-pool cap at `now` by evicting least-recently-
+    /// active warm workers until at most `max_warm` remain. Workers in
+    /// `exempt` (e.g. claimed for an in-flight dispatch) are never
+    /// evicted. Returns the evicted ids (empty when uncapped or under the
+    /// cap).
+    pub fn enforce_warm_cap(&mut self, now: SimTime, exempt: &HashSet<WorkerId>) -> Vec<WorkerId> {
+        let Some(cap) = self.config.max_warm else {
+            return Vec::new();
+        };
+        let warm: Vec<&Worker> = self
+            .live
+            .values()
+            .filter(|w| w.state() == WorkerState::Warm && now >= w.ready_at())
+            .collect();
+        if warm.len() <= cap {
+            return Vec::new();
+        }
+        let over = warm.len() - cap;
+        // Exempt workers count toward the cap but cannot be evicted.
+        let mut candidates: Vec<(SimTime, WorkerId)> = warm
+            .iter()
+            .filter(|w| !exempt.contains(&w.id()))
+            .map(|w| (w.last_active(), w.id()))
+            .collect();
+        candidates.sort(); // oldest first
+        let evict: Vec<WorkerId> = candidates
+            .into_iter()
+            .take(over)
+            .map(|(_, id)| id)
+            .collect();
+        for &id in &evict {
+            self.kill(id, now);
+        }
+        evict
+    }
+
+    /// Iterates over live workers.
+    pub fn live_workers(&self) -> impl Iterator<Item = &Worker> {
+        self.live.values()
+    }
+
+    /// Number of live workers (any state).
+    pub fn live_count(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Records of all dead workers so far.
+    pub fn dead_records(&self) -> &[WorkerRecord] {
+        &self.dead
+    }
+
+    /// Kills everything at `now` and returns the complete set of worker
+    /// records (dead + just-killed), consuming the pool. Called at the end
+    /// of an experiment to finalize accounting.
+    pub fn drain(mut self, now: SimTime) -> Vec<WorkerRecord> {
+        let ids: Vec<WorkerId> = self.live.keys().copied().collect();
+        for id in ids {
+            self.kill(id, now);
+        }
+        self.dead
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xanadu_chain::IsolationLevel;
+
+    fn add_worker(pool: &mut WorkerPool, function: &str, ready_ms: u64) -> WorkerId {
+        let id = pool.next_worker_id();
+        let mut w = Worker::provisioning(
+            id,
+            function,
+            IsolationLevel::Container,
+            512,
+            SimTime::ZERO,
+            SimTime::from_millis(ready_ms),
+        );
+        w.mark_ready();
+        pool.insert(w);
+        id
+    }
+
+    #[test]
+    fn find_warm_prefers_most_recently_active() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        let a = add_worker(&mut pool, "f", 0);
+        let b = add_worker(&mut pool, "f", 0);
+        // Make b more recently active.
+        let t0 = SimTime::from_millis(100);
+        let t1 = SimTime::from_millis(200);
+        pool.get_mut(b).unwrap().begin_exec(t0);
+        pool.get_mut(b).unwrap().end_exec(t0, t1);
+        assert_eq!(pool.find_warm("f", SimTime::from_millis(300)), Some(b));
+        // Busy workers are not offered.
+        pool.get_mut(b)
+            .unwrap()
+            .begin_exec(SimTime::from_millis(400));
+        assert_eq!(pool.find_warm("f", SimTime::from_millis(500)), Some(a));
+    }
+
+    #[test]
+    fn find_warm_respects_function_and_keepalive() {
+        let mut pool = WorkerPool::new(PoolConfig {
+            keep_alive: SimDuration::from_secs(10),
+            max_warm: None,
+        });
+        let _g = add_worker(&mut pool, "g", 0);
+        assert_eq!(pool.find_warm("f", SimTime::from_secs(1)), None);
+        let f = add_worker(&mut pool, "f", 0);
+        assert_eq!(pool.find_warm("f", SimTime::from_secs(5)), Some(f));
+        // Past keep-alive the worker is stale (even if not yet reaped).
+        assert_eq!(pool.find_warm("f", SimTime::from_secs(11)), None);
+    }
+
+    #[test]
+    fn find_warm_ignores_not_yet_ready_workers() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        let id = pool.next_worker_id();
+        let w = Worker::provisioning(
+            id,
+            "f",
+            IsolationLevel::Container,
+            512,
+            SimTime::ZERO,
+            SimTime::from_secs(3),
+        );
+        pool.insert(w);
+        assert_eq!(pool.find_warm("f", SimTime::from_secs(1)), None);
+    }
+
+    #[test]
+    fn reap_expired_kills_only_stale_warm_workers() {
+        let mut pool = WorkerPool::new(PoolConfig {
+            keep_alive: SimDuration::from_secs(60),
+            max_warm: None,
+        });
+        let _a = add_worker(&mut pool, "f", 0);
+        let b = add_worker(&mut pool, "f", 0);
+        // Keep b fresh.
+        let t0 = SimTime::from_secs(50);
+        pool.get_mut(b).unwrap().begin_exec(t0);
+        pool.get_mut(b)
+            .unwrap()
+            .end_exec(t0, SimTime::from_secs(55));
+        let reaped = pool.reap_expired(SimTime::from_secs(70));
+        assert_eq!(reaped, 1);
+        assert_eq!(pool.live_count(), 1);
+        assert!(pool.get(b).is_some());
+        assert_eq!(pool.dead_records().len(), 1);
+    }
+
+    #[test]
+    fn warm_cap_evicts_lru() {
+        let mut pool = WorkerPool::new(PoolConfig {
+            keep_alive: SimDuration::from_mins(10),
+            max_warm: Some(2),
+        });
+        let a = add_worker(&mut pool, "f0", 0);
+        let b = add_worker(&mut pool, "f1", 0);
+        let c = add_worker(&mut pool, "f2", 0);
+        // freshness: a oldest, then b, then c
+        for (i, id) in [(1u64, b), (2, c)] {
+            let t0 = SimTime::from_secs(i * 10);
+            let t1 = SimTime::from_secs(i * 10 + 1);
+            pool.get_mut(id).unwrap().begin_exec(t0);
+            pool.get_mut(id).unwrap().end_exec(t0, t1);
+        }
+        let evicted = pool.enforce_warm_cap(SimTime::from_secs(100), &HashSet::new());
+        assert_eq!(evicted, vec![a]);
+        assert_eq!(pool.live_count(), 2);
+    }
+
+    #[test]
+    fn warm_cap_ignores_busy_workers() {
+        let mut pool = WorkerPool::new(PoolConfig {
+            keep_alive: SimDuration::from_mins(10),
+            max_warm: Some(1),
+        });
+        let a = add_worker(&mut pool, "f0", 0);
+        let _b = add_worker(&mut pool, "f1", 0);
+        pool.get_mut(a).unwrap().begin_exec(SimTime::from_secs(1));
+        // a is busy; only b is warm → under cap, nothing evicted.
+        assert!(pool
+            .enforce_warm_cap(SimTime::from_secs(2), &HashSet::new())
+            .is_empty());
+    }
+
+    #[test]
+    fn warm_cap_respects_exemptions() {
+        let mut pool = WorkerPool::new(PoolConfig {
+            keep_alive: SimDuration::from_mins(10),
+            max_warm: Some(1),
+        });
+        let a = add_worker(&mut pool, "f0", 0);
+        let b = add_worker(&mut pool, "f1", 0);
+        // a is the LRU victim, but it is exempt (claimed): b goes instead.
+        let exempt: HashSet<WorkerId> = [a].into_iter().collect();
+        let evicted = pool.enforce_warm_cap(SimTime::from_secs(100), &exempt);
+        assert_eq!(evicted, vec![b]);
+        assert!(pool.get(a).is_some());
+    }
+
+    #[test]
+    fn uncapped_pool_never_evicts() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        for i in 0..10 {
+            add_worker(&mut pool, &format!("f{i}"), 0);
+        }
+        assert!(pool
+            .enforce_warm_cap(SimTime::from_secs(1), &HashSet::new())
+            .is_empty());
+        assert_eq!(pool.live_count(), 10);
+    }
+
+    #[test]
+    fn drain_accounts_for_everything() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        add_worker(&mut pool, "f", 0);
+        let b = add_worker(&mut pool, "g", 0);
+        pool.kill(b, SimTime::from_secs(1));
+        let records = pool.drain(SimTime::from_secs(2));
+        assert_eq!(records.len(), 2);
+    }
+
+    #[test]
+    fn kill_unknown_worker_returns_none() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        assert!(pool.kill(WorkerId(99), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn ids_are_unique() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        let a = pool.next_worker_id();
+        let b = pool.next_worker_id();
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,268 @@
+//! Calibrated sandbox latency profiles.
+//!
+//! Every latency constant in this module is calibrated to a sentence of the
+//! Xanadu paper (cited inline). The experiments reproduce the paper's
+//! *shapes* — who wins, by what factor, where crossovers fall — so these
+//! profiles are the single place absolute numbers come from.
+
+use serde::{Deserialize, Serialize};
+use xanadu_chain::IsolationLevel;
+use xanadu_simcore::Distribution;
+
+/// Cold-start latency components of one isolation level.
+///
+/// The paper decomposes cold start into "environment provisioning latency,
+/// library download and setup latency, and process startup latency" (§1).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsolationProfile {
+    /// Environment provisioning (namespace/cgroup/VM image) latency.
+    pub env_provision: Distribution,
+    /// Library download and setup latency.
+    pub library_setup: Distribution,
+    /// Process / runtime startup latency.
+    pub process_startup: Distribution,
+    /// Fraction of one CPU core consumed while provisioning.
+    pub provision_cpu_rate: f64,
+    /// Fraction of one CPU core consumed by a warm idle worker.
+    pub idle_cpu_rate: f64,
+    /// Warm-start dispatch latency: queueing/signalling into an already
+    /// warm worker.
+    pub warm_dispatch: Distribution,
+}
+
+impl IsolationProfile {
+    /// Mean total cold-start latency in milliseconds.
+    pub fn mean_cold_start_ms(&self) -> f64 {
+        self.env_provision.mean_ms() + self.library_setup.mean_ms() + self.process_startup.mean_ms()
+    }
+}
+
+/// Models Docker's concurrent-provisioning bottleneck.
+///
+/// The paper observes "Docker's concurrent scalability issues" (§3.2,
+/// citing Mohan et al. and SOCK): starting many containers at once slows
+/// each start down. This is why Xanadu JIT — which spreads provisioning
+/// over the workflow's lifetime — beats Xanadu Speculative by ~10% on
+/// latency (§5.2). We model the effect as a multiplicative penalty on
+/// provisioning latency that grows linearly with the number of in-flight
+/// provisions beyond a free threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ConcurrencyPenalty {
+    /// Number of concurrent provisions that incur no penalty.
+    pub free_concurrency: u32,
+    /// Additional latency fraction per concurrent provision beyond the
+    /// threshold: factor = 1 + slope · max(0, inflight − free).
+    pub slope: f64,
+}
+
+impl ConcurrencyPenalty {
+    /// No penalty regardless of concurrency (isolates/processes, which the
+    /// paper does not report scalability problems for).
+    pub const NONE: ConcurrencyPenalty = ConcurrencyPenalty {
+        free_concurrency: u32::MAX,
+        slope: 0.0,
+    };
+
+    /// The latency multiplication factor when `inflight` provisions
+    /// (including the new one) are running.
+    pub fn factor(&self, inflight: u32) -> f64 {
+        let excess = inflight.saturating_sub(self.free_concurrency);
+        1.0 + self.slope * excess as f64
+    }
+}
+
+/// The full latency model of a sandbox substrate: one profile per
+/// isolation level plus the container concurrency penalty.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SandboxProfiles {
+    isolate: IsolationProfile,
+    process: IsolationProfile,
+    container: IsolationProfile,
+    /// Concurrency penalty applied to container provisioning.
+    pub container_concurrency: ConcurrencyPenalty,
+}
+
+impl SandboxProfiles {
+    /// The calibrated default profiles.
+    ///
+    /// Calibration sources:
+    /// * Containers: "cold start latency ~3000ms" (§1 Observation 2);
+    ///   split into provisioning 1800 ms + library setup 800 ms + process
+    ///   startup 400 ms, matching Figure 1's component stacking where
+    ///   provisioning dominates.
+    /// * Processes: "processes and threads (cold start latency ~1000ms)"
+    ///   (§1) — calibrated at 1100 ms so containers sit at the reported
+    ///   2.5×–2.9× overhead multiple (§2.3).
+    /// * Isolates: Figure 7 places V8 isolates just below processes (both
+    ///   boot a JS runtime; the isolate saves the container environment),
+    ///   and Figure 16 reports a depth-10 isolate chain overhead of
+    ///   1289 ms end-to-end with speculation — i.e. roughly one isolate
+    ///   cold start of ~900 ms plus per-hop dispatch.
+    /// * Warm dispatch: the "networking and signalling delays … orders of
+    ///   magnitude lower as compared to the cold start latency" (§1).
+    ///   Containers pay ≈100 ms for Docker network proxying into the
+    ///   sandbox; processes and isolates are cheaper. These values also
+    ///   set the memory-cost floor of on-demand (cold) provisioning, which
+    ///   Figure 13b compares JIT against (JIT ≈ 2.18× Cold).
+    /// * Container concurrency penalty: chosen so that ~10 simultaneous
+    ///   container starts (Speculative on a depth-10 chain) lose ≈10%
+    ///   versus spread-out starts, per §5.2's "overhead improvement of
+    ///   10%" for JIT over Speculative.
+    pub fn paper_defaults() -> Self {
+        let dist = |mean: f64, std: f64| {
+            Distribution::log_normal(mean, std).expect("calibration constants valid")
+        };
+        SandboxProfiles {
+            isolate: IsolationProfile {
+                env_provision: dist(80.0, 15.0),
+                library_setup: dist(450.0, 60.0),
+                process_startup: dist(370.0, 50.0),
+                provision_cpu_rate: 0.5,
+                idle_cpu_rate: 0.002,
+                warm_dispatch: dist(10.0, 2.5),
+            },
+            process: IsolationProfile {
+                env_provision: dist(280.0, 45.0),
+                library_setup: dist(480.0, 70.0),
+                process_startup: dist(340.0, 55.0),
+                provision_cpu_rate: 0.8,
+                idle_cpu_rate: 0.005,
+                warm_dispatch: dist(40.0, 8.0),
+            },
+            container: IsolationProfile {
+                env_provision: dist(1800.0, 220.0),
+                library_setup: dist(800.0, 120.0),
+                process_startup: dist(400.0, 70.0),
+                provision_cpu_rate: 1.0,
+                idle_cpu_rate: 0.01,
+                warm_dispatch: dist(100.0, 20.0),
+            },
+            container_concurrency: ConcurrencyPenalty {
+                free_concurrency: 2,
+                slope: 0.04,
+            },
+        }
+    }
+
+    /// The profile for one isolation level.
+    pub fn profile(&self, level: IsolationLevel) -> &IsolationProfile {
+        match level {
+            IsolationLevel::Isolate => &self.isolate,
+            IsolationLevel::Process => &self.process,
+            IsolationLevel::Container => &self.container,
+        }
+    }
+
+    /// Mutable access, for experiment-specific recalibration.
+    pub fn profile_mut(&mut self, level: IsolationLevel) -> &mut IsolationProfile {
+        match level {
+            IsolationLevel::Isolate => &mut self.isolate,
+            IsolationLevel::Process => &mut self.process,
+            IsolationLevel::Container => &mut self.container,
+        }
+    }
+
+    /// The concurrency penalty applicable to `level` (only containers are
+    /// penalized in the default model).
+    pub fn concurrency_penalty(&self, level: IsolationLevel) -> ConcurrencyPenalty {
+        match level {
+            IsolationLevel::Container => self.container_concurrency,
+            _ => ConcurrencyPenalty::NONE,
+        }
+    }
+}
+
+impl Default for SandboxProfiles {
+    fn default() -> Self {
+        Self::paper_defaults()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn calibration_matches_paper_cold_start_magnitudes() {
+        let p = SandboxProfiles::paper_defaults();
+        let container = p.profile(IsolationLevel::Container).mean_cold_start_ms();
+        let process = p.profile(IsolationLevel::Process).mean_cold_start_ms();
+        let isolate = p.profile(IsolationLevel::Isolate).mean_cold_start_ms();
+        assert!(
+            (container - 3000.0).abs() < 100.0,
+            "container ~3000ms (§1), got {container}"
+        );
+        assert!(
+            (process - 1100.0).abs() < 120.0,
+            "process ~1000-1100ms (§1), got {process}"
+        );
+        assert!(
+            (800.0..1000.0).contains(&isolate),
+            "isolate ~900ms (fig 16), got {isolate}"
+        );
+        // "2.5x to 2.9x increased overhead compared to processes and
+        // isolates" (§2.3)
+        for base in [process, isolate] {
+            let ratio = container / base;
+            assert!((2.4..3.6).contains(&ratio), "container ratio {ratio}");
+        }
+    }
+
+    #[test]
+    fn ordering_weakest_isolation_is_fastest() {
+        let p = SandboxProfiles::paper_defaults();
+        let mut last = 0.0;
+        for level in IsolationLevel::ALL {
+            let cs = p.profile(level).mean_cold_start_ms();
+            assert!(cs > last, "{level} should be slower than weaker levels");
+            last = cs;
+        }
+    }
+
+    #[test]
+    fn warm_dispatch_orders_of_magnitude_below_cold() {
+        let p = SandboxProfiles::paper_defaults();
+        for level in IsolationLevel::ALL {
+            let prof = p.profile(level);
+            assert!(prof.warm_dispatch.mean_ms() * 10.0 < prof.mean_cold_start_ms());
+        }
+    }
+
+    #[test]
+    fn concurrency_penalty_grows_past_threshold() {
+        let c = ConcurrencyPenalty {
+            free_concurrency: 2,
+            slope: 0.1,
+        };
+        assert_eq!(c.factor(0), 1.0);
+        assert_eq!(c.factor(2), 1.0);
+        assert!((c.factor(3) - 1.1).abs() < 1e-12);
+        assert!((c.factor(12) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn none_penalty_is_identity() {
+        assert_eq!(ConcurrencyPenalty::NONE.factor(1_000_000), 1.0);
+    }
+
+    #[test]
+    fn only_containers_penalized_by_default() {
+        let p = SandboxProfiles::paper_defaults();
+        assert_eq!(
+            p.concurrency_penalty(IsolationLevel::Isolate).factor(100),
+            1.0
+        );
+        assert_eq!(
+            p.concurrency_penalty(IsolationLevel::Process).factor(100),
+            1.0
+        );
+        assert!(p.concurrency_penalty(IsolationLevel::Container).factor(100) > 1.0);
+    }
+
+    #[test]
+    fn profile_mut_allows_recalibration() {
+        let mut p = SandboxProfiles::paper_defaults();
+        p.profile_mut(IsolationLevel::Container).idle_cpu_rate = 0.5;
+        assert_eq!(p.profile(IsolationLevel::Container).idle_cpu_rate, 0.5);
+    }
+}

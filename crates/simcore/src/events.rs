@@ -1,0 +1,217 @@
+//! Deterministic future-event list.
+//!
+//! A discrete-event simulation advances by repeatedly popping the earliest
+//! scheduled event. Determinism requires a total order even among events
+//! scheduled for the *same* instant; we break ties by a monotonically
+//! increasing sequence number, so events at equal timestamps pop in the
+//! order they were scheduled (FIFO), independent of the heap's internal
+//! layout.
+
+use crate::time::SimTime;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// An event scheduled on the future-event list, pairing a timestamp and a
+/// tie-breaking sequence number with the payload.
+#[derive(Debug, Clone)]
+pub struct ScheduledEvent<E> {
+    /// When the event fires.
+    pub time: SimTime,
+    /// Global scheduling order, used to break timestamp ties.
+    pub seq: u64,
+    /// The event payload.
+    pub event: E,
+}
+
+// BinaryHeap is a max-heap; reverse the ordering to pop the earliest
+// (time, seq) first.
+impl<E> PartialEq for ScheduledEvent<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+impl<E> Eq for ScheduledEvent<E> {}
+impl<E> PartialOrd for ScheduledEvent<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl<E> Ord for ScheduledEvent<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+/// A deterministic priority queue of timestamped events.
+///
+/// Events with equal timestamps are returned in insertion order, which makes
+/// every simulation in this workspace reproducible bit-for-bit from its seed.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_simcore::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.schedule(SimTime::from_millis(3), "c");
+/// q.schedule(SimTime::from_millis(1), "a");
+/// q.schedule(SimTime::from_millis(1), "b"); // same instant as "a"
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "a")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(1), "b")));
+/// assert_eq!(q.pop(), Some((SimTime::from_millis(3), "c")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug, Clone)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<ScheduledEvent<E>>,
+    next_seq: u64,
+}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    pub fn new() -> Self {
+        EventQueue {
+            heap: BinaryHeap::new(),
+            next_seq: 0,
+        }
+    }
+
+    /// Schedules `event` to fire at `time`. Returns the sequence number
+    /// assigned to the event (useful for logging/cancellation schemes built
+    /// on top).
+    pub fn schedule(&mut self, time: SimTime, event: E) -> u64 {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(ScheduledEvent { time, seq, event });
+        seq
+    }
+
+    /// Removes and returns the earliest event, or `None` if empty.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// The timestamp of the earliest pending event, if any.
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Whether no events are pending.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Drops every pending event.
+    pub fn clear(&mut self) {
+        self.heap.clear();
+    }
+
+    /// Removes all pending events matching `pred`, returning how many were
+    /// removed. Used by JIT deployment to cancel planned provisioning when a
+    /// prediction miss is detected (§3.2.2 of the paper).
+    pub fn cancel_where<F: FnMut(&E) -> bool>(&mut self, mut pred: F) -> usize {
+        let before = self.heap.len();
+        let kept: Vec<ScheduledEvent<E>> = self.heap.drain().filter(|s| !pred(&s.event)).collect();
+        self.heap = kept.into();
+        before - self.heap.len()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    #[test]
+    fn pops_in_time_order() {
+        let mut q = EventQueue::new();
+        for &ms in &[50u64, 10, 30, 20, 40] {
+            q.schedule(SimTime::from_millis(ms), ms);
+        }
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![10, 20, 30, 40, 50]);
+    }
+
+    #[test]
+    fn equal_timestamps_pop_fifo() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..100 {
+            q.schedule(t, i);
+        }
+        for i in 0..100 {
+            assert_eq!(q.pop(), Some((t, i)));
+        }
+    }
+
+    #[test]
+    fn peek_does_not_consume() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::from_millis(7), ());
+        assert_eq!(q.peek_time(), Some(SimTime::from_millis(7)));
+        assert_eq!(q.len(), 1);
+        assert!(q.pop().is_some());
+        assert_eq!(q.peek_time(), None);
+    }
+
+    #[test]
+    fn cancel_where_removes_matching_and_preserves_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::ZERO;
+        for i in 0..10 {
+            q.schedule(t + SimDuration::from_millis(i), i);
+        }
+        let removed = q.cancel_where(|e| e % 2 == 0);
+        assert_eq!(removed, 5);
+        let mut out = Vec::new();
+        while let Some((_, e)) = q.pop() {
+            out.push(e);
+        }
+        assert_eq!(out, vec![1, 3, 5, 7, 9]);
+    }
+
+    #[test]
+    fn cancel_preserves_fifo_for_equal_times() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(5);
+        for i in 0..6 {
+            q.schedule(t, i);
+        }
+        q.cancel_where(|e| *e == 3);
+        let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(order, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn clear_empties_queue() {
+        let mut q = EventQueue::new();
+        q.schedule(SimTime::ZERO, 1);
+        q.schedule(SimTime::ZERO, 2);
+        q.clear();
+        assert!(q.is_empty());
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn sequence_numbers_are_unique_and_increasing() {
+        let mut q = EventQueue::new();
+        let a = q.schedule(SimTime::ZERO, ());
+        let b = q.schedule(SimTime::ZERO, ());
+        assert!(b > a);
+    }
+}

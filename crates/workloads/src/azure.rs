@@ -1,0 +1,222 @@
+//! Azure-style mixed-popularity workload (the §2.3 characterization).
+//!
+//! The paper motivates its keep-alive analysis with the Azure functions
+//! trace (Shahrad et al.): "~45% of all functions being invoked once or
+//! less per hour — a significant proportion of the workload being invoked
+//! infrequently", so "the request inter-arrival time … is expected to be
+//! larger than a platform's keep-alive time". This module synthesizes a
+//! fleet of workflows whose invocation rates follow that skew: a heavy
+//! tail of rare workflows plus a small popular head.
+
+use serde::{Deserialize, Serialize};
+use xanadu_simcore::{RngStream, SimDuration, SimTime};
+
+/// Configuration of the synthetic trace.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AzureTraceConfig {
+    /// Number of distinct workflows in the fleet.
+    pub workflows: usize,
+    /// Fraction of workflows that are *rare*: mean rate ≤ 1 invocation per
+    /// hour (the paper quotes ≈45 %).
+    pub rare_fraction: f64,
+    /// Mean rate of rare workflows, in invocations/hour (≤ 1).
+    pub rare_rate_per_hour: f64,
+    /// Mean rate of popular workflows, in invocations/hour.
+    pub popular_rate_per_hour: f64,
+    /// Trace duration.
+    pub duration: SimDuration,
+}
+
+impl Default for AzureTraceConfig {
+    /// The paper's characterization: 45 % rare (≈0.7/h) against a popular
+    /// head (≈30/h), over 16 hours (the Figure 6 horizon).
+    fn default() -> Self {
+        AzureTraceConfig {
+            workflows: 20,
+            rare_fraction: 0.45,
+            rare_rate_per_hour: 0.7,
+            popular_rate_per_hour: 30.0,
+            duration: SimDuration::from_mins(16 * 60),
+        }
+    }
+}
+
+/// One workflow's arrival schedule within the trace.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkflowTrace {
+    /// Stable identifier (`wf0`, `wf1`, …).
+    pub name: String,
+    /// Whether this workflow is in the rare (≤ 1/h) class.
+    pub rare: bool,
+    /// Absolute trigger times, ascending.
+    pub arrivals: Vec<SimTime>,
+}
+
+impl WorkflowTrace {
+    /// The workflow's realized invocation rate, per hour.
+    pub fn rate_per_hour(&self, duration: SimDuration) -> f64 {
+        self.arrivals.len() as f64 / (duration.as_secs_f64() / 3600.0)
+    }
+}
+
+/// Generates the synthetic trace, deterministic in `seed`.
+///
+/// Each workflow's arrivals are a Poisson process at its class rate;
+/// classes are assigned so that `rare_fraction` of the fleet is rare.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_workloads::azure::{generate_trace, AzureTraceConfig};
+///
+/// let trace = generate_trace(&AzureTraceConfig::default(), 7);
+/// assert_eq!(trace.len(), 20);
+/// let rare = trace.iter().filter(|t| t.rare).count();
+/// assert_eq!(rare, 9, "45% of 20 workflows");
+/// ```
+pub fn generate_trace(config: &AzureTraceConfig, seed: u64) -> Vec<WorkflowTrace> {
+    let rng = RngStream::derive(seed, "azure-trace");
+    let rare_count = (config.workflows as f64 * config.rare_fraction).round() as usize;
+    (0..config.workflows)
+        .map(|i| {
+            let rare = i < rare_count;
+            let rate = if rare {
+                config.rare_rate_per_hour
+            } else {
+                config.popular_rate_per_hour
+            };
+            let mut wf_rng = rng.child(i as u64);
+            let mut arrivals = Vec::new();
+            if rate > 0.0 {
+                let mean_gap_ms = 3_600_000.0 / rate;
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += SimDuration::from_millis_f64(wf_rng.exponential(mean_gap_ms));
+                    if t >= SimTime::ZERO + config.duration {
+                        break;
+                    }
+                    arrivals.push(t);
+                }
+            }
+            WorkflowTrace {
+                name: format!("wf{i}"),
+                rare,
+                arrivals,
+            }
+        })
+        .collect()
+}
+
+/// The fraction of inter-arrival gaps (across the rare class) exceeding
+/// `keep_alive` — an upper-bound predictor of the cold-start rate a
+/// chain-agnostic platform will suffer on this trace (§2.3's argument).
+pub fn rare_gap_exceedance(traces: &[WorkflowTrace], keep_alive: SimDuration) -> f64 {
+    let mut total = 0usize;
+    let mut exceeding = 0usize;
+    for t in traces.iter().filter(|t| t.rare) {
+        for w in t.arrivals.windows(2) {
+            total += 1;
+            if w[1] - w[0] > keep_alive {
+                exceeding += 1;
+            }
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        exceeding as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = AzureTraceConfig::default();
+        assert_eq!(generate_trace(&cfg, 1), generate_trace(&cfg, 1));
+        assert_ne!(generate_trace(&cfg, 1), generate_trace(&cfg, 2));
+    }
+
+    #[test]
+    fn class_split_matches_fraction() {
+        let cfg = AzureTraceConfig {
+            workflows: 100,
+            ..Default::default()
+        };
+        let trace = generate_trace(&cfg, 3);
+        let rare = trace.iter().filter(|t| t.rare).count();
+        assert_eq!(rare, 45);
+    }
+
+    #[test]
+    fn realized_rates_match_classes() {
+        let cfg = AzureTraceConfig {
+            workflows: 40,
+            duration: SimDuration::from_mins(100 * 60), // long horizon
+            ..Default::default()
+        };
+        let trace = generate_trace(&cfg, 5);
+        let mean_rate = |rare: bool| {
+            let class: Vec<&WorkflowTrace> = trace.iter().filter(|t| t.rare == rare).collect();
+            class
+                .iter()
+                .map(|t| t.rate_per_hour(cfg.duration))
+                .sum::<f64>()
+                / class.len() as f64
+        };
+        let rare_rate = mean_rate(true);
+        let popular_rate = mean_rate(false);
+        assert!(
+            (rare_rate - 0.7).abs() < 0.25,
+            "rare ≈0.7/h, got {rare_rate}"
+        );
+        assert!(
+            (popular_rate - 30.0).abs() < 3.0,
+            "popular ≈30/h, got {popular_rate}"
+        );
+    }
+
+    #[test]
+    fn arrivals_sorted_and_within_duration() {
+        let cfg = AzureTraceConfig::default();
+        for t in generate_trace(&cfg, 9) {
+            for w in t.arrivals.windows(2) {
+                assert!(w[0] < w[1]);
+            }
+            if let Some(&last) = t.arrivals.last() {
+                assert!(last < SimTime::ZERO + cfg.duration);
+            }
+        }
+    }
+
+    #[test]
+    fn rare_gaps_mostly_exceed_ten_minute_keepalive() {
+        // The paper's point: rare functions' inter-arrival times exceed
+        // typical keep-alives, so they frequently suffer cold starts.
+        let cfg = AzureTraceConfig {
+            workflows: 60,
+            duration: SimDuration::from_mins(200 * 60),
+            ..Default::default()
+        };
+        let trace = generate_trace(&cfg, 11);
+        let exceedance = rare_gap_exceedance(&trace, SimDuration::from_mins(10));
+        // P(Exp(mean 86min) > 10min) = e^(-10/86) ≈ 0.89.
+        assert!(exceedance > 0.8, "got {exceedance}");
+        // With a multi-hour keep-alive the picture flips.
+        let generous = rare_gap_exceedance(&trace, SimDuration::from_mins(6 * 60));
+        assert!(generous < exceedance);
+    }
+
+    #[test]
+    fn empty_rare_class_handled() {
+        let cfg = AzureTraceConfig {
+            workflows: 4,
+            rare_fraction: 0.0,
+            ..Default::default()
+        };
+        let trace = generate_trace(&cfg, 1);
+        assert_eq!(rare_gap_exceedance(&trace, SimDuration::from_mins(10)), 0.0);
+    }
+}

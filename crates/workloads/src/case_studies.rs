@@ -1,0 +1,150 @@
+//! The real-world case-study pipelines of §5.6.
+//!
+//! Two end-to-end applications, with the per-stage runtimes the paper
+//! reports:
+//!
+//! * **E-commerce checkout** (§5.6.1) — an *implicit* chain with widely
+//!   varying stage runtimes: Order (~2000 ms) → Discount (~100 ms) →
+//!   Payment (~2500 ms) → Invoice (~300 ms) → Shipping (~500 ms).
+//! * **Image processing pipeline** (§5.6.2) — an *explicit* chain of
+//!   short, homogeneous stages (JIMP in the paper): Scale (~400 ms) →
+//!   Contrast (~350 ms) → Rotate (~600 ms) → Blur (~500 ms) → Grayscale
+//!   (~300 ms).
+
+use xanadu_chain::{ChainError, FunctionSpec, WorkflowBuilder, WorkflowDag};
+use xanadu_simcore::Distribution;
+
+/// Stage runtimes (ms) of the e-commerce checkout chain, in order.
+pub const ECOMMERCE_STAGES: [(&str, f64); 5] = [
+    ("order", 2000.0),
+    ("discount", 100.0),
+    ("payment", 2500.0),
+    ("invoice", 300.0),
+    ("shipping", 500.0),
+];
+
+/// Stage runtimes (ms) of the image processing pipeline, in order.
+pub const IMAGE_PIPELINE_STAGES: [(&str, f64); 5] = [
+    ("scale", 400.0),
+    ("contrast", 350.0),
+    ("rotate", 600.0),
+    ("blur", 500.0),
+    ("grayscale", 300.0),
+];
+
+fn stage_chain(
+    name: &str,
+    stages: &[(&str, f64)],
+    jitter_fraction: f64,
+) -> Result<WorkflowDag, ChainError> {
+    let mut b = WorkflowBuilder::new(name);
+    let mut prev = None;
+    for (stage, ms) in stages {
+        let service = if jitter_fraction > 0.0 {
+            Distribution::log_normal(*ms, ms * jitter_fraction)
+                .map_err(|e| ChainError::InvalidSpec(e.to_string()))?
+        } else {
+            Distribution::Constant { value_ms: *ms }
+        };
+        let id = b.add(FunctionSpec::new(*stage).service(service))?;
+        if let Some(p) = prev {
+            b.link(p, id)?;
+        }
+        prev = Some(id);
+    }
+    b.build()
+}
+
+/// Builds the e-commerce checkout chain (§5.6.1).
+///
+/// `jitter_fraction` adds log-normal noise to each stage (0.0 for the
+/// paper's nominal runtimes; ~0.1 for realistic variance).
+///
+/// # Errors
+///
+/// Never fails for valid `jitter_fraction` (≥ 0); propagates construction
+/// errors otherwise.
+///
+/// # Example
+///
+/// ```
+/// let dag = xanadu_workloads::case_studies::ecommerce(0.0)?;
+/// assert_eq!(dag.depth(), 5);
+/// assert_eq!(dag.total_service_ms(), 5400.0);
+/// # Ok::<(), xanadu_chain::ChainError>(())
+/// ```
+pub fn ecommerce(jitter_fraction: f64) -> Result<WorkflowDag, ChainError> {
+    stage_chain("ecommerce", &ECOMMERCE_STAGES, jitter_fraction)
+}
+
+/// Builds the image processing pipeline (§5.6.2).
+///
+/// # Errors
+///
+/// Never fails for valid `jitter_fraction` (≥ 0); propagates construction
+/// errors otherwise.
+///
+/// # Example
+///
+/// ```
+/// let dag = xanadu_workloads::case_studies::image_pipeline(0.0)?;
+/// assert_eq!(dag.depth(), 5);
+/// assert_eq!(dag.total_service_ms(), 2150.0);
+/// # Ok::<(), xanadu_chain::ChainError>(())
+/// ```
+pub fn image_pipeline(jitter_fraction: f64) -> Result<WorkflowDag, ChainError> {
+    stage_chain("image-pipeline", &IMAGE_PIPELINE_STAGES, jitter_fraction)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ecommerce_matches_paper_runtimes() {
+        let dag = ecommerce(0.0).unwrap();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.depth(), 5);
+        let payment = dag.node_by_name("payment").unwrap();
+        assert_eq!(dag.node(payment).spec().mean_service_ms(), 2500.0);
+        assert_eq!(dag.total_service_ms(), 5400.0);
+        // Heterogeneous runtimes: max/min ratio is large (the paper uses
+        // this chain to demonstrate runtime variability handling).
+        let times: Vec<f64> = ECOMMERCE_STAGES.iter().map(|s| s.1).collect();
+        let ratio = times.iter().cloned().fold(0.0, f64::max)
+            / times.iter().cloned().fold(f64::INFINITY, f64::min);
+        assert!(ratio >= 25.0);
+    }
+
+    #[test]
+    fn image_pipeline_matches_paper_runtimes() {
+        let dag = image_pipeline(0.0).unwrap();
+        assert_eq!(dag.len(), 5);
+        assert_eq!(dag.total_service_ms(), 2150.0);
+        // Homogeneous, short stages.
+        for (_, ms) in IMAGE_PIPELINE_STAGES {
+            assert!((300.0..=600.0).contains(&ms));
+        }
+    }
+
+    #[test]
+    fn jitter_produces_distributional_service() {
+        let dag = ecommerce(0.1).unwrap();
+        let order = dag.node_by_name("order").unwrap();
+        assert!(matches!(
+            dag.node(order).spec().service_dist(),
+            Distribution::LogNormal { .. }
+        ));
+        // Mean preserved.
+        assert_eq!(dag.node(order).spec().mean_service_ms(), 2000.0);
+    }
+
+    #[test]
+    fn chains_are_linear() {
+        for dag in [ecommerce(0.0).unwrap(), image_pipeline(0.0).unwrap()] {
+            assert_eq!(dag.roots().len(), 1);
+            assert_eq!(dag.sinks().len(), 1);
+            assert_eq!(dag.conditional_points(), 0);
+        }
+    }
+}

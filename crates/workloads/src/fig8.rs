@@ -1,0 +1,106 @@
+//! The conditional-branching DAG of Figure 8.
+//!
+//! The paper evaluates MLP inference on "a function chain structured as a
+//! conditional branching DAG" where solid arrows carry "a 70% probability
+//! of being triggered. All other siblings at each level are equally
+//! likely" (Figure 8). The figure shows four XOR levels below the root
+//! (B, C, D, E rows); the solid path runs root → B2 → C2 → D2 → E1, so a
+//! converged MLP has five functions (the text's Round-5 milestone reports
+//! "80% of the MLP functions … correctly detected", i.e. 4 of 5).
+
+use xanadu_chain::{ChainError, FunctionSpec, NodeId, WorkflowBuilder, WorkflowDag};
+
+/// Builds the Figure 8 XOR-cast DAG.
+///
+/// Level sizes follow the figure: 1 root (A), 3 B-nodes, 3 C-nodes under
+/// the solid B, 3 D-nodes under the solid C, and 2 E-nodes under the solid
+/// D. At each level the solid child has probability 0.7 and its siblings
+/// split the remaining 0.3 equally. Off-path nodes are leaves (the chain
+/// ends when the workflow deviates).
+///
+/// Every function runs `service_ms` (the paper uses short no-op bodies).
+///
+/// # Example
+///
+/// ```
+/// let dag = xanadu_workloads::fig8_dag(500.0)?;
+/// assert_eq!(dag.conditional_points(), 4);
+/// assert_eq!(dag.depth(), 5);
+/// # Ok::<(), xanadu_chain::ChainError>(())
+/// ```
+pub fn fig8_dag(service_ms: f64) -> Result<WorkflowDag, ChainError> {
+    let mut b = WorkflowBuilder::new("fig8");
+    let spec = |name: &str| FunctionSpec::new(name).service_ms(service_ms);
+
+    let a = b.add(spec("A"))?;
+
+    // Each level: (solid child, [siblings]) hanging off the previous solid
+    // node, per the figure's solid path A → B2 → C2 → D2 → E1.
+    let mut parent = a;
+    let levels: [(&str, &[&str]); 4] = [
+        ("B2", &["B1", "B3"]),
+        ("C2", &["C1", "C3"]),
+        ("D2", &["D1", "D3"]),
+        ("E1", &["E2"]),
+    ];
+    for (solid, siblings) in levels {
+        let solid_id = b.add(spec(solid))?;
+        let mut branches: Vec<(NodeId, f64)> = vec![(solid_id, 0.7)];
+        let share = 0.3 / siblings.len() as f64;
+        for sib in siblings {
+            let sid = b.add(spec(sib))?;
+            branches.push((sid, share));
+        }
+        b.link_xor(parent, &branches)?;
+        parent = solid_id;
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn structure_matches_figure() {
+        let dag = fig8_dag(500.0).unwrap();
+        assert_eq!(dag.len(), 1 + 3 + 3 + 3 + 2);
+        assert_eq!(dag.depth(), 5);
+        assert_eq!(dag.conditional_points(), 4);
+        assert_eq!(dag.roots().len(), 1);
+    }
+
+    #[test]
+    fn solid_path_probabilities() {
+        let dag = fig8_dag(500.0).unwrap();
+        let a = dag.node_by_name("A").unwrap();
+        let b2 = dag.node_by_name("B2").unwrap();
+        let b1 = dag.node_by_name("B1").unwrap();
+        assert!((dag.edge_probability(a, b2).unwrap() - 0.7).abs() < 1e-9);
+        assert!((dag.edge_probability(a, b1).unwrap() - 0.15).abs() < 1e-9);
+        let d2 = dag.node_by_name("D2").unwrap();
+        let e1 = dag.node_by_name("E1").unwrap();
+        let e2 = dag.node_by_name("E2").unwrap();
+        assert!((dag.edge_probability(d2, e1).unwrap() - 0.7).abs() < 1e-9);
+        assert!((dag.edge_probability(d2, e2).unwrap() - 0.3).abs() < 1e-9);
+    }
+
+    #[test]
+    fn mlp_is_the_solid_path() {
+        let dag = fig8_dag(500.0).unwrap();
+        let mlp = xanadu_core::mlp::infer_mlp(&dag, |_, _| None);
+        let names: Vec<&str> = mlp
+            .path
+            .iter()
+            .map(|&n| dag.node(n).spec().name())
+            .collect();
+        assert_eq!(names, vec!["A", "B2", "C2", "D2", "E1"]);
+    }
+
+    #[test]
+    fn off_path_nodes_are_leaves() {
+        let dag = fig8_dag(500.0).unwrap();
+        let b1 = dag.node_by_name("B1").unwrap();
+        assert!(dag.children(b1).is_empty());
+    }
+}

@@ -1,0 +1,31 @@
+//! # xanadu-workloads
+//!
+//! Workload generators for the Xanadu evaluation: the exact workflow
+//! shapes and request arrival processes used by the paper's experiments.
+//!
+//! * [`fig8_dag`] — the XOR-cast DAG of Figure 8 (70 % solid edges,
+//!   equiprobable siblings) used to demonstrate MLP convergence (§3.1,
+//!   Figure 9).
+//! * [`random_binary_tree`] — the "100 randomly generated binary trees with 1 to
+//!   10 nodes each with random biases at conditional points" of §5.3/§5.4.
+//! * [`case_studies`] — the e-commerce checkout (implicit) and JIMP image
+//!   processing (explicit) pipelines of §5.6.
+//! * [`arrivals`] — arrival processes: the decreasing arithmetic
+//!   progression of Figure 5, the U(0, 60) min lightly-loaded trace of
+//!   Figure 6, Poisson and closed-loop generators.
+//! * [`azure`] — the §2.3 Azure-trace characterization as a synthetic
+//!   mixed-popularity fleet (≈45 % of workflows invoked ≤ once/hour).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod azure;
+pub mod case_studies;
+mod fan;
+mod fig8;
+mod random_tree;
+
+pub use fan::{fan_out_fan_in, layered_fan};
+pub use fig8::fig8_dag;
+pub use random_tree::{random_binary_tree, RandomTreeConfig};

@@ -1,0 +1,195 @@
+//! Random biased binary trees (§5.3 / §5.4).
+//!
+//! The paper evaluates MLP convergence and conditional-chain behaviour on
+//! "100 randomly generated binary trees with 1 to 10 nodes each with
+//! random biases at conditional points". This module generates those
+//! trees deterministically from a seed: a random tree shape is grown node
+//! by node; any internal node with two children becomes an XOR conditional
+//! point with a randomly drawn bias.
+
+use serde::{Deserialize, Serialize};
+use xanadu_chain::{ChainError, FunctionSpec, NodeId, WorkflowBuilder, WorkflowDag};
+use xanadu_simcore::RngStream;
+
+/// Configuration of the random-tree generator.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RandomTreeConfig {
+    /// Number of function nodes (≥ 1).
+    pub nodes: usize,
+    /// Service time of every function, in ms.
+    pub service_ms: f64,
+    /// Bias range for conditional points: the favoured branch's
+    /// probability is drawn uniformly from `[bias_lo, bias_hi]`.
+    pub bias_lo: f64,
+    /// Upper end of the bias range.
+    pub bias_hi: f64,
+}
+
+impl Default for RandomTreeConfig {
+    /// The paper's setup: trees of short functions with biases anywhere in
+    /// `(0.5, 1.0)` — "a sharp bias expresses itself strongly … compared
+    /// to weaker biases" (§5.3).
+    fn default() -> Self {
+        RandomTreeConfig {
+            nodes: 10,
+            service_ms: 500.0,
+            bias_lo: 0.5,
+            bias_hi: 0.99,
+        }
+    }
+}
+
+/// Generates one random biased binary tree.
+///
+/// The shape is drawn by attaching each new node to a uniformly random
+/// existing node that still has fewer than two children. Internal nodes
+/// with two children become XOR conditional points whose favoured side is
+/// chosen at random with a bias drawn from the configured range; single-
+/// child nodes are plain 1:1 links.
+///
+/// Deterministic in `(config, seed)`.
+///
+/// # Errors
+///
+/// Returns [`ChainError::EmptyWorkflow`] when `config.nodes == 0`.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_workloads::{random_binary_tree, RandomTreeConfig};
+///
+/// let dag = random_binary_tree(&RandomTreeConfig::default(), 7)?;
+/// assert_eq!(dag.len(), 10);
+/// assert!(dag.conditional_points() <= 4, "binary tree of 10 nodes");
+/// # Ok::<(), xanadu_chain::ChainError>(())
+/// ```
+pub fn random_binary_tree(config: &RandomTreeConfig, seed: u64) -> Result<WorkflowDag, ChainError> {
+    if config.nodes == 0 {
+        return Err(ChainError::EmptyWorkflow);
+    }
+    let mut rng = RngStream::derive(seed, "random-tree");
+    let mut b = WorkflowBuilder::new(format!("tree-{seed}"));
+    let root = b.add(FunctionSpec::new("n0").service_ms(config.service_ms))?;
+
+    // children[i] lists the node's children; parents chosen among nodes
+    // with < 2 children.
+    let mut children: Vec<Vec<NodeId>> = vec![Vec::new()];
+    let mut ids = vec![root];
+    for i in 1..config.nodes {
+        let open: Vec<usize> = (0..ids.len()).filter(|&j| children[j].len() < 2).collect();
+        let pick = open[rng.uniform_inclusive(0, open.len() as u64 - 1) as usize];
+        let id = b.add(FunctionSpec::new(format!("n{i}")).service_ms(config.service_ms))?;
+        children[pick].push(id);
+        children.push(Vec::new());
+        ids.push(id);
+    }
+
+    // Wire edges: two-child nodes become biased XOR points.
+    for (j, kids) in children.iter().enumerate() {
+        match kids.as_slice() {
+            [] => {}
+            [only] => b.link(ids[j], *only)?,
+            [first, second] => {
+                let bias = config.bias_lo + rng.next_f64() * (config.bias_hi - config.bias_lo);
+                let (hot, cold) = if rng.bernoulli(0.5) {
+                    (*first, *second)
+                } else {
+                    (*second, *first)
+                };
+                b.link_xor(ids[j], &[(hot, bias), (cold, 1.0 - bias)])?;
+            }
+            _ => unreachable!("binary tree"),
+        }
+    }
+    b.build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_in_seed() {
+        let cfg = RandomTreeConfig::default();
+        assert_eq!(
+            random_binary_tree(&cfg, 3).unwrap(),
+            random_binary_tree(&cfg, 3).unwrap()
+        );
+        assert_ne!(
+            random_binary_tree(&cfg, 3).unwrap(),
+            random_binary_tree(&cfg, 4).unwrap()
+        );
+    }
+
+    #[test]
+    fn respects_node_count_and_tree_shape() {
+        for seed in 0..50 {
+            for n in 1..=10 {
+                let cfg = RandomTreeConfig {
+                    nodes: n,
+                    ..Default::default()
+                };
+                let dag = random_binary_tree(&cfg, seed).unwrap();
+                assert_eq!(dag.len(), n);
+                assert_eq!(dag.roots().len(), 1, "trees have one root");
+                // Every non-root has exactly one parent.
+                for id in dag.node_ids() {
+                    assert!(dag.parents(id).len() <= 1);
+                    assert!(dag.children(id).len() <= 2, "binary");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn conditional_points_are_biased_xors() {
+        let cfg = RandomTreeConfig {
+            nodes: 10,
+            service_ms: 100.0,
+            bias_lo: 0.6,
+            bias_hi: 0.9,
+        };
+        let mut saw_conditional = false;
+        for seed in 0..20 {
+            let dag = random_binary_tree(&cfg, seed).unwrap();
+            for id in dag.node_ids() {
+                if dag.children(id).len() == 2 {
+                    saw_conditional = true;
+                    let probs: Vec<f64> = dag
+                        .children(id)
+                        .iter()
+                        .map(|e| dag.edge_probability(id, e.to).unwrap())
+                        .collect();
+                    let hot = probs.iter().cloned().fold(0.0, f64::max);
+                    assert!((0.6..=0.9).contains(&hot), "bias {hot}");
+                    assert!((probs.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+                }
+            }
+        }
+        assert!(saw_conditional);
+    }
+
+    #[test]
+    fn zero_nodes_rejected() {
+        let cfg = RandomTreeConfig {
+            nodes: 0,
+            ..Default::default()
+        };
+        assert!(random_binary_tree(&cfg, 1).is_err());
+    }
+
+    #[test]
+    fn variety_of_conditional_counts_across_seeds() {
+        // The §5.3 evaluation bins trees by conditional-branch count 0–3+;
+        // the generator must produce that spread.
+        let cfg = RandomTreeConfig::default();
+        let mut counts = std::collections::HashSet::new();
+        for seed in 0..100 {
+            counts.insert(random_binary_tree(&cfg, seed).unwrap().conditional_points());
+        }
+        assert!(
+            counts.len() >= 3,
+            "spread of conditional counts: {counts:?}"
+        );
+    }
+}

@@ -1,0 +1,27 @@
+//! Thin shell around [`xanadu::cli`]: reads SDL files from disk and prints
+//! the rendered report. See `xanadu help` for usage.
+
+use std::process::ExitCode;
+use xanadu::cli::{execute, parse_args, USAGE};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let command = match parse_args(&args) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {e}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let read_file = |path: &str| std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"));
+    match execute(&command, read_file) {
+        Ok(report) => {
+            println!("{report}");
+            ExitCode::SUCCESS
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}

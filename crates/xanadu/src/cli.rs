@@ -1,0 +1,505 @@
+//! The `xanadu` command-line front end.
+//!
+//! Lets a user run a workflow — written in the JSON state-definition
+//! language (paper Listing 1) — against any platform model without
+//! writing Rust:
+//!
+//! ```text
+//! xanadu run --sdl pipeline.json --mode jit --triggers 5 --gap-min 20
+//! xanadu inspect --sdl pipeline.json
+//! ```
+//!
+//! Argument parsing is hand-rolled (no extra dependencies); the logic
+//! lives here so it is unit-testable, with `src/bin/xanadu_cli.rs` as a
+//! thin shell.
+
+use std::fmt;
+use xanadu_baselines::BaselineKind;
+use xanadu_chain::sdl;
+use xanadu_core::mlp::infer_mlp;
+use xanadu_core::speculation::ExecutionMode;
+use xanadu_platform::{Platform, PlatformConfig};
+use xanadu_simcore::{SimDuration, SimTime};
+
+/// A parsed CLI invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Command {
+    /// Run a workflow and report per-request outcomes.
+    Run(RunArgs),
+    /// Print a workflow's structure and predicted most-likely path.
+    Inspect {
+        /// Path to the SDL document.
+        sdl_path: String,
+        /// Emit Graphviz DOT instead of the text summary.
+        dot: bool,
+    },
+    /// Print usage help.
+    Help,
+}
+
+/// Arguments of `xanadu run`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunArgs {
+    /// Path to the SDL document.
+    pub sdl_path: String,
+    /// Platform to run on.
+    pub platform: PlatformChoice,
+    /// Number of triggers.
+    pub triggers: u64,
+    /// Gap between triggers, minutes.
+    pub gap_min: u64,
+    /// RNG seed.
+    pub seed: u64,
+    /// Deploy as an implicit chain (the platform must learn the workflow).
+    pub implicit: bool,
+    /// Print the per-request execution timeline (Gantt) after the table.
+    pub trace: bool,
+}
+
+/// Which platform model to run on.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum PlatformChoice {
+    /// A Xanadu mode.
+    Xanadu(ExecutionMode),
+    /// An emulated baseline.
+    Baseline(BaselineKind),
+}
+
+impl PlatformChoice {
+    fn parse(s: &str) -> Result<Self, CliError> {
+        match s {
+            "cold" => Ok(PlatformChoice::Xanadu(ExecutionMode::Cold)),
+            "spec" | "speculative" => Ok(PlatformChoice::Xanadu(ExecutionMode::Speculative)),
+            "jit" => Ok(PlatformChoice::Xanadu(ExecutionMode::Jit)),
+            other => other
+                .parse::<BaselineKind>()
+                .map(PlatformChoice::Baseline)
+                .map_err(|_| CliError::BadValue {
+                    flag: "--mode".into(),
+                    value: other.into(),
+                    expected: "cold|spec|jit|knative|openwhisk|asf|adf".into(),
+                }),
+        }
+    }
+
+    fn build(self, seed: u64) -> Platform {
+        match self {
+            PlatformChoice::Xanadu(mode) => Platform::new(PlatformConfig::for_mode(mode, seed)),
+            PlatformChoice::Baseline(kind) => xanadu_baselines::baseline_platform(kind, seed),
+        }
+    }
+
+    fn label(self) -> String {
+        match self {
+            PlatformChoice::Xanadu(mode) => mode.label().to_string(),
+            PlatformChoice::Baseline(kind) => kind.label().to_string(),
+        }
+    }
+}
+
+/// CLI errors, rendered to stderr by the binary.
+#[derive(Debug, Clone, PartialEq)]
+pub enum CliError {
+    /// Unknown subcommand.
+    UnknownCommand(String),
+    /// A flag was given without a value.
+    MissingValue(String),
+    /// A flag value failed to parse.
+    BadValue {
+        /// The offending flag.
+        flag: String,
+        /// The value supplied.
+        value: String,
+        /// What would have been accepted.
+        expected: String,
+    },
+    /// A required flag is absent.
+    MissingFlag(String),
+    /// Reading or parsing the SDL document failed.
+    Workflow(String),
+}
+
+impl fmt::Display for CliError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CliError::UnknownCommand(c) => {
+                write!(f, "unknown command `{c}` (try `xanadu help`)")
+            }
+            CliError::MissingValue(flag) => write!(f, "flag {flag} needs a value"),
+            CliError::BadValue {
+                flag,
+                value,
+                expected,
+            } => write!(f, "bad value `{value}` for {flag}, expected {expected}"),
+            CliError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
+            CliError::Workflow(msg) => write!(f, "workflow error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for CliError {}
+
+/// Usage text printed by `xanadu help`.
+pub const USAGE: &str = "\
+xanadu — serverless function-chain platform (paper reproduction)
+
+USAGE:
+  xanadu run --sdl <file> [--mode cold|spec|jit|knative|openwhisk|asf|adf]
+             [--triggers N] [--gap-min M] [--seed S] [--implicit] [--trace]
+  xanadu inspect --sdl <file> [--dot]
+  xanadu help
+
+`run` deploys the workflow described by the JSON state-definition
+document and fires N triggers M minutes apart, printing per-request
+latency, overhead and cold/warm starts.
+`inspect` prints the parsed structure and the predicted most-likely path.";
+
+/// Parses raw arguments (without the program name).
+///
+/// # Errors
+///
+/// Returns a [`CliError`] describing the first problem found.
+pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
+    let Some(command) = args.first() else {
+        return Ok(Command::Help);
+    };
+    match command.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "inspect" => {
+            let sdl_path =
+                flag_value(args, "--sdl")?.ok_or_else(|| CliError::MissingFlag("--sdl".into()))?;
+            let dot = args.iter().any(|a| a == "--dot");
+            Ok(Command::Inspect { sdl_path, dot })
+        }
+        "run" => {
+            let sdl_path =
+                flag_value(args, "--sdl")?.ok_or_else(|| CliError::MissingFlag("--sdl".into()))?;
+            let platform = match flag_value(args, "--mode")? {
+                Some(v) => PlatformChoice::parse(&v)?,
+                None => PlatformChoice::Xanadu(ExecutionMode::Jit),
+            };
+            let triggers = parse_num(args, "--triggers", 1)?;
+            let gap_min = parse_num(args, "--gap-min", 20)?;
+            let seed = parse_num(args, "--seed", 42)?;
+            let implicit = args.iter().any(|a| a == "--implicit");
+            let trace = args.iter().any(|a| a == "--trace");
+            Ok(Command::Run(RunArgs {
+                sdl_path,
+                platform,
+                triggers,
+                gap_min,
+                seed,
+                implicit,
+                trace,
+            }))
+        }
+        other => Err(CliError::UnknownCommand(other.to_string())),
+    }
+}
+
+fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
+    match args.iter().position(|a| a == flag) {
+        None => Ok(None),
+        Some(i) => match args.get(i + 1) {
+            Some(v) if !v.starts_with("--") => Ok(Some(v.clone())),
+            _ => Err(CliError::MissingValue(flag.to_string())),
+        },
+    }
+}
+
+fn parse_num(args: &[String], flag: &str, default: u64) -> Result<u64, CliError> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            flag: flag.into(),
+            value: v,
+            expected: "a non-negative integer".into(),
+        }),
+    }
+}
+
+/// Executes a parsed command against an SDL document's *content* (the
+/// binary reads the file; tests pass strings). Returns the rendered
+/// report.
+///
+/// # Errors
+///
+/// Returns [`CliError::Workflow`] for SDL or platform failures.
+pub fn execute(
+    command: &Command,
+    sdl_source: impl Fn(&str) -> Result<String, String>,
+) -> Result<String, CliError> {
+    match command {
+        Command::Help => Ok(USAGE.to_string()),
+        Command::Inspect { sdl_path, dot } => {
+            let doc = sdl_source(sdl_path).map_err(CliError::Workflow)?;
+            let dag = sdl::parse(workflow_name(sdl_path), &doc)
+                .map_err(|e| CliError::Workflow(e.to_string()))?;
+            if *dot {
+                return Ok(xanadu_chain::to_dot(&dag));
+            }
+            let mut out = format!(
+                "workflow `{}`: {} functions, depth {}, {} conditional points\n",
+                dag.name(),
+                dag.len(),
+                dag.depth(),
+                dag.conditional_points()
+            );
+            out.push_str(&format!(
+                "expected execution (critical path): {:.2}s\n",
+                dag.critical_path_ms() / 1000.0
+            ));
+            let mlp = infer_mlp(&dag, |_, _| None);
+            let path: Vec<&str> = mlp
+                .path
+                .iter()
+                .map(|&n| dag.node(n).spec().name())
+                .collect();
+            out.push_str(&format!("most likely path: {}\n", path.join(" -> ")));
+            for id in dag.node_ids() {
+                let node = dag.node(id);
+                out.push_str(&format!(
+                    "  {} [{} MB, {}, {:.0}ms]\n",
+                    node.spec().name(),
+                    node.spec().memory(),
+                    node.spec().isolation_level(),
+                    node.spec().mean_service_ms()
+                ));
+            }
+            Ok(out)
+        }
+        Command::Run(run) => {
+            let doc = sdl_source(&run.sdl_path).map_err(CliError::Workflow)?;
+            let name = workflow_name(&run.sdl_path).to_string();
+            let dag = sdl::parse(&name, &doc).map_err(|e| CliError::Workflow(e.to_string()))?;
+            let mut platform = run.platform.build(run.seed);
+            let result = if run.implicit {
+                platform.deploy_implicit(dag)
+            } else {
+                platform.deploy(dag)
+            };
+            result.map_err(|e| CliError::Workflow(e.to_string()))?;
+            let mut t = SimTime::ZERO;
+            let mut request_ids = Vec::new();
+            for _ in 0..run.triggers {
+                let id = platform
+                    .trigger_at(&name, t)
+                    .map_err(|e| CliError::Workflow(e.to_string()))?;
+                request_ids.push(id);
+                platform.run_until_idle();
+                platform.roll_profile_window();
+                t += SimDuration::from_mins(run.gap_min);
+            }
+            let traces: Vec<(u64, String)> = if run.trace {
+                request_ids
+                    .iter()
+                    .filter_map(|&id| platform.trace(id).map(|tr| (id, tr.render_gantt(72))))
+                    .collect()
+            } else {
+                Vec::new()
+            };
+            let report = platform.finish();
+            let mut out = format!(
+                "platform {} — {} triggers of `{}` every {} min (seed {})\n",
+                run.platform.label(),
+                run.triggers,
+                name,
+                run.gap_min,
+                run.seed
+            );
+            out.push_str("req  end-to-end   overhead  cold  warm  misses\n");
+            for r in &report.results {
+                out.push_str(&format!(
+                    "{:>3}  {:>9.2}s  {:>8.2}s  {:>4}  {:>4}  {:>6}\n",
+                    r.request,
+                    r.end_to_end.as_secs_f64(),
+                    r.overhead.as_secs_f64(),
+                    r.cold_starts,
+                    r.warm_starts,
+                    r.misses
+                ));
+            }
+            out.push_str(&format!(
+                "mean overhead: {:.2}s   total resources: {:.1} core·s CPU, {:.1} MB·s memory\n",
+                report.mean_overhead_ms() / 1000.0,
+                report.total_resources().cpu_s,
+                report.total_resources().mem_mbs
+            ));
+            for (id, gantt) in traces {
+                out.push_str(&format!(
+                    "\ntimeline of request {id} (░ provisioning/idle, █ executing):\n"
+                ));
+                out.push_str(&gantt);
+            }
+            Ok(out)
+        }
+    }
+}
+
+fn workflow_name(path: &str) -> &str {
+    std::path::Path::new(path)
+        .file_stem()
+        .and_then(|s| s.to_str())
+        .unwrap_or("workflow")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    const DOC: &str = r#"{
+        "a": {"type": "function", "wait_for": [], "service_ms": 200},
+        "b": {"type": "function", "wait_for": ["a"], "service_ms": 300}
+    }"#;
+
+    fn source(_path: &str) -> Result<String, String> {
+        Ok(DOC.to_string())
+    }
+
+    #[test]
+    fn parse_help_and_empty() {
+        assert_eq!(parse_args(&args(&[])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(&args(&["--help"])).unwrap(), Command::Help);
+    }
+
+    #[test]
+    fn parse_run_with_defaults() {
+        let cmd = parse_args(&args(&["run", "--sdl", "wf.json"])).unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(run.sdl_path, "wf.json");
+        assert_eq!(run.platform, PlatformChoice::Xanadu(ExecutionMode::Jit));
+        assert_eq!(run.triggers, 1);
+        assert_eq!(run.gap_min, 20);
+        assert!(!run.implicit);
+    }
+
+    #[test]
+    fn parse_run_full_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "wf.json",
+            "--mode",
+            "openwhisk",
+            "--triggers",
+            "3",
+            "--gap-min",
+            "5",
+            "--seed",
+            "7",
+            "--implicit",
+        ]))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(
+            run.platform,
+            PlatformChoice::Baseline(BaselineKind::OpenWhisk)
+        );
+        assert_eq!((run.triggers, run.gap_min, run.seed), (3, 5, 7));
+        assert!(run.implicit);
+    }
+
+    #[test]
+    fn parse_errors() {
+        assert!(matches!(
+            parse_args(&args(&["launch"])),
+            Err(CliError::UnknownCommand(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run"])),
+            Err(CliError::MissingFlag(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl"])),
+            Err(CliError::MissingValue(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--mode", "lambda"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--triggers", "many"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn inspect_renders_structure_and_mlp() {
+        let cmd = parse_args(&args(&["inspect", "--sdl", "flow.json"])).unwrap();
+        let out = execute(&cmd, source).unwrap();
+        assert!(out.contains("workflow `flow`: 2 functions, depth 2"));
+        assert!(out.contains("most likely path: a -> b"));
+        assert!(out.contains("512 MB"));
+    }
+
+    #[test]
+    fn inspect_dot_emits_graphviz() {
+        let cmd = parse_args(&args(&["inspect", "--sdl", "flow.json", "--dot"])).unwrap();
+        let out = execute(&cmd, source).unwrap();
+        assert!(out.starts_with("digraph \"flow\""));
+        assert!(out.contains("\"a\" -> \"b\""));
+    }
+
+    #[test]
+    fn run_prints_per_request_rows() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "spec",
+            "--triggers",
+            "2",
+        ]))
+        .unwrap();
+        let out = execute(&cmd, source).unwrap();
+        assert!(out.contains("platform xanadu-spec — 2 triggers"), "{out}");
+        // Two request rows plus summary.
+        assert_eq!(
+            out.matches("\n  0 ").count() + out.matches("\n  1 ").count(),
+            2,
+            "{out}"
+        );
+        assert!(out.contains("mean overhead"));
+    }
+
+    #[test]
+    fn run_with_trace_prints_gantt() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "jit",
+            "--trace",
+        ]))
+        .unwrap();
+        let out = execute(&cmd, source).unwrap();
+        assert!(out.contains("timeline of request 0"), "{out}");
+        assert!(out.contains('█'), "{out}");
+    }
+
+    #[test]
+    fn run_surfaces_workflow_errors() {
+        let cmd = parse_args(&args(&["run", "--sdl", "bad.json"])).unwrap();
+        let err = execute(&cmd, |_| Ok("not json".into())).unwrap_err();
+        assert!(matches!(err, CliError::Workflow(_)));
+        let err = execute(&cmd, |_| Err("no such file".into())).unwrap_err();
+        assert!(matches!(err, CliError::Workflow(_)));
+    }
+
+    #[test]
+    fn help_text_via_execute() {
+        let out = execute(&Command::Help, source).unwrap();
+        assert!(out.contains("USAGE"));
+    }
+}

@@ -1,0 +1,45 @@
+//! The paper's future work (§7) in action: speculation makes long worker
+//! keep-alives unnecessary. Run a chain under JIT provisioning, then read
+//! the adaptive keep-alive advisor's per-function recommendations and the
+//! memory they would save.
+//!
+//! Run with: `cargo run -p xanadu --example adaptive_keepalive`
+
+use xanadu::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let dag = linear_chain("chain", 5, &FunctionSpec::new("f").service_ms(800.0))?;
+    let mut platform = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 42));
+    platform.deploy(dag)?;
+
+    // A day of requests, 20 minutes apart (past the 10 min keep-alive, so
+    // conventional retention would idle-and-expire every worker).
+    let mut t = SimTime::ZERO;
+    for _ in 0..72 {
+        platform.trigger_at("chain", t)?;
+        platform.run_until_idle();
+        t += SimDuration::from_mins(20);
+    }
+
+    let advisor = platform.keepalive_advisor();
+    let baseline = SimDuration::from_mins(10);
+    println!(
+        "function  speculation-hit-rate  recommended-keepalive  memory saved/idle (512MB worker)"
+    );
+    let mut total_saving = 0.0;
+    for i in 0..5 {
+        let f = format!("f{i}");
+        let rate = advisor.speculation_hit_rate(&f);
+        let rec = advisor.recommend(&f);
+        let saving = advisor.estimated_saving_mbs(&f, 512, baseline);
+        total_saving += saving;
+        println!("{f:>8}  {rate:>19.2}  {rec:>20}  {saving:>10.0} MB·s");
+    }
+    println!(
+        "\nwith JIT speculation covering the chain, cutting keep-alive from 10min to the\n\
+         recommended values saves ≈{:.0} MB·s of idle memory per idle period across the chain —\n\
+         the §7 claim that speculation \"eliminates the need for workers with long keep-alive\".",
+        total_saving
+    );
+    Ok(())
+}

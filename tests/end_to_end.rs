@@ -1,0 +1,128 @@
+//! End-to-end integration: SDL deployment, lifecycle messaging, metadata
+//! persistence, and the full report pipeline across crate boundaries.
+
+use xanadu::prelude::*;
+
+const CONDITIONAL_SDL: &str = r#"{
+    "ingest": {"type": "function", "memory": 512, "runtime": "container",
+               "wait_for": [], "service_ms": 800, "conditional": "check"},
+    "check":  {"type": "conditional", "wait_for": ["ingest"],
+               "condition": {"op1": "ingest.score", "op2": 10, "op": "gte"},
+               "success": "fast_path", "fail": "slow_path",
+               "success_probability": 0.85},
+    "fast_path": {"type": "branch",
+        "approve": {"type": "function", "memory": 256, "runtime": "process",
+                    "wait_for": [], "service_ms": 200}},
+    "slow_path": {"type": "branch",
+        "review": {"type": "function", "memory": 1024, "runtime": "container",
+                   "wait_for": [], "service_ms": 3000},
+        "notify": {"type": "function", "memory": 256, "runtime": "isolate",
+                   "wait_for": ["review"], "service_ms": 100}}
+}"#;
+
+#[test]
+fn sdl_conditional_workflow_runs_end_to_end() {
+    let mut platform = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 9));
+    let completions = platform.subscribe("request.completed");
+    platform.deploy_sdl("approval", CONDITIONAL_SDL).unwrap();
+
+    let n = 12u64;
+    for i in 0..n {
+        platform
+            .trigger_at("approval", SimTime::from_mins(i * 20))
+            .unwrap();
+    }
+    platform.run_until_idle();
+
+    // Every request completed and was persisted + announced.
+    assert_eq!(platform.results().len(), n as usize);
+    assert_eq!(completions.drain().len(), n as usize);
+    for i in 0..n {
+        assert!(
+            platform.metastore().get(&format!("runs/{i}")).is_some(),
+            "run {i} persisted"
+        );
+    }
+
+    // The XOR decision took both paths across 12 requests with p=0.85.
+    let results = platform.results().to_vec();
+    let lengths: std::collections::HashSet<u32> =
+        results.iter().map(|r| r.executed_functions).collect();
+    assert!(
+        lengths.contains(&2),
+        "fast path (ingest+approve) taken at least once: {lengths:?}"
+    );
+
+    let report = platform.finish();
+    assert_eq!(report.results.len(), n as usize);
+    assert!(!report.worker_records.is_empty());
+    // Total accounting is self-consistent.
+    let (cold, warm) = report.start_counts();
+    let executed: u32 = report.results.iter().map(|r| r.executed_functions).sum();
+    assert_eq!(cold + warm, executed, "every execution was cold or warm");
+}
+
+#[test]
+fn figure10_operation_sequence_over_the_bus() {
+    // Figure 10 of the paper: trigger → planning/deployments → worker
+    // readiness → function dispatch → completion. Verify that ordering as
+    // it appears on the message bus for a JIT run.
+    let dag = linear_chain("seq", 3, &FunctionSpec::new("f").service_ms(500.0)).unwrap();
+    let mut platform = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 21));
+    let provisioned = platform.subscribe("worker.provisioned");
+    let ready = platform.subscribe("worker.ready");
+    let completed = platform.subscribe("request.completed");
+    platform.deploy(dag).unwrap();
+    platform.trigger_at("seq", SimTime::ZERO).unwrap();
+    platform.run_until_idle();
+
+    let provisioned = provisioned.drain();
+    let ready = ready.drain();
+    let completed = completed.drain();
+    assert_eq!(provisioned.len(), 3, "one deployment per chain hop");
+    assert_eq!(ready.len(), 3);
+    assert_eq!(completed.len(), 1);
+
+    // JIT staggers the deployments across the workflow's lifetime.
+    assert!(provisioned[0].at < provisioned[2].at);
+    // Each worker becomes ready after it was provisioned.
+    for (p, r) in provisioned.iter().zip(&ready) {
+        assert!(p.at < r.at, "provisioned {} before ready {}", p.at, r.at);
+    }
+    // Completion is the last event of the run.
+    assert!(completed[0].at >= ready.last().unwrap().at);
+    // None of the provisions were on-demand: speculation covered the chain.
+    for p in &provisioned {
+        assert_eq!(p.payload["on_demand"], false, "{p:?}");
+    }
+}
+
+#[test]
+fn report_serializes_to_json() {
+    let dag = linear_chain("j", 2, &FunctionSpec::new("f").service_ms(100.0)).unwrap();
+    let mut platform = Platform::new(PlatformConfig::for_mode(ExecutionMode::Cold, 4));
+    platform.deploy(dag).unwrap();
+    platform.trigger_at("j", SimTime::ZERO).unwrap();
+    platform.run_until_idle();
+    let report = platform.finish();
+    let json = serde_json::to_string(&report.results).unwrap();
+    let parsed: Vec<RunResult> = serde_json::from_str(&json).unwrap();
+    assert_eq!(parsed, report.results);
+}
+
+#[test]
+fn misses_are_bounded_by_executed_functions() {
+    let doc = CONDITIONAL_SDL;
+    let mut platform = Platform::new(PlatformConfig::for_mode(ExecutionMode::Speculative, 77));
+    platform.deploy_sdl("approval", doc).unwrap();
+    for i in 0..30u64 {
+        platform
+            .trigger_at("approval", SimTime::from_mins(i * 20))
+            .unwrap();
+    }
+    platform.run_until_idle();
+    for r in platform.results() {
+        assert!(r.misses <= r.executed_functions);
+        assert!(r.overhead <= r.end_to_end);
+    }
+}

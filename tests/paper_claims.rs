@@ -1,0 +1,91 @@
+//! Fast smoke checks of the paper's headline claims, independent of the
+//! full experiment harness (which re-verifies them in more depth).
+
+use xanadu::prelude::*;
+use xanadu_baselines::{baseline_platform, BaselineKind};
+
+fn run_cold(mode: ExecutionMode, depth: usize, seed: u64) -> RunResult {
+    let dag = linear_chain("c", depth, &FunctionSpec::new("f").service_ms(5000.0)).unwrap();
+    let mut p = Platform::new(PlatformConfig::for_mode(mode, seed));
+    p.deploy(dag).unwrap();
+    p.trigger_at("c", SimTime::ZERO).unwrap();
+    p.run_until_idle();
+    p.finish().results.remove(0)
+}
+
+#[test]
+fn headline_cascading_elimination() {
+    // "Xanadu reduces platform overheads by almost 18x compared to Knative
+    // and 10x compared to Apache Openwhisk" (abstract) — depth-10 chain.
+    let dag = linear_chain("c", 10, &FunctionSpec::new("f").service_ms(5000.0)).unwrap();
+    let mut knative = baseline_platform(BaselineKind::Knative, 7);
+    knative.deploy(dag.clone()).unwrap();
+    knative.trigger_at("c", SimTime::ZERO).unwrap();
+    knative.run_until_idle();
+    let knative_overhead = knative.finish().results[0].overhead.as_secs_f64();
+
+    let jit = run_cold(ExecutionMode::Jit, 10, 7);
+    let ratio = knative_overhead / jit.overhead.as_secs_f64();
+    assert!(
+        ratio > 10.0,
+        "expected an order-of-magnitude win over Knative, got {ratio:.1}x \
+         (knative {knative_overhead:.1}s vs jit {:.1}s)",
+        jit.overhead.as_secs_f64()
+    );
+}
+
+#[test]
+fn speculation_limits_cold_starts_to_one() {
+    // "limiting cascading cold starts to a single event" (§8).
+    for depth in [2usize, 5, 10] {
+        let r = run_cold(ExecutionMode::Speculative, depth, 3);
+        assert_eq!(r.cold_starts, 1, "depth {depth}: {r:?}");
+        assert_eq!(r.warm_starts, depth as u32 - 1);
+    }
+}
+
+#[test]
+fn overhead_constant_vs_linear() {
+    // Figure 12a's shape: Cold grows linearly, Speculative stays flat.
+    // Average a few seeds; single draws are noisy (lognormal cold starts).
+    let avg = |mode, depth| {
+        (0..4u64)
+            .map(|s| run_cold(mode, depth, 5 + s).overhead.as_secs_f64())
+            .sum::<f64>()
+            / 4.0
+    };
+    let cold2 = avg(ExecutionMode::Cold, 2);
+    let cold8 = avg(ExecutionMode::Cold, 8);
+    let spec2 = avg(ExecutionMode::Speculative, 2);
+    let spec8 = avg(ExecutionMode::Speculative, 8);
+    assert!(cold8 / cold2 > 3.0, "cold cascades: {cold2} -> {cold8}");
+    // "Near-constant": the residual growth (per-hop dispatch + the batch
+    // contention penalty) stays far below the 4x the function count grew.
+    assert!(spec8 / spec2 < 2.0, "speculative flat: {spec2} -> {spec8}");
+    assert!(
+        (cold8 / cold2) / (spec8 / spec2) > 1.8,
+        "cold grows much faster than speculative"
+    );
+}
+
+#[test]
+fn jit_saves_memory_without_latency_penalty() {
+    // §5.2: JIT matches Speculative latency at an order of magnitude lower
+    // memory cost.
+    let spec = run_cold(ExecutionMode::Speculative, 10, 11);
+    let jit = run_cold(ExecutionMode::Jit, 10, 11);
+    assert!(jit.overhead.as_millis_f64() <= spec.overhead.as_millis_f64() * 1.15);
+    assert!(jit.resources.mem_mbs < spec.resources.mem_mbs / 3.0);
+}
+
+#[test]
+fn cost_model_penalties_favour_jit() {
+    let cold = run_cold(ExecutionMode::Cold, 8, 13);
+    let jit = run_cold(ExecutionMode::Jit, 8, 13);
+    let cold_phi = cold.penalties();
+    let jit_phi = jit.penalties();
+    assert!(
+        jit_phi.phi_cpu_s2 < cold_phi.phi_cpu_s2,
+        "jit {jit_phi:?} vs cold {cold_phi:?}"
+    );
+}

@@ -1,0 +1,91 @@
+//! Cross-platform matrix: the same workload on every platform model, with
+//! the orderings the paper establishes.
+
+use xanadu::prelude::*;
+use xanadu_baselines::{baseline_platform, BaselineKind};
+
+fn overhead_of(mut platform: Platform, dag: &WorkflowDag) -> f64 {
+    platform.deploy(dag.clone()).unwrap();
+    platform.trigger_at(dag.name(), SimTime::ZERO).unwrap();
+    platform.run_until_idle();
+    platform.finish().results[0].overhead.as_millis_f64()
+}
+
+#[test]
+fn cold_trigger_ordering_across_all_platforms() {
+    let dag = linear_chain("m", 5, &FunctionSpec::new("f").service_ms(500.0)).unwrap();
+    let mut overheads = std::collections::HashMap::new();
+    for kind in BaselineKind::ALL {
+        overheads.insert(
+            kind.label().to_string(),
+            overhead_of(baseline_platform(kind, 13), &dag),
+        );
+    }
+    for mode in ExecutionMode::ALL {
+        overheads.insert(
+            mode.label().to_string(),
+            overhead_of(Platform::new(PlatformConfig::for_mode(mode, 13)), &dag),
+        );
+    }
+
+    // Paper ordering on a cold trigger of a container chain.
+    assert!(
+        overheads["knative"] > overheads["openwhisk"],
+        "{overheads:?}"
+    );
+    assert!(
+        overheads["openwhisk"] > overheads["xanadu-cold"],
+        "{overheads:?}"
+    );
+    assert!(
+        overheads["xanadu-cold"] > overheads["xanadu-spec"],
+        "{overheads:?}"
+    );
+    assert!(
+        overheads["xanadu-cold"] > overheads["xanadu-jit"],
+        "{overheads:?}"
+    );
+    // Cloud platforms have lighter sandboxes than the OSS Docker stacks.
+    assert!(overheads["asf"] < overheads["openwhisk"], "{overheads:?}");
+    assert!(overheads["adf"] < overheads["asf"], "{overheads:?}");
+    // Xanadu's speculative modes beat even the light cloud platforms'
+    // 5-deep cascades.
+    assert!(
+        overheads["xanadu-jit"] < overheads["knative"] / 5.0,
+        "{overheads:?}"
+    );
+}
+
+#[test]
+fn isolation_levels_compose_with_modes() {
+    for level in IsolationLevel::ALL {
+        let dag = linear_chain(
+            "m",
+            4,
+            &FunctionSpec::new("f").service_ms(1000.0).isolation(level),
+        )
+        .unwrap();
+        let cold = overhead_of(
+            Platform::new(PlatformConfig::for_mode(ExecutionMode::Cold, 5)),
+            &dag,
+        );
+        let spec = overhead_of(
+            Platform::new(PlatformConfig::for_mode(ExecutionMode::Speculative, 5)),
+            &dag,
+        );
+        assert!(
+            spec < cold / 2.0,
+            "{level}: speculation must at least halve the cascade (cold {cold}, spec {spec})"
+        );
+    }
+}
+
+#[test]
+fn deterministic_across_full_matrix() {
+    let dag = linear_chain("m", 3, &FunctionSpec::new("f").service_ms(500.0)).unwrap();
+    for kind in BaselineKind::ALL {
+        let a = overhead_of(baseline_platform(kind, 99), &dag);
+        let b = overhead_of(baseline_platform(kind, 99), &dag);
+        assert_eq!(a, b, "{kind} must be deterministic in its seed");
+    }
+}

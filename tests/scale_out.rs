@@ -1,0 +1,110 @@
+//! Scale-out integration: fan-out/fan-in workloads and multi-host
+//! clusters, exercising the m:n relationships of §2.1 together with the
+//! Dispatch-Daemon placement layer of Figure 11.
+
+use xanadu::prelude::*;
+use xanadu_platform::hosts::{HostSpec, PlacementPolicy};
+use xanadu_workloads::{fan_out_fan_in, layered_fan};
+
+fn run(mut platform: Platform, dag: WorkflowDag) -> RunResult {
+    let name = dag.name().to_string();
+    platform.deploy(dag).unwrap();
+    platform.trigger_at(&name, SimTime::ZERO).unwrap();
+    platform.run_until_idle();
+    platform.finish().results.remove(0)
+}
+
+#[test]
+fn wide_fan_speculation_avoids_cascades() {
+    let dag = fan_out_fan_in("fan", 12, 100.0, 2000.0).unwrap();
+    let cold = run(
+        Platform::new(PlatformConfig::for_mode(ExecutionMode::Cold, 3)),
+        dag.clone(),
+    );
+    let spec = run(
+        Platform::new(PlatformConfig::for_mode(ExecutionMode::Speculative, 3)),
+        dag,
+    );
+    assert_eq!(cold.executed_functions, 14);
+    assert_eq!(spec.executed_functions, 14);
+    // Cold: split's cold start, then 12 *parallel* cold starts (one wave,
+    // not a cascade — our provider contends but runs them concurrently),
+    // then join's. Speculation still wins by overlapping all of it.
+    assert!(
+        spec.overhead.as_millis_f64() < cold.overhead.as_millis_f64() * 0.7,
+        "spec {spec:?} vs cold {cold:?}"
+    );
+    // The fan's reference is split + slowest worker + join.
+    assert_eq!(spec.exec_reference.as_millis_f64(), 2200.0);
+}
+
+#[test]
+fn layered_fan_executes_all_stages() {
+    let dag = layered_fan("layers", 3, 4, 100.0, 800.0).unwrap();
+    let expected = dag.len() as u32;
+    let r = run(
+        Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 5)),
+        dag,
+    );
+    assert_eq!(r.executed_functions, expected);
+    assert_eq!(r.misses, 0, "deterministic m:n workflow never misses");
+    assert_eq!(r.exec_reference.as_millis_f64(), 4.0 * 100.0 + 3.0 * 800.0);
+}
+
+#[test]
+fn small_cluster_survives_wide_fan() {
+    // A 12-wide fan of 512 MB workers against a 4 GB, two-host cluster:
+    // placement pressure forces evictions, but the request completes and
+    // memory accounting stays within capacity.
+    let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, 7);
+    cfg.cluster.policy = PlacementPolicy::RoundRobin;
+    cfg.cluster.hosts = vec![
+        HostSpec {
+            name: "small-a".into(),
+            memory_mb: 2048,
+        },
+        HostSpec {
+            name: "small-b".into(),
+            memory_mb: 2048,
+        },
+    ];
+    let mut platform = Platform::new(cfg);
+    let dag = fan_out_fan_in("fan", 12, 100.0, 1500.0).unwrap();
+    platform.deploy(dag).unwrap();
+    platform.trigger_at("fan", SimTime::ZERO).unwrap();
+    platform.run_until_idle();
+    assert_eq!(platform.results()[0].executed_functions, 14);
+    assert!(platform.cluster().total_used_mb() <= 4096);
+}
+
+#[test]
+fn placement_policies_spread_or_pack() {
+    let hosts = vec![
+        HostSpec {
+            name: "a".into(),
+            memory_mb: 8192,
+        },
+        HostSpec {
+            name: "b".into(),
+            memory_mb: 8192,
+        },
+    ];
+    let spread_counts = |policy: PlacementPolicy| {
+        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, 11);
+        cfg.cluster.policy = policy;
+        cfg.cluster.hosts = hosts.clone();
+        let mut platform = Platform::new(cfg);
+        let dag = fan_out_fan_in("fan", 6, 100.0, 1000.0).unwrap();
+        platform.deploy(dag).unwrap();
+        platform.trigger_at("fan", SimTime::ZERO).unwrap();
+        platform.run_until_idle();
+        let cluster = platform.cluster();
+        (0..2)
+            .map(|i| cluster.worker_count(xanadu_platform::hosts::HostId(i)))
+            .collect::<Vec<_>>()
+    };
+    let least = spread_counts(PlacementPolicy::LeastLoaded);
+    assert!(least[0].abs_diff(least[1]) <= 1, "balanced: {least:?}");
+    let first = spread_counts(PlacementPolicy::FirstFit);
+    assert_eq!(first[1], 0, "first-fit packs host 0: {first:?}");
+}

@@ -1,0 +1,87 @@
+//! Microbenchmark: dispatch hot path against a large resident worker
+//! population — the scans replaced by the pool's per-function, per-state
+//! index in `WorkerPool`.
+//!
+//! Two angles:
+//!
+//! * `pool_dispatch_cycle_1k_resident` — raw pool operations
+//!   (`find_warm` + `begin_exec`/`end_exec`) for one function while 1 000
+//!   warm workers of 100 functions are resident. Before the index this
+//!   scanned every live worker per lookup.
+//! * `platform_jit_depth10_1k_resident` — a full 10-deep chain request
+//!   through a platform whose static pre-warm pool keeps 100 workers per
+//!   chain function (1 000 total) resident, measuring the end-to-end
+//!   dispatch path the index serves.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use xanadu_chain::{linear_chain, FunctionSpec, IsolationLevel};
+use xanadu_core::speculation::ExecutionMode;
+use xanadu_platform::{Platform, PlatformConfig};
+use xanadu_sandbox::{PoolConfig, Worker, WorkerPool};
+use xanadu_simcore::{SimDuration, SimTime};
+
+/// A pool holding `per_function` warm workers for each of `functions`
+/// distinct function names.
+fn resident_pool(functions: usize, per_function: usize) -> WorkerPool {
+    let mut pool = WorkerPool::new(PoolConfig {
+        keep_alive: SimDuration::from_secs(3600),
+        max_warm: None,
+    });
+    for f in 0..functions {
+        let name = format!("f{f}");
+        for _ in 0..per_function {
+            let id = pool.next_worker_id();
+            pool.insert(Worker::provisioning(
+                id,
+                &name,
+                IsolationLevel::Container,
+                256,
+                SimTime::ZERO,
+                SimTime::ZERO,
+            ));
+            pool.mark_ready(id);
+        }
+    }
+    pool
+}
+
+fn bench_pool_dispatch(c: &mut Criterion) {
+    let mut pool = resident_pool(100, 10);
+    let mut now = SimTime::from_secs(1);
+    c.bench_function("pool_dispatch_cycle_1k_resident", |b| {
+        b.iter(|| {
+            // One warm dispatch per chain function: lookup, claim, release.
+            let mut served = 0u64;
+            for f in 0..10 {
+                let name = format!("f{f}");
+                let id = pool.find_warm(&name, now).expect("warm worker resident");
+                let began = now;
+                pool.begin_exec(id, began);
+                now += SimDuration::from_millis(1);
+                pool.end_exec(id, began, now);
+                served += 1;
+            }
+            std::hint::black_box(served)
+        });
+    });
+}
+
+fn bench_platform_dispatch(c: &mut Criterion) {
+    let dag = linear_chain("bench", 10, &FunctionSpec::new("f").service_ms(1000.0)).expect("chain");
+    c.bench_function("platform_jit_depth10_1k_resident", |b| {
+        b.iter(|| {
+            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 1);
+            cfg.static_prewarm = 100; // 100 workers x 10 functions resident
+            cfg.pool.keep_alive = SimDuration::from_secs(3600);
+            let mut p = Platform::new(cfg);
+            p.deploy(dag.clone()).expect("deploy");
+            p.trigger_at("bench", SimTime::from_secs(600))
+                .expect("trigger");
+            p.run_until_idle();
+            std::hint::black_box(p.finish().results.len())
+        });
+    });
+}
+
+criterion_group!(benches, bench_pool_dispatch, bench_platform_dispatch);
+criterion_main!(benches);

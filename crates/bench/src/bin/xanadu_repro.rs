@@ -3,19 +3,91 @@
 //! Usage:
 //!
 //! ```text
-//! xanadu-repro all            # every experiment (markdown to stdout)
-//! xanadu-repro fig12 tab1    # a subset
-//! xanadu-repro --list        # known experiment ids
+//! xanadu-repro all                # every experiment (markdown to stdout)
+//! xanadu-repro fig12 tab1        # a subset
+//! xanadu-repro --jobs 8 all      # fan out across 8 threads
+//! xanadu-repro --list            # known experiment ids
 //! ```
+//!
+//! Experiments (and the per-trigger cold runs inside them) are seeded and
+//! independent, so `--jobs N` fans them out across threads while keeping
+//! the rendered tables byte-identical to a serial run. Timing goes to
+//! stderr and to `BENCH_harness.json`; stdout carries only the markdown.
 
 use std::process::ExitCode;
-use xanadu_bench::experiments::{run_by_id, ALL_IDS};
+use std::time::Instant;
+use xanadu_bench::experiments::{all_timed, run_by_id, ALL_IDS};
+use xanadu_bench::harness::set_jobs;
+use xanadu_bench::Experiment;
+
+fn usage() {
+    eprintln!("usage: xanadu-repro [--list] [--jobs N] <experiment-id>... | all");
+    eprintln!("known ids: {}", ALL_IDS.join(", "));
+}
+
+/// Parses `--jobs N` / `--jobs=N` out of the argument list, returning the
+/// remaining (non-flag) arguments. `None` on a malformed value.
+fn parse_args(args: &[String]) -> Option<(Option<usize>, Vec<String>)> {
+    let mut jobs = None;
+    let mut rest = Vec::new();
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        if arg == "--jobs" {
+            jobs = Some(it.next()?.parse().ok()?);
+        } else if let Some(v) = arg.strip_prefix("--jobs=") {
+            jobs = Some(v.parse().ok()?);
+        } else {
+            rest.push(arg.clone());
+        }
+    }
+    Some((jobs, rest))
+}
+
+fn write_bench_report(jobs: usize, timed: &[(Experiment, f64)], total_wall_ms: f64) {
+    let serial_estimate_ms: f64 = timed.iter().map(|(_, ms)| ms).sum();
+    let speedup = if total_wall_ms > 0.0 {
+        serial_estimate_ms / total_wall_ms
+    } else {
+        1.0
+    };
+    let mut report = serde_json::json!({
+        "jobs": jobs,
+        "experiments": timed
+            .iter()
+            .map(|(e, ms)| serde_json::json!({"id": e.id, "wall_ms": ms}))
+            .collect::<Vec<_>>(),
+        "serial_estimate_ms": serial_estimate_ms,
+        "total_wall_ms": total_wall_ms,
+        "speedup_vs_serial": speedup,
+    });
+    let path = "BENCH_harness.json";
+    // The `microbench` section is produced out-of-band (`cargo bench
+    // --bench worker_index`); carry it over so regenerating the
+    // experiment timings does not drop it.
+    if let Some(microbench) = std::fs::read_to_string(path)
+        .ok()
+        .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
+        .and_then(|v| v.get("microbench").cloned())
+    {
+        if let Some(obj) = report.as_object_mut() {
+            obj.insert("microbench".to_string(), microbench);
+        }
+    }
+    match std::fs::write(path, report.to_json_string_pretty() + "\n") {
+        Ok(()) => eprintln!(
+            "wrote {path}: {} experiments, {:.0}ms wall ({:.0}ms serial estimate, {speedup:.2}x)",
+            timed.len(),
+            total_wall_ms,
+            serial_estimate_ms
+        ),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.is_empty() || args.iter().any(|a| a == "--help" || a == "-h") {
-        eprintln!("usage: xanadu-repro [--list] <experiment-id>... | all");
-        eprintln!("known ids: {}", ALL_IDS.join(", "));
+        usage();
         return ExitCode::SUCCESS;
     }
     if args.iter().any(|a| a == "--list") {
@@ -24,22 +96,48 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
+    let Some((jobs, ids)) = parse_args(&args) else {
+        usage();
+        return ExitCode::FAILURE;
+    };
+    let jobs = jobs.unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    });
+    set_jobs(jobs);
 
-    let mut all_hold = true;
-    for arg in &args {
+    let start = Instant::now();
+    let mut timed: Vec<(Experiment, f64)> = Vec::new();
+    for arg in &ids {
+        if arg == "all" {
+            timed.extend(all_timed());
+            continue;
+        }
+        let t0 = Instant::now();
         match run_by_id(arg) {
             None => {
                 eprintln!("unknown experiment id `{arg}` (try --list)");
                 return ExitCode::FAILURE;
             }
             Some(experiments) => {
-                for e in experiments {
-                    println!("{}", e.render());
-                    all_hold &= e.all_hold();
-                }
+                let ms = t0.elapsed().as_secs_f64() * 1000.0;
+                let n = experiments.len();
+                timed.extend(experiments.into_iter().map(|e| (e, ms / n.max(1) as f64)));
             }
         }
     }
+    let total_wall_ms = start.elapsed().as_secs_f64() * 1000.0;
+
+    let mut all_hold = true;
+    for (e, ms) in &timed {
+        println!("{}", e.render());
+        eprintln!("{}: {ms:.0}ms", e.id);
+        all_hold &= e.all_hold();
+    }
+    eprintln!("total: {total_wall_ms:.0}ms at --jobs {jobs}");
+    write_bench_report(jobs, &timed, total_wall_ms);
+
     if all_hold {
         ExitCode::SUCCESS
     } else {

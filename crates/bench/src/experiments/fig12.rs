@@ -46,7 +46,7 @@ fn averages(runs: &[RunResult]) -> RunAverages {
 }
 
 /// Shared sweep for fig12/fig13: every platform over every depth.
-type PlatformMaker = Box<dyn Fn(u64) -> Platform>;
+type PlatformMaker = Box<dyn Fn(u64) -> Platform + Sync>;
 
 pub(crate) fn sweep() -> Vec<Series> {
     let makers: Vec<(&'static str, PlatformMaker)> = vec![

@@ -34,64 +34,71 @@ pub mod fig7;
 pub mod fig9;
 pub mod tab1;
 
-use crate::harness::Experiment;
+use crate::harness::{run_indexed, Experiment};
+
+/// A nullary experiment constructor, as listed in [`ALL_EXPERIMENTS`].
+pub type ExperimentCtor = fn() -> Experiment;
+
+/// The full suite as `(id, constructor)` pairs, papers first then
+/// ablations. This single table drives [`run_by_id`], [`all`], and the
+/// per-experiment timing in `xanadu-repro`.
+pub const ALL_EXPERIMENTS: [(&str, ExperimentCtor); 21] = [
+    ("fig1", fig1::run),
+    ("fig3", fig3::run),
+    ("fig4", fig4::run),
+    ("fig5", fig5::run),
+    ("fig6", fig6::run),
+    ("fig7", fig7::run),
+    ("fig9", fig9::run),
+    ("tab1", tab1::run),
+    ("fig12", fig12::run),
+    ("fig13", fig13::run),
+    ("fig14", fig14::run),
+    ("fig15", fig15::run),
+    ("fig16", fig16::run),
+    ("fig17", fig17::run),
+    ("abl-aggr", ablations::aggressiveness),
+    ("abl-keepalive", ablations::keepalive),
+    ("abl-ema", ablations::ema),
+    ("abl-miss", ablations::miss_policy),
+    ("abl-trace", ablations::fleet_trace),
+    ("abl-hedge", ablations::hedging),
+    ("abl-pool", ablations::pool_baseline),
+];
 
 /// Runs every experiment by id, or all of them for `"all"`. Unknown ids
 /// yield `None`.
 pub fn run_by_id(id: &str) -> Option<Vec<Experiment>> {
-    let one = |e: Experiment| Some(vec![e]);
-    match id {
-        "fig1" => one(fig1::run()),
-        "fig3" => one(fig3::run()),
-        "fig4" => one(fig4::run()),
-        "fig5" => one(fig5::run()),
-        "fig6" => one(fig6::run()),
-        "fig7" => one(fig7::run()),
-        "fig9" => one(fig9::run()),
-        "tab1" => one(tab1::run()),
-        "fig12" => one(fig12::run()),
-        "fig13" => one(fig13::run()),
-        "fig14" => one(fig14::run()),
-        "fig15" => one(fig15::run()),
-        "fig16" => one(fig16::run()),
-        "fig17" | "fig17a" | "fig17b" => one(fig17::run()),
-        "abl-aggr" => one(ablations::aggressiveness()),
-        "abl-keepalive" => one(ablations::keepalive()),
-        "abl-ema" => one(ablations::ema()),
-        "abl-miss" => one(ablations::miss_policy()),
-        "abl-trace" => one(ablations::fleet_trace()),
-        "abl-hedge" => one(ablations::hedging()),
-        "abl-pool" => one(ablations::pool_baseline()),
-        "all" => Some(all()),
-        _ => None,
-    }
+    let canonical = match id {
+        "fig17a" | "fig17b" => "fig17",
+        "all" => return Some(all()),
+        other => other,
+    };
+    ALL_EXPERIMENTS
+        .iter()
+        .find(|(eid, _)| *eid == canonical)
+        .map(|&(_, run)| vec![run()])
 }
 
 /// Every experiment, papers first then ablations.
+///
+/// Experiments are independent (each seeds its own platforms), so they
+/// fan out across `harness::jobs()` threads; results come back in table
+/// order, keeping the rendered output byte-identical to a serial run.
 pub fn all() -> Vec<Experiment> {
-    vec![
-        fig1::run(),
-        fig3::run(),
-        fig4::run(),
-        fig5::run(),
-        fig6::run(),
-        fig7::run(),
-        fig9::run(),
-        tab1::run(),
-        fig12::run(),
-        fig13::run(),
-        fig14::run(),
-        fig15::run(),
-        fig16::run(),
-        fig17::run(),
-        ablations::aggressiveness(),
-        ablations::keepalive(),
-        ablations::ema(),
-        ablations::miss_policy(),
-        ablations::fleet_trace(),
-        ablations::hedging(),
-        ablations::pool_baseline(),
-    ]
+    all_timed().into_iter().map(|(e, _)| e).collect()
+}
+
+/// Like [`all`], but pairs each experiment with the wall-clock time its
+/// constructor took, in milliseconds. Timing is measured inside the
+/// worker so it reflects the experiment itself, not queueing.
+pub fn all_timed() -> Vec<(Experiment, f64)> {
+    run_indexed(ALL_EXPERIMENTS.len(), |i| {
+        let (_, run) = ALL_EXPERIMENTS[i];
+        let start = std::time::Instant::now();
+        let e = run();
+        (e, start.elapsed().as_secs_f64() * 1000.0)
+    })
 }
 
 /// All known experiment ids.

@@ -1,10 +1,75 @@
 //! Shared experiment infrastructure.
 
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
 use xanadu_chain::WorkflowDag;
 use xanadu_core::speculation::ExecutionMode;
 use xanadu_platform::{Platform, PlatformConfig, RunResult};
 use xanadu_simcore::report::fmt_f64;
 use xanadu_simcore::{SimDuration, SimTime};
+
+thread_local! {
+    /// Worker-thread fan-out width for this thread and its descendants.
+    ///
+    /// Thread-local (rather than a process global) so parallel test
+    /// binaries can exercise different `--jobs` values concurrently
+    /// without interfering with each other.
+    static JOBS: Cell<usize> = const { Cell::new(1) };
+}
+
+/// Sets the fan-out width used by [`run_indexed`] (and therefore by
+/// [`cold_runs`] and `experiments::all`) on this thread. Values below 1
+/// are clamped to 1 (serial).
+pub fn set_jobs(n: usize) {
+    JOBS.with(|j| j.set(n.max(1)));
+}
+
+/// The fan-out width currently in effect on this thread.
+pub fn jobs() -> usize {
+    JOBS.with(|j| j.get())
+}
+
+/// Runs `f(0..count)` across up to [`jobs`] scoped threads and returns the
+/// results **in index order**, so output is byte-identical to a serial
+/// run. Each worker inherits the caller's [`jobs`] setting. Falls back to
+/// a plain serial loop when `jobs() == 1` or there is only one item.
+pub fn run_indexed<T, F>(count: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let width = jobs().min(count.max(1));
+    if width <= 1 {
+        return (0..count).map(f).collect();
+    }
+    let inherited = jobs();
+    let next = AtomicUsize::new(0);
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..width)
+            .map(|_| {
+                s.spawn(|| {
+                    set_jobs(inherited);
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= count {
+                            break;
+                        }
+                        local.push((i, f(i)));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("harness worker panicked"))
+            .collect()
+    });
+    let mut all: Vec<(usize, T)> = parts.into_iter().flatten().collect();
+    all.sort_by_key(|&(i, _)| i);
+    all.into_iter().map(|(_, t)| t).collect()
+}
 
 /// One paper-claim-versus-measured comparison.
 #[derive(Debug, Clone)]
@@ -76,15 +141,18 @@ pub fn xanadu(mode: ExecutionMode, seed: u64) -> Platform {
 /// the paper's "requests in cold start condition" methodology (§5.1).
 ///
 /// `make(seed)` constructs the platform; seeds are distinct per trigger.
+///
+/// Triggers are independent (each gets a fresh platform and its own seed),
+/// so they fan out across [`jobs`] threads; results are collected in
+/// trigger order, keeping the output byte-identical to a serial run.
 pub fn cold_runs(
-    make: &dyn Fn(u64) -> Platform,
+    make: &(dyn Fn(u64) -> Platform + Sync),
     dag: &WorkflowDag,
     triggers: u64,
     implicit: bool,
 ) -> Vec<RunResult> {
-    let mut out = Vec::with_capacity(triggers as usize);
-    for i in 0..triggers {
-        let mut p = make(1000 + i);
+    run_indexed(triggers as usize, |i| {
+        let mut p = make(1000 + i as u64);
         if implicit {
             p.deploy_implicit(dag.clone()).expect("deploy");
         } else {
@@ -92,10 +160,11 @@ pub fn cold_runs(
         }
         p.trigger_at(dag.name(), SimTime::ZERO).expect("trigger");
         p.run_until_idle();
-        let report = p.finish();
-        out.extend(report.results);
-    }
-    out
+        p.finish().results
+    })
+    .into_iter()
+    .flatten()
+    .collect()
 }
 
 /// Runs a learning sequence on a *single* platform: `warmup` unmeasured
@@ -206,5 +275,26 @@ mod tests {
         assert!(r.contains("# x — t"));
         assert!(r.contains("| a | b | yes |"));
         assert!(e.all_hold());
+    }
+
+    /// The fan-out contract of the repro harness: the same seed renders
+    /// byte-identical experiment reports no matter the `--jobs` width,
+    /// because each trigger owns an independent platform and results are
+    /// collected in index order.
+    #[test]
+    fn jobs_width_does_not_change_rendered_output() {
+        let render_with = |width: usize| {
+            set_jobs(width);
+            let out = (
+                crate::experiments::fig1::run().render(),
+                crate::experiments::fig4::run().render(),
+            );
+            set_jobs(1);
+            out
+        };
+        let serial = render_with(1);
+        let parallel = render_with(8);
+        assert_eq!(serial.0, parallel.0, "fig1 diverged across --jobs widths");
+        assert_eq!(serial.1, parallel.1, "fig4 diverged across --jobs widths");
     }
 }

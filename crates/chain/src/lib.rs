@@ -42,6 +42,7 @@ mod dot;
 mod error;
 mod id;
 mod isolation;
+mod nodeset;
 pub mod paths;
 pub mod sdl;
 mod spec;
@@ -53,4 +54,5 @@ pub use dot::to_dot;
 pub use error::ChainError;
 pub use id::NodeId;
 pub use isolation::IsolationLevel;
+pub use nodeset::NodeSet;
 pub use spec::FunctionSpec;

@@ -1,0 +1,202 @@
+//! Dense node-id sets.
+//!
+//! [`NodeId`]s are dense indices into one workflow, so set membership —
+//! the hot-path question "is this node on the planned path?" asked on
+//! every function invocation — is naturally a bitset lookup rather than a
+//! linear scan or a hash probe.
+
+use crate::id::NodeId;
+use serde::{Deserialize, Error, Serialize, Value};
+
+/// A set of [`NodeId`]s backed by a bitset over their dense indices.
+///
+/// Membership tests and insertions are O(1); iteration yields ids in
+/// ascending index order (which is also the workflow builder's insertion
+/// order). Serialized as the sorted array of member indices.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_chain::{NodeId, NodeSet};
+///
+/// let mut set = NodeSet::default();
+/// set.insert(NodeId::from_index(3));
+/// assert!(set.contains(NodeId::from_index(3)));
+/// assert!(!set.contains(NodeId::from_index(64)));
+/// assert_eq!(set.len(), 1);
+/// ```
+#[derive(Debug, Clone, Default, Eq)]
+pub struct NodeSet {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl NodeSet {
+    /// An empty set sized for a workflow of `n` nodes (avoids growth on
+    /// insert for ids below `n`).
+    pub fn with_capacity(n: usize) -> Self {
+        NodeSet {
+            words: vec![0; n.div_ceil(64)],
+            len: 0,
+        }
+    }
+
+    /// Inserts `node`, returning whether it was newly added.
+    pub fn insert(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        if word >= self.words.len() {
+            self.words.resize(word + 1, 0);
+        }
+        let mask = 1u64 << bit;
+        if self.words[word] & mask != 0 {
+            return false;
+        }
+        self.words[word] |= mask;
+        self.len += 1;
+        true
+    }
+
+    /// Whether `node` is a member.
+    pub fn contains(&self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        self.words.get(word).is_some_and(|w| w & (1u64 << bit) != 0)
+    }
+
+    /// Number of members.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Removes all members, keeping the allocation.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+        self.len = 0;
+    }
+
+    /// Iterates members in ascending index order.
+    pub fn iter(&self) -> impl Iterator<Item = NodeId> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &word)| {
+            (0..64)
+                .filter(move |bit| word & (1u64 << bit) != 0)
+                .map(move |bit| NodeId::from_index(wi * 64 + bit))
+        })
+    }
+}
+
+impl FromIterator<NodeId> for NodeSet {
+    fn from_iter<I: IntoIterator<Item = NodeId>>(iter: I) -> Self {
+        let mut set = NodeSet::default();
+        for id in iter {
+            set.insert(id);
+        }
+        set
+    }
+}
+
+impl Extend<NodeId> for NodeSet {
+    fn extend<I: IntoIterator<Item = NodeId>>(&mut self, iter: I) {
+        for id in iter {
+            self.insert(id);
+        }
+    }
+}
+
+impl PartialEq for NodeSet {
+    fn eq(&self, other: &Self) -> bool {
+        // Trailing zero words must not make equal sets compare unequal.
+        if self.len != other.len {
+            return false;
+        }
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        short.iter().zip(long.iter()).all(|(a, b)| a == b)
+            && long[short.len()..].iter().all(|&w| w == 0)
+    }
+}
+
+impl Serialize for NodeSet {
+    fn to_json(&self) -> Value {
+        self.iter().collect::<Vec<NodeId>>().to_json()
+    }
+}
+
+impl Deserialize for NodeSet {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        Ok(Vec::<NodeId>::from_json(value)?.into_iter().collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn id(i: usize) -> NodeId {
+        NodeId::from_index(i)
+    }
+
+    #[test]
+    fn insert_contains_len() {
+        let mut s = NodeSet::with_capacity(10);
+        assert!(s.is_empty());
+        assert!(s.insert(id(0)));
+        assert!(s.insert(id(9)));
+        assert!(!s.insert(id(9)), "duplicate insert");
+        assert_eq!(s.len(), 2);
+        assert!(s.contains(id(0)) && s.contains(id(9)));
+        assert!(!s.contains(id(1)));
+        // Out-of-capacity probe is just "absent", not a panic.
+        assert!(!s.contains(id(1000)));
+    }
+
+    #[test]
+    fn grows_beyond_capacity() {
+        let mut s = NodeSet::with_capacity(1);
+        assert!(s.insert(id(200)));
+        assert!(s.contains(id(200)));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn iter_is_sorted() {
+        let s: NodeSet = [id(70), id(3), id(64), id(3)].into_iter().collect();
+        let got: Vec<usize> = s.iter().map(NodeId::index).collect();
+        assert_eq!(got, vec![3, 64, 70]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn clear_keeps_capacity() {
+        let mut s = NodeSet::with_capacity(128);
+        s.insert(id(100));
+        s.clear();
+        assert!(s.is_empty());
+        assert!(!s.contains(id(100)));
+    }
+
+    #[test]
+    fn eq_ignores_trailing_zero_words() {
+        let mut a = NodeSet::with_capacity(1);
+        let mut b = NodeSet::with_capacity(1000);
+        a.insert(id(5));
+        b.insert(id(5));
+        assert_eq!(a, b);
+        b.insert(id(900));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let s: NodeSet = [id(1), id(65)].into_iter().collect();
+        let back = NodeSet::from_json(&s.to_json()).unwrap();
+        assert_eq!(back, s);
+        assert_eq!(s.to_json().to_json_string(), "[1,65]");
+    }
+}

@@ -10,20 +10,41 @@
 
 use crate::dag::{BranchMode, WorkflowDag};
 use crate::id::NodeId;
-use serde::{Deserialize, Serialize};
+use crate::nodeset::NodeSet;
+use serde::{Deserialize, Error, Serialize, Value};
 use std::collections::HashMap;
 
 /// One possible execution outcome of a workflow: the set of activated
 /// nodes and its probability under the ground-truth XOR model.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExecutionOutcome {
     /// Activated nodes, in topological order.
     pub nodes: Vec<NodeId>,
     /// Probability of exactly this outcome.
     pub probability: f64,
+    /// Bitset membership view of `nodes`, kept in sync by
+    /// [`ExecutionOutcome::new`] so [`contains`](ExecutionOutcome::contains)
+    /// is O(1).
+    members: NodeSet,
 }
 
 impl ExecutionOutcome {
+    /// Creates an outcome from its activated nodes (topological order) and
+    /// probability, building the O(1) membership view.
+    pub fn new(nodes: Vec<NodeId>, probability: f64) -> Self {
+        let members = nodes.iter().copied().collect();
+        ExecutionOutcome {
+            nodes,
+            probability,
+            members,
+        }
+    }
+
+    /// Whether `node` activates in this outcome.
+    pub fn contains(&self, node: NodeId) -> bool {
+        self.members.contains(node)
+    }
+
     /// Number of functions that execute in this outcome.
     pub fn len(&self) -> usize {
         self.nodes.len()
@@ -32,6 +53,34 @@ impl ExecutionOutcome {
     /// Whether the outcome is empty (never true for valid workflows).
     pub fn is_empty(&self) -> bool {
         self.nodes.is_empty()
+    }
+}
+
+impl Serialize for ExecutionOutcome {
+    fn to_json(&self) -> Value {
+        let mut obj = std::collections::BTreeMap::new();
+        obj.insert("nodes".to_string(), self.nodes.to_json());
+        obj.insert("probability".to_string(), self.probability.to_json());
+        Value::Object(obj)
+    }
+}
+
+impl Deserialize for ExecutionOutcome {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let obj = value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?;
+        let nodes = obj
+            .get("nodes")
+            .map(Vec::<NodeId>::from_json)
+            .transpose()?
+            .ok_or_else(|| Error::missing_field("nodes", "ExecutionOutcome"))?;
+        let probability = obj
+            .get("probability")
+            .map(f64::from_json)
+            .transpose()?
+            .ok_or_else(|| Error::missing_field("probability", "ExecutionOutcome"))?;
+        Ok(ExecutionOutcome::new(nodes, probability))
     }
 }
 
@@ -106,7 +155,7 @@ pub fn enumerate_outcomes(dag: &WorkflowDag, max_outcomes: usize) -> Option<Vec<
     }
     let mut outcomes: Vec<ExecutionOutcome> = merged
         .into_iter()
-        .map(|(nodes, probability)| ExecutionOutcome { nodes, probability })
+        .map(|(nodes, probability)| ExecutionOutcome::new(nodes, probability))
         .collect();
     outcomes.sort_by(|a, b| {
         b.probability
@@ -268,7 +317,7 @@ mod tests {
         for id in dag.node_ids() {
             let from_outcomes: f64 = outcomes
                 .iter()
-                .filter(|o| o.nodes.contains(&id))
+                .filter(|o| o.contains(id))
                 .map(|o| o.probability)
                 .sum();
             assert!(
@@ -366,7 +415,7 @@ mod proptests {
             for id in dag.node_ids() {
                 let enumerated: f64 = outcomes
                     .iter()
-                    .filter(|o| o.nodes.contains(&id))
+                    .filter(|o| o.contains(id))
                     .map(|o| o.probability)
                     .sum();
                 prop_assert!((probs[id.index()] - enumerated).abs() < 1e-9);

@@ -210,9 +210,11 @@ fn parse_branch(name: &str, obj: &Map<String, Value>) -> Result<RawBranch, Chain
             .ok_or_else(|| ChainError::Sdl(format!("branch `{name}`: `{key}` not an object")))?;
         match block_type(key, fobj)? {
             "function" => functions.push(parse_function(key, fobj)?),
-            other => return Err(ChainError::Sdl(format!(
+            other => {
+                return Err(ChainError::Sdl(format!(
                 "branch `{name}`: nested block `{key}` has type `{other}`; only functions may nest"
-            ))),
+            )))
+            }
         }
     }
     if functions.is_empty() {

@@ -16,7 +16,7 @@
 
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
-use xanadu_chain::{BranchMode, NodeId, WorkflowDag};
+use xanadu_chain::{BranchMode, NodeId, NodeSet, WorkflowDag};
 use xanadu_profiler::BranchDetector;
 
 /// Result of MLP inference over a [`WorkflowDag`].
@@ -26,12 +26,27 @@ pub struct MlpResult {
     pub path: Vec<NodeId>,
     /// Likelihood factor `L` of each selected node (same order as `path`).
     pub likelihood: Vec<f64>,
+    /// Bitset membership view of `path`, kept in sync by [`MlpResult::new`]
+    /// so [`contains`](MlpResult::contains) is O(1) on the dispatch hot
+    /// path.
+    members: NodeSet,
 }
 
 impl MlpResult {
+    /// Creates a result from the selected path and per-node likelihoods
+    /// (same order), building the O(1) membership view.
+    pub fn new(path: Vec<NodeId>, likelihood: Vec<f64>) -> Self {
+        let members = path.iter().copied().collect();
+        MlpResult {
+            path,
+            likelihood,
+            members,
+        }
+    }
+
     /// Whether `node` is on the MLP.
     pub fn contains(&self, node: NodeId) -> bool {
-        self.path.contains(&node)
+        self.members.contains(node)
     }
 
     /// Number of selected nodes.
@@ -149,10 +164,7 @@ pub fn infer_mlp(
             out_likelihood.push(likelihood[id.index()]);
         }
     }
-    MlpResult {
-        path,
-        likelihood: out_likelihood,
-    }
+    MlpResult::new(path, out_likelihood)
 }
 
 /// Infers a *hedged* most-likely path: like [`infer_mlp`], but at XOR
@@ -250,10 +262,7 @@ pub fn infer_mlp_hedged(
             out_likelihood.push(likelihood[id.index()]);
         }
     }
-    MlpResult {
-        path,
-        likelihood: out_likelihood,
-    }
+    MlpResult::new(path, out_likelihood)
 }
 
 /// Infers the MLP of an *implicit* chain from the learned branch tree

@@ -22,8 +22,29 @@ use crate::estimate::EstimateSource;
 use crate::jit::{plan_jit, JitPlan, PlannedDeployment};
 use crate::mlp::{infer_mlp, infer_mlp_hedged, MlpResult};
 use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
 use xanadu_chain::{NodeId, WorkflowDag};
 use xanadu_simcore::SimDuration;
+
+/// Hit/miss counters of the engine's plan cache (see
+/// [`SpeculationEngine::plan_cached`]).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct PlanCacheStats {
+    /// Plans served from the cache.
+    pub hits: u64,
+    /// Plans computed because no fresh cached plan existed.
+    pub misses: u64,
+}
+
+/// A memoized planning result for one workflow, tagged with the epochs of
+/// the inputs it was computed from.
+#[derive(Debug, Clone)]
+struct CachedPlan {
+    estimates_epoch: u64,
+    prob_epoch: u64,
+    mlp: MlpResult,
+    plan: JitPlan,
+}
 
 /// How a platform provisions sandboxes for a workflow.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
@@ -133,12 +154,23 @@ impl SpeculationConfig {
 #[derive(Debug, Clone, Default)]
 pub struct SpeculationEngine {
     config: SpeculationConfig,
+    /// Memoized plans per workflow name; see
+    /// [`plan_cached`](Self::plan_cached).
+    cache: HashMap<String, CachedPlan>,
+    cache_enabled: bool,
+    stats: PlanCacheStats,
 }
 
 impl SpeculationEngine {
-    /// Creates an engine with the given configuration.
+    /// Creates an engine with the given configuration. The plan cache
+    /// starts enabled; see [`set_plan_cache`](Self::set_plan_cache).
     pub fn new(config: SpeculationConfig) -> Self {
-        SpeculationEngine { config }
+        SpeculationEngine {
+            config,
+            cache: HashMap::new(),
+            cache_enabled: true,
+            stats: PlanCacheStats::default(),
+        }
     }
 
     /// The engine's configuration.
@@ -163,18 +195,108 @@ impl SpeculationEngine {
         if self.config.mode == ExecutionMode::Cold {
             return JitPlan::default();
         }
-        let mlp = if self.config.hedge_margin > 0.0 {
+        let mlp = self.infer(dag, rho);
+        self.plan_from_mlp(dag, estimates, &mlp)
+    }
+
+    /// MLP inference under the engine's hedging configuration.
+    fn infer(
+        &self,
+        dag: &WorkflowDag,
+        rho: impl FnMut(NodeId, NodeId) -> Option<f64>,
+    ) -> MlpResult {
+        if self.config.hedge_margin > 0.0 {
             infer_mlp_hedged(dag, rho, self.config.hedge_margin)
         } else {
             infer_mlp(dag, rho)
-        };
-        let limited = self.limit_by_aggressiveness(dag, &mlp);
+        }
+    }
+
+    /// Turns an inferred MLP into the mode's deployment plan.
+    fn plan_from_mlp(
+        &self,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        mlp: &MlpResult,
+    ) -> JitPlan {
+        let limited = self.limit_by_aggressiveness(dag, mlp);
         let jit = plan_jit(dag, &limited, estimates);
         match self.config.mode {
             ExecutionMode::Speculative => flatten_to_zero(&jit),
             ExecutionMode::Jit => jit,
             ExecutionMode::Cold => unreachable!("handled above"),
         }
+    }
+
+    /// Like [`plan`](Self::plan), but memoized per workflow: recomputing
+    /// MLP inference and the Algorithm 2 timeline on every trigger is a
+    /// dominant dispatch-path cost, yet the result only changes when the
+    /// planning inputs do. Callers pass the epoch counters of those
+    /// inputs -- `estimates_epoch` for the metrics behind `estimates` and
+    /// `prob_epoch` for the probability source behind `rho` (pass a
+    /// constant, e.g. 0, when the source cannot change) -- and a cached
+    /// plan is reused exactly while both still match.
+    ///
+    /// [`ExecutionMode::Cold`] plans are empty and bypass the cache and
+    /// its counters entirely, as does a disabled cache.
+    pub fn plan_cached(
+        &mut self,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        estimates_epoch: u64,
+        prob_epoch: u64,
+        rho: impl FnMut(NodeId, NodeId) -> Option<f64>,
+    ) -> JitPlan {
+        if self.config.mode == ExecutionMode::Cold {
+            return JitPlan::default();
+        }
+        if !self.cache_enabled {
+            return self.plan(dag, estimates, rho);
+        }
+        if let Some(cached) = self.cache.get(dag.name()) {
+            if cached.estimates_epoch == estimates_epoch && cached.prob_epoch == prob_epoch {
+                self.stats.hits += 1;
+                return cached.plan.clone();
+            }
+        }
+        self.stats.misses += 1;
+        let mlp = self.infer(dag, rho);
+        let plan = self.plan_from_mlp(dag, estimates, &mlp);
+        self.cache.insert(
+            dag.name().to_string(),
+            CachedPlan {
+                estimates_epoch,
+                prob_epoch,
+                mlp,
+                plan: plan.clone(),
+            },
+        );
+        plan
+    }
+
+    /// Hit/miss counters of the plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.stats
+    }
+
+    /// The memoized MLP of `workflow`, if a cached plan exists.
+    pub fn cached_mlp(&self, workflow: &str) -> Option<&MlpResult> {
+        self.cache.get(workflow).map(|c| &c.mlp)
+    }
+
+    /// Enables or disables the plan cache; disabling drops all cached
+    /// plans (but keeps the hit/miss counters).
+    pub fn set_plan_cache(&mut self, enabled: bool) {
+        self.cache_enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+
+    /// Drops every cached plan, e.g. after learned state was swapped out
+    /// wholesale and the epoch counters restarted.
+    pub fn invalidate_plan_cache(&mut self) {
+        self.cache.clear();
     }
 
     /// Applies the aggressiveness horizon: keeps MLP nodes whose DAG level
@@ -452,6 +574,60 @@ mod tests {
             .deployments()
             .iter()
             .any(|d| d.expected_invocation >= elapsed));
+    }
+
+    #[test]
+    fn plan_cache_hits_while_epochs_match() {
+        let mut engine = SpeculationEngine::new(SpeculationConfig::for_mode(ExecutionMode::Jit));
+        let dag = chain(5);
+        let reference = engine.plan(&dag, &est(), |_, _| None);
+        let first = engine.plan_cached(&dag, &est(), 3, 7, |_, _| None);
+        let second = engine.plan_cached(&dag, &est(), 3, 7, |_, _| None);
+        assert_eq!(first, reference, "cache must not change the plan");
+        assert_eq!(second, reference);
+        let stats = engine.plan_cache_stats();
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.hits, 1);
+        assert_eq!(engine.cached_mlp("c").map(|m| m.len()), Some(5));
+    }
+
+    #[test]
+    fn plan_cache_invalidated_by_epoch_change() {
+        let mut engine = SpeculationEngine::new(SpeculationConfig::for_mode(ExecutionMode::Jit));
+        let dag = chain(3);
+        engine.plan_cached(&dag, &est(), 0, 0, |_, _| None);
+        // Either input epoch moving forces a recompute.
+        engine.plan_cached(&dag, &est(), 1, 0, |_, _| None);
+        engine.plan_cached(&dag, &est(), 1, 2, |_, _| None);
+        assert_eq!(engine.plan_cache_stats().misses, 3);
+        assert_eq!(engine.plan_cache_stats().hits, 0);
+        // Explicit invalidation drops the stored plan too.
+        engine.plan_cached(&dag, &est(), 1, 2, |_, _| None);
+        assert_eq!(engine.plan_cache_stats().hits, 1);
+        engine.invalidate_plan_cache();
+        engine.plan_cached(&dag, &est(), 1, 2, |_, _| None);
+        assert_eq!(engine.plan_cache_stats().misses, 4);
+    }
+
+    #[test]
+    fn plan_cache_disabled_recomputes_without_counting() {
+        let mut engine = SpeculationEngine::new(SpeculationConfig::for_mode(ExecutionMode::Jit));
+        engine.set_plan_cache(false);
+        let dag = chain(3);
+        let plan = engine.plan_cached(&dag, &est(), 0, 0, |_, _| None);
+        assert_eq!(plan, engine.plan(&dag, &est(), |_, _| None));
+        assert_eq!(engine.plan_cache_stats(), PlanCacheStats::default());
+        assert!(engine.cached_mlp("c").is_none());
+    }
+
+    #[test]
+    fn cold_mode_bypasses_plan_cache() {
+        let mut engine = SpeculationEngine::new(SpeculationConfig::for_mode(ExecutionMode::Cold));
+        let dag = chain(3);
+        assert!(engine
+            .plan_cached(&dag, &est(), 0, 0, |_, _| None)
+            .is_empty());
+        assert_eq!(engine.plan_cache_stats(), PlanCacheStats::default());
     }
 
     #[test]

@@ -6,6 +6,11 @@ use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
 use xanadu_sandbox::PoolConfig;
 use xanadu_simcore::Distribution;
 
+/// Serde default for [`PlatformConfig::plan_cache`]: caching is on.
+fn default_plan_cache() -> bool {
+    true
+}
+
 /// The cluster the Dispatch Daemons run on: hosts plus the placement
 /// policy the Dispatch Manager uses (Figure 11 of the paper).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -64,6 +69,12 @@ pub struct PlatformConfig {
     pub use_learned_probabilities: bool,
     /// The hosts the Dispatch Daemons manage.
     pub cluster: ClusterConfig,
+    /// Memoize per-workflow deployment plans in the speculation engine,
+    /// invalidated whenever the profiled metrics or learned branch
+    /// probabilities change. On by default; the `abl` determinism checks
+    /// turn it off to prove results are unchanged either way.
+    #[serde(default = "default_plan_cache")]
+    pub plan_cache: bool,
     /// Pre-crafted worker pool size per function (0 = off). When set, the
     /// platform keeps this many workers warm for *every* deployed
     /// function, replenishing after use and exempting them from
@@ -89,6 +100,7 @@ impl PlatformConfig {
             discard_unused_after_run: true,
             use_learned_probabilities: false,
             cluster: ClusterConfig::default(),
+            plan_cache: true,
             static_prewarm: 0,
         }
     }

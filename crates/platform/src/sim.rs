@@ -25,10 +25,10 @@ use serde_json::json;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::Arc;
-use xanadu_chain::{BranchMode, ChainError, NodeId, WorkflowDag};
+use xanadu_chain::{BranchMode, ChainError, NodeId, NodeSet, WorkflowDag};
 use xanadu_core::cost::{total_resource_cost, CpuRates, ResourceCosts};
 use xanadu_core::keepalive::{AdaptiveKeepAlive, KeepAliveConfig};
-use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationEngine};
+use xanadu_core::speculation::{ExecutionMode, MissPolicy, PlanCacheStats, SpeculationEngine};
 use xanadu_profiler::{BranchDetector, MetricsEngine, RequestCorrelator};
 use xanadu_sandbox::{
     SandboxProvider, SimSandboxProvider, Worker, WorkerId, WorkerPool, WorkerState,
@@ -151,7 +151,7 @@ struct RunState {
     /// Ground-truth service time drawn per node at trigger.
     service: Vec<SimDuration>,
     remaining: usize,
-    planned: HashSet<NodeId>,
+    planned: NodeSet,
     plan_generation: u32,
     plan_active: bool,
     spawned: Vec<WorkerId>,
@@ -249,8 +249,10 @@ impl Platform {
             }
             registry
         };
+        let mut engine = SpeculationEngine::new(config.speculation);
+        engine.set_plan_cache(config.plan_cache);
         Platform {
-            engine: SpeculationEngine::new(config.speculation),
+            engine,
             provider,
             pool,
             metrics: MetricsEngine::new(),
@@ -418,6 +420,11 @@ impl Platform {
         &self.detector
     }
 
+    /// Hit/miss counters of the speculation engine's plan cache.
+    pub fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.engine.plan_cache_stats()
+    }
+
     /// The metadata store.
     pub fn metastore(&self) -> &MetaStore {
         &self.metastore
@@ -491,6 +498,9 @@ impl Platform {
             .map_err(|e| format!("bad metrics document: {e}"))?;
         self.detector = serde_json::from_value(detector_doc.clone())
             .map_err(|e| format!("bad branch document: {e}"))?;
+        // The restored engines restart their epoch counters, which could
+        // collide with the epochs a cached plan was tagged with.
+        self.engine.invalidate_plan_cache();
         Ok(())
     }
 
@@ -566,16 +576,15 @@ impl Platform {
         // The kill timestamp is backdated to the keep-alive expiry: the
         // platform reclaims at expiry, we merely *execute* the reclamation
         // lazily, and accounting must not charge the difference.
+        // Expiry is monotone in `last_active`, so only an ascending prefix
+        // of the pool's LRU order can be stale.
+        let keep_alive = self.pool.config().keep_alive;
         let expired: Vec<(WorkerId, SimTime)> = self
             .pool
-            .live_workers()
-            .filter(|w| {
-                w.state() == WorkerState::Warm
-                    && !self.claimed.contains(&w.id())
-                    && !self.is_pool_owned(w.id())
-                    && self.now.saturating_since(w.last_active()) > self.pool.config().keep_alive
-            })
-            .map(|w| (w.id(), w.last_active() + self.pool.config().keep_alive))
+            .warm_lru()
+            .take_while(|w| self.now.saturating_since(w.last_active()) > keep_alive)
+            .filter(|w| !self.claimed.contains(&w.id()) && !self.is_pool_owned(w.id()))
+            .map(|w| (w.id(), w.last_active() + keep_alive))
             .collect();
         for (id, at) in expired {
             self.kill_worker(id, at);
@@ -603,14 +612,15 @@ impl Platform {
         let mut xor_choice = HashMap::new();
         for id in dag.node_ids() {
             if dag.node(id).branch_mode() == BranchMode::Xor && !dag.children(id).is_empty() {
-                let decided = dag
-                    .node(id)
-                    .decision()
-                    .and_then(|d| {
-                        d.condition
-                            .evaluate(&declared_outputs)
-                            .map(|holds| if holds { d.on_true.clone() } else { d.on_false.clone() })
-                    });
+                let decided = dag.node(id).decision().and_then(|d| {
+                    d.condition.evaluate(&declared_outputs).map(|holds| {
+                        if holds {
+                            d.on_true.clone()
+                        } else {
+                            d.on_false.clone()
+                        }
+                    })
+                });
                 let chosen = match decided {
                     Some(group) => group,
                     None => {
@@ -659,7 +669,7 @@ impl Platform {
 
         // Planning phase (Figure 10): runs "in parallel" with root dispatch,
         // i.e. deployments are scheduled at their plan offsets from now.
-        let mut planned = HashSet::new();
+        let mut planned = NodeSet::with_capacity(dag.len());
         let mut plan_generation = 0;
         if self.config.speculation.mode != ExecutionMode::Cold {
             let plan = {
@@ -674,21 +684,31 @@ impl Platform {
                 let use_learned = self.config.use_learned_probabilities || entry.implicit;
                 let implicit = entry.implicit;
                 let dag_ref = &dag;
-                self.engine.plan(dag_ref, &estimates, |p, c| {
-                    if !use_learned {
-                        return None; // ground truth
-                    }
-                    let pn = dag_ref.node(p).spec().name();
-                    let cn = dag_ref.node(c).spec().name();
-                    match detector.smoothed_probability(pn, cn) {
-                        Some(prob) => Some(prob),
-                        // Implicit chains must not peek at the schema: an
-                        // unlearned edge has probability zero. Explicit
-                        // chains fall back to declared probabilities.
-                        None if implicit => Some(0.0),
-                        None => None,
-                    }
-                })
+                // The learned-probability stream only feeds the plan when
+                // `use_learned`; otherwise the plan is a pure function of
+                // the (immutable) DAG, so epoch 0 keeps it cached forever.
+                let estimates_epoch = self.metrics.epoch();
+                let prob_epoch = if use_learned {
+                    self.detector.epoch()
+                } else {
+                    0
+                };
+                self.engine
+                    .plan_cached(dag_ref, &estimates, estimates_epoch, prob_epoch, |p, c| {
+                        if !use_learned {
+                            return None; // ground truth
+                        }
+                        let pn = dag_ref.node(p).spec().name();
+                        let cn = dag_ref.node(c).spec().name();
+                        match detector.smoothed_probability(pn, cn) {
+                            Some(prob) => Some(prob),
+                            // Implicit chains must not peek at the schema: an
+                            // unlearned edge has probability zero. Explicit
+                            // chains fall back to declared probabilities.
+                            None if implicit => Some(0.0),
+                            None => None,
+                        }
+                    })
             };
             plan_generation = 1;
             for d in plan.deployments() {
@@ -807,7 +827,7 @@ impl Platform {
         // the miss *policy* fires per unplanned invocation but cancellation
         // happens only once.
         let run = self.runs.get_mut(&req).expect("run exists");
-        if run.had_plan && !run.planned.contains(&node) {
+        if run.had_plan && !run.planned.contains(node) {
             run.misses += 1;
             run.trace.record(
                 self.now,
@@ -866,8 +886,7 @@ impl Platform {
     }
 
     fn on_worker_ready(&mut self, worker: WorkerId) {
-        if let Some(w) = self.pool.get_mut(worker) {
-            w.mark_ready();
+        if self.pool.mark_ready(worker) {
             self.bus
                 .publish("worker.ready", self.now, json!({"worker": worker.0}));
         }
@@ -930,8 +949,7 @@ impl Platform {
 
         let service = run.service[node.index()];
         self.correlator.observe_arrival(&function, self.now);
-        let w = self.pool.get_mut(worker).expect("executing worker is live");
-        w.begin_exec(self.now);
+        self.pool.begin_exec(worker, self.now);
         self.queue.schedule(
             self.now + service,
             Event::ExecEnd {
@@ -945,10 +963,7 @@ impl Platform {
 
     fn on_exec_end(&mut self, req: u64, node: NodeId, worker: WorkerId, began: SimTime) {
         let exec_duration = self.now.saturating_since(began);
-        {
-            let w = self.pool.get_mut(worker).expect("worker live");
-            w.end_exec(began, self.now);
-        }
+        self.pool.end_exec(worker, began, self.now);
         // Warm-cap eviction latency is charged to future provisions via
         // max_live, not retroactively here; only the host memory returns.
         // Claimed workers (dispatch in flight) are exempt from eviction.
@@ -973,11 +988,8 @@ impl Platform {
         if self.config.static_prewarm > 0 {
             let run = self.runs.get(&req).expect("run exists");
             let spec = run.dag.node(node).spec().clone();
-            let available = self
-                .pool
-                .live_workers()
-                .filter(|w| w.function() == spec.name() && w.state() != WorkerState::Busy)
-                .count();
+            let available =
+                self.pool.warm_count(spec.name()) + self.pool.provisioning_count(spec.name());
             if available < self.config.static_prewarm {
                 self.provision_worker(POOL_OWNER, &spec, false);
             }
@@ -1169,26 +1181,21 @@ impl Platform {
     }
 
     fn usable_worker_exists(&self, function: &str) -> bool {
-        self.pool.live_workers().any(|w| {
-            w.function() == function
-                && !self.claimed.contains(&w.id())
-                && match w.state() {
-                    WorkerState::Warm => {
-                        self.now.saturating_since(w.last_active()) <= self.pool.config().keep_alive
-                    }
-                    WorkerState::Provisioning => true,
-                    _ => false,
-                }
-        })
+        let keep_alive = self.pool.config().keep_alive;
+        self.pool.warm_workers(function).any(|w| {
+            !self.claimed.contains(&w.id())
+                && self.now.saturating_since(w.last_active()) <= keep_alive
+        }) || self
+            .pool
+            .provisioning_workers(function)
+            .any(|w| !self.claimed.contains(&w.id()))
     }
 
     fn find_claimable_warm(&self, function: &str) -> Option<WorkerId> {
         self.pool
-            .live_workers()
+            .warm_workers(function)
             .filter(|w| {
-                w.state() == WorkerState::Warm
-                    && w.function() == function
-                    && !self.claimed.contains(&w.id())
+                !self.claimed.contains(&w.id())
                     && self.now >= w.ready_at()
                     && (self.is_pool_owned(w.id())
                         || self.now.saturating_since(w.last_active())
@@ -1204,12 +1211,8 @@ impl Platform {
 
     fn find_claimable_pending(&self, function: &str) -> Option<(WorkerId, SimTime)> {
         self.pool
-            .live_workers()
-            .filter(|w| {
-                w.state() == WorkerState::Provisioning
-                    && w.function() == function
-                    && !self.claimed.contains(&w.id())
-            })
+            .provisioning_workers(function)
+            .filter(|w| !self.claimed.contains(&w.id()))
             .min_by_key(|w| (w.ready_at(), w.id()))
             .map(|w| (w.id(), w.ready_at()))
     }
@@ -1230,9 +1233,8 @@ impl Platform {
                 // make room (OpenWhisk's limited pool, §2.3).
                 let victim = self
                     .pool
-                    .live_workers()
-                    .filter(|w| w.state() == WorkerState::Warm && !self.claimed.contains(&w.id()))
-                    .min_by_key(|w| (w.last_active(), w.id()))
+                    .warm_lru()
+                    .find(|w| !self.claimed.contains(&w.id()))
                     .map(Worker::id);
                 if let Some(v) = victim {
                     self.kill_worker(v, self.now);
@@ -1251,9 +1253,8 @@ impl Platform {
         if self.cluster.place(id, spec.memory()).is_err() {
             let victim = self
                 .pool
-                .live_workers()
-                .filter(|w| w.state() == WorkerState::Warm && !self.claimed.contains(&w.id()))
-                .min_by_key(|w| (w.last_active(), w.id()))
+                .warm_lru()
+                .find(|w| !self.claimed.contains(&w.id()))
                 .map(Worker::id);
             if let Some(v) = victim {
                 self.kill_worker(v, self.now);
@@ -1308,24 +1309,21 @@ impl Platform {
     /// re-targeting it (future work §7). Returns whether a worker was
     /// reused.
     fn try_retarget(&mut self, req: u64, spec: &xanadu_chain::FunctionSpec) -> bool {
+        // LRU order makes the pick deterministic (oldest compatible spare
+        // first); the old any-order scan depended on hash-map iteration.
         let candidate = self
             .pool
-            .live_workers()
-            .filter(|w| {
-                w.state() == WorkerState::Warm
-                    && w.served() == 0
+            .warm_lru()
+            .find(|w| {
+                w.served() == 0
                     && !self.claimed.contains(&w.id())
                     && w.isolation() == spec.isolation_level()
                     && w.memory_mb() == spec.memory()
                     && self.spawner.get(&w.id()) == Some(&req)
             })
-            .map(Worker::id)
-            .next();
+            .map(Worker::id);
         match candidate {
-            Some(id) => {
-                let w = self.pool.get_mut(id).expect("candidate live");
-                w.retarget(spec.name()).is_ok()
-            }
+            Some(id) => self.pool.retarget(id, spec.name()).is_ok(),
             None => false,
         }
     }
@@ -1406,6 +1404,48 @@ mod tests {
         p.trigger_at("chain", SimTime::ZERO).unwrap();
         p.run_until_idle();
         p.finish()
+    }
+
+    #[test]
+    fn plan_cache_hits_across_identical_triggers() {
+        let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 42));
+        p.deploy(chain(4, 500.0)).unwrap();
+        // Both triggers plan before any execution happens, so the metrics
+        // epoch is unchanged between them: one miss, one hit.
+        p.trigger_at("chain", SimTime::ZERO).unwrap();
+        p.trigger_at("chain", SimTime::ZERO).unwrap();
+        p.run_until_idle();
+        let stats = p.plan_cache_stats();
+        assert_eq!(stats.misses, 1, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+
+        // By now the completed runs have recorded cold starts and
+        // runtimes, so the profiled estimates moved: the cached plan is
+        // stale and a later trigger must recompute.
+        let later = p.now() + SimDuration::from_mins(10);
+        p.trigger_at("chain", later).unwrap();
+        p.run_until_idle();
+        let stats = p.plan_cache_stats();
+        assert_eq!(stats.misses, 2, "{stats:?}");
+        assert_eq!(stats.hits, 1, "{stats:?}");
+    }
+
+    #[test]
+    fn plan_cache_does_not_change_results() {
+        let run = |cache_on: bool| {
+            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 42);
+            cfg.plan_cache = cache_on;
+            let mut p = Platform::new(cfg);
+            p.deploy(chain(6, 1000.0)).unwrap();
+            for i in 0..5u64 {
+                p.trigger_at("chain", SimTime::from_secs(i * 2)).unwrap();
+            }
+            p.run_until_idle();
+            p.finish()
+        };
+        let on = run(true);
+        let off = run(false);
+        assert_eq!(on.results, off.results);
     }
 
     #[test]
@@ -1635,7 +1675,8 @@ mod tests {
 
         // Without an output the probability governs: over 10 requests the
         // 0.9-success branch dominates.
-        let doc_no_output = doc.replace(",\n                        \"output\": {\"score\": 3}", "");
+        let doc_no_output =
+            doc.replace(",\n                        \"output\": {\"score\": 3}", "");
         let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Cold, 3));
         p.deploy_sdl("cond", &doc_no_output).unwrap();
         for i in 0..10 {
@@ -1648,7 +1689,10 @@ mod tests {
                     .is_some_and(|t| t.exec_interval("approve").is_some())
             })
             .count();
-        assert!(approvals >= 6, "probability draw favours success: {approvals}");
+        assert!(
+            approvals >= 6,
+            "probability draw favours success: {approvals}"
+        );
     }
 
     #[test]

@@ -62,6 +62,10 @@ struct ParentEntry {
 pub struct BranchDetector {
     alpha: f64,
     parents: HashMap<String, ParentEntry>,
+    /// Bumped on every observation / window roll; consumers (the plan
+    /// cache) use it to detect that probabilities may have changed.
+    #[serde(default)]
+    epoch: u64,
 }
 
 impl BranchDetector {
@@ -76,7 +80,17 @@ impl BranchDetector {
         BranchDetector {
             alpha,
             parents: HashMap::new(),
+            epoch: 0,
         }
+    }
+
+    /// Monotonic change counter: bumped by every
+    /// [`observe_request`](Self::observe_request) and
+    /// [`roll_window`](Self::roll_window), so a cached product of this
+    /// detector's probabilities is valid exactly while the epoch it was
+    /// computed at still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     /// Observes one dispatched request to `function`, with the parent
@@ -87,6 +101,7 @@ impl BranchDetector {
     /// group; a request *without* a header only bumps the function's own
     /// request count.
     pub fn observe_request(&mut self, function: &str, parent: Option<&str>) {
+        self.epoch += 1;
         // Every request to `function` counts toward its own invocation
         // total (it may itself be a parent later).
         let entry = self.parents.entry(function.to_string()).or_default();
@@ -179,6 +194,7 @@ impl BranchDetector {
     /// "metrics being updated after every fixed interval of time", §3.1).
     /// Windows with no parent requests are skipped.
     pub fn roll_window(&mut self) {
+        self.epoch += 1;
         let alpha = self.alpha;
         for p in self.parents.values_mut() {
             if p.window_parent == 0 {

@@ -68,28 +68,28 @@ pub struct MetricsEngine {
     /// JSON maps need string keys.
     #[serde(with = "invoke_delay_serde")]
     invoke_delays: HashMap<(String, String), Ema>,
+    /// Bumped on every recorded observation; consumers (the plan cache)
+    /// use it to detect that estimates may have changed.
+    #[serde(default)]
+    epoch: u64,
 }
 
 mod invoke_delay_serde {
     use super::Ema;
-    use serde::de::Deserializer;
-    use serde::ser::Serializer;
-    use serde::{Deserialize, Serialize};
+    use serde::{Deserialize, Error, Serialize, Value};
     use std::collections::HashMap;
 
-    pub fn serialize<S: Serializer>(
-        map: &HashMap<(String, String), Ema>,
-        s: S,
-    ) -> Result<S::Ok, S::Error> {
-        let entries: Vec<(&String, &String, &Ema)> =
+    pub fn to_json(map: &HashMap<(String, String), Ema>) -> Value {
+        // Sort entries so the persisted document is deterministic
+        // regardless of hash-map iteration order.
+        let mut entries: Vec<(&String, &String, &Ema)> =
             map.iter().map(|((p, c), e)| (p, c, e)).collect();
-        entries.serialize(s)
+        entries.sort_by_key(|(p, c, _)| (p.as_str(), c.as_str()));
+        entries.to_json()
     }
 
-    pub fn deserialize<'de, D: Deserializer<'de>>(
-        d: D,
-    ) -> Result<HashMap<(String, String), Ema>, D::Error> {
-        let entries: Vec<(String, String, Ema)> = Vec::deserialize(d)?;
+    pub fn from_json(value: &Value) -> Result<HashMap<(String, String), Ema>, Error> {
+        let entries = Vec::<(String, String, Ema)>::from_json(value)?;
         Ok(entries.into_iter().map(|(p, c, e)| ((p, c), e)).collect())
     }
 }
@@ -106,7 +106,15 @@ impl MetricsEngine {
             alpha,
             profiles: HashMap::new(),
             invoke_delays: HashMap::new(),
+            epoch: 0,
         }
+    }
+
+    /// Monotonic change counter: bumped by every `record_*` call, so a
+    /// cached product of this engine's estimates is valid exactly while
+    /// the epoch it was computed at still matches.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
     }
 
     fn profile_entry(&mut self, function: &str) -> &mut FunctionProfile {
@@ -118,6 +126,7 @@ impl MetricsEngine {
 
     /// Records an observed cold-start latency for `function`.
     pub fn record_cold_start(&mut self, function: &str, latency: SimDuration) {
+        self.epoch += 1;
         self.profile_entry(function)
             .cold_start_ms
             .record(latency.as_millis_f64());
@@ -125,6 +134,7 @@ impl MetricsEngine {
 
     /// Records an observed worker startup latency for `function`.
     pub fn record_startup(&mut self, function: &str, latency: SimDuration) {
+        self.epoch += 1;
         self.profile_entry(function)
             .startup_ms
             .record(latency.as_millis_f64());
@@ -132,6 +142,7 @@ impl MetricsEngine {
 
     /// Records an observed warm-start runtime for `function`.
     pub fn record_warm_runtime(&mut self, function: &str, runtime: SimDuration) {
+        self.epoch += 1;
         self.profile_entry(function)
             .warm_runtime_ms
             .record(runtime.as_millis_f64());
@@ -140,6 +151,7 @@ impl MetricsEngine {
     /// Records an observed parent→child invocation delay (implicit chains,
     /// §3.2.2).
     pub fn record_invoke_delay(&mut self, parent: &str, child: &str, delay: SimDuration) {
+        self.epoch += 1;
         let alpha = self.alpha;
         self.invoke_delays
             .entry((parent.to_string(), child.to_string()))

@@ -15,7 +15,7 @@
 
 use crate::worker::{Worker, WorkerId, WorkerRecord, WorkerState};
 use serde::{Deserialize, Serialize};
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeSet, HashMap, HashSet};
 use xanadu_simcore::{SimDuration, SimTime};
 
 /// Configuration of a [`WorkerPool`].
@@ -39,15 +39,55 @@ impl Default for PoolConfig {
     }
 }
 
+/// Per-function buckets of live worker ids, one per lifecycle state.
+///
+/// `BTreeSet` keeps bucket iteration in ascending id order, so every
+/// selection made over a bucket is deterministic regardless of hash-map
+/// seeding.
+#[derive(Debug, Clone, Default)]
+struct FnIndex {
+    warm: BTreeSet<WorkerId>,
+    provisioning: BTreeSet<WorkerId>,
+    busy: BTreeSet<WorkerId>,
+}
+
+impl FnIndex {
+    fn bucket(&mut self, state: WorkerState) -> &mut BTreeSet<WorkerId> {
+        match state {
+            WorkerState::Provisioning => &mut self.provisioning,
+            WorkerState::Warm => &mut self.warm,
+            WorkerState::Busy => &mut self.busy,
+            WorkerState::Dead => unreachable!("dead workers are never indexed"),
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.warm.is_empty() && self.provisioning.is_empty() && self.busy.is_empty()
+    }
+}
+
 /// Tracks every worker of a platform run: live workers by state, warm
 /// workers indexed by function for reuse, and the accounting records of
 /// dead workers.
+///
+/// The pool maintains two secondary indexes so the dispatch hot path never
+/// scans the full worker map: per-function, per-state id buckets
+/// ([`FnIndex`]) and a global LRU order of warm workers keyed by
+/// `(last_active, id)`. Both are kept consistent by routing every state
+/// transition through the pool ([`mark_ready`](Self::mark_ready),
+/// [`begin_exec`](Self::begin_exec), [`end_exec`](Self::end_exec),
+/// [`retarget`](Self::retarget)) — which is why the pool hands out only
+/// shared borrows of its workers.
 #[derive(Debug, Clone, Default)]
 pub struct WorkerPool {
     config: PoolConfig,
     next_id: u64,
     live: HashMap<WorkerId, Worker>,
     dead: Vec<WorkerRecord>,
+    by_function: HashMap<String, FnIndex>,
+    /// Warm workers ordered by `(last_active, id)`: LRU victims and
+    /// keep-alive expiry scans read an ascending prefix.
+    warm_by_activity: BTreeSet<(SimTime, WorkerId)>,
 }
 
 impl WorkerPool {
@@ -58,6 +98,8 @@ impl WorkerPool {
             next_id: 0,
             live: HashMap::new(),
             dead: Vec::new(),
+            by_function: HashMap::new(),
+            warm_by_activity: BTreeSet::new(),
         }
     }
 
@@ -73,14 +115,29 @@ impl WorkerPool {
         id
     }
 
-    /// Registers a newly provisioning worker.
+    /// Registers a new worker, indexing it under its current state (tests
+    /// and pre-warmed pools may insert already-warm workers).
     ///
     /// # Panics
     ///
-    /// Panics if a worker with the same id is already tracked.
+    /// Panics if a worker with the same id is already tracked, or the
+    /// worker is dead.
     pub fn insert(&mut self, worker: Worker) {
-        let prev = self.live.insert(worker.id(), worker);
+        let id = worker.id();
+        let state = worker.state();
+        assert_ne!(state, WorkerState::Dead, "cannot insert a dead worker");
+        let function = worker.function().to_string();
+        let last_active = worker.last_active();
+        let prev = self.live.insert(id, worker);
         assert!(prev.is_none(), "worker id reused");
+        self.by_function
+            .entry(function)
+            .or_default()
+            .bucket(state)
+            .insert(id);
+        if state == WorkerState::Warm {
+            self.warm_by_activity.insert((last_active, id));
+        }
     }
 
     /// Borrow a live worker.
@@ -88,9 +145,93 @@ impl WorkerPool {
         self.live.get(&id)
     }
 
-    /// Mutably borrow a live worker.
-    pub fn get_mut(&mut self, id: WorkerId) -> Option<&mut Worker> {
-        self.live.get_mut(&id)
+    /// Marks a provisioning worker ready (idempotent on already-warm
+    /// workers), returning whether the id was live.
+    pub fn mark_ready(&mut self, id: WorkerId) -> bool {
+        let Some(w) = self.live.get_mut(&id) else {
+            return false;
+        };
+        let was_provisioning = w.state() == WorkerState::Provisioning;
+        w.mark_ready();
+        if was_provisioning {
+            let last_active = w.last_active();
+            let fx = self
+                .by_function
+                .get_mut(w.function())
+                .expect("live worker is indexed");
+            fx.provisioning.remove(&id);
+            fx.warm.insert(id);
+            self.warm_by_activity.insert((last_active, id));
+        }
+        true
+    }
+
+    /// Transitions a warm worker to `Busy` at `now`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not live or the worker is not warm.
+    pub fn begin_exec(&mut self, id: WorkerId, now: SimTime) {
+        let w = self.live.get_mut(&id).expect("executing worker is live");
+        let before = w.last_active();
+        w.begin_exec(now);
+        let fx = self
+            .by_function
+            .get_mut(w.function())
+            .expect("live worker is indexed");
+        fx.warm.remove(&id);
+        fx.busy.insert(id);
+        self.warm_by_activity.remove(&(before, id));
+    }
+
+    /// Transitions a busy worker back to `Warm` at `now` after an
+    /// execution that began at `began`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not live or the worker is not busy.
+    pub fn end_exec(&mut self, id: WorkerId, began: SimTime, now: SimTime) {
+        let w = self.live.get_mut(&id).expect("worker live");
+        w.end_exec(began, now);
+        let fx = self
+            .by_function
+            .get_mut(w.function())
+            .expect("live worker is indexed");
+        fx.busy.remove(&id);
+        fx.warm.insert(id);
+        self.warm_by_activity.insert((now, id));
+    }
+
+    /// Re-targets an unused warm worker to `function` (see
+    /// [`Worker::retarget`] for the eligibility rules), moving it between
+    /// function buckets on success.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Worker::retarget`] errors; unknown ids error too.
+    pub fn retarget(&mut self, id: WorkerId, function: &str) -> Result<(), String> {
+        let w = self
+            .live
+            .get_mut(&id)
+            .ok_or_else(|| format!("worker {id} not live"))?;
+        let old = w.function().to_string();
+        w.retarget(function)?;
+        if old != function {
+            if let Some(fx) = self.by_function.get_mut(&old) {
+                fx.warm.remove(&id);
+                if fx.is_empty() {
+                    self.by_function.remove(&old);
+                }
+            }
+            self.by_function
+                .entry(function.to_string())
+                .or_default()
+                .warm
+                .insert(id);
+            // `warm_by_activity` is keyed by (last_active, id), neither of
+            // which changes on retarget.
+        }
+        Ok(())
     }
 
     /// Finds a warm idle worker for `function` whose keep-alive has not
@@ -98,38 +239,90 @@ impl WorkerPool {
     /// locality, and matches typical platform LIFO reuse). Returns its id
     /// without changing its state.
     pub fn find_warm(&self, function: &str, now: SimTime) -> Option<WorkerId> {
-        self.live
-            .values()
+        self.warm_workers(function)
             .filter(|w| {
-                w.state() == WorkerState::Warm
-                    && w.function() == function
-                    && now >= w.ready_at()
+                now >= w.ready_at()
                     && now.saturating_since(w.last_active()) <= self.config.keep_alive
             })
             .max_by_key(|w| (w.last_active(), w.id()))
-            .map(|w| w.id())
+            .map(Worker::id)
+    }
+
+    /// Iterates the warm workers of `function` (ascending id order).
+    pub fn warm_workers(&self, function: &str) -> impl Iterator<Item = &Worker> {
+        self.by_function
+            .get(function)
+            .into_iter()
+            .flat_map(|fx| fx.warm.iter())
+            .map(move |id| &self.live[id])
+    }
+
+    /// Iterates the provisioning workers of `function` (ascending id
+    /// order).
+    pub fn provisioning_workers(&self, function: &str) -> impl Iterator<Item = &Worker> {
+        self.by_function
+            .get(function)
+            .into_iter()
+            .flat_map(|fx| fx.provisioning.iter())
+            .map(move |id| &self.live[id])
+    }
+
+    /// Number of warm workers of `function` (O(1)).
+    pub fn warm_count(&self, function: &str) -> usize {
+        self.by_function.get(function).map_or(0, |fx| fx.warm.len())
+    }
+
+    /// Number of provisioning workers of `function` (O(1)).
+    pub fn provisioning_count(&self, function: &str) -> usize {
+        self.by_function
+            .get(function)
+            .map_or(0, |fx| fx.provisioning.len())
+    }
+
+    /// Iterates all warm workers, least recently active first (ties by
+    /// ascending id): LRU eviction and keep-alive expiry order.
+    pub fn warm_lru(&self) -> impl Iterator<Item = &Worker> {
+        self.warm_by_activity.iter().map(|(_, id)| &self.live[id])
     }
 
     /// Kills a live worker at `now`, moving its record to the dead list.
     /// Returns the record, or `None` if the id is unknown.
     pub fn kill(&mut self, id: WorkerId, now: SimTime) -> Option<WorkerRecord> {
         let worker = self.live.remove(&id)?;
+        self.unindex(&worker);
         let record = worker.kill(now);
         self.dead.push(record.clone());
         Some(record)
     }
 
+    /// Drops a (just removed, still non-dead) worker from both secondary
+    /// indexes.
+    fn unindex(&mut self, worker: &Worker) {
+        let state = worker.state();
+        if let Some(fx) = self.by_function.get_mut(worker.function()) {
+            fx.bucket(state).remove(&worker.id());
+            if fx.is_empty() {
+                self.by_function.remove(worker.function());
+            }
+        }
+        if state == WorkerState::Warm {
+            self.warm_by_activity
+                .remove(&(worker.last_active(), worker.id()));
+        }
+    }
+
     /// Reaps every warm worker whose idle time exceeded keep-alive at
     /// `now`, returning how many were reaped.
     pub fn reap_expired(&mut self, now: SimTime) -> usize {
+        // Expiry is monotone in `last_active`, so the expired set is an
+        // ascending prefix of the LRU order.
         let expired: Vec<WorkerId> = self
-            .live
-            .values()
-            .filter(|w| {
-                w.state() == WorkerState::Warm
-                    && now.saturating_since(w.last_active()) > self.config.keep_alive
+            .warm_by_activity
+            .iter()
+            .take_while(|(last_active, _)| {
+                now.saturating_since(*last_active) > self.config.keep_alive
             })
-            .map(Worker::id)
+            .map(|&(_, id)| id)
             .collect();
         let n = expired.len();
         for id in expired {
@@ -147,26 +340,23 @@ impl WorkerPool {
         let Some(cap) = self.config.max_warm else {
             return Vec::new();
         };
-        let warm: Vec<&Worker> = self
-            .live
-            .values()
-            .filter(|w| w.state() == WorkerState::Warm && now >= w.ready_at())
+        // LRU order already sorts by (last_active, id); only workers whose
+        // readiness has arrived count toward the cap.
+        let warm: Vec<WorkerId> = self
+            .warm_by_activity
+            .iter()
+            .filter(|&&(_, id)| now >= self.live[&id].ready_at())
+            .map(|&(_, id)| id)
             .collect();
         if warm.len() <= cap {
             return Vec::new();
         }
         let over = warm.len() - cap;
         // Exempt workers count toward the cap but cannot be evicted.
-        let mut candidates: Vec<(SimTime, WorkerId)> = warm
-            .iter()
-            .filter(|w| !exempt.contains(&w.id()))
-            .map(|w| (w.last_active(), w.id()))
-            .collect();
-        candidates.sort(); // oldest first
-        let evict: Vec<WorkerId> = candidates
+        let evict: Vec<WorkerId> = warm
             .into_iter()
+            .filter(|id| !exempt.contains(id))
             .take(over)
-            .map(|(_, id)| id)
             .collect();
         for &id in &evict {
             self.kill(id, now);
@@ -229,13 +419,11 @@ mod tests {
         // Make b more recently active.
         let t0 = SimTime::from_millis(100);
         let t1 = SimTime::from_millis(200);
-        pool.get_mut(b).unwrap().begin_exec(t0);
-        pool.get_mut(b).unwrap().end_exec(t0, t1);
+        pool.begin_exec(b, t0);
+        pool.end_exec(b, t0, t1);
         assert_eq!(pool.find_warm("f", SimTime::from_millis(300)), Some(b));
         // Busy workers are not offered.
-        pool.get_mut(b)
-            .unwrap()
-            .begin_exec(SimTime::from_millis(400));
+        pool.begin_exec(b, SimTime::from_millis(400));
         assert_eq!(pool.find_warm("f", SimTime::from_millis(500)), Some(a));
     }
 
@@ -279,10 +467,8 @@ mod tests {
         let b = add_worker(&mut pool, "f", 0);
         // Keep b fresh.
         let t0 = SimTime::from_secs(50);
-        pool.get_mut(b).unwrap().begin_exec(t0);
-        pool.get_mut(b)
-            .unwrap()
-            .end_exec(t0, SimTime::from_secs(55));
+        pool.begin_exec(b, t0);
+        pool.end_exec(b, t0, SimTime::from_secs(55));
         let reaped = pool.reap_expired(SimTime::from_secs(70));
         assert_eq!(reaped, 1);
         assert_eq!(pool.live_count(), 1);
@@ -303,8 +489,8 @@ mod tests {
         for (i, id) in [(1u64, b), (2, c)] {
             let t0 = SimTime::from_secs(i * 10);
             let t1 = SimTime::from_secs(i * 10 + 1);
-            pool.get_mut(id).unwrap().begin_exec(t0);
-            pool.get_mut(id).unwrap().end_exec(t0, t1);
+            pool.begin_exec(id, t0);
+            pool.end_exec(id, t0, t1);
         }
         let evicted = pool.enforce_warm_cap(SimTime::from_secs(100), &HashSet::new());
         assert_eq!(evicted, vec![a]);
@@ -319,7 +505,7 @@ mod tests {
         });
         let a = add_worker(&mut pool, "f0", 0);
         let _b = add_worker(&mut pool, "f1", 0);
-        pool.get_mut(a).unwrap().begin_exec(SimTime::from_secs(1));
+        pool.begin_exec(a, SimTime::from_secs(1));
         // a is busy; only b is warm → under cap, nothing evicted.
         assert!(pool
             .enforce_warm_cap(SimTime::from_secs(2), &HashSet::new())
@@ -375,5 +561,96 @@ mod tests {
         let a = pool.next_worker_id();
         let b = pool.next_worker_id();
         assert_ne!(a, b);
+    }
+
+    /// Inserts a still-provisioning worker (no `mark_ready`).
+    fn add_provisioning(pool: &mut WorkerPool, function: &str, ready_ms: u64) -> WorkerId {
+        let id = pool.next_worker_id();
+        pool.insert(Worker::provisioning(
+            id,
+            function,
+            IsolationLevel::Container,
+            512,
+            SimTime::ZERO,
+            SimTime::from_millis(ready_ms),
+        ));
+        id
+    }
+
+    #[test]
+    fn index_tracks_state_transitions() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        let a = add_provisioning(&mut pool, "f", 100);
+        assert_eq!(
+            pool.provisioning_workers("f")
+                .map(Worker::id)
+                .collect::<Vec<_>>(),
+            vec![a]
+        );
+        assert_eq!(pool.warm_count("f"), 0);
+
+        assert!(pool.mark_ready(a));
+        assert_eq!(pool.provisioning_count("f"), 0);
+        assert_eq!(
+            pool.warm_workers("f").map(Worker::id).collect::<Vec<_>>(),
+            vec![a]
+        );
+        assert_eq!(pool.warm_lru().map(Worker::id).collect::<Vec<_>>(), vec![a]);
+        // Idempotent on already-warm workers; unknown ids report false.
+        assert!(pool.mark_ready(a));
+        assert!(!pool.mark_ready(WorkerId(99)));
+
+        let t0 = SimTime::from_millis(200);
+        pool.begin_exec(a, t0);
+        assert_eq!(pool.warm_count("f"), 0);
+        assert_eq!(pool.warm_lru().count(), 0);
+
+        pool.end_exec(a, t0, SimTime::from_millis(300));
+        assert_eq!(pool.warm_count("f"), 1);
+        assert_eq!(
+            pool.warm_lru().next().map(Worker::last_active),
+            Some(SimTime::from_millis(300))
+        );
+
+        pool.kill(a, SimTime::from_millis(400));
+        assert_eq!(pool.warm_count("f"), 0);
+        assert_eq!(pool.warm_lru().count(), 0);
+        assert_eq!(pool.live_count(), 0);
+    }
+
+    #[test]
+    fn warm_lru_orders_least_recently_active_first() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        let a = add_worker(&mut pool, "f", 0);
+        let b = add_worker(&mut pool, "g", 0);
+        let c = add_worker(&mut pool, "f", 0);
+        let t0 = SimTime::from_millis(100);
+        pool.begin_exec(a, t0);
+        pool.end_exec(a, t0, SimTime::from_millis(200));
+        // b and c idle since ready (last_active 0, tie broken by id), then a.
+        assert_eq!(
+            pool.warm_lru().map(Worker::id).collect::<Vec<_>>(),
+            vec![b, c, a]
+        );
+    }
+
+    #[test]
+    fn retarget_moves_between_function_buckets() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        let a = add_worker(&mut pool, "f", 0);
+        assert!(pool.retarget(a, "g").is_ok());
+        assert_eq!(pool.warm_count("f"), 0);
+        assert_eq!(
+            pool.warm_workers("g").map(Worker::id).collect::<Vec<_>>(),
+            vec![a]
+        );
+        assert_eq!(pool.get(a).unwrap().function(), "g");
+        // A served worker cannot be re-targeted, and the index is untouched.
+        let t0 = SimTime::from_millis(10);
+        pool.begin_exec(a, t0);
+        pool.end_exec(a, t0, SimTime::from_millis(20));
+        assert!(pool.retarget(a, "h").is_err());
+        assert_eq!(pool.warm_count("g"), 1);
+        assert!(pool.retarget(WorkerId(99), "h").is_err());
     }
 }

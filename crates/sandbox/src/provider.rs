@@ -241,10 +241,15 @@ mod tests {
 
     #[test]
     fn warm_dispatch_is_small() {
+        // The container profile draws warm dispatch from roughly
+        // Normal(100ms, 20ms), so bound the draw well above the mean —
+        // the point is that dispatch stays orders of magnitude below the
+        // multi-second cold starts, not that it lands under the mean.
         let mut p = SimSandboxProvider::new(9);
         for level in IsolationLevel::ALL {
             let d = p.warm_dispatch(level).as_millis_f64();
-            assert!(d < 100.0, "{level}: {d}ms");
+            assert!(d < 250.0, "{level}: {d}ms");
+            assert!(d * 4.0 < p.mean_cold_start_ms(level), "{level}: {d}ms");
         }
     }
 

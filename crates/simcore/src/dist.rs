@@ -320,24 +320,12 @@ mod tests {
     }
 
     fn serde_json_roundtrip(d: &Distribution) -> Distribution {
-        // serde_json is not a dependency of simcore; use the serde test via
-        // a simple in-memory format instead. `serde_json` lives upstream;
-        // here we assert Serialize/Deserialize derive compiles and roundtrips
-        // through the `serde` data model using `serde::de::value`.
-        use serde::de::IntoDeserializer;
-        use serde::Deserialize;
-        // Serialize into a serde_json-free Value-like structure is overkill;
-        // a pragmatic check: roundtrip through the `Display` of Debug isn't
-        // possible, so use bincode-like manual check via untagged clone.
-        // Simplest faithful check available without extra deps:
-        let cloned = d.clone();
-        // Exercise Deserialize on a unit error path to prove the impl exists.
-        let _ = Distribution::deserialize(
-            serde::de::value::UnitDeserializer::<serde::de::value::Error>::new()
-                .into_deserializer(),
-        )
-        .unwrap_err();
-        cloned
+        // serde_json is not a dependency of simcore; roundtrip through the
+        // serde `Value` data model directly, which is exactly what the
+        // JSON layer does upstream.
+        use serde::{Deserialize, Serialize};
+        let value = d.to_json();
+        Distribution::from_json(&value).expect("roundtrip through Value")
     }
 
     #[test]

@@ -1,0 +1,399 @@
+//! `Serialize`/`Deserialize` implementations for std types.
+
+use crate::value::{Number, Value};
+use crate::{Deserialize, Error, Serialize};
+use std::collections::{BTreeMap, HashMap};
+
+// ---------------------------------------------------------------------------
+// Serialize
+// ---------------------------------------------------------------------------
+
+macro_rules! ser_via_from {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_json(&self) -> Value {
+                Value::from(*self)
+            }
+        }
+    )*};
+}
+
+ser_via_from!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64, bool);
+
+impl Serialize for String {
+    fn to_json(&self) -> Value {
+        Value::String(self.clone())
+    }
+}
+
+impl Serialize for str {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_json(&self) -> Value {
+        Value::String(self.to_string())
+    }
+}
+
+impl Serialize for () {
+    fn to_json(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_json(&self) -> Value {
+        (**self).to_json()
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json(&self) -> Value {
+        match self {
+            Some(v) => v.to_json(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json).collect())
+    }
+}
+
+impl<A: Serialize, B: Serialize> Serialize for (A, B) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json()])
+    }
+}
+
+impl<A: Serialize, B: Serialize, C: Serialize> Serialize for (A, B, C) {
+    fn to_json(&self) -> Value {
+        Value::Array(vec![self.0.to_json(), self.1.to_json(), self.2.to_json()])
+    }
+}
+
+/// Map keys that can be represented as JSON object keys.
+///
+/// Mirrors `serde_json`'s behavior of stringifying integer keys, and
+/// extends it with `(usize, usize)` index pairs (encoded `"i,j"`), which
+/// this workspace uses for edge-probability tables.
+pub trait MapKey: Sized {
+    /// The JSON object key for this value.
+    fn to_map_key(&self) -> String;
+    /// Parses the value back from a JSON object key.
+    fn from_map_key(key: &str) -> Result<Self, Error>;
+}
+
+impl MapKey for String {
+    fn to_map_key(&self) -> String {
+        self.clone()
+    }
+    fn from_map_key(key: &str) -> Result<Self, Error> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! int_map_key {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_map_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_map_key(key: &str) -> Result<Self, Error> {
+                key.parse().map_err(|_| {
+                    Error::custom(format!("invalid {} map key `{key}`", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+int_map_key!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl MapKey for (usize, usize) {
+    fn to_map_key(&self) -> String {
+        format!("{},{}", self.0, self.1)
+    }
+    fn from_map_key(key: &str) -> Result<Self, Error> {
+        let (a, b) = key
+            .split_once(',')
+            .ok_or_else(|| Error::custom(format!("invalid index-pair map key `{key}`")))?;
+        Ok((usize::from_map_key(a)?, usize::from_map_key(b)?))
+    }
+}
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn to_json(&self) -> Value {
+        // BTreeMap target: key order is deterministic regardless of the
+        // hash map's iteration order.
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_map_key(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn to_json(&self) -> Value {
+        Value::Object(
+            self.iter()
+                .map(|(k, v)| (k.to_map_key(), v.to_json()))
+                .collect(),
+        )
+    }
+}
+
+impl Serialize for Value {
+    fn to_json(&self) -> Value {
+        self.clone()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Deserialize
+// ---------------------------------------------------------------------------
+
+macro_rules! de_uint {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_u64()
+                    .ok_or_else(|| Error::expected(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+de_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! de_int {
+    ($($t:ty),*) => {$(
+        impl Deserialize for $t {
+            fn from_json(value: &Value) -> Result<Self, Error> {
+                let n = value
+                    .as_i64()
+                    .ok_or_else(|| Error::expected(stringify!($t), value))?;
+                <$t>::try_from(n).map_err(|_| {
+                    Error::custom(format!("{n} out of range for {}", stringify!($t)))
+                })
+            }
+        }
+    )*};
+}
+
+de_int!(i8, i16, i32, i64, isize);
+
+impl Deserialize for f64 {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        // Null stands in for non-finite floats, which JSON cannot carry.
+        if value.is_null() {
+            return Ok(f64::NAN);
+        }
+        value.as_f64().ok_or_else(|| Error::expected("f64", value))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        f64::from_json(value).map(|v| v as f32)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_bool()
+            .ok_or_else(|| Error::expected("bool", value))
+    }
+}
+
+impl Deserialize for String {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| Error::expected("string", value))
+    }
+}
+
+impl Deserialize for char {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| Error::expected("char", value))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(Error::custom("expected single-character string")),
+        }
+    }
+}
+
+impl Deserialize for () {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(())
+        } else {
+            Err(Error::expected("null", value))
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        T::from_json(value).map(Box::new)
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        if value.is_null() {
+            Ok(None)
+        } else {
+            T::from_json(value).map(Some)
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_array()
+            .ok_or_else(|| Error::expected("array", value))?
+            .iter()
+            .map(T::from_json)
+            .collect()
+    }
+}
+
+fn expect_tuple(value: &Value, len: usize) -> Result<&[Value], Error> {
+    let items = value
+        .as_array()
+        .ok_or_else(|| Error::expected("tuple array", value))?;
+    if items.len() != len {
+        return Err(Error::custom(format!(
+            "expected array of length {len}, found {}",
+            items.len()
+        )));
+    }
+    Ok(items)
+}
+
+impl<A: Deserialize, B: Deserialize> Deserialize for (A, B) {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let items = expect_tuple(value, 2)?;
+        Ok((A::from_json(&items[0])?, B::from_json(&items[1])?))
+    }
+}
+
+impl<A: Deserialize, B: Deserialize, C: Deserialize> Deserialize for (A, B, C) {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        let items = expect_tuple(value, 3)?;
+        Ok((
+            A::from_json(&items[0])?,
+            B::from_json(&items[1])?,
+            C::from_json(&items[2])?,
+        ))
+    }
+}
+
+impl<K, V, S> Deserialize for HashMap<K, V, S>
+where
+    K: MapKey + Eq + std::hash::Hash,
+    V: Deserialize,
+    S: std::hash::BuildHasher + Default,
+{
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_map_key(k)?, V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        value
+            .as_object()
+            .ok_or_else(|| Error::expected("object", value))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_map_key(k)?, V::from_json(v)?)))
+            .collect()
+    }
+}
+
+impl Deserialize for Value {
+    fn from_json(value: &Value) -> Result<Self, Error> {
+        Ok(value.clone())
+    }
+}
+
+impl Serialize for Number {
+    fn to_json(&self) -> Value {
+        Value::Number(*self)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_primitives() {
+        assert_eq!(u64::from_json(&42u64.to_json()).unwrap(), 42);
+        assert_eq!(i64::from_json(&(-5i64).to_json()).unwrap(), -5);
+        assert_eq!(f64::from_json(&1.5f64.to_json()).unwrap(), 1.5);
+        assert_eq!(String::from_json(&"hi".to_json()).unwrap(), "hi");
+        assert_eq!(Option::<u32>::from_json(&Value::Null).unwrap(), None);
+        assert_eq!(Option::<u32>::from_json(&7u32.to_json()).unwrap(), Some(7));
+    }
+
+    #[test]
+    fn roundtrip_containers() {
+        let v = vec![(1u64, "a".to_string()), (2, "b".to_string())];
+        let back = Vec::<(u64, String)>::from_json(&v.to_json()).unwrap();
+        assert_eq!(back, v);
+
+        let mut m = HashMap::new();
+        m.insert("k".to_string(), 3u32);
+        let back = HashMap::<String, u32>::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn type_mismatch_errors() {
+        assert!(u64::from_json(&Value::String("x".into())).is_err());
+        assert!(bool::from_json(&Value::Null).is_err());
+        assert!(<(u32, u32)>::from_json(&vec![1u32].to_json()).is_err());
+    }
+}

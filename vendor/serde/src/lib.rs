@@ -1,0 +1,87 @@
+//! Offline vendored stand-in for the `serde` crate.
+//!
+//! The build environment cannot reach crates.io, so the workspace ships
+//! a self-contained serialization layer with serde-compatible *spelling*
+//! (`use serde::{Serialize, Deserialize}` plus `#[derive(...)]` via the
+//! companion `serde_derive` stub) over a much simpler data model: every
+//! type serializes directly to the JSON [`Value`] tree defined here.
+//!
+//! The contract differs from upstream serde:
+//!
+//! - [`Serialize::to_json`] returns a [`Value`];
+//! - [`Deserialize::from_json`] reads from a [`Value`];
+//! - `#[serde(with = "module")]` expects the module to provide
+//!   `to_json(&T) -> Value` and `from_json(&Value) -> Result<T, Error>`.
+//!
+//! Supported field attributes: `default`, `skip_serializing_if = "path"`,
+//! `with = "module"`, and the container attribute `rename_all`
+//! (`lowercase`/`snake_case`/`UPPERCASE`/`kebab-case`). `Option` fields
+//! are implicitly optional, as with upstream serde.
+
+mod impls;
+pub mod value;
+
+pub use value::{Map, Number, Value};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::fmt;
+
+/// Serialization to the [`Value`] data model.
+pub trait Serialize {
+    /// Converts `self` into a JSON value tree.
+    fn to_json(&self) -> Value;
+}
+
+/// Deserialization from the [`Value`] data model.
+pub trait Deserialize: Sized {
+    /// Reconstructs `Self` from a JSON value tree.
+    fn from_json(value: &Value) -> Result<Self, Error>;
+}
+
+/// Error produced by deserialization (and JSON parsing upstream in
+/// `serde_json`).
+#[derive(Debug, Clone)]
+pub struct Error {
+    message: String,
+}
+
+impl Error {
+    /// Builds an error with an arbitrary message.
+    pub fn custom(message: impl Into<String>) -> Self {
+        Error {
+            message: message.into(),
+        }
+    }
+
+    /// Builds a type-mismatch error.
+    pub fn expected(what: &str, got: &Value) -> Self {
+        let kind = match got {
+            Value::Null => "null",
+            Value::Bool(_) => "a boolean",
+            Value::Number(_) => "a number",
+            Value::String(_) => "a string",
+            Value::Array(_) => "an array",
+            Value::Object(_) => "an object",
+        };
+        Error {
+            message: format!("expected {what}, found {kind}"),
+        }
+    }
+
+    /// Builds a missing-field error.
+    pub fn missing_field(field: &str, container: &str) -> Self {
+        Error {
+            message: format!("missing field `{field}` in {container}"),
+        }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.message)
+    }
+}
+
+impl std::error::Error for Error {}

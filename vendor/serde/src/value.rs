@@ -1,0 +1,503 @@
+//! The JSON-like value tree serving as this stub's serde data model.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Object representation. A `BTreeMap` keeps key order deterministic,
+/// which the workspace relies on for byte-identical rendered output.
+pub type Map<K, V> = BTreeMap<K, V>;
+
+/// A JSON number: unsigned, signed, or floating point.
+#[derive(Clone, Copy, Debug)]
+pub struct Number(pub(crate) N);
+
+#[derive(Clone, Copy, Debug)]
+pub(crate) enum N {
+    U(u64),
+    I(i64),
+    F(f64),
+}
+
+impl Number {
+    /// Builds from an unsigned integer.
+    pub fn from_u64(v: u64) -> Self {
+        Number(N::U(v))
+    }
+
+    /// Builds from a signed integer (normalized to unsigned when possible).
+    pub fn from_i64(v: i64) -> Self {
+        if v >= 0 {
+            Number(N::U(v as u64))
+        } else {
+            Number(N::I(v))
+        }
+    }
+
+    /// Builds from a float. Returns `None` for non-finite values, which
+    /// JSON cannot represent.
+    pub fn from_f64(v: f64) -> Option<Self> {
+        v.is_finite().then_some(Number(N::F(v)))
+    }
+
+    /// The value as `f64` (lossy for very large integers).
+    pub fn as_f64(&self) -> Option<f64> {
+        Some(match self.0 {
+            N::U(v) => v as f64,
+            N::I(v) => v as f64,
+            N::F(v) => v,
+        })
+    }
+
+    /// The value as `i64`, if integral and in range.
+    pub fn as_i64(&self) -> Option<i64> {
+        match self.0 {
+            N::U(v) => i64::try_from(v).ok(),
+            N::I(v) => Some(v),
+            N::F(_) => None,
+        }
+    }
+
+    /// The value as `u64`, if integral and non-negative.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self.0 {
+            N::U(v) => Some(v),
+            N::I(v) => u64::try_from(v).ok(),
+            N::F(_) => None,
+        }
+    }
+
+    /// Whether this number was parsed/stored as a float.
+    pub fn is_f64(&self) -> bool {
+        matches!(self.0, N::F(_))
+    }
+}
+
+impl PartialEq for Number {
+    fn eq(&self, other: &Self) -> bool {
+        match (self.0, other.0) {
+            (N::F(a), N::F(b)) => a == b,
+            (N::F(_), _) | (_, N::F(_)) => false,
+            (a, b) => int_of(a) == int_of(b),
+        }
+    }
+}
+
+fn int_of(n: N) -> i128 {
+    match n {
+        N::U(v) => i128::from(v),
+        N::I(v) => i128::from(v),
+        N::F(_) => unreachable!("int_of called on float"),
+    }
+}
+
+impl fmt::Display for Number {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.0 {
+            N::U(v) => write!(f, "{v}"),
+            N::I(v) => write!(f, "{v}"),
+            N::F(v) => {
+                // Keep a decimal point on integral floats so the value
+                // parses back as a float ("2.0", not "2").
+                if v.fract() == 0.0 && v.abs() < 1e16 {
+                    write!(f, "{v:.1}")
+                } else {
+                    write!(f, "{v}")
+                }
+            }
+        }
+    }
+}
+
+/// A JSON value: the in-memory serialization target for the whole
+/// workspace (mirrors `serde_json::Value`).
+#[derive(Clone, Debug, PartialEq, Default)]
+pub enum Value {
+    /// JSON `null`.
+    #[default]
+    Null,
+    /// JSON boolean.
+    Bool(bool),
+    /// JSON number.
+    Number(Number),
+    /// JSON string.
+    String(String),
+    /// JSON array.
+    Array(Vec<Value>),
+    /// JSON object (deterministically ordered).
+    Object(Map<String, Value>),
+}
+
+static NULL_VALUE: Value = Value::Null;
+
+impl Value {
+    /// Whether this is `Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Borrows the boolean, if this is a `Bool`.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `f64`.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Number(n) => n.as_f64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `i64` (integral numbers only).
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Number(n) => n.as_i64(),
+            _ => None,
+        }
+    }
+
+    /// Numeric view as `u64` (integral, non-negative numbers only).
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::Number(n) => n.as_u64(),
+            _ => None,
+        }
+    }
+
+    /// Borrows the string, if this is a `String`.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Borrows the array, if this is an `Array`.
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the array, if this is an `Array`.
+    pub fn as_array_mut(&mut self) -> Option<&mut Vec<Value>> {
+        match self {
+            Value::Array(a) => Some(a),
+            _ => None,
+        }
+    }
+
+    /// Borrows the object, if this is an `Object`.
+    pub fn as_object(&self) -> Option<&Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Mutably borrows the object, if this is an `Object`.
+    pub fn as_object_mut(&mut self) -> Option<&mut Map<String, Value>> {
+        match self {
+            Value::Object(o) => Some(o),
+            _ => None,
+        }
+    }
+
+    /// Looks up `key` if this is an object; `None` otherwise.
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(o) => o.get(key),
+            _ => None,
+        }
+    }
+
+    /// Mutable lookup of `key` if this is an object.
+    pub fn get_mut(&mut self, key: &str) -> Option<&mut Value> {
+        match self {
+            Value::Object(o) => o.get_mut(key),
+            _ => None,
+        }
+    }
+
+    /// Renders compact JSON text.
+    pub fn to_json_string(&self) -> String {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        out
+    }
+
+    /// Renders pretty-printed JSON text (two-space indent).
+    pub fn to_json_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_pretty(self, &mut out, 0);
+        out
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+
+    /// Indexes into an object; yields `Null` for missing keys or
+    /// non-object values (matching `serde_json` semantics).
+    fn index(&self, key: &str) -> &Value {
+        self.get(key).unwrap_or(&NULL_VALUE)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+
+    /// Indexes into an array; yields `Null` when out of bounds or not an
+    /// array.
+    fn index(&self, idx: usize) -> &Value {
+        match self {
+            Value::Array(a) => a.get(idx).unwrap_or(&NULL_VALUE),
+            _ => &NULL_VALUE,
+        }
+    }
+}
+
+fn escape_json_str(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            '\u{08}' => out.push_str("\\b"),
+            '\u{0C}' => out.push_str("\\f"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+pub(crate) fn write_compact(v: &Value, out: &mut String) {
+    match v {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Number(n) => out.push_str(&n.to_string()),
+        Value::String(s) => escape_json_str(s, out),
+        Value::Array(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                write_compact(item, out);
+            }
+            out.push(']');
+        }
+        Value::Object(map) => {
+            out.push('{');
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                escape_json_str(k, out);
+                out.push(':');
+                write_compact(val, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+pub(crate) fn write_pretty(v: &Value, out: &mut String, indent: usize) {
+    const STEP: usize = 2;
+    match v {
+        Value::Array(items) if !items.is_empty() => {
+            out.push_str("[\n");
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                write_pretty(item, out, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push(']');
+        }
+        Value::Object(map) if !map.is_empty() => {
+            out.push_str("{\n");
+            for (i, (k, val)) in map.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(",\n");
+                }
+                out.push_str(&" ".repeat(indent + STEP));
+                escape_json_str(k, out);
+                out.push_str(": ");
+                write_pretty(val, out, indent + STEP);
+            }
+            out.push('\n');
+            out.push_str(&" ".repeat(indent));
+            out.push('}');
+        }
+        other => write_compact(other, out),
+    }
+}
+
+impl fmt::Display for Value {
+    /// Renders compact JSON.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut out = String::new();
+        write_compact(self, &mut out);
+        f.write_str(&out)
+    }
+}
+
+macro_rules! from_unsigned {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number(N::U(u64::from(v)))) }
+        }
+    )*};
+}
+
+macro_rules! from_signed {
+    ($($t:ty),*) => {$(
+        impl From<$t> for Value {
+            fn from(v: $t) -> Value { Value::Number(Number::from_i64(i64::from(v))) }
+        }
+    )*};
+}
+
+from_unsigned!(u8, u16, u32, u64);
+from_signed!(i8, i16, i32, i64);
+
+impl From<usize> for Value {
+    fn from(v: usize) -> Value {
+        Value::Number(Number(N::U(v as u64)))
+    }
+}
+
+impl From<isize> for Value {
+    fn from(v: isize) -> Value {
+        Value::Number(Number::from_i64(v as i64))
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Value {
+        Number::from_f64(v).map_or(Value::Null, Value::Number)
+    }
+}
+
+impl From<f32> for Value {
+    fn from(v: f32) -> Value {
+        Value::from(f64::from(v))
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Value {
+        Value::Bool(v)
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Value {
+        Value::String(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Value {
+        Value::String(v.to_string())
+    }
+}
+
+impl From<Vec<Value>> for Value {
+    fn from(v: Vec<Value>) -> Value {
+        Value::Array(v)
+    }
+}
+
+impl From<Map<String, Value>> for Value {
+    fn from(v: Map<String, Value>) -> Value {
+        Value::Object(v)
+    }
+}
+
+macro_rules! eq_int {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                match i64::try_from(*other) {
+                    Ok(v) => self.as_i64() == Some(v),
+                    Err(_) => self.as_u64() == Some(*other as u64),
+                }
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! eq_float {
+    ($($t:ty),*) => {$(
+        impl PartialEq<$t> for Value {
+            fn eq(&self, other: &$t) -> bool {
+                self.as_f64() == Some(f64::from(*other))
+            }
+        }
+        impl PartialEq<Value> for $t {
+            fn eq(&self, other: &Value) -> bool {
+                other == self
+            }
+        }
+    )*};
+}
+
+eq_float!(f32, f64);
+
+impl PartialEq<bool> for Value {
+    fn eq(&self, other: &bool) -> bool {
+        self.as_bool() == Some(*other)
+    }
+}
+
+impl PartialEq<str> for Value {
+    fn eq(&self, other: &str) -> bool {
+        self.as_str() == Some(other)
+    }
+}
+
+impl PartialEq<&str> for Value {
+    fn eq(&self, other: &&str) -> bool {
+        self.as_str() == Some(*other)
+    }
+}
+
+impl PartialEq<String> for Value {
+    fn eq(&self, other: &String) -> bool {
+        self.as_str() == Some(other.as_str())
+    }
+}
+
+impl PartialEq<Value> for &str {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(*self)
+    }
+}
+
+impl PartialEq<Value> for String {
+    fn eq(&self, other: &Value) -> bool {
+        other.as_str() == Some(self.as_str())
+    }
+}

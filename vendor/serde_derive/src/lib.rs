@@ -1,0 +1,611 @@
+//! Offline vendored `serde_derive` stand-in.
+//!
+//! Generates impls of the stub `serde::Serialize` / `serde::Deserialize`
+//! traits (`to_json`/`from_json` over `serde::Value`) for the shapes this
+//! workspace uses: named-field structs, tuple structs (newtypes and
+//! wider), unit structs, and enums with unit / tuple / struct variants.
+//! The input is parsed directly from the token stream — no `syn`/`quote`,
+//! since those cannot be fetched offline.
+//!
+//! Honored attributes: `#[serde(default)]` / `#[serde(default = "path")]`,
+//! `#[serde(skip_serializing_if = "path")]`, `#[serde(with = "module")]`
+//! on fields and `#[serde(rename_all = "...")]` on containers. `Option`
+//! fields are implicitly optional on deserialization. Other serde
+//! attributes are ignored; generics are not supported.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+// ---------------------------------------------------------------------------
+// Parsed model
+// ---------------------------------------------------------------------------
+
+struct Item {
+    name: String,
+    rename_all: Option<String>,
+    kind: Kind,
+}
+
+enum Kind {
+    NamedStruct(Vec<Field>),
+    TupleStruct(usize),
+    UnitStruct,
+    Enum(Vec<Variant>),
+}
+
+struct Field {
+    name: String,
+    is_option: bool,
+    default: bool,
+    /// Path of the function producing the default (`default = "path"`).
+    default_path: Option<String>,
+    skip_serializing_if: Option<String>,
+    with: Option<String>,
+}
+
+struct Variant {
+    name: String,
+    kind: VariantKind,
+}
+
+enum VariantKind {
+    Unit,
+    Tuple(usize),
+    Named(Vec<Field>),
+}
+
+// ---------------------------------------------------------------------------
+// Token-stream parsing
+// ---------------------------------------------------------------------------
+
+#[derive(Default)]
+struct SerdeAttrs {
+    rename_all: Option<String>,
+    default: bool,
+    default_path: Option<String>,
+    skip_serializing_if: Option<String>,
+    with: Option<String>,
+}
+
+fn ident_of(tt: &TokenTree) -> Option<String> {
+    match tt {
+        TokenTree::Ident(i) => Some(i.to_string()),
+        _ => None,
+    }
+}
+
+fn is_punct(tt: &TokenTree, c: char) -> bool {
+    matches!(tt, TokenTree::Punct(p) if p.as_char() == c)
+}
+
+/// Strips the surrounding quotes from a string-literal token.
+fn literal_str(tt: &TokenTree) -> Option<String> {
+    let s = match tt {
+        TokenTree::Literal(l) => l.to_string(),
+        _ => return None,
+    };
+    let s = s.strip_prefix('"')?.strip_suffix('"')?;
+    Some(s.to_string())
+}
+
+/// Consumes leading attributes at `i`, folding any `#[serde(...)]` metas
+/// into the returned summary.
+fn collect_attrs(tts: &[TokenTree], i: &mut usize) -> SerdeAttrs {
+    let mut attrs = SerdeAttrs::default();
+    while *i < tts.len() && is_punct(&tts[*i], '#') {
+        *i += 1;
+        let TokenTree::Group(group) = &tts[*i] else {
+            panic!("expected [...] after `#` in derive input");
+        };
+        *i += 1;
+        let inner: Vec<TokenTree> = group.stream().into_iter().collect();
+        if inner.first().and_then(ident_of).as_deref() != Some("serde") {
+            continue;
+        }
+        let Some(TokenTree::Group(args)) = inner.get(1) else {
+            continue;
+        };
+        parse_serde_meta(args.stream(), &mut attrs);
+    }
+    attrs
+}
+
+/// Parses the inside of `#[serde(...)]`: comma-separated `name` or
+/// `name = "value"` items. Unknown names are ignored.
+fn parse_serde_meta(stream: TokenStream, attrs: &mut SerdeAttrs) {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut i = 0;
+    while i < tts.len() {
+        let Some(name) = ident_of(&tts[i]) else {
+            i += 1;
+            continue;
+        };
+        i += 1;
+        let mut value = None;
+        if i < tts.len() && is_punct(&tts[i], '=') {
+            i += 1;
+            value = literal_str(&tts[i]);
+            i += 1;
+        }
+        match (name.as_str(), value) {
+            ("default", path) => {
+                attrs.default = true;
+                attrs.default_path = path;
+            }
+            ("rename_all", Some(v)) => attrs.rename_all = Some(v),
+            ("skip_serializing_if", Some(v)) => attrs.skip_serializing_if = Some(v),
+            ("with", Some(v)) => attrs.with = Some(v),
+            _ => {}
+        }
+        // Skip to the comma (or end) separating meta items.
+        while i < tts.len() && !is_punct(&tts[i], ',') {
+            i += 1;
+        }
+        if i < tts.len() {
+            i += 1;
+        }
+    }
+}
+
+fn skip_visibility(tts: &[TokenTree], i: &mut usize) {
+    if *i < tts.len() && ident_of(&tts[*i]).as_deref() == Some("pub") {
+        *i += 1;
+        if *i < tts.len() {
+            if let TokenTree::Group(g) = &tts[*i] {
+                if g.delimiter() == Delimiter::Parenthesis {
+                    *i += 1;
+                }
+            }
+        }
+    }
+}
+
+/// Consumes type tokens until a top-level comma, returning whether the
+/// type's head is `Option`.
+fn skip_type(tts: &[TokenTree], i: &mut usize) -> bool {
+    let is_option = ident_of(&tts[*i]).as_deref() == Some("Option");
+    let mut angle_depth = 0i32;
+    while *i < tts.len() {
+        match &tts[*i] {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => break,
+            _ => {}
+        }
+        *i += 1;
+    }
+    is_option
+}
+
+fn parse_named_fields(stream: TokenStream) -> Vec<Field> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut fields = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        let attrs = collect_attrs(&tts, &mut i);
+        skip_visibility(&tts, &mut i);
+        let name = ident_of(&tts[i]).expect("field name");
+        i += 1;
+        assert!(is_punct(&tts[i], ':'), "expected `:` after field name");
+        i += 1;
+        let is_option = skip_type(&tts, &mut i);
+        // Consume the trailing comma, if present.
+        if i < tts.len() && is_punct(&tts[i], ',') {
+            i += 1;
+        }
+        fields.push(Field {
+            name,
+            is_option,
+            default: attrs.default,
+            default_path: attrs.default_path,
+            skip_serializing_if: attrs.skip_serializing_if,
+            with: attrs.with,
+        });
+    }
+    fields
+}
+
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    if tts.is_empty() {
+        return 0;
+    }
+    let mut count = 1;
+    let mut angle_depth = 0i32;
+    for tt in &tts {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle_depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle_depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle_depth == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not add a field.
+    if is_punct(tts.last().unwrap(), ',') {
+        count -= 1;
+    }
+    count
+}
+
+fn parse_variants(stream: TokenStream) -> Vec<Variant> {
+    let tts: Vec<TokenTree> = stream.into_iter().collect();
+    let mut variants = Vec::new();
+    let mut i = 0;
+    while i < tts.len() {
+        let _attrs = collect_attrs(&tts, &mut i);
+        let name = ident_of(&tts[i]).expect("variant name");
+        i += 1;
+        let kind = if i < tts.len() {
+            match &tts[i] {
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                    let fields = parse_named_fields(g.stream());
+                    i += 1;
+                    VariantKind::Named(fields)
+                }
+                TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                    let n = count_tuple_fields(g.stream());
+                    i += 1;
+                    VariantKind::Tuple(n)
+                }
+                _ => VariantKind::Unit,
+            }
+        } else {
+            VariantKind::Unit
+        };
+        // Skip an explicit discriminant and advance past the separator.
+        while i < tts.len() && !is_punct(&tts[i], ',') {
+            i += 1;
+        }
+        if i < tts.len() {
+            i += 1;
+        }
+        variants.push(Variant { name, kind });
+    }
+    variants
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tts: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+    let container_attrs = collect_attrs(&tts, &mut i);
+    skip_visibility(&tts, &mut i);
+    let keyword = ident_of(&tts[i]).expect("struct/enum keyword");
+    i += 1;
+    let name = ident_of(&tts[i]).expect("type name");
+    i += 1;
+    if i < tts.len() && is_punct(&tts[i], '<') {
+        panic!("serde derive stub does not support generic types ({name})");
+    }
+    let kind = match keyword.as_str() {
+        "struct" => {
+            if i >= tts.len() || is_punct(&tts[i], ';') {
+                Kind::UnitStruct
+            } else {
+                match &tts[i] {
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                        Kind::NamedStruct(parse_named_fields(g.stream()))
+                    }
+                    TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                        Kind::TupleStruct(count_tuple_fields(g.stream()))
+                    }
+                    other => panic!("unexpected token in struct body: {other}"),
+                }
+            }
+        }
+        "enum" => {
+            let TokenTree::Group(g) = &tts[i] else {
+                panic!("expected enum body");
+            };
+            Kind::Enum(parse_variants(g.stream()))
+        }
+        other => panic!("serde derive stub supports struct/enum, found `{other}`"),
+    };
+    Item {
+        name,
+        rename_all: container_attrs.rename_all,
+        kind,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Code generation
+// ---------------------------------------------------------------------------
+
+fn apply_rename(name: &str, rule: Option<&str>) -> String {
+    match rule {
+        Some("lowercase") => name.to_lowercase(),
+        Some("UPPERCASE") => name.to_uppercase(),
+        Some("snake_case") => camel_to_delimited(name, '_'),
+        Some("kebab-case") => camel_to_delimited(name, '-'),
+        Some("SCREAMING_SNAKE_CASE") => camel_to_delimited(name, '_').to_uppercase(),
+        _ => name.to_string(),
+    }
+}
+
+fn camel_to_delimited(name: &str, sep: char) -> String {
+    let mut out = String::new();
+    for (i, c) in name.chars().enumerate() {
+        if c.is_uppercase() {
+            if i > 0 {
+                out.push(sep);
+            }
+            out.extend(c.to_lowercase());
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+fn field_ser_expr(field: &Field, access: &str) -> String {
+    match &field.with {
+        Some(module) => format!("{module}::to_json(&{access})"),
+        None => format!("::serde::Serialize::to_json(&{access})"),
+    }
+}
+
+fn field_de_expr(field: &Field, value: &str) -> String {
+    match &field.with {
+        Some(module) => format!("{module}::from_json({value})?"),
+        None => format!("::serde::Deserialize::from_json({value})?"),
+    }
+}
+
+fn gen_named_ser_body(fields: &[Field], self_prefix: &str, map_var: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let access = format!("{}{}", self_prefix, f.name);
+        let insert = format!(
+            "{map_var}.insert(\"{key}\".to_string(), {expr});\n",
+            key = f.name,
+            expr = field_ser_expr(f, &access)
+        );
+        if let Some(pred) = &f.skip_serializing_if {
+            out.push_str(&format!("if !{pred}(&{access}) {{ {insert} }}\n"));
+        } else {
+            out.push_str(&insert);
+        }
+    }
+    out
+}
+
+fn gen_named_de_fields(fields: &[Field], obj_var: &str, container: &str) -> String {
+    let mut out = String::new();
+    for f in fields {
+        let on_missing = if let Some(path) = &f.default_path {
+            format!("{path}()")
+        } else if f.default || f.is_option {
+            "::std::default::Default::default()".to_string()
+        } else {
+            format!(
+                "return ::std::result::Result::Err(::serde::Error::missing_field(\"{}\", \"{container}\"))",
+                f.name
+            )
+        };
+        out.push_str(&format!(
+            "{name}: match {obj_var}.get(\"{name}\") {{\n\
+             ::std::option::Option::Some(__field_value) => {expr},\n\
+             ::std::option::Option::None => {on_missing},\n\
+             }},\n",
+            name = f.name,
+            expr = field_de_expr(f, "__field_value")
+        ));
+    }
+    out
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            format!(
+                "let mut __map = ::serde::Map::new();\n{}\n::serde::Value::Object(__map)",
+                gen_named_ser_body(fields, "self.", "__map")
+            )
+        }
+        Kind::TupleStruct(1) => "::serde::Serialize::to_json(&self.0)".to_string(),
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Serialize::to_json(&self.{i})"))
+                .collect();
+            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+        }
+        Kind::UnitStruct => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let mut arms = String::new();
+            for v in variants {
+                let key = apply_rename(&v.name, item.rename_all.as_deref());
+                match &v.kind {
+                    VariantKind::Unit => {
+                        arms.push_str(&format!(
+                            "{name}::{v} => ::serde::Value::String(\"{key}\".to_string()),\n",
+                            v = v.name
+                        ));
+                    }
+                    VariantKind::Tuple(n) => {
+                        let binders: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                        let inner = if *n == 1 {
+                            "::serde::Serialize::to_json(__f0)".to_string()
+                        } else {
+                            let items: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_json({b})"))
+                                .collect();
+                            format!("::serde::Value::Array(vec![{}])", items.join(", "))
+                        };
+                        arms.push_str(&format!(
+                            "{name}::{v}({binds}) => {{\n\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{key}\".to_string(), {inner});\n\
+                             ::serde::Value::Object(__map)\n\
+                             }},\n",
+                            v = v.name,
+                            binds = binders.join(", ")
+                        ));
+                    }
+                    VariantKind::Named(fields) => {
+                        let binders: Vec<String> = fields.iter().map(|f| f.name.clone()).collect();
+                        arms.push_str(&format!(
+                            "{name}::{v} {{ {binds} }} => {{\n\
+                             let mut __inner = ::serde::Map::new();\n\
+                             {inserts}\
+                             let mut __map = ::serde::Map::new();\n\
+                             __map.insert(\"{key}\".to_string(), ::serde::Value::Object(__inner));\n\
+                             ::serde::Value::Object(__map)\n\
+                             }},\n",
+                            v = v.name,
+                            binds = binders.join(", "),
+                            inserts = gen_named_ser_body(fields, "*", "__inner")
+                        ));
+                    }
+                }
+            }
+            format!("match self {{\n{arms}}}")
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Serialize for {name} {{\n\
+         fn to_json(&self) -> ::serde::Value {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::NamedStruct(fields) => {
+            format!(
+                "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::expected(\"object for {name}\", __value))?;\n\
+                 ::std::result::Result::Ok({name} {{\n{fields}\n}})",
+                fields = gen_named_de_fields(fields, "__obj", name)
+            )
+        }
+        Kind::TupleStruct(1) => {
+            format!("::std::result::Result::Ok({name}(::serde::Deserialize::from_json(__value)?))")
+        }
+        Kind::TupleStruct(n) => {
+            let items: Vec<String> = (0..*n)
+                .map(|i| format!("::serde::Deserialize::from_json(&__items[{i}])?"))
+                .collect();
+            format!(
+                "let __items = __value.as_array().ok_or_else(|| ::serde::Error::expected(\"array for {name}\", __value))?;\n\
+                 if __items.len() != {n} {{\n\
+                 return ::std::result::Result::Err(::serde::Error::custom(\"wrong tuple arity for {name}\"));\n\
+                 }}\n\
+                 ::std::result::Result::Ok({name}({items}))",
+                items = items.join(", ")
+            )
+        }
+        Kind::UnitStruct => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let unit_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| matches!(v.kind, VariantKind::Unit))
+                .collect();
+            let payload_variants: Vec<&Variant> = variants
+                .iter()
+                .filter(|v| !matches!(v.kind, VariantKind::Unit))
+                .collect();
+
+            let mut out = String::new();
+            if !unit_variants.is_empty() {
+                let mut arms = String::new();
+                for v in &unit_variants {
+                    let key = apply_rename(&v.name, item.rename_all.as_deref());
+                    arms.push_str(&format!(
+                        "\"{key}\" => ::std::result::Result::Ok({name}::{v}),\n",
+                        v = v.name
+                    ));
+                }
+                out.push_str(&format!(
+                    "if let ::std::option::Option::Some(__s) = __value.as_str() {{\n\
+                     return match __s {{\n{arms}\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{__s}}` of {name}\"))),\n\
+                     }};\n\
+                     }}\n"
+                ));
+            }
+            if payload_variants.is_empty() {
+                out.push_str(&format!(
+                    "::std::result::Result::Err(::serde::Error::expected(\"variant string for {name}\", __value))"
+                ));
+            } else {
+                let mut arms = String::new();
+                for v in &payload_variants {
+                    let key = apply_rename(&v.name, item.rename_all.as_deref());
+                    match &v.kind {
+                        VariantKind::Unit => unreachable!(),
+                        VariantKind::Tuple(1) => {
+                            arms.push_str(&format!(
+                                "\"{key}\" => ::std::result::Result::Ok({name}::{v}(::serde::Deserialize::from_json(__inner)?)),\n",
+                                v = v.name
+                            ));
+                        }
+                        VariantKind::Tuple(n) => {
+                            let items: Vec<String> = (0..*n)
+                                .map(|i| format!("::serde::Deserialize::from_json(&__items[{i}])?"))
+                                .collect();
+                            arms.push_str(&format!(
+                                "\"{key}\" => {{\n\
+                                 let __items = __inner.as_array().ok_or_else(|| ::serde::Error::expected(\"array variant payload\", __inner))?;\n\
+                                 if __items.len() != {n} {{\n\
+                                 return ::std::result::Result::Err(::serde::Error::custom(\"wrong arity for variant {key}\"));\n\
+                                 }}\n\
+                                 ::std::result::Result::Ok({name}::{v}({items}))\n\
+                                 }},\n",
+                                v = v.name,
+                                items = items.join(", ")
+                            ));
+                        }
+                        VariantKind::Named(fields) => {
+                            arms.push_str(&format!(
+                                "\"{key}\" => {{\n\
+                                 let __vobj = __inner.as_object().ok_or_else(|| ::serde::Error::expected(\"object variant payload\", __inner))?;\n\
+                                 ::std::result::Result::Ok({name}::{v} {{\n{fields}\n}})\n\
+                                 }},\n",
+                                v = v.name,
+                                fields = gen_named_de_fields(fields, "__vobj", &v.name)
+                            ));
+                        }
+                    }
+                }
+                out.push_str(&format!(
+                    "let __obj = __value.as_object().ok_or_else(|| ::serde::Error::expected(\"variant for {name}\", __value))?;\n\
+                     let (__k, __inner) = __obj.iter().next().ok_or_else(|| ::serde::Error::custom(\"empty variant object for {name}\"))?;\n\
+                     match __k.as_str() {{\n{arms}\
+                     _ => ::std::result::Result::Err(::serde::Error::custom(\
+                     format!(\"unknown variant `{{__k}}` of {name}\"))),\n\
+                     }}"
+                ));
+            }
+            out
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         #[allow(warnings, clippy::all, clippy::pedantic)]\n\
+         impl ::serde::Deserialize for {name} {{\n\
+         fn from_json(__value: &::serde::Value) -> ::std::result::Result<Self, ::serde::Error> {{\n{body}\n}}\n\
+         }}\n"
+    )
+}
+
+/// Derives the stub `serde::Serialize` (`to_json`) impl.
+#[proc_macro_derive(Serialize, attributes(serde))]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_serialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Serialize impl")
+}
+
+/// Derives the stub `serde::Deserialize` (`from_json`) impl.
+#[proc_macro_derive(Deserialize, attributes(serde))]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    gen_deserialize(&item)
+        .parse()
+        .expect("serde_derive stub generated invalid Deserialize impl")
+}

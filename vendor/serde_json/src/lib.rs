@@ -1,0 +1,439 @@
+//! Offline vendored stand-in for `serde_json`.
+//!
+//! Re-exports the [`Value`] data model from the stub `serde` crate and
+//! provides the text layer: a JSON parser ([`from_str`]), writers
+//! ([`to_string`], [`to_string_pretty`]), value conversions
+//! ([`to_value`], [`from_value`]), and the [`json!`] macro.
+
+pub use serde::value::{Map, Number, Value};
+pub use serde::Error;
+
+// Re-exported so the `json!` macro can reach the Serialize trait from any
+// caller crate via `$crate`.
+#[doc(hidden)]
+pub use serde as _serde;
+
+/// Serializes `value` into a [`Value`] tree.
+pub fn to_value<T: serde::Serialize>(value: T) -> Result<Value, Error> {
+    Ok(value.to_json())
+}
+
+/// Reconstructs a `T` from a [`Value`] tree.
+pub fn from_value<T: serde::Deserialize>(value: Value) -> Result<T, Error> {
+    T::from_json(&value)
+}
+
+/// Renders compact JSON text.
+pub fn to_string<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_json_string())
+}
+
+/// Renders pretty-printed JSON text (two-space indent).
+pub fn to_string_pretty<T: serde::Serialize>(value: &T) -> Result<String, Error> {
+    Ok(value.to_json().to_json_string_pretty())
+}
+
+/// Parses JSON text into a `T`.
+pub fn from_str<T: serde::Deserialize>(input: &str) -> Result<T, Error> {
+    let value = parse::parse(input)?;
+    T::from_json(&value)
+}
+
+/// Builds a [`Value`] from a JSON-like literal.
+///
+/// Supports `null`, `true`/`false`, literals, arbitrary expressions,
+/// arrays, and objects with string-literal keys; object and array
+/// positions may nest.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    (true) => { $crate::Value::Bool(true) };
+    (false) => { $crate::Value::Bool(false) };
+    ([]) => { $crate::Value::Array(::std::vec::Vec::new()) };
+    ([ $($tt:tt)+ ]) => {{
+        #[allow(clippy::vec_init_then_push)]
+        let __array = {
+            let mut __array = ::std::vec::Vec::new();
+            $crate::json_array_internal!(__array; $($tt)+);
+            __array
+        };
+        $crate::Value::Array(__array)
+    }};
+    ({}) => { $crate::Value::Object($crate::Map::new()) };
+    ({ $($tt:tt)+ }) => {{
+        let mut __object = $crate::Map::new();
+        $crate::json_object_internal!(__object; $($tt)+);
+        $crate::Value::Object(__object)
+    }};
+    ($other:expr) => { $crate::_serde::Serialize::to_json(&$other) };
+}
+
+/// Implementation detail of [`json!`]: folds `key: value` pairs into an
+/// object binding.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_object_internal {
+    ($obj:ident; ) => {};
+    ($obj:ident; $key:literal : null $(, $($rest:tt)*)?) => {
+        $obj.insert(($key).to_string(), $crate::Value::Null);
+        $crate::json_object_internal!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:literal : { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $obj.insert(($key).to_string(), $crate::json!({ $($inner)* }));
+        $crate::json_object_internal!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:literal : [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $obj.insert(($key).to_string(), $crate::json!([ $($inner)* ]));
+        $crate::json_object_internal!($obj; $($($rest)*)?);
+    };
+    ($obj:ident; $key:literal : $value:expr $(, $($rest:tt)*)?) => {
+        $obj.insert(($key).to_string(), $crate::json!($value));
+        $crate::json_object_internal!($obj; $($($rest)*)?);
+    };
+}
+
+/// Implementation detail of [`json!`]: folds elements into a vec binding.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! json_array_internal {
+    ($arr:ident; ) => {};
+    ($arr:ident; null $(, $($rest:tt)*)?) => {
+        $arr.push($crate::Value::Null);
+        $crate::json_array_internal!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; { $($inner:tt)* } $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!({ $($inner)* }));
+        $crate::json_array_internal!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; [ $($inner:tt)* ] $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!([ $($inner)* ]));
+        $crate::json_array_internal!($arr; $($($rest)*)?);
+    };
+    ($arr:ident; $value:expr $(, $($rest:tt)*)?) => {
+        $arr.push($crate::json!($value));
+        $crate::json_array_internal!($arr; $($($rest)*)?);
+    };
+}
+
+mod parse {
+    //! A small recursive-descent JSON parser.
+
+    use super::{Error, Map, Value};
+    use serde::value::Number;
+
+    pub fn parse(input: &str) -> Result<Value, Error> {
+        let mut p = Parser {
+            bytes: input.as_bytes(),
+            pos: 0,
+        };
+        p.skip_ws();
+        let v = p.value()?;
+        p.skip_ws();
+        if p.pos != p.bytes.len() {
+            return Err(Error::custom(format!(
+                "trailing characters at byte {}",
+                p.pos
+            )));
+        }
+        Ok(v)
+    }
+
+    struct Parser<'a> {
+        bytes: &'a [u8],
+        pos: usize,
+    }
+
+    impl Parser<'_> {
+        fn peek(&self) -> Option<u8> {
+            self.bytes.get(self.pos).copied()
+        }
+
+        fn bump(&mut self) -> Result<u8, Error> {
+            let b = self
+                .peek()
+                .ok_or_else(|| Error::custom("unexpected end of JSON input"))?;
+            self.pos += 1;
+            Ok(b)
+        }
+
+        fn skip_ws(&mut self) {
+            while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+                self.pos += 1;
+            }
+        }
+
+        fn expect(&mut self, b: u8) -> Result<(), Error> {
+            let got = self.bump()?;
+            if got != b {
+                return Err(Error::custom(format!(
+                    "expected `{}`, found `{}` at byte {}",
+                    b as char,
+                    got as char,
+                    self.pos - 1
+                )));
+            }
+            Ok(())
+        }
+
+        fn keyword(&mut self, kw: &str, value: Value) -> Result<Value, Error> {
+            if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+                self.pos += kw.len();
+                Ok(value)
+            } else {
+                Err(Error::custom(format!(
+                    "invalid literal at byte {}",
+                    self.pos
+                )))
+            }
+        }
+
+        fn value(&mut self) -> Result<Value, Error> {
+            match self
+                .peek()
+                .ok_or_else(|| Error::custom("unexpected end of JSON input"))?
+            {
+                b'n' => self.keyword("null", Value::Null),
+                b't' => self.keyword("true", Value::Bool(true)),
+                b'f' => self.keyword("false", Value::Bool(false)),
+                b'"' => self.string().map(Value::String),
+                b'[' => self.array(),
+                b'{' => self.object(),
+                b'-' | b'0'..=b'9' => self.number(),
+                other => Err(Error::custom(format!(
+                    "unexpected character `{}` at byte {}",
+                    other as char, self.pos
+                ))),
+            }
+        }
+
+        fn array(&mut self) -> Result<Value, Error> {
+            self.expect(b'[')?;
+            let mut items = Vec::new();
+            self.skip_ws();
+            if self.peek() == Some(b']') {
+                self.pos += 1;
+                return Ok(Value::Array(items));
+            }
+            loop {
+                self.skip_ws();
+                items.push(self.value()?);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b']' => return Ok(Value::Array(items)),
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `]`, found `{}`",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn object(&mut self) -> Result<Value, Error> {
+            self.expect(b'{')?;
+            let mut map = Map::new();
+            self.skip_ws();
+            if self.peek() == Some(b'}') {
+                self.pos += 1;
+                return Ok(Value::Object(map));
+            }
+            loop {
+                self.skip_ws();
+                let key = self.string()?;
+                self.skip_ws();
+                self.expect(b':')?;
+                self.skip_ws();
+                let value = self.value()?;
+                map.insert(key, value);
+                self.skip_ws();
+                match self.bump()? {
+                    b',' => continue,
+                    b'}' => return Ok(Value::Object(map)),
+                    other => {
+                        return Err(Error::custom(format!(
+                            "expected `,` or `}}`, found `{}`",
+                            other as char
+                        )))
+                    }
+                }
+            }
+        }
+
+        fn string(&mut self) -> Result<String, Error> {
+            self.expect(b'"')?;
+            let mut out = String::new();
+            loop {
+                let b = self.bump()?;
+                match b {
+                    b'"' => return Ok(out),
+                    b'\\' => match self.bump()? {
+                        b'"' => out.push('"'),
+                        b'\\' => out.push('\\'),
+                        b'/' => out.push('/'),
+                        b'n' => out.push('\n'),
+                        b't' => out.push('\t'),
+                        b'r' => out.push('\r'),
+                        b'b' => out.push('\u{08}'),
+                        b'f' => out.push('\u{0C}'),
+                        b'u' => {
+                            let first = self.hex4()?;
+                            let code = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair.
+                                self.expect(b'\\')?;
+                                self.expect(b'u')?;
+                                let second = self.hex4()?;
+                                0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00)
+                            } else {
+                                first
+                            };
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::custom("invalid \\u escape"))?,
+                            );
+                        }
+                        other => {
+                            return Err(Error::custom(format!(
+                                "invalid escape `\\{}`",
+                                other as char
+                            )))
+                        }
+                    },
+                    _ => {
+                        // Collect the full UTF-8 sequence starting here.
+                        let start = self.pos - 1;
+                        let len = utf8_len(b);
+                        self.pos = start + len;
+                        if self.pos > self.bytes.len() {
+                            return Err(Error::custom("truncated UTF-8 in string"));
+                        }
+                        let s = std::str::from_utf8(&self.bytes[start..self.pos])
+                            .map_err(|_| Error::custom("invalid UTF-8 in string"))?;
+                        out.push_str(s);
+                    }
+                }
+            }
+        }
+
+        fn hex4(&mut self) -> Result<u32, Error> {
+            let mut code = 0u32;
+            for _ in 0..4 {
+                let b = self.bump()?;
+                let digit = (b as char)
+                    .to_digit(16)
+                    .ok_or_else(|| Error::custom("invalid hex digit in \\u escape"))?;
+                code = code * 16 + digit;
+            }
+            Ok(code)
+        }
+
+        fn number(&mut self) -> Result<Value, Error> {
+            let start = self.pos;
+            if self.peek() == Some(b'-') {
+                self.pos += 1;
+            }
+            let mut is_float = false;
+            while let Some(b) = self.peek() {
+                match b {
+                    b'0'..=b'9' => self.pos += 1,
+                    b'.' | b'e' | b'E' | b'+' | b'-' => {
+                        is_float = true;
+                        self.pos += 1;
+                    }
+                    _ => break,
+                }
+            }
+            let text = std::str::from_utf8(&self.bytes[start..self.pos])
+                .map_err(|_| Error::custom("invalid number"))?;
+            if is_float {
+                let f: f64 = text
+                    .parse()
+                    .map_err(|_| Error::custom(format!("invalid number `{text}`")))?;
+                Number::from_f64(f)
+                    .map(Value::Number)
+                    .ok_or_else(|| Error::custom("non-finite number"))
+            } else if text.starts_with('-') {
+                let i: i64 = text
+                    .parse()
+                    .map_err(|_| Error::custom(format!("invalid number `{text}`")))?;
+                Ok(Value::Number(Number::from_i64(i)))
+            } else {
+                let u: u64 = text
+                    .parse()
+                    .map_err(|_| Error::custom(format!("invalid number `{text}`")))?;
+                Ok(Value::Number(Number::from_u64(u)))
+            }
+        }
+    }
+
+    fn utf8_len(first: u8) -> usize {
+        match first {
+            0x00..=0x7F => 1,
+            0xC0..=0xDF => 2,
+            0xE0..=0xEF => 3,
+            _ => 4,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parse_scalars() {
+        assert_eq!(from_str::<Value>("null").unwrap(), Value::Null);
+        assert_eq!(from_str::<Value>("true").unwrap(), Value::Bool(true));
+        assert_eq!(from_str::<Value>("42").unwrap(), 42u64);
+        assert_eq!(from_str::<Value>("-7").unwrap(), -7i64);
+        assert_eq!(from_str::<Value>("2.5").unwrap(), 2.5f64);
+        assert_eq!(from_str::<Value>("\"hi\\nthere\"").unwrap(), "hi\nthere");
+    }
+
+    #[test]
+    fn parse_nested() {
+        let v: Value = from_str(r#"{"a": [1, 2, {"b": null}], "c": "x"}"#).unwrap();
+        assert_eq!(v["a"][2]["b"], Value::Null);
+        assert_eq!(v["c"], "x");
+    }
+
+    #[test]
+    fn text_roundtrip() {
+        let v = json!({"name": "chain", "depth": 10, "p": 0.5, "tags": [1, 2]});
+        let text = to_string(&v).unwrap();
+        let back: Value = from_str(&text).unwrap();
+        assert_eq!(back, v);
+        let pretty = to_string_pretty(&v).unwrap();
+        let back: Value = from_str(&pretty).unwrap();
+        assert_eq!(back, v);
+    }
+
+    #[test]
+    fn json_macro_forms() {
+        assert_eq!(json!(null), Value::Null);
+        assert_eq!(json!(3), 3u64);
+        let x = 7u64;
+        assert_eq!(
+            json!({"worker": x}),
+            from_str::<Value>(r#"{"worker": 7}"#).unwrap()
+        );
+        assert_eq!(json!([1, 2, 3]).as_array().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn unicode_strings() {
+        let v: Value = from_str(r#""café 😀 ü""#).unwrap();
+        assert_eq!(v, "café 😀 ü");
+        let text = to_string(&v).unwrap();
+        assert_eq!(from_str::<Value>(&text).unwrap(), v);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(from_str::<Value>("{").is_err());
+        assert!(from_str::<Value>("[1,]").is_err());
+        assert!(from_str::<Value>("tru").is_err());
+        assert!(from_str::<Value>("1 2").is_err());
+    }
+}

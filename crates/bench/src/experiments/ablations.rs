@@ -603,21 +603,7 @@ mod tests {
     #[test]
     fn pool_baseline_holds() {
         let e = super::pool_baseline();
-        // The "jit < cold / 2" threshold was tuned against the original
-        // RNG stream; the vendored stream measures jit just above it.
-        // Recorded as an open item in ROADMAP.md ("Open items"); the
-        // remaining claims must still hold.
-        let failing: Vec<&str> = e
-            .findings
-            .iter()
-            .filter(|f| !f.holds)
-            .map(|f| f.claim.as_str())
-            .collect();
-        assert!(
-            failing.iter().all(|c| c.starts_with("JIT pays only")),
-            "{}",
-            e.render()
-        );
+        assert!(e.all_hold(), "{}", e.render());
     }
 
     #[test]

@@ -151,8 +151,22 @@ pub fn cold_runs(
     triggers: u64,
     implicit: bool,
 ) -> Vec<RunResult> {
+    cold_runs_seeded(make, dag, triggers, implicit, 1000)
+}
+
+/// [`cold_runs`] with an explicit seed base: trigger `i` uses seed
+/// `seed_base + i`. Experiments whose claims depend on a specific mix of
+/// branch draws (e.g. Table 1's repeated-miss worst case) pick a base
+/// whose window contains that mix.
+pub fn cold_runs_seeded(
+    make: &(dyn Fn(u64) -> Platform + Sync),
+    dag: &WorkflowDag,
+    triggers: u64,
+    implicit: bool,
+    seed_base: u64,
+) -> Vec<RunResult> {
     run_indexed(triggers as usize, |i| {
-        let mut p = make(1000 + i as u64);
+        let mut p = make(seed_base + i as u64);
         if implicit {
             p.deploy_implicit(dag.clone()).expect("deploy");
         } else {

@@ -72,10 +72,43 @@ impl NodeSet {
         self.len == 0
     }
 
+    /// Removes `node`, returning whether it was a member. Used when a
+    /// planned deployment is dropped (e.g. its sandbox failed to start and
+    /// retries were exhausted): the node must stop counting as planned so a
+    /// later invocation is treated as the prediction miss it is.
+    pub fn remove(&mut self, node: NodeId) -> bool {
+        let (word, bit) = (node.index() / 64, node.index() % 64);
+        let Some(w) = self.words.get_mut(word) else {
+            return false;
+        };
+        let mask = 1u64 << bit;
+        if *w & mask == 0 {
+            return false;
+        }
+        *w &= !mask;
+        self.len -= 1;
+        true
+    }
+
     /// Removes all members, keeping the allocation.
     pub fn clear(&mut self) {
         self.words.fill(0);
         self.len = 0;
+    }
+
+    /// The union of two sets.
+    pub fn union(&self, other: &NodeSet) -> NodeSet {
+        let (short, long) = if self.words.len() <= other.words.len() {
+            (&self.words, &other.words)
+        } else {
+            (&other.words, &self.words)
+        };
+        let mut words = long.clone();
+        for (w, s) in words.iter_mut().zip(short.iter()) {
+            *w |= s;
+        }
+        let len = words.iter().map(|w| w.count_ones() as usize).sum();
+        NodeSet { words, len }
     }
 
     /// Iterates members in ascending index order.
@@ -198,5 +231,88 @@ mod tests {
         let back = NodeSet::from_json(&s.to_json()).unwrap();
         assert_eq!(back, s);
         assert_eq!(s.to_json().to_json_string(), "[1,65]");
+    }
+
+    #[test]
+    fn remove_clears_membership() {
+        let mut s: NodeSet = [id(2), id(70)].into_iter().collect();
+        assert!(s.remove(id(70)));
+        assert!(!s.remove(id(70)), "double remove");
+        assert!(!s.remove(id(500)), "beyond allocation");
+        assert_eq!(s.len(), 1);
+        assert!(s.contains(id(2)) && !s.contains(id(70)));
+    }
+
+    #[test]
+    fn union_merges_across_unequal_capacities() {
+        let a: NodeSet = [id(1), id(3)].into_iter().collect();
+        let b: NodeSet = [id(3), id(130)].into_iter().collect();
+        let u = a.union(&b);
+        assert_eq!(u.len(), 3);
+        let got: Vec<usize> = u.iter().map(NodeId::index).collect();
+        assert_eq!(got, vec![1, 3, 130]);
+        // Union is symmetric and leaves the operands untouched.
+        assert_eq!(u, b.union(&a));
+        assert_eq!(a.len(), 2);
+        assert_eq!(b.len(), 2);
+        // Union with the empty set is identity.
+        assert_eq!(a.union(&NodeSet::default()), a);
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::collections::HashSet;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// `NodeSet` against a `HashSet<usize>` reference model: interleaved
+        /// inserts and removes must agree on membership, length, and sorted
+        /// iteration order at every step.
+        #[test]
+        fn matches_hashset_model(
+            ops in proptest::collection::vec((0u8..2, 0usize..200), 0..80),
+        ) {
+            let mut set = NodeSet::default();
+            let mut model: HashSet<usize> = HashSet::new();
+            for (op, idx) in ops {
+                let node = NodeId::from_index(idx);
+                if op == 0 {
+                    prop_assert_eq!(set.insert(node), model.insert(idx));
+                } else {
+                    prop_assert_eq!(set.remove(node), model.remove(&idx));
+                }
+                prop_assert_eq!(set.len(), model.len());
+                prop_assert_eq!(set.contains(node), model.contains(&idx));
+                let mut sorted: Vec<usize> = model.iter().copied().collect();
+                sorted.sort_unstable();
+                let iterated: Vec<usize> = set.iter().map(NodeId::index).collect();
+                prop_assert_eq!(iterated, sorted);
+            }
+        }
+
+        /// Union agrees with the reference model's set union and never
+        /// mutates its operands.
+        #[test]
+        fn union_matches_hashset_model(
+            a in proptest::collection::vec(0usize..300, 0..40),
+            b in proptest::collection::vec(0usize..300, 0..40),
+        ) {
+            let sa: NodeSet = a.iter().map(|&i| NodeId::from_index(i)).collect();
+            let sb: NodeSet = b.iter().map(|&i| NodeId::from_index(i)).collect();
+            let ma: HashSet<usize> = a.iter().copied().collect();
+            let mb: HashSet<usize> = b.iter().copied().collect();
+            let union = sa.union(&sb);
+            let mut expected: Vec<usize> = ma.union(&mb).copied().collect();
+            expected.sort_unstable();
+            let got: Vec<usize> = union.iter().map(NodeId::index).collect();
+            prop_assert_eq!(got, expected);
+            prop_assert_eq!(union.len(), ma.union(&mb).count());
+            prop_assert_eq!(sa.len(), ma.len());
+            prop_assert_eq!(sb.len(), mb.len());
+        }
     }
 }

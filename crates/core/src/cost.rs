@@ -152,6 +152,7 @@ mod tests {
             busy_total: SimDuration::from_millis(if used { 500 } else { 0 }),
             served: used as u64,
             ever_used: used,
+            crashed: false,
         }
     }
 

@@ -91,6 +91,21 @@ impl JitPlan {
         self.deployments.is_empty()
     }
 
+    /// The plan with `node`'s deployment removed. Used when a pre-deploy
+    /// permanently fails (retries exhausted): the node must leave the plan
+    /// so its eventual invocation is accounted as a miss rather than
+    /// silently counted warm.
+    pub fn without(&self, node: NodeId) -> JitPlan {
+        JitPlan {
+            deployments: self
+                .deployments
+                .iter()
+                .copied()
+                .filter(|d| d.node != node)
+                .collect(),
+        }
+    }
+
     /// Expected completion of the whole plan (max over nodes), i.e. the
     /// planner's estimate of workflow makespan.
     pub fn expected_makespan(&self) -> SimDuration {
@@ -339,6 +354,23 @@ mod tests {
         let plan = plan_jit(&dag, &[], &est(1.0, 1.0, 1.0));
         assert!(plan.is_empty());
         assert_eq!(plan.expected_makespan(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn without_drops_only_the_failed_node() {
+        let dag = linear_chain("c", 3, &FunctionSpec::new("f").service_ms(2000.0)).unwrap();
+        let mlp = infer_mlp(&dag, |_, _| None);
+        let plan = plan_jit(&dag, &mlp.path, &est(500.0, 500.0, 2000.0));
+        let dropped = mlp.path[1];
+        let pruned = plan.without(dropped);
+        assert_eq!(pruned.len(), 2);
+        assert!(pruned.deployment(dropped).is_none());
+        assert!(pruned.deployment(mlp.path[0]).is_some());
+        assert!(pruned.deployment(mlp.path[2]).is_some());
+        // Removing an absent node is a no-op.
+        assert_eq!(pruned.without(dropped), pruned);
+        // The original plan is untouched.
+        assert_eq!(plan.len(), 3);
     }
 
     #[test]

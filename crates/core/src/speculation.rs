@@ -78,6 +78,22 @@ impl ExecutionMode {
     }
 }
 
+/// What to do when a planned pre-deployment fails to provision (the
+/// sandbox died during startup). Returned by
+/// [`SpeculationEngine::on_deploy_failure`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum DeployFailureAction {
+    /// Re-submit the deployment after `delay` (exponential backoff on the
+    /// node's startup estimate).
+    Retry {
+        /// How long to wait before re-submitting.
+        delay: SimDuration,
+    },
+    /// Retries exhausted: drop the node from the plan so its invocation is
+    /// accounted as a prediction miss, never silently counted warm.
+    Drop,
+}
+
 /// What to do when the workflow deviates from the predicted path.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
 pub enum MissPolicy {
@@ -313,6 +329,32 @@ impl SpeculationEngine {
             .copied()
             .filter(|n| levels[n.index()] < horizon)
             .collect()
+    }
+
+    /// Handles a *provisioning* failure of a planned pre-deployment: the
+    /// sandbox for `failed` died during startup on attempt `attempt`
+    /// (0-based). While attempts remain the deployment is retried with
+    /// exponential backoff scaled off the node's startup estimate
+    /// (`startup_ms / 2 · 2^attempt` — short enough that a retried sandbox
+    /// can still beat the invocation it was planned for); once
+    /// `max_retries` attempts have failed the node is dropped from the
+    /// plan ([`DeployFailureAction::Drop`]), so a later invocation pays a
+    /// visible on-demand cold start instead of waiting on a worker that
+    /// will never exist.
+    pub fn on_deploy_failure(
+        &self,
+        _failed: NodeId,
+        attempt: u32,
+        max_retries: u32,
+        startup_ms: f64,
+    ) -> DeployFailureAction {
+        if attempt >= max_retries {
+            return DeployFailureAction::Drop;
+        }
+        let backoff_ms = (startup_ms.max(1.0) / 2.0) * f64::from(1u32 << attempt.min(16));
+        DeployFailureAction::Retry {
+            delay: SimDuration::from_millis_f64(backoff_ms),
+        }
     }
 
     /// Handles a prediction miss discovered at `actual` (a node that
@@ -628,6 +670,37 @@ mod tests {
             .plan_cached(&dag, &est(), 0, 0, |_, _| None)
             .is_empty());
         assert_eq!(engine.plan_cache_stats(), PlanCacheStats::default());
+    }
+
+    #[test]
+    fn deploy_failure_backs_off_then_drops() {
+        let engine = SpeculationEngine::new(SpeculationConfig::default());
+        let dag = chain(2);
+        let node = dag.node_by_name("f1").unwrap();
+        // Attempts below the cap retry with exponential backoff on the
+        // startup estimate: 3000/2 · 2^attempt.
+        assert_eq!(
+            engine.on_deploy_failure(node, 0, 3, 3000.0),
+            DeployFailureAction::Retry {
+                delay: SimDuration::from_millis_f64(1500.0)
+            }
+        );
+        assert_eq!(
+            engine.on_deploy_failure(node, 2, 3, 3000.0),
+            DeployFailureAction::Retry {
+                delay: SimDuration::from_millis_f64(6000.0)
+            }
+        );
+        // At the cap the node is dropped from the plan.
+        assert_eq!(
+            engine.on_deploy_failure(node, 3, 3, 3000.0),
+            DeployFailureAction::Drop
+        );
+        // A degenerate zero startup estimate still yields a nonzero delay.
+        match engine.on_deploy_failure(node, 0, 3, 0.0) {
+            DeployFailureAction::Retry { delay } => assert!(delay > SimDuration::ZERO),
+            other => panic!("expected retry, got {other:?}"),
+        }
     }
 
     #[test]

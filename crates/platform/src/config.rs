@@ -1,5 +1,6 @@
 //! Platform configuration.
 
+use crate::faults::FaultConfig;
 use crate::hosts::{HostSpec, PlacementPolicy};
 use serde::{Deserialize, Serialize};
 use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
@@ -82,6 +83,10 @@ pub struct PlatformConfig {
     /// paper's related work (§6), used by the `abl-pool` ablation as a
     /// cost foil for JIT speculation.
     pub static_prewarm: usize,
+    /// Fault injection: rate, fault seed, timeout and retry policy.
+    /// Disabled (rate 0) by default.
+    #[serde(default)]
+    pub faults: FaultConfig,
 }
 
 impl PlatformConfig {
@@ -102,6 +107,7 @@ impl PlatformConfig {
             cluster: ClusterConfig::default(),
             plan_cache: true,
             static_prewarm: 0,
+            faults: FaultConfig::default(),
         }
     }
 

@@ -1,0 +1,287 @@
+//! Deterministic fault injection.
+//!
+//! Production DAG engines treat worker loss and stragglers as the common
+//! case; a platform that only handles the happy path cannot claim graceful
+//! degradation. This module supplies the *injection* half of that story: a
+//! seeded [`FaultPlan`] that decides — purely from identities (worker id,
+//! request id, node id, attempt number) and the fault seed — when a
+//! sandbox dies and when an invocation stalls. The *recovery* half lives
+//! in [`crate::Platform`]: timeouts, bounded retry with exponential
+//! backoff, crash-aware pool repair, and plan re-planning.
+//!
+//! Two properties are load-bearing:
+//!
+//! * **Determinism.** Every draw comes from a child stream keyed on stable
+//!   identities, never from shared mutable RNG state, so the same fault
+//!   seed produces the same fault schedule regardless of event
+//!   interleaving or how many runs share the process.
+//! * **Isolation.** The fault streams are derived from their own seed,
+//!   separate from the platform's branch/service/overhead streams. With
+//!   faults disabled ([`FaultConfig::rate`] = 0) the platform's RNG
+//!   sequences are untouched and every existing result is byte-identical.
+
+use serde::{Deserialize, Serialize};
+use xanadu_simcore::{RngStream, SimDuration, SimTime};
+
+/// Serde default for [`FaultConfig::seed`].
+fn default_fault_seed() -> u64 {
+    0xFA17
+}
+
+/// Serde default for [`FaultConfig::spike_factor`].
+fn default_spike_factor() -> f64 {
+    8.0
+}
+
+/// Serde default for [`FaultConfig::timeout_ms`].
+fn default_timeout_ms() -> f64 {
+    10_000.0
+}
+
+/// Serde default for [`FaultConfig::max_retries`].
+fn default_max_retries() -> u32 {
+    3
+}
+
+/// Serde default for [`FaultConfig::backoff_ms`].
+fn default_backoff_ms() -> f64 {
+    200.0
+}
+
+/// Configuration of the fault injector.
+///
+/// `rate` is the master knob: the probability that any given worker
+/// crashes during its lifetime, and independently that any given
+/// invocation attempt suffers a latency spike. `0.0` (the default)
+/// disables injection entirely — the platform behaves exactly as before
+/// the fault subsystem existed.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FaultConfig {
+    /// Probability in `[0, 1]` that a worker crashes / an invocation
+    /// attempt spikes. 0 disables fault injection.
+    #[serde(default)]
+    pub rate: f64,
+    /// Seed of the fault RNG streams, independent of the platform seed so
+    /// the same workload can be replayed under different fault schedules.
+    #[serde(default = "default_fault_seed")]
+    pub seed: u64,
+    /// Multiplier applied to a spiked invocation's service time.
+    #[serde(default = "default_spike_factor")]
+    pub spike_factor: f64,
+    /// Per-invocation timeout: an attempt whose effective service time
+    /// exceeds this is aborted and retried.
+    #[serde(default = "default_timeout_ms")]
+    pub timeout_ms: f64,
+    /// Retry budget per (request, node). After this many failed attempts
+    /// the final attempt runs shielded (fresh worker, no injected spike)
+    /// so every request is guaranteed to terminate.
+    #[serde(default = "default_max_retries")]
+    pub max_retries: u32,
+    /// Base retry backoff; attempt `n` waits `backoff_ms · 2^n`.
+    #[serde(default = "default_backoff_ms")]
+    pub backoff_ms: f64,
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig {
+            rate: 0.0,
+            seed: default_fault_seed(),
+            spike_factor: default_spike_factor(),
+            timeout_ms: default_timeout_ms(),
+            max_retries: default_max_retries(),
+            backoff_ms: default_backoff_ms(),
+        }
+    }
+}
+
+impl FaultConfig {
+    /// Whether any faults will be injected.
+    pub fn enabled(&self) -> bool {
+        self.rate > 0.0
+    }
+
+    /// Convenience constructor: the default schedule at `rate` with a
+    /// specific fault seed.
+    pub fn with_rate(rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            rate,
+            seed,
+            ..Default::default()
+        }
+    }
+
+    /// Backoff before retry attempt `attempt` (0-based): `backoff · 2^n`.
+    pub fn backoff(&self, attempt: u32) -> SimDuration {
+        SimDuration::from_millis_f64(self.backoff_ms * f64::from(1u32 << attempt.min(16)))
+    }
+}
+
+/// The seeded fault schedule. All decisions are pure functions of stable
+/// identities, so the schedule is independent of event interleaving.
+#[derive(Debug, Clone)]
+pub struct FaultPlan {
+    config: FaultConfig,
+    rng_worker: RngStream,
+    rng_invoke: RngStream,
+}
+
+impl FaultPlan {
+    /// Builds the plan for `config`.
+    pub fn new(config: FaultConfig) -> Self {
+        FaultPlan {
+            rng_worker: RngStream::derive(config.seed, "fault-worker"),
+            rng_invoke: RngStream::derive(config.seed, "fault-invoke"),
+            config,
+        }
+    }
+
+    /// The injector's configuration.
+    pub fn config(&self) -> &FaultConfig {
+        &self.config
+    }
+
+    /// Whether any faults will be injected.
+    pub fn enabled(&self) -> bool {
+        self.config.enabled()
+    }
+
+    /// Decides whether (and when) worker `worker` crashes.
+    ///
+    /// A doomed worker gets one absolute crash instant drawn uniformly
+    /// over `[provisioned, ready + 60 s)` — covering startup (crash before
+    /// `ready`: a sandbox startup failure), warm idling, and execution.
+    /// What the crash *means* is decided by the worker's state when the
+    /// crash event fires, not here.
+    pub fn crash_time(&self, worker: u64, provisioned: SimTime, ready: SimTime) -> Option<SimTime> {
+        if !self.enabled() {
+            return None;
+        }
+        let mut rng = self.rng_worker.child(worker);
+        if rng.next_f64() >= self.config.rate {
+            return None;
+        }
+        let startup = ready.saturating_since(provisioned);
+        let window = startup + startup + SimDuration::from_secs(60);
+        let offset_ms = rng.next_f64() * window.as_millis_f64();
+        Some(provisioned + SimDuration::from_millis_f64(offset_ms))
+    }
+
+    /// Decides whether attempt `attempt` of invoking `node` for request
+    /// `req` suffers a latency spike, returning the service-time
+    /// multiplier if so.
+    pub fn spike(&self, req: u64, node: usize, attempt: u32) -> Option<f64> {
+        if !self.enabled() {
+            return None;
+        }
+        let key =
+            req.wrapping_mul(1_000_003) ^ (node as u64).wrapping_mul(10_007) ^ u64::from(attempt);
+        let mut rng = self.rng_invoke.child(key);
+        if rng.next_f64() < self.config.rate {
+            Some(self.config.spike_factor)
+        } else {
+            None
+        }
+    }
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::new(FaultConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn plan(rate: f64) -> FaultPlan {
+        FaultPlan::new(FaultConfig::with_rate(rate, 99))
+    }
+
+    #[test]
+    fn disabled_injects_nothing() {
+        let p = plan(0.0);
+        assert!(!p.enabled());
+        for w in 0..200 {
+            assert_eq!(p.crash_time(w, SimTime::ZERO, SimTime::from_secs(3)), None);
+            assert_eq!(p.spike(w, 0, 0), None);
+        }
+    }
+
+    #[test]
+    fn full_rate_dooms_every_worker_and_attempt() {
+        let p = plan(1.0);
+        for w in 0..50 {
+            let t = p
+                .crash_time(w, SimTime::from_secs(1), SimTime::from_secs(4))
+                .expect("rate 1.0 crashes all");
+            assert!(t >= SimTime::from_secs(1));
+            // Window: provisioned + 2·startup + 60 s = 1 + 6 + 60 = 67 s.
+            assert!(t < SimTime::from_secs(67));
+            assert_eq!(p.spike(w, 3, 0), Some(8.0));
+        }
+    }
+
+    #[test]
+    fn decisions_are_deterministic_and_order_independent() {
+        let a = plan(0.3);
+        let b = plan(0.3);
+        // Query in opposite orders: identity-keyed child streams must give
+        // identical answers.
+        let fwd: Vec<_> = (0..100)
+            .map(|w| a.crash_time(w, SimTime::ZERO, SimTime::from_secs(2)))
+            .collect();
+        let rev: Vec<_> = (0..100)
+            .rev()
+            .map(|w| b.crash_time(w, SimTime::ZERO, SimTime::from_secs(2)))
+            .collect();
+        let rev_fwd: Vec<_> = rev.into_iter().rev().collect();
+        assert_eq!(fwd, rev_fwd);
+        assert!(fwd.iter().any(Option::is_some));
+        assert!(fwd.iter().any(Option::is_none));
+        // Repeated queries agree too (no internal state consumed).
+        for w in 0..100 {
+            assert_eq!(
+                a.crash_time(w, SimTime::ZERO, SimTime::from_secs(2)),
+                fwd[w as usize]
+            );
+        }
+    }
+
+    #[test]
+    fn different_seeds_give_different_schedules() {
+        let a = FaultPlan::new(FaultConfig::with_rate(0.5, 1));
+        let b = FaultPlan::new(FaultConfig::with_rate(0.5, 2));
+        let sa: Vec<_> = (0..200).map(|w| a.spike(w, 0, 0).is_some()).collect();
+        let sb: Vec<_> = (0..200).map(|w| b.spike(w, 0, 0).is_some()).collect();
+        assert_ne!(sa, sb);
+    }
+
+    #[test]
+    fn spike_varies_by_attempt() {
+        // A spiked first attempt must not doom every retry: the attempt
+        // number is part of the key.
+        let p = plan(0.5);
+        let outcomes: Vec<bool> = (0..32).map(|a| p.spike(7, 2, a).is_some()).collect();
+        assert!(outcomes.iter().any(|&s| s));
+        assert!(outcomes.iter().any(|&s| !s));
+    }
+
+    #[test]
+    fn backoff_is_exponential() {
+        let c = FaultConfig::with_rate(0.1, 0);
+        assert_eq!(c.backoff(0), SimDuration::from_millis_f64(200.0));
+        assert_eq!(c.backoff(1), SimDuration::from_millis_f64(400.0));
+        assert_eq!(c.backoff(3), SimDuration::from_millis_f64(1600.0));
+    }
+
+    #[test]
+    fn config_serde_defaults() {
+        let c: FaultConfig = serde_json::from_str("{\"rate\": 0.25}").unwrap();
+        assert_eq!(c.rate, 0.25);
+        assert_eq!(c.seed, 0xFA17);
+        assert_eq!(c.max_retries, 3);
+        assert!(c.enabled());
+    }
+}

@@ -43,6 +43,7 @@
 pub mod bus;
 mod config;
 mod estimates;
+pub mod faults;
 pub mod hosts;
 pub mod metastore;
 mod result;
@@ -50,5 +51,6 @@ mod sim;
 pub mod timeline;
 
 pub use config::PlatformConfig;
+pub use faults::{FaultConfig, FaultPlan};
 pub use result::{PlatformReport, RunResult};
 pub use sim::{report_total_costs, Platform, PlatformError};

@@ -37,6 +37,14 @@ pub struct RunResult {
     pub executed_functions: u32,
     /// Resource cost `C_R` attributed to this request's workers.
     pub resources: ResourceCosts,
+    /// Injected faults that hit this request (worker crashes affecting its
+    /// invocations plus invocation timeouts).
+    #[serde(default)]
+    pub faults: u32,
+    /// Invocation attempts beyond the first (retries after crashes or
+    /// timeouts).
+    #[serde(default)]
+    pub retries: u32,
 }
 
 impl RunResult {
@@ -52,7 +60,7 @@ impl RunResult {
 
 /// Final report of a platform run: every request result plus the complete
 /// worker accounting.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
 pub struct PlatformReport {
     /// Per-request outcomes, in completion order.
     pub results: Vec<RunResult>,
@@ -101,6 +109,13 @@ impl PlatformReport {
             .fold((0, 0), |(c, w), r| (c + r.cold_starts, w + r.warm_starts))
     }
 
+    /// Total injected-fault and retry counts.
+    pub fn fault_counts(&self) -> (u32, u32) {
+        self.results
+            .iter()
+            .fold((0, 0), |(f, r), x| (f + x.faults, r + x.retries))
+    }
+
     /// Mean per-request penalties `φ`.
     pub fn mean_penalties(&self) -> PenaltyFactors {
         if self.results.is_empty() {
@@ -143,6 +158,8 @@ mod tests {
                 cpu_s: cpu,
                 mem_mbs: mem,
             },
+            faults: 1,
+            retries: 0,
         }
     }
 
@@ -166,6 +183,7 @@ mod tests {
         assert_eq!(total.cpu_s, 4.0);
         assert_eq!(total.mem_mbs, 40.0);
         assert_eq!(report.start_counts(), (2, 4));
+        assert_eq!(report.fault_counts(), (2, 0));
         let p = report.mean_penalties();
         assert!((p.phi_cpu_s2 - (1.0 + 9.0) / 2.0).abs() < 1e-9);
     }

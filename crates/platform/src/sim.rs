@@ -17,6 +17,7 @@
 use crate::bus::Bus;
 use crate::config::PlatformConfig;
 use crate::estimates::PlatformEstimates;
+use crate::faults::{FaultConfig, FaultPlan};
 use crate::hosts::{HostRegistry, HostSpec};
 use crate::metastore::MetaStore;
 use crate::result::{PlatformReport, RunResult};
@@ -28,7 +29,9 @@ use std::sync::Arc;
 use xanadu_chain::{BranchMode, ChainError, NodeId, NodeSet, WorkflowDag};
 use xanadu_core::cost::{total_resource_cost, CpuRates, ResourceCosts};
 use xanadu_core::keepalive::{AdaptiveKeepAlive, KeepAliveConfig};
-use xanadu_core::speculation::{ExecutionMode, MissPolicy, PlanCacheStats, SpeculationEngine};
+use xanadu_core::speculation::{
+    DeployFailureAction, ExecutionMode, MissPolicy, PlanCacheStats, SpeculationEngine,
+};
 use xanadu_profiler::{BranchDetector, MetricsEngine, RequestCorrelator};
 use xanadu_sandbox::{
     SandboxProvider, SimSandboxProvider, Worker, WorkerId, WorkerPool, WorkerState,
@@ -121,6 +124,26 @@ enum Event {
         worker: WorkerId,
         began: SimTime,
     },
+    /// Injected fault: the worker dies. What that *means* depends on its
+    /// state when the event fires: a startup failure (Provisioning), a
+    /// crash mid-warm (Warm), or a crash mid-invocation (Busy).
+    WorkerCrash {
+        worker: WorkerId,
+    },
+    /// Injected fault: the invocation's effective service time exceeded
+    /// the per-invocation timeout; abort and retry.
+    ExecTimeout {
+        req: u64,
+        node: NodeId,
+        worker: WorkerId,
+        began: SimTime,
+    },
+    /// Retry of an invocation whose previous attempt crashed or timed out
+    /// (worker re-acquisition only; the node counts as already invoked).
+    Redispatch {
+        req: u64,
+        node: NodeId,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -162,6 +185,14 @@ struct RunState {
     had_plan: bool,
     /// StopSpeculation already fired; no further cancellations needed.
     plan_cancelled: bool,
+    /// Per-node count of failed attempts (crashes, timeouts, failed
+    /// pre-deployments). At `FaultConfig::max_retries` the next attempt
+    /// runs shielded from injection, guaranteeing termination.
+    fault_attempts: Vec<u32>,
+    /// Injected faults that hit this request.
+    faults: u32,
+    /// Invocation attempts beyond the first.
+    retries: u32,
     /// Orchestration event timeline (Figure 10).
     trace: Trace,
 }
@@ -223,6 +254,8 @@ pub struct Platform {
     traces: HashMap<u64, Trace>,
     bus: Bus,
     metastore: MetaStore,
+    /// The seeded fault schedule (inert when the configured rate is 0).
+    faults: FaultPlan,
 }
 
 impl Platform {
@@ -274,8 +307,17 @@ impl Platform {
             traces: HashMap::new(),
             bus: Bus::new(),
             metastore: MetaStore::new(),
+            faults: FaultPlan::new(config.faults),
             config,
         }
+    }
+
+    /// Replaces the fault-injection configuration (e.g. from the CLI's
+    /// `--fault-rate`/`--fault-seed` flags). Affects workers provisioned
+    /// and invocations dispatched after the call.
+    pub fn set_faults(&mut self, config: FaultConfig) {
+        self.config.faults = config;
+        self.faults = FaultPlan::new(config);
     }
 
     /// The platform's configuration.
@@ -336,7 +378,7 @@ impl Platform {
             for id in dag.node_ids() {
                 let spec = dag.node(id).spec().clone();
                 for _ in 0..self.config.static_prewarm {
-                    self.provision_worker(POOL_OWNER, &spec, false);
+                    self.provision_worker(POOL_OWNER, &spec, false, false);
                 }
             }
         }
@@ -530,7 +572,10 @@ impl Platform {
             self.pool.kill(id, at);
             self.cluster.release(id);
         }
-        let records = self.pool.drain(self.now);
+        let mut records = self.pool.drain(self.now);
+        // The teardown above iterates the live map (hash order): sort the
+        // ledger so identical runs produce byte-identical reports.
+        records.sort_by_key(|r| r.id);
         PlatformReport {
             results: self.results,
             worker_records: records,
@@ -564,6 +609,14 @@ impl Platform {
                 worker,
                 began,
             } => self.on_exec_end(req, node, worker, began),
+            Event::WorkerCrash { worker } => self.on_worker_crash(worker),
+            Event::ExecTimeout {
+                req,
+                node,
+                worker,
+                began,
+            } => self.on_exec_timeout(req, node, worker, began),
+            Event::Redispatch { req, node } => self.on_redispatch(req, node),
         }
     }
 
@@ -747,6 +800,9 @@ impl Platform {
             misses: 0,
             had_plan: plan_active,
             plan_cancelled: false,
+            fault_attempts: vec![0; dag.len()],
+            faults: 0,
+            retries: 0,
             trace: Trace::default(),
         };
         self.runs.insert(req, state);
@@ -785,7 +841,7 @@ impl Platform {
         if allow_retarget && self.try_retarget(req, &spec) {
             return;
         }
-        self.provision_worker(req, &spec, false);
+        self.provision_worker(req, &spec, false, false);
     }
 
     fn on_invoke(&mut self, req: u64, node: NodeId, parent: Option<NodeId>) {
@@ -839,9 +895,39 @@ impl Platform {
         }
 
         // Worker acquisition via the resource allocator.
+        self.dispatch_node(req, node);
+    }
+
+    /// Routes one invocation of `node` to a worker: the resource-allocator
+    /// half of [`on_invoke`](Self::on_invoke), also used to re-dispatch
+    /// attempts orphaned by crashes or aborted by timeouts. Prefers a warm
+    /// worker, then in-flight provisioning, then a fresh on-demand
+    /// provision. Once the fault-retry budget is exhausted the attempt is
+    /// *shielded*: a fresh worker exempt from fault injection, so every
+    /// request terminates under any fault schedule.
+    fn dispatch_node(&mut self, req: u64, node: NodeId) {
         let run = self.runs.get(&req).expect("run exists");
         let spec = run.dag.node(node).spec().clone();
+        let function = spec.name().to_string();
         let invoked_at = self.now;
+        let shielded = self.faults.enabled()
+            && run.fault_attempts[node.index()] >= self.config.faults.max_retries;
+        if shielded {
+            let (worker, ready_at) = self.provision_worker(req, &spec, true, true);
+            self.claimed.insert(worker);
+            let dispatch = self.provider.warm_dispatch(spec.isolation_level());
+            self.queue.schedule(
+                ready_at + dispatch,
+                Event::ExecStart {
+                    req,
+                    node,
+                    worker,
+                    acquired: Acquired::Fresh,
+                    invoked_at,
+                },
+            );
+            return;
+        }
         if let Some(worker) = self.find_claimable_warm(&function) {
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
@@ -869,7 +955,7 @@ impl Platform {
                 },
             );
         } else {
-            let (worker, ready_at) = self.provision_worker(req, &spec, true);
+            let (worker, ready_at) = self.provision_worker(req, &spec, true, false);
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
             self.queue.schedule(
@@ -882,6 +968,12 @@ impl Platform {
                     invoked_at,
                 },
             );
+        }
+    }
+
+    fn on_redispatch(&mut self, req: u64, node: NodeId) {
+        if self.runs.contains_key(&req) {
+            self.dispatch_node(req, node);
         }
     }
 
@@ -947,18 +1039,43 @@ impl Platform {
             },
         );
 
-        let service = run.service[node.index()];
+        let mut service = run.service[node.index()];
+        let attempt = run.fault_attempts[node.index()];
+        let shielded = attempt >= self.config.faults.max_retries;
+        if self.faults.enabled() && !shielded {
+            if let Some(factor) = self.faults.spike(req, node.index(), attempt) {
+                service = service.mul_f64(factor);
+            }
+        }
         self.correlator.observe_arrival(&function, self.now);
         self.pool.begin_exec(worker, self.now);
-        self.queue.schedule(
-            self.now + service,
-            Event::ExecEnd {
-                req,
-                node,
-                worker,
-                began: self.now,
-            },
-        );
+        if self.faults.enabled()
+            && !shielded
+            && service.as_millis_f64() > self.config.faults.timeout_ms
+        {
+            // The attempt would exceed the per-invocation timeout: abort
+            // at the deadline and retry instead of completing.
+            let timeout = SimDuration::from_millis_f64(self.config.faults.timeout_ms);
+            self.queue.schedule(
+                self.now + timeout,
+                Event::ExecTimeout {
+                    req,
+                    node,
+                    worker,
+                    began: self.now,
+                },
+            );
+        } else {
+            self.queue.schedule(
+                self.now + service,
+                Event::ExecEnd {
+                    req,
+                    node,
+                    worker,
+                    began: self.now,
+                },
+            );
+        }
     }
 
     fn on_exec_end(&mut self, req: u64, node: NodeId, worker: WorkerId, began: SimTime) {
@@ -991,7 +1108,7 @@ impl Platform {
             let available =
                 self.pool.warm_count(spec.name()) + self.pool.provisioning_count(spec.name());
             if available < self.config.static_prewarm {
-                self.provision_worker(POOL_OWNER, &spec, false);
+                self.provision_worker(POOL_OWNER, &spec, false, false);
             }
         }
 
@@ -1029,6 +1146,137 @@ impl Platform {
         if run.remaining == 0 {
             self.finalize_run(req);
         }
+    }
+
+    fn on_worker_crash(&mut self, worker: WorkerId) {
+        // The worker may have been evicted, reaped, or discarded since its
+        // crash was scheduled; a crash of a dead worker is a no-op.
+        let Some(w) = self.pool.get(worker) else {
+            return;
+        };
+        let function = w.function().to_string();
+        let was_provisioning = w.state() == WorkerState::Provisioning;
+
+        // Remove every scheduled event referencing the dead worker. The
+        // (req, node) payloads among them are invocations orphaned by the
+        // crash — whether waiting on dispatch (ExecStart) or mid-execution
+        // (ExecEnd/ExecTimeout) — and are re-dispatched below.
+        let removed = self.queue.drain_where(|e| match e {
+            Event::WorkerReady { worker: w } => *w == worker,
+            Event::ExecStart { worker: w, .. } => *w == worker,
+            Event::ExecEnd { worker: w, .. } => *w == worker,
+            Event::ExecTimeout { worker: w, .. } => *w == worker,
+            _ => false,
+        });
+        let mut orphans: Vec<(u64, NodeId)> = Vec::new();
+        for (_, e) in removed {
+            match e {
+                Event::ExecStart { req, node, .. }
+                | Event::ExecEnd { req, node, .. }
+                | Event::ExecTimeout { req, node, .. } => orphans.push((req, node)),
+                _ => {}
+            }
+        }
+        self.claimed.remove(&worker);
+        self.pool.crash(worker, self.now);
+        self.cluster.release(worker);
+        self.bus.publish(
+            "worker.crashed",
+            self.now,
+            json!({"worker": worker.0, "function": function}),
+        );
+
+        if orphans.is_empty() && was_provisioning {
+            // Nothing was waiting on this sandbox: a failed speculative
+            // pre-deployment. Let the speculation engine decide.
+            self.on_predeploy_failure(worker, &function);
+            return;
+        }
+        for (req, node) in orphans {
+            let Some(run) = self.runs.get_mut(&req) else {
+                continue;
+            };
+            let attempt = run.fault_attempts[node.index()];
+            run.fault_attempts[node.index()] += 1;
+            run.faults += 1;
+            run.retries += 1;
+            let delay = self.config.faults.backoff(attempt);
+            self.queue
+                .schedule(self.now + delay, Event::Redispatch { req, node });
+        }
+    }
+
+    /// A sandbox died during startup with no invocation waiting on it: a
+    /// failed speculative pre-deployment. While the retry budget lasts the
+    /// deployment is re-submitted with backoff; afterwards the node is
+    /// dropped from the plan so its eventual invocation is accounted as
+    /// the prediction miss it is — never silently counted warm.
+    fn on_predeploy_failure(&mut self, worker: WorkerId, function: &str) {
+        let Some(&req) = self.spawner.get(&worker) else {
+            return;
+        };
+        if req == POOL_OWNER {
+            return; // static pre-warm pool: replenished on next use
+        }
+        let Some(run) = self.runs.get(&req) else {
+            return;
+        };
+        let Some(node) = run.dag.node_by_name(function) else {
+            return;
+        };
+        if !run.plan_active || !run.planned.contains(node) || run.invoked[node.index()] {
+            return;
+        }
+        let level = run.dag.node(node).spec().isolation_level();
+        let attempt = run.fault_attempts[node.index()];
+        let generation = run.plan_generation;
+        let startup_ms = self.provider.mean_cold_start_ms(level);
+        let action = self.engine.on_deploy_failure(
+            node,
+            attempt,
+            self.config.faults.max_retries,
+            startup_ms,
+        );
+        let run = self.runs.get_mut(&req).expect("run exists");
+        run.fault_attempts[node.index()] += 1;
+        run.faults += 1;
+        match action {
+            DeployFailureAction::Retry { delay } => {
+                self.queue.schedule(
+                    self.now + delay,
+                    Event::Deploy {
+                        req,
+                        node,
+                        generation,
+                    },
+                );
+            }
+            DeployFailureAction::Drop => {
+                run.planned.remove(node);
+            }
+        }
+    }
+
+    fn on_exec_timeout(&mut self, req: u64, node: NodeId, worker: WorkerId, began: SimTime) {
+        // The sandbox survives — only the invocation is aborted; the
+        // worker returns to the warm pool and the attempt is retried.
+        self.pool.abort_exec(worker, began, self.now);
+        let Some(run) = self.runs.get_mut(&req) else {
+            return;
+        };
+        let function = run.dag.node(node).spec().name().to_string();
+        let attempt = run.fault_attempts[node.index()];
+        run.fault_attempts[node.index()] += 1;
+        run.faults += 1;
+        run.retries += 1;
+        self.bus.publish(
+            "invoke.timeout",
+            self.now,
+            json!({"request": req, "function": function, "attempt": attempt}),
+        );
+        let delay = self.config.faults.backoff(attempt);
+        self.queue
+            .schedule(self.now + delay, Event::Redispatch { req, node });
     }
 
     fn on_prediction_miss(&mut self, req: u64, actual: NodeId) {
@@ -1157,6 +1405,8 @@ impl Platform {
             workers_spawned: run.spawned.len() as u32,
             executed_functions: executed,
             resources: request_costs,
+            faults: run.faults,
+            retries: run.retries,
         };
         self.metastore.put(
             &format!("runs/{req}"),
@@ -1219,12 +1469,15 @@ impl Platform {
 
     /// Provisions a fresh worker for `spec`, honouring the live-worker cap.
     /// Returns the worker id and its readiness time. `on_demand` marks a
-    /// cold start observed by a waiting request (recorded in the profile).
+    /// cold start observed by a waiting request (recorded in the profile);
+    /// `shielded` exempts the worker from fault injection (the guaranteed
+    /// final retry attempt).
     fn provision_worker(
         &mut self,
         req: u64,
         spec: &xanadu_chain::FunctionSpec,
         on_demand: bool,
+        shielded: bool,
     ) -> (WorkerId, SimTime) {
         let mut extra = SimDuration::ZERO;
         if let Some(cap) = self.config.max_live {
@@ -1290,6 +1543,12 @@ impl Platform {
         }
         self.queue
             .schedule(ready_at, Event::WorkerReady { worker: id });
+        if !shielded {
+            if let Some(crash_at) = self.faults.crash_time(id.0, self.now, ready_at) {
+                self.queue
+                    .schedule(crash_at, Event::WorkerCrash { worker: id });
+            }
+        }
         self.bus.publish(
             "worker.provisioned",
             self.now,
@@ -1893,6 +2152,112 @@ mod tests {
             steady > 3.0 * 512.0 * 3000.0,
             "three 512MB workers idle for ~an hour each: {steady}"
         );
+    }
+
+    #[test]
+    fn faulty_run_terminates_and_counts_faults() {
+        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 42);
+        cfg.faults = FaultConfig::with_rate(1.0, 7);
+        let mut p = Platform::new(cfg);
+        p.deploy(chain(4, 2000.0)).unwrap();
+        for i in 0..3u64 {
+            p.trigger_at("chain", SimTime::from_secs(i * 60)).unwrap();
+        }
+        p.run_until_idle();
+        let report = p.finish();
+        assert_eq!(report.results.len(), 3, "every request terminates");
+        for r in &report.results {
+            assert_eq!(r.executed_functions, 4, "{r:?}");
+        }
+        let (faults, retries) = report.fault_counts();
+        assert!(faults > 0, "rate 1.0 must inject");
+        assert!(retries > 0);
+        assert!(report.worker_records.iter().any(|w| w.crashed));
+    }
+
+    #[test]
+    fn timeout_retries_until_shielded_attempt() {
+        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 11);
+        cfg.faults = FaultConfig {
+            rate: 1.0,
+            seed: 3,
+            spike_factor: 100.0,
+            timeout_ms: 5_000.0,
+            max_retries: 2,
+            backoff_ms: 100.0,
+        };
+        let mut p = Platform::new(cfg);
+        p.deploy(chain(1, 1000.0)).unwrap();
+        p.trigger_at("chain", SimTime::ZERO).unwrap();
+        p.run_until_idle();
+        let report = p.finish();
+        let r = &report.results[0];
+        // Every non-shielded attempt spikes 100x past the 5 s timeout (or
+        // its worker crashes first); the shielded third attempt completes.
+        assert_eq!(r.executed_functions, 1, "{r:?}");
+        assert!(r.retries >= 2, "{r:?}");
+        assert!(r.end_to_end > SimDuration::from_secs(10), "{r:?}");
+    }
+
+    #[test]
+    fn fault_injection_is_deterministic() {
+        let run = || {
+            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 5);
+            cfg.faults = FaultConfig::with_rate(0.5, 21);
+            let mut p = Platform::new(cfg);
+            p.deploy(chain(5, 1500.0)).unwrap();
+            for i in 0..4u64 {
+                p.trigger_at("chain", SimTime::from_secs(i * 20)).unwrap();
+            }
+            p.run_until_idle();
+            p.finish()
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn zero_fault_rate_matches_faultless_config() {
+        // An explicitly-zero fault config must not perturb any RNG stream:
+        // results are identical to the default (fault-free) platform.
+        let base = {
+            let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 17));
+            p.deploy(chain(4, 800.0)).unwrap();
+            p.trigger_at("chain", SimTime::ZERO).unwrap();
+            p.run_until_idle();
+            p.finish()
+        };
+        let zeroed = {
+            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 17);
+            cfg.faults = FaultConfig::with_rate(0.0, 999);
+            let mut p = Platform::new(cfg);
+            p.deploy(chain(4, 800.0)).unwrap();
+            p.trigger_at("chain", SimTime::ZERO).unwrap();
+            p.run_until_idle();
+            p.finish()
+        };
+        assert_eq!(base, zeroed);
+        assert_eq!(base.fault_counts(), (0, 0));
+    }
+
+    #[test]
+    fn crashed_warm_worker_leaves_pool_consistent_and_forces_cold_start() {
+        // Crash every worker: a second request past the first must not
+        // find a (dead) warm worker, and the pool indexes stay coherent.
+        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 23);
+        cfg.faults = FaultConfig::with_rate(1.0, 5);
+        let mut p = Platform::new(cfg);
+        p.deploy(chain(2, 500.0)).unwrap();
+        p.trigger_at("chain", SimTime::ZERO).unwrap();
+        p.trigger_at("chain", SimTime::from_mins(5)).unwrap();
+        p.run_until_idle();
+        p.pool.check_index_consistency().expect("pool coherent");
+        let report = p.finish();
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert_eq!(r.executed_functions, 2, "{r:?}");
+        }
+        // Every crash is visible in the worker ledger.
+        assert!(report.worker_records.iter().any(|w| w.crashed));
     }
 
     #[test]

@@ -295,6 +295,122 @@ impl WorkerPool {
         Some(record)
     }
 
+    /// Kills a live worker at `now` because its sandbox crashed, repairing
+    /// both secondary indexes exactly as [`kill`](Self::kill) does; the
+    /// record is flagged as crashed. A crash can hit a worker in any live
+    /// state — provisioning (startup failure), warm (mid-warm loss) or busy
+    /// (mid-invocation loss). Returns the record, or `None` if the id is
+    /// unknown (e.g. the worker was already reclaimed).
+    pub fn crash(&mut self, id: WorkerId, now: SimTime) -> Option<WorkerRecord> {
+        let worker = self.live.remove(&id)?;
+        self.unindex(&worker);
+        let record = worker.crash(now);
+        self.dead.push(record.clone());
+        Some(record)
+    }
+
+    /// Aborts a busy worker's in-flight execution at `now` (timeout / fault
+    /// recovery): the worker returns to `Warm` without counting the request
+    /// as served. See [`Worker::abort_exec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the id is not live or the worker is not busy.
+    pub fn abort_exec(&mut self, id: WorkerId, began: SimTime, now: SimTime) {
+        let w = self.live.get_mut(&id).expect("worker live");
+        w.abort_exec(began, now);
+        let fx = self
+            .by_function
+            .get_mut(w.function())
+            .expect("live worker is indexed");
+        fx.busy.remove(&id);
+        fx.warm.insert(id);
+        self.warm_by_activity.insert((now, id));
+    }
+
+    /// Verifies that the secondary indexes agree exactly with the live
+    /// worker map: every live worker sits in precisely the bucket of its
+    /// state, warm workers (and nothing else) appear in the LRU order under
+    /// their current `last_active`, and no index entry dangles. Returns a
+    /// description of the first inconsistency found.
+    ///
+    /// This is the oracle behind the pool's property tests; the platform's
+    /// chaos suite relies on every transition — including crashes — keeping
+    /// it green.
+    pub fn check_index_consistency(&self) -> Result<(), String> {
+        let mut indexed = 0usize;
+        let mut warm_live = 0usize;
+        for (id, w) in &self.live {
+            let fx = self
+                .by_function
+                .get(w.function())
+                .ok_or_else(|| format!("worker {id} has no FnIndex for `{}`", w.function()))?;
+            let placement = (
+                fx.provisioning.contains(id),
+                fx.warm.contains(id),
+                fx.busy.contains(id),
+            );
+            let expected = match w.state() {
+                WorkerState::Provisioning => (true, false, false),
+                WorkerState::Warm => (false, true, false),
+                WorkerState::Busy => (false, false, true),
+                WorkerState::Dead => return Err(format!("worker {id} is live but dead")),
+            };
+            if placement != expected {
+                return Err(format!(
+                    "worker {id} in state {:?} has bucket placement {placement:?}",
+                    w.state()
+                ));
+            }
+            let in_lru = self.warm_by_activity.contains(&(w.last_active(), *id));
+            if (w.state() == WorkerState::Warm) != in_lru {
+                return Err(format!(
+                    "worker {id} state {:?} vs LRU membership {in_lru}",
+                    w.state()
+                ));
+            }
+            if w.state() == WorkerState::Warm {
+                warm_live += 1;
+            }
+        }
+        for (function, fx) in &self.by_function {
+            if fx.is_empty() {
+                return Err(format!("empty FnIndex retained for `{function}`"));
+            }
+            for id in fx
+                .warm
+                .iter()
+                .chain(fx.provisioning.iter())
+                .chain(fx.busy.iter())
+            {
+                indexed += 1;
+                match self.live.get(id) {
+                    None => return Err(format!("FnIndex `{function}` references dead {id}")),
+                    Some(w) if w.function() != function => {
+                        return Err(format!(
+                            "FnIndex `{function}` holds {id} hosting `{}`",
+                            w.function()
+                        ))
+                    }
+                    Some(_) => {}
+                }
+            }
+        }
+        if indexed != self.live.len() {
+            return Err(format!(
+                "{indexed} indexed ids vs {} live workers",
+                self.live.len()
+            ));
+        }
+        if self.warm_by_activity.len() != warm_live {
+            return Err(format!(
+                "{} LRU entries vs {warm_live} warm workers",
+                self.warm_by_activity.len()
+            ));
+        }
+        Ok(())
+    }
+
     /// Drops a (just removed, still non-dead) worker from both secondary
     /// indexes.
     fn unindex(&mut self, worker: &Worker) {
@@ -635,6 +751,50 @@ mod tests {
     }
 
     #[test]
+    fn crash_repairs_indexes_in_every_state() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        // Crash while provisioning.
+        let a = add_provisioning(&mut pool, "f", 500);
+        pool.crash(a, SimTime::from_millis(100));
+        assert_eq!(pool.provisioning_count("f"), 0);
+        assert!(pool.check_index_consistency().is_ok());
+        // Crash while warm: FnIndex and warm-LRU must both forget it.
+        let b = add_worker(&mut pool, "f", 0);
+        pool.crash(b, SimTime::from_millis(200));
+        assert_eq!(pool.warm_count("f"), 0);
+        assert_eq!(pool.warm_lru().count(), 0);
+        assert!(pool.check_index_consistency().is_ok());
+        // Crash while busy.
+        let c = add_worker(&mut pool, "f", 0);
+        pool.begin_exec(c, SimTime::from_millis(300));
+        pool.crash(c, SimTime::from_millis(400));
+        assert_eq!(pool.live_count(), 0);
+        assert!(pool.check_index_consistency().is_ok());
+        // All three records are flagged.
+        assert!(pool.dead_records().iter().all(|r| r.crashed));
+        // Unknown ids are a no-op.
+        assert!(pool.crash(WorkerId(99), SimTime::ZERO).is_none());
+    }
+
+    #[test]
+    fn abort_exec_reindexes_as_warm() {
+        let mut pool = WorkerPool::new(PoolConfig::default());
+        let a = add_worker(&mut pool, "f", 0);
+        let t0 = SimTime::from_millis(100);
+        pool.begin_exec(a, t0);
+        pool.abort_exec(a, t0, SimTime::from_millis(600));
+        assert_eq!(pool.warm_count("f"), 1);
+        assert_eq!(
+            pool.warm_lru().next().map(Worker::last_active),
+            Some(SimTime::from_millis(600))
+        );
+        assert_eq!(pool.get(a).unwrap().served(), 0);
+        assert!(pool.check_index_consistency().is_ok());
+        // The aborted worker is immediately reusable.
+        assert_eq!(pool.find_warm("f", SimTime::from_millis(700)), Some(a));
+    }
+
+    #[test]
     fn retarget_moves_between_function_buckets() {
         let mut pool = WorkerPool::new(PoolConfig::default());
         let a = add_worker(&mut pool, "f", 0);
@@ -652,5 +812,115 @@ mod tests {
         assert!(pool.retarget(a, "h").is_err());
         assert_eq!(pool.warm_count("g"), 1);
         assert!(pool.retarget(WorkerId(99), "h").is_err());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use proptest::prelude::*;
+    use xanadu_chain::IsolationLevel;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(96))]
+
+        /// Drives the pool through an arbitrary sequence of lifecycle
+        /// transitions — insert, mark-ready, begin/end/abort exec, retarget,
+        /// kill, crash, keep-alive reaping and warm-cap eviction — and
+        /// checks after every step that the FnIndex buckets and the warm-LRU
+        /// agree exactly with the live worker map.
+        #[test]
+        fn indexes_agree_with_live_map_under_arbitrary_transitions(
+            ops in proptest::collection::vec((0u8..9, 0u64..24, 1u64..2_000), 1..60),
+            max_warm in 0usize..6,
+        ) {
+            let mut pool = WorkerPool::new(PoolConfig {
+                keep_alive: SimDuration::from_secs(30),
+                max_warm: if max_warm == 0 { None } else { Some(max_warm) },
+            });
+            let mut now = SimTime::ZERO;
+            let mut ids: Vec<WorkerId> = Vec::new();
+            let mut began: std::collections::HashMap<WorkerId, SimTime> =
+                std::collections::HashMap::new();
+            for (op, pick, advance_ms) in ops {
+                now += SimDuration::from_millis(advance_ms);
+                // Deterministically pick a live worker (if any) for the op.
+                let target = if ids.is_empty() {
+                    None
+                } else {
+                    Some(ids[(pick as usize) % ids.len()])
+                };
+                let target = target.filter(|id| pool.get(*id).is_some());
+                match op {
+                    0 => {
+                        let id = pool.next_worker_id();
+                        pool.insert(Worker::provisioning(
+                            id,
+                            format!("f{}", pick % 3),
+                            IsolationLevel::Container,
+                            512,
+                            now,
+                            now + SimDuration::from_millis(pick * 100),
+                        ));
+                        ids.push(id);
+                    }
+                    1 => {
+                        if let Some(id) = target {
+                            pool.mark_ready(id);
+                        }
+                    }
+                    2 => {
+                        if let Some(id) = target {
+                            let w = pool.get(id).unwrap();
+                            if w.state() == WorkerState::Warm {
+                                let at = now.max(w.ready_at());
+                                pool.begin_exec(id, at);
+                                began.insert(id, at);
+                            }
+                        }
+                    }
+                    3 => {
+                        if let Some(id) = target {
+                            if pool.get(id).unwrap().state() == WorkerState::Busy {
+                                let b = began.remove(&id).unwrap();
+                                pool.end_exec(id, b, now.max(b));
+                            }
+                        }
+                    }
+                    4 => {
+                        if let Some(id) = target {
+                            if pool.get(id).unwrap().state() == WorkerState::Busy {
+                                let b = began.remove(&id).unwrap();
+                                pool.abort_exec(id, b, now.max(b));
+                            }
+                        }
+                    }
+                    5 => {
+                        if let Some(id) = target {
+                            pool.kill(id, now);
+                        }
+                    }
+                    6 => {
+                        // The new crash transition, from any live state.
+                        if let Some(id) = target {
+                            pool.crash(id, now);
+                        }
+                    }
+                    7 => {
+                        pool.reap_expired(now);
+                    }
+                    _ => {
+                        pool.enforce_warm_cap(now, &HashSet::new());
+                    }
+                }
+                if let Err(e) = pool.check_index_consistency() {
+                    prop_assert!(false, "after op {op}: {e}");
+                }
+            }
+            // Final teardown accounts for every worker ever created.
+            let total = ids.len();
+            let records = pool.drain(now);
+            prop_assert_eq!(records.len(), total);
+        }
     }
 }

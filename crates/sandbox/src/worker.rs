@@ -207,6 +207,31 @@ impl Worker {
         WorkerRecord::from_worker(&self, now)
     }
 
+    /// Kills the worker at `now` because its sandbox crashed (fault
+    /// injection). Identical to [`kill`](Self::kill) except the record is
+    /// flagged, so fault accounting can separate crashes from orderly
+    /// keep-alive/eviction reclamation.
+    pub fn crash(self, now: SimTime) -> WorkerRecord {
+        let mut record = self.kill(now);
+        record.crashed = true;
+        record
+    }
+
+    /// Aborts an in-flight execution at `now` (the invocation timed out or
+    /// failed): the worker returns to `Warm` and its busy time is charged,
+    /// but the request does **not** count as served — the sandbox produced
+    /// no result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the worker is not `Busy`.
+    pub fn abort_exec(&mut self, began: SimTime, now: SimTime) {
+        assert_eq!(self.state, WorkerState::Busy, "worker {} not busy", self.id);
+        self.state = WorkerState::Warm;
+        self.busy_total += now.saturating_since(began);
+        self.last_active = now;
+    }
+
     /// Builds an accounting record *as of* `now` without killing the worker
     /// (used at end-of-experiment snapshots).
     pub fn snapshot(&self, now: SimTime) -> WorkerRecord {
@@ -241,6 +266,10 @@ pub struct WorkerRecord {
     /// Whether the worker ever executed a request (false = wasted
     /// speculative deployment).
     pub ever_used: bool,
+    /// Whether the worker died from an injected crash rather than orderly
+    /// reclamation (keep-alive reaping, eviction, end-of-run teardown).
+    #[serde(default)]
+    pub crashed: bool,
 }
 
 impl WorkerRecord {
@@ -262,6 +291,7 @@ impl WorkerRecord {
             busy_total: w.busy_total,
             served: w.served,
             ever_used: w.first_exec_at.is_some(),
+            crashed: false,
         }
     }
 }
@@ -367,6 +397,46 @@ mod tests {
     #[test]
     fn display_formats() {
         assert_eq!(WorkerId(7).to_string(), "w7");
+    }
+
+    #[test]
+    fn crash_flags_record() {
+        let mut w = mk(0, 100);
+        w.mark_ready();
+        let rec = w.crash(SimTime::from_millis(500));
+        assert!(rec.crashed);
+        assert!(!rec.ever_used);
+        // Orderly kill is unflagged.
+        let rec = mk(0, 100).kill(SimTime::from_millis(500));
+        assert!(!rec.crashed);
+    }
+
+    #[test]
+    fn abort_exec_returns_worker_warm_without_serving() {
+        let mut w = mk(0, 100);
+        w.mark_ready();
+        let t0 = SimTime::from_millis(200);
+        w.begin_exec(t0);
+        let t1 = SimTime::from_millis(900);
+        w.abort_exec(t0, t1);
+        assert_eq!(w.state(), WorkerState::Warm);
+        assert_eq!(w.served(), 0);
+        assert_eq!(w.last_active(), t1);
+        // The aborted attempt's busy time is still charged.
+        let rec = w.snapshot(t1);
+        assert_eq!(rec.busy_total, SimDuration::from_millis(700));
+        // The worker stays usable: a later execution succeeds normally.
+        w.begin_exec(SimTime::from_millis(1000));
+        w.end_exec(SimTime::from_millis(1000), SimTime::from_millis(1100));
+        assert_eq!(w.served(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "not busy")]
+    fn abort_exec_requires_busy() {
+        let mut w = mk(0, 100);
+        w.mark_ready();
+        w.abort_exec(SimTime::from_millis(200), SimTime::from_millis(300));
     }
 
     #[test]

@@ -121,6 +121,26 @@ impl<E> EventQueue<E> {
         self.heap = kept.into();
         before - self.heap.len()
     }
+
+    /// Removes all pending events matching `pred` and returns them (with
+    /// their scheduled times) in scheduling order. Unlike
+    /// [`cancel_where`](Self::cancel_where), the caller gets the removed
+    /// payloads back — fault recovery uses this to re-dispatch invocations
+    /// that were waiting on a worker that just crashed.
+    pub fn drain_where<F: FnMut(&E) -> bool>(&mut self, mut pred: F) -> Vec<(SimTime, E)> {
+        let mut kept = Vec::with_capacity(self.heap.len());
+        let mut removed = Vec::new();
+        for s in self.heap.drain() {
+            if pred(&s.event) {
+                removed.push(s);
+            } else {
+                kept.push(s);
+            }
+        }
+        self.heap = kept.into();
+        removed.sort_by_key(|s| (s.time, s.seq));
+        removed.into_iter().map(|s| (s.time, s.event)).collect()
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -195,6 +215,28 @@ mod tests {
         q.cancel_where(|e| *e == 3);
         let order: Vec<i32> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
         assert_eq!(order, vec![0, 1, 2, 4, 5]);
+    }
+
+    #[test]
+    fn drain_where_returns_removed_in_schedule_order() {
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(2);
+        for i in 0..8 {
+            // Interleave equal and distinct timestamps.
+            q.schedule(t + SimDuration::from_millis(i / 2), i);
+        }
+        let removed = q.drain_where(|e| e % 2 == 0);
+        assert_eq!(
+            removed,
+            vec![
+                (t, 0),
+                (t + SimDuration::from_millis(1), 2),
+                (t + SimDuration::from_millis(2), 4),
+                (t + SimDuration::from_millis(3), 6),
+            ]
+        );
+        let kept: Vec<u64> = std::iter::from_fn(|| q.pop().map(|(_, e)| e)).collect();
+        assert_eq!(kept, vec![1, 3, 5, 7]);
     }
 
     #[test]

@@ -18,7 +18,7 @@ use xanadu_baselines::BaselineKind;
 use xanadu_chain::sdl;
 use xanadu_core::mlp::infer_mlp;
 use xanadu_core::speculation::ExecutionMode;
-use xanadu_platform::{Platform, PlatformConfig};
+use xanadu_platform::{FaultConfig, Platform, PlatformConfig};
 use xanadu_simcore::{SimDuration, SimTime};
 
 /// A parsed CLI invocation.
@@ -54,6 +54,10 @@ pub struct RunArgs {
     pub implicit: bool,
     /// Print the per-request execution timeline (Gantt) after the table.
     pub trace: bool,
+    /// Fault-injection rate in `[0, 1]`; 0 disables injection.
+    pub fault_rate: f64,
+    /// Fault RNG seed, independent of the platform seed.
+    pub fault_seed: u64,
 }
 
 /// Which platform model to run on.
@@ -146,12 +150,16 @@ xanadu — serverless function-chain platform (paper reproduction)
 USAGE:
   xanadu run --sdl <file> [--mode cold|spec|jit|knative|openwhisk|asf|adf]
              [--triggers N] [--gap-min M] [--seed S] [--implicit] [--trace]
+             [--fault-rate R] [--fault-seed F]
   xanadu inspect --sdl <file> [--dot]
   xanadu help
 
 `run` deploys the workflow described by the JSON state-definition
 document and fires N triggers M minutes apart, printing per-request
 latency, overhead and cold/warm starts.
+`--fault-rate R` (0..1) injects deterministic worker crashes and latency
+spikes at rate R, seeded by `--fault-seed` (default 0xFA17); recovery
+(timeouts, bounded retry, re-planning) is reported per request.
 `inspect` prints the parsed structure and the predicted most-likely path.";
 
 /// Parses raw arguments (without the program name).
@@ -183,6 +191,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let seed = parse_num(args, "--seed", 42)?;
             let implicit = args.iter().any(|a| a == "--implicit");
             let trace = args.iter().any(|a| a == "--trace");
+            let fault_rate = parse_fraction(args, "--fault-rate", 0.0)?;
+            let fault_seed = parse_num(args, "--fault-seed", 0xFA17)?;
             Ok(Command::Run(RunArgs {
                 sdl_path,
                 platform,
@@ -191,6 +201,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 seed,
                 implicit,
                 trace,
+                fault_rate,
+                fault_seed,
             }))
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
@@ -215,6 +227,20 @@ fn parse_num(args: &[String], flag: &str, default: u64) -> Result<u64, CliError>
             value: v,
             expected: "a non-negative integer".into(),
         }),
+    }
+}
+
+fn parse_fraction(args: &[String], flag: &str, default: f64) -> Result<f64, CliError> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => match v.parse::<f64>() {
+            Ok(x) if (0.0..=1.0).contains(&x) => Ok(x),
+            _ => Err(CliError::BadValue {
+                flag: flag.into(),
+                value: v,
+                expected: "a number in [0, 1]".into(),
+            }),
+        },
     }
 }
 
@@ -273,6 +299,9 @@ pub fn execute(
             let name = workflow_name(&run.sdl_path).to_string();
             let dag = sdl::parse(&name, &doc).map_err(|e| CliError::Workflow(e.to_string()))?;
             let mut platform = run.platform.build(run.seed);
+            if run.fault_rate > 0.0 {
+                platform.set_faults(FaultConfig::with_rate(run.fault_rate, run.fault_seed));
+            }
             let result = if run.implicit {
                 platform.deploy_implicit(dag)
             } else {
@@ -307,10 +336,15 @@ pub fn execute(
                 run.gap_min,
                 run.seed
             );
-            out.push_str("req  end-to-end   overhead  cold  warm  misses\n");
+            let faulty = run.fault_rate > 0.0;
+            if faulty {
+                out.push_str("req  end-to-end   overhead  cold  warm  misses  faults  retries\n");
+            } else {
+                out.push_str("req  end-to-end   overhead  cold  warm  misses\n");
+            }
             for r in &report.results {
                 out.push_str(&format!(
-                    "{:>3}  {:>9.2}s  {:>8.2}s  {:>4}  {:>4}  {:>6}\n",
+                    "{:>3}  {:>9.2}s  {:>8.2}s  {:>4}  {:>4}  {:>6}",
                     r.request,
                     r.end_to_end.as_secs_f64(),
                     r.overhead.as_secs_f64(),
@@ -318,6 +352,10 @@ pub fn execute(
                     r.warm_starts,
                     r.misses
                 ));
+                if faulty {
+                    out.push_str(&format!("  {:>6}  {:>7}", r.faults, r.retries));
+                }
+                out.push('\n');
             }
             out.push_str(&format!(
                 "mean overhead: {:.2}s   total resources: {:.1} core·s CPU, {:.1} MB·s memory\n",
@@ -325,6 +363,14 @@ pub fn execute(
                 report.total_resources().cpu_s,
                 report.total_resources().mem_mbs
             ));
+            if faulty {
+                let (total_faults, total_retries) = report.fault_counts();
+                out.push_str(&format!(
+                    "faults injected: {total_faults}   retries: {total_retries}   \
+                     (rate {}, fault seed {})\n",
+                    run.fault_rate, run.fault_seed
+                ));
+            }
             for (id, gantt) in traces {
                 out.push_str(&format!(
                     "\ntimeline of request {id} (░ provisioning/idle, █ executing):\n"
@@ -486,6 +532,67 @@ mod tests {
         let out = execute(&cmd, source).unwrap();
         assert!(out.contains("timeline of request 0"), "{out}");
         assert!(out.contains('█'), "{out}");
+    }
+
+    #[test]
+    fn parse_fault_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "wf.json",
+            "--fault-rate",
+            "0.4",
+            "--fault-seed",
+            "9",
+        ]))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(run.fault_rate, 0.4);
+        assert_eq!(run.fault_seed, 9);
+
+        let Command::Run(defaults) = parse_args(&args(&["run", "--sdl", "wf.json"])).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(defaults.fault_rate, 0.0);
+        assert_eq!(defaults.fault_seed, 0xFA17);
+
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--fault-rate", "1.5"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--fault-rate", "lots"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_faults_reports_fault_columns() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "jit",
+            "--triggers",
+            "3",
+            "--fault-rate",
+            "1.0",
+            "--fault-seed",
+            "5",
+        ]))
+        .unwrap();
+        let out = execute(&cmd, source).unwrap();
+        assert!(out.contains("faults  retries"), "{out}");
+        assert!(out.contains("faults injected:"), "{out}");
+        // Every triggered request still terminates under certain faults.
+        assert!(out.matches("s  ").count() >= 3, "{out}");
+        // And the same invocation is reproducible.
+        let again = execute(&cmd, source).unwrap();
+        assert_eq!(out, again);
     }
 
     #[test]

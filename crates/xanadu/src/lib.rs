@@ -75,6 +75,6 @@ pub mod prelude {
         WorkflowBuilder, WorkflowDag,
     };
     pub use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
-    pub use xanadu_platform::{Platform, PlatformConfig, PlatformReport, RunResult};
+    pub use xanadu_platform::{FaultConfig, Platform, PlatformConfig, PlatformReport, RunResult};
     pub use xanadu_simcore::{Distribution, SimDuration, SimTime};
 }

@@ -70,9 +70,15 @@ fn bench_platform_dispatch(c: &mut Criterion) {
     let dag = linear_chain("bench", 10, &FunctionSpec::new("f").service_ms(1000.0)).expect("chain");
     c.bench_function("platform_jit_depth10_1k_resident", |b| {
         b.iter(|| {
-            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 1);
-            cfg.static_prewarm = 100; // 100 workers x 10 functions resident
-            cfg.pool.keep_alive = SimDuration::from_secs(3600);
+            let cfg = PlatformConfig::builder()
+                .for_mode(ExecutionMode::Jit, 1)
+                .static_prewarm(100) // 100 workers x 10 functions resident
+                .pool(PoolConfig {
+                    keep_alive: SimDuration::from_secs(3600),
+                    max_warm: None,
+                })
+                .build()
+                .expect("valid config");
             let mut p = Platform::new(cfg);
             p.deploy(dag.clone()).expect("deploy");
             p.trigger_at("bench", SimTime::from_secs(600))

@@ -17,30 +17,54 @@
 use std::process::ExitCode;
 use std::time::Instant;
 use xanadu_bench::experiments::{all_timed, run_by_id, ALL_IDS};
-use xanadu_bench::harness::set_jobs;
+use xanadu_bench::harness::{observability_probe, set_jobs};
 use xanadu_bench::Experiment;
 
 fn usage() {
-    eprintln!("usage: xanadu-repro [--list] [--jobs N] <experiment-id>... | all");
+    eprintln!(
+        "usage: xanadu-repro [--list] [--jobs N] [--trace-out F] [--metrics-out F] \
+         <experiment-id>... | all"
+    );
     eprintln!("known ids: {}", ALL_IDS.join(", "));
+    eprintln!(
+        "--trace-out/--metrics-out additionally run the observability probe \
+         (seed 7) and write its Chrome-trace / metrics JSON exports"
+    );
 }
 
-/// Parses `--jobs N` / `--jobs=N` out of the argument list, returning the
-/// remaining (non-flag) arguments. `None` on a malformed value.
-fn parse_args(args: &[String]) -> Option<(Option<usize>, Vec<String>)> {
-    let mut jobs = None;
-    let mut rest = Vec::new();
+/// Flags parsed off the `xanadu-repro` command line.
+struct Flags {
+    jobs: Option<usize>,
+    trace_out: Option<String>,
+    metrics_out: Option<String>,
+    rest: Vec<String>,
+}
+
+/// Parses `--jobs N` / `--jobs=N` / `--trace-out F` / `--metrics-out F`
+/// out of the argument list, returning the remaining (non-flag)
+/// arguments. `None` on a malformed or missing value.
+fn parse_args(args: &[String]) -> Option<Flags> {
+    let mut flags = Flags {
+        jobs: None,
+        trace_out: None,
+        metrics_out: None,
+        rest: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(arg) = it.next() {
         if arg == "--jobs" {
-            jobs = Some(it.next()?.parse().ok()?);
+            flags.jobs = Some(it.next()?.parse().ok()?);
         } else if let Some(v) = arg.strip_prefix("--jobs=") {
-            jobs = Some(v.parse().ok()?);
+            flags.jobs = Some(v.parse().ok()?);
+        } else if arg == "--trace-out" {
+            flags.trace_out = Some(it.next()?.clone());
+        } else if arg == "--metrics-out" {
+            flags.metrics_out = Some(it.next()?.clone());
         } else {
-            rest.push(arg.clone());
+            flags.rest.push(arg.clone());
         }
     }
-    Some((jobs, rest))
+    Some(flags)
 }
 
 fn write_bench_report(jobs: usize, timed: &[(Experiment, f64)], total_wall_ms: f64) {
@@ -96,11 +120,31 @@ fn main() -> ExitCode {
         }
         return ExitCode::SUCCESS;
     }
-    let Some((jobs, ids)) = parse_args(&args) else {
+    let Some(flags) = parse_args(&args) else {
         usage();
         return ExitCode::FAILURE;
     };
-    let jobs = jobs.unwrap_or_else(|| {
+    let ids = flags.rest;
+    if flags.trace_out.is_some() || flags.metrics_out.is_some() {
+        let (trace, metrics) = observability_probe(7, true);
+        for (path, contents) in [
+            (flags.trace_out.as_ref(), trace),
+            (flags.metrics_out.as_ref(), metrics),
+        ] {
+            let Some(path) = path else { continue };
+            match std::fs::write(path, contents) {
+                Ok(()) => eprintln!("wrote {path}"),
+                Err(e) => {
+                    eprintln!("could not write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            }
+        }
+        if ids.is_empty() {
+            return ExitCode::SUCCESS;
+        }
+    }
+    let jobs = flags.jobs.unwrap_or_else(|| {
         std::thread::available_parallelism()
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(1)

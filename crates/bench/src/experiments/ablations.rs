@@ -16,9 +16,12 @@ use xanadu_workloads::arrivals::poisson;
 use xanadu_workloads::azure::{generate_trace, rare_gap_exceedance, AzureTraceConfig};
 
 fn platform_with(speculation: SpeculationConfig, pool: PoolConfig, seed: u64) -> Platform {
-    let mut cfg = PlatformConfig::for_mode(speculation.mode, seed);
-    cfg.speculation = speculation;
-    cfg.pool = pool;
+    let cfg = PlatformConfig::builder()
+        .for_mode(speculation.mode, seed)
+        .speculation(speculation)
+        .pool(pool)
+        .build()
+        .expect("valid config");
     Platform::new(cfg)
 }
 
@@ -530,17 +533,22 @@ pub fn pool_baseline() -> Experiment {
         ("pre-crafted pool (k=1)", ExecutionMode::Cold, 1),
         ("xanadu-jit (30s keep-alive)", ExecutionMode::Jit, 0),
     ] {
-        let mut cfg = xanadu_platform::PlatformConfig::for_mode(mode, 33);
-        cfg.static_prewarm = prewarm;
+        let mut builder = xanadu_platform::PlatformConfig::builder()
+            .for_mode(mode, 33)
+            .static_prewarm(prewarm);
         if prewarm > 0 {
-            cfg.discard_unused_after_run = false;
+            builder = builder.discard_unused_after_run(false);
         }
         if mode == ExecutionMode::Jit {
             // Speculation covers the chain, so the §7 short keep-alive is
             // safe — this is the combination the paper's future work
             // proposes.
-            cfg.pool.keep_alive = SimDuration::from_secs(30);
+            builder = builder.pool(PoolConfig {
+                keep_alive: SimDuration::from_secs(30),
+                ..PoolConfig::default()
+            });
         }
+        let cfg = builder.build().expect("valid config");
         let mut p = xanadu_platform::Platform::new(cfg);
         p.deploy(dag.clone()).expect("deploy");
         for &t in &arrivals {

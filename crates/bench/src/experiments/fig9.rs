@@ -28,8 +28,11 @@ struct Round {
 fn observe_rounds(seed: u64) -> Vec<Round> {
     let dag = fig8_dag(200.0).expect("fig8 dag");
     let total_nodes = dag.len();
-    let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, seed);
-    cfg.use_learned_probabilities = true;
+    let cfg = PlatformConfig::builder()
+        .for_mode(ExecutionMode::Speculative, seed)
+        .use_learned_probabilities(true)
+        .build()
+        .expect("valid config");
     let mut p = Platform::new(cfg);
     p.deploy_implicit(dag).expect("deploy");
     let mut rounds = Vec::new();

@@ -2,9 +2,11 @@
 
 use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use xanadu_chain::WorkflowDag;
+use xanadu_chain::{linear_chain, FunctionSpec, WorkflowDag};
 use xanadu_core::speculation::ExecutionMode;
-use xanadu_platform::{Platform, PlatformConfig, RunResult};
+use xanadu_platform::export::{chrome_trace_string, metrics_json_string};
+use xanadu_platform::timeline::Trace;
+use xanadu_platform::{FaultConfig, Platform, PlatformConfig, RunResult};
 use xanadu_simcore::report::fmt_f64;
 use xanadu_simcore::{SimDuration, SimTime};
 
@@ -209,6 +211,45 @@ pub fn learned_runs(
     platform.results()[before..].to_vec()
 }
 
+/// Runs the standard observability workload — a depth-4 JIT chain under
+/// heavy deterministic fault injection, metrics registry attached — and
+/// returns the two export documents as `(chrome_trace, metrics_json)`
+/// strings.
+///
+/// The probe is the harness-side consumer of the platform's exporters:
+/// `xanadu-repro --trace-out/--metrics-out` writes exactly these strings,
+/// and the determinism suite asserts they are byte-identical across
+/// `--jobs` widths and plan-cache settings for the same seed.
+pub fn observability_probe(seed: u64, plan_cache: bool) -> (String, String) {
+    let dag =
+        linear_chain("probe", 4, &FunctionSpec::new("f").service_ms(1200.0)).expect("valid chain");
+    let config = PlatformConfig::builder()
+        .for_mode(ExecutionMode::Jit, seed)
+        .plan_cache(plan_cache)
+        .faults(FaultConfig::with_rate(0.8, 0xB0B + seed))
+        .build()
+        .expect("valid config");
+    let mut platform = Platform::new(config);
+    let registry = platform.attach_metrics();
+    platform.deploy(dag).expect("deploy");
+    let mut requests = Vec::new();
+    for i in 0..4u64 {
+        let id = platform
+            .trigger_at("probe", SimTime::from_secs(i * 90))
+            .expect("trigger");
+        requests.push(id);
+    }
+    platform.run_until_idle();
+    let traces: Vec<(u64, Trace)> = requests
+        .iter()
+        .filter_map(|&id| platform.trace(id).map(|t| (id, t.clone())))
+        .collect();
+    (
+        chrome_trace_string(&traces),
+        metrics_json_string(&registry.snapshot()),
+    )
+}
+
 /// Arithmetic mean of an iterator (0 when empty).
 pub fn mean(values: impl IntoIterator<Item = f64>) -> f64 {
     let mut sum = 0.0;
@@ -289,6 +330,30 @@ mod tests {
         assert!(r.contains("# x — t"));
         assert!(r.contains("| a | b | yes |"));
         assert!(e.all_hold());
+    }
+
+    #[test]
+    fn observability_probe_exports_are_populated_and_deterministic() {
+        let (trace, metrics) = observability_probe(7, true);
+        assert!(trace.contains("traceEvents"), "{trace}");
+        assert!(metrics.contains("counters"), "{metrics}");
+        assert!(metrics.contains("requests.completed"), "{metrics}");
+        // Same seed, plan cache off: byte-identical exports.
+        let (trace_nc, metrics_nc) = observability_probe(7, false);
+        assert_eq!(trace, trace_nc, "plan cache changed the trace export");
+        assert_eq!(metrics, metrics_nc, "plan cache changed the metrics export");
+        // Probes fanned out across threads match the serial run.
+        let probes = |width: usize| {
+            set_jobs(width);
+            let out = run_indexed(3, |i| observability_probe(100 + i as u64, true));
+            set_jobs(1);
+            out
+        };
+        assert_eq!(
+            probes(1),
+            probes(8),
+            "exports diverged across --jobs widths"
+        );
     }
 
     /// The fan-out contract of the repro harness: the same seed renders

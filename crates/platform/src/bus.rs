@@ -4,24 +4,33 @@
 //! Dispatch Manager and the Dispatch Daemon and also for state management
 //! of Xanadu workers" (§4). In this reproduction the platform components
 //! live in one process, so the bus is a typed topic-based pub/sub built on
-//! `crossbeam` channels: the Dispatch Manager publishes worker and request
-//! lifecycle messages, and observers (tests, monitoring, the experiment
-//! harness) subscribe per topic.
+//! `crossbeam` channels: the Dispatch Manager publishes [`BusEvent`]s, and
+//! observers (tests, monitoring, the experiment harness) subscribe per
+//! [`Topic`]. Payloads are typed end to end — no free-form JSON crosses
+//! the bus.
 
+use crate::events::{BusEvent, Topic};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use xanadu_simcore::SimTime;
 
-/// A message published on the bus.
+/// A message published on the bus: a typed event stamped with the
+/// simulation time of emission. The topic is implied by the event
+/// ([`BusMessage::topic`]).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct BusMessage {
-    /// Topic the message was published to.
-    pub topic: String,
     /// Simulation time of the event.
     pub at: SimTime,
-    /// JSON payload.
-    pub payload: serde_json::Value,
+    /// The typed event payload.
+    pub event: BusEvent,
+}
+
+impl BusMessage {
+    /// The topic this message was published on.
+    pub fn topic(&self) -> Topic {
+        self.event.topic()
+    }
 }
 
 /// A subscription handle: drain messages with
@@ -43,24 +52,29 @@ impl Subscription {
     }
 }
 
-/// Topic-based publish/subscribe bus.
+/// Topic-based publish/subscribe bus over typed [`BusEvent`]s.
 ///
 /// # Example
 ///
 /// ```
 /// use xanadu_platform::bus::Bus;
+/// use xanadu_platform::events::{BusEvent, Topic};
 /// use xanadu_simcore::SimTime;
 ///
 /// let mut bus = Bus::new();
-/// let sub = bus.subscribe("worker.ready");
-/// bus.publish("worker.ready", SimTime::ZERO, serde_json::json!({"worker": 7}));
+/// let sub = bus.subscribe(Topic::WorkerReady);
+/// bus.publish(SimTime::ZERO, BusEvent::WorkerReady { worker: 7 });
 /// let msgs = sub.drain();
 /// assert_eq!(msgs.len(), 1);
-/// assert_eq!(msgs[0].payload["worker"], 7);
+/// assert_eq!(msgs[0].event, BusEvent::WorkerReady { worker: 7 });
 /// ```
 #[derive(Debug, Default)]
 pub struct Bus {
-    topics: HashMap<String, Vec<Sender<BusMessage>>>,
+    topics: HashMap<Topic, Vec<Sender<BusMessage>>>,
+    /// Bit `Topic::index()` is set while the topic may have live
+    /// subscribers; cleared when the last one is pruned. Lets the
+    /// dispatch hot path skip event construction with a single AND.
+    live: u32,
     published: u64,
 }
 
@@ -72,25 +86,33 @@ impl Bus {
 
     /// Subscribes to `topic`; messages published after this call are
     /// delivered to the returned handle.
-    pub fn subscribe(&mut self, topic: &str) -> Subscription {
+    pub fn subscribe(&mut self, topic: Topic) -> Subscription {
         let (tx, rx) = unbounded();
-        self.topics.entry(topic.to_string()).or_default().push(tx);
+        self.topics.entry(topic).or_default().push(tx);
+        self.live |= 1 << topic.index();
         Subscription { rx }
     }
 
-    /// Publishes a message to every current subscriber of `topic`.
-    /// Messages to topics without subscribers are dropped (fire-and-forget,
+    /// `true` while `topic` may have live subscribers. Conservative: a
+    /// dropped subscriber is only noticed (and the bit cleared) on the
+    /// next publish to its topic.
+    pub fn has_subscribers(&self, topic: Topic) -> bool {
+        self.live & (1 << topic.index()) != 0
+    }
+
+    /// Publishes an event to every current subscriber of its topic.
+    /// Events on topics without subscribers are dropped (fire-and-forget,
     /// like an unconsumed Kafka topic).
-    pub fn publish(&mut self, topic: &str, at: SimTime, payload: serde_json::Value) {
+    pub fn publish(&mut self, at: SimTime, event: BusEvent) {
         self.published += 1;
-        if let Some(subs) = self.topics.get_mut(topic) {
-            let msg = BusMessage {
-                topic: topic.to_string(),
-                at,
-                payload,
-            };
+        let topic = event.topic();
+        if let Some(subs) = self.topics.get_mut(&topic) {
+            let msg = BusMessage { at, event };
             // Drop senders whose receiver is gone.
             subs.retain(|tx| tx.send(msg.clone()).is_ok());
+            if subs.is_empty() {
+                self.live &= !(1 << topic.index());
+            }
         }
     }
 
@@ -103,14 +125,17 @@ impl Bus {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use serde_json::json;
+
+    fn ready(worker: u64) -> BusEvent {
+        BusEvent::WorkerReady { worker }
+    }
 
     #[test]
     fn multiple_subscribers_each_get_a_copy() {
         let mut bus = Bus::new();
-        let a = bus.subscribe("t");
-        let b = bus.subscribe("t");
-        bus.publish("t", SimTime::ZERO, json!({"x": 1}));
+        let a = bus.subscribe(Topic::WorkerReady);
+        let b = bus.subscribe(Topic::WorkerReady);
+        bus.publish(SimTime::ZERO, ready(1));
         assert_eq!(a.drain().len(), 1);
         assert_eq!(b.drain().len(), 1);
     }
@@ -118,51 +143,65 @@ mod tests {
     #[test]
     fn topics_are_isolated() {
         let mut bus = Bus::new();
-        let a = bus.subscribe("a");
-        bus.publish("b", SimTime::ZERO, json!(null));
+        let a = bus.subscribe(Topic::WorkerCrashed);
+        bus.publish(SimTime::ZERO, ready(1));
         assert!(a.try_next().is_none());
     }
 
     #[test]
     fn unsubscribed_topics_drop_messages() {
         let mut bus = Bus::new();
-        bus.publish("nobody", SimTime::ZERO, json!(1));
+        bus.publish(SimTime::ZERO, ready(1));
         assert_eq!(bus.published_count(), 1);
     }
 
     #[test]
     fn dropped_subscribers_are_pruned() {
         let mut bus = Bus::new();
-        let sub = bus.subscribe("t");
+        let sub = bus.subscribe(Topic::WorkerReady);
         drop(sub);
-        bus.publish("t", SimTime::ZERO, json!(1));
-        bus.publish("t", SimTime::ZERO, json!(2)); // second publish after prune
+        assert!(bus.has_subscribers(Topic::WorkerReady)); // not yet noticed
+        bus.publish(SimTime::ZERO, ready(1));
+        assert!(!bus.has_subscribers(Topic::WorkerReady)); // pruned
+        bus.publish(SimTime::ZERO, ready(2)); // second publish after prune
         assert_eq!(bus.published_count(), 2);
     }
 
     #[test]
-    fn messages_carry_time_and_payload() {
+    fn messages_carry_time_and_event() {
         let mut bus = Bus::new();
-        let sub = bus.subscribe("t");
-        bus.publish("t", SimTime::from_secs(5), json!({"k": "v"}));
+        let sub = bus.subscribe(Topic::WorkerReady);
+        bus.publish(SimTime::from_secs(5), ready(9));
         let m = sub.try_next().unwrap();
         assert_eq!(m.at, SimTime::from_secs(5));
-        assert_eq!(m.topic, "t");
-        assert_eq!(m.payload["k"], "v");
+        assert_eq!(m.topic(), Topic::WorkerReady);
+        assert_eq!(m.event, ready(9));
     }
 
     #[test]
     fn drain_preserves_order() {
         let mut bus = Bus::new();
-        let sub = bus.subscribe("t");
+        let sub = bus.subscribe(Topic::WorkerReady);
         for i in 0..5 {
-            bus.publish("t", SimTime::ZERO, json!(i));
+            bus.publish(SimTime::ZERO, ready(i));
         }
-        let payloads: Vec<i64> = sub
+        let workers: Vec<u64> = sub
             .drain()
             .into_iter()
-            .map(|m| m.payload.as_i64().unwrap())
+            .map(|m| match m.event {
+                BusEvent::WorkerReady { worker } => worker,
+                other => panic!("unexpected event {other:?}"),
+            })
             .collect();
-        assert_eq!(payloads, vec![0, 1, 2, 3, 4]);
+        assert_eq!(workers, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn has_subscribers_tracks_topics_independently() {
+        let mut bus = Bus::new();
+        assert!(!bus.has_subscribers(Topic::ExecStarted));
+        let _sub = bus.subscribe(Topic::ExecStarted);
+        assert!(bus.has_subscribers(Topic::ExecStarted));
+        assert!(!bus.has_subscribers(Topic::ExecEnded));
     }
 }

@@ -89,7 +89,169 @@ pub struct PlatformConfig {
     pub faults: FaultConfig,
 }
 
+/// A [`PlatformConfigBuilder`] validation failure.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError(String);
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid platform config: {}", self.0)
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Builder for [`PlatformConfig`] with typed setters and validated
+/// [`build`](PlatformConfigBuilder::build).
+///
+/// Preferred over poking the config's public fields in tests and
+/// benchmarks: the builder keeps presets ([`for_mode`]
+/// (PlatformConfigBuilder::for_mode)) and overrides in one expression and
+/// rejects nonsense (empty label, fault rates outside `[0, 1]`, a
+/// zero-worker live cap) before a platform is ever constructed.
+///
+/// ```
+/// use xanadu_core::speculation::ExecutionMode;
+/// use xanadu_platform::PlatformConfig;
+///
+/// let config = PlatformConfig::builder()
+///     .for_mode(ExecutionMode::Jit, 42)
+///     .plan_cache(false)
+///     .static_prewarm(2)
+///     .build()?;
+/// assert_eq!(config.seed, 42);
+/// # Ok::<(), xanadu_platform::ConfigError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PlatformConfigBuilder {
+    config: PlatformConfig,
+}
+
+impl PlatformConfigBuilder {
+    /// Resets every field to the [`PlatformConfig::for_mode`] preset for
+    /// `mode` and `seed`; call first, then layer overrides.
+    pub fn for_mode(mut self, mode: ExecutionMode, seed: u64) -> Self {
+        self.config = PlatformConfig::for_mode(mode, seed);
+        self
+    }
+
+    /// Human-readable platform label used in experiment output.
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.config.label = label.into();
+        self
+    }
+
+    /// Master RNG seed.
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Full speculation configuration (mode, aggressiveness, miss policy).
+    pub fn speculation(mut self, speculation: SpeculationConfig) -> Self {
+        self.config.speculation = speculation;
+        self
+    }
+
+    /// Miss policy override, keeping the rest of the speculation preset.
+    pub fn miss_policy(mut self, policy: xanadu_core::speculation::MissPolicy) -> Self {
+        self.config.speculation.miss_policy = policy;
+        self
+    }
+
+    /// Warm-pool keep-alive and cap policy.
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.config.pool = pool;
+        self
+    }
+
+    /// Per-hop orchestration latency distribution.
+    pub fn orchestration_overhead(mut self, dist: Distribution) -> Self {
+        self.config.orchestration_overhead = dist;
+        self
+    }
+
+    /// Live-worker cap (`None` = unlimited).
+    pub fn max_live(mut self, cap: Option<usize>) -> Self {
+        self.config.max_live = cap;
+        self
+    }
+
+    /// Latency of evicting a warm worker when the live cap forces it.
+    pub fn eviction_delay(mut self, dist: Distribution) -> Self {
+        self.config.eviction_delay = dist;
+        self
+    }
+
+    /// Whether speculated-but-unused workers die with their request.
+    pub fn discard_unused_after_run(mut self, discard: bool) -> Self {
+        self.config.discard_unused_after_run = discard;
+        self
+    }
+
+    /// Whether planning consults learned branch probabilities.
+    pub fn use_learned_probabilities(mut self, learned: bool) -> Self {
+        self.config.use_learned_probabilities = learned;
+        self
+    }
+
+    /// The hosts the Dispatch Daemons manage, plus placement policy.
+    pub fn cluster(mut self, cluster: ClusterConfig) -> Self {
+        self.config.cluster = cluster;
+        self
+    }
+
+    /// Whether deployment plans are memoized per workflow.
+    pub fn plan_cache(mut self, enabled: bool) -> Self {
+        self.config.plan_cache = enabled;
+        self
+    }
+
+    /// Pre-crafted worker pool size per function (0 = off).
+    pub fn static_prewarm(mut self, per_function: usize) -> Self {
+        self.config.static_prewarm = per_function;
+        self
+    }
+
+    /// Fault injection policy.
+    pub fn faults(mut self, faults: FaultConfig) -> Self {
+        self.config.faults = faults;
+        self
+    }
+
+    /// Validates and returns the configuration.
+    pub fn build(self) -> Result<PlatformConfig, ConfigError> {
+        let c = self.config;
+        if c.label.trim().is_empty() {
+            return Err(ConfigError("label must not be empty".into()));
+        }
+        if c.max_live == Some(0) {
+            return Err(ConfigError(
+                "max_live = 0 would make provisioning impossible".into(),
+            ));
+        }
+        if !(0.0..=1.0).contains(&c.faults.rate) || !c.faults.rate.is_finite() {
+            return Err(ConfigError(format!(
+                "fault rate {} outside [0, 1]",
+                c.faults.rate
+            )));
+        }
+        if c.faults.rate > 0.0 && c.faults.timeout_ms <= 0.0 {
+            return Err(ConfigError(
+                "fault injection needs a positive invocation timeout".into(),
+            ));
+        }
+        Ok(c)
+    }
+}
+
 impl PlatformConfig {
+    /// Starts a [`PlatformConfigBuilder`] from the default (JIT, seed 0)
+    /// preset.
+    pub fn builder() -> PlatformConfigBuilder {
+        PlatformConfigBuilder::default()
+    }
+
     /// A Xanadu platform in the given execution mode with the paper's
     /// default pool policy.
     pub fn for_mode(mode: ExecutionMode, seed: u64) -> Self {
@@ -149,6 +311,43 @@ mod tests {
         assert_eq!(
             PlatformConfig::default().speculation.mode,
             ExecutionMode::Jit
+        );
+    }
+
+    #[test]
+    fn builder_matches_for_mode_preset_plus_overrides() {
+        let built = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Speculative, 9)
+            .plan_cache(false)
+            .static_prewarm(2)
+            .build()
+            .unwrap();
+        let mut poked = PlatformConfig::for_mode(ExecutionMode::Speculative, 9);
+        poked.plan_cache = false;
+        poked.static_prewarm = 2;
+        assert_eq!(built, poked);
+    }
+
+    #[test]
+    fn builder_rejects_invalid_configs() {
+        assert!(PlatformConfig::builder().label("  ").build().is_err());
+        assert!(PlatformConfig::builder().max_live(Some(0)).build().is_err());
+        let mut bad = FaultConfig::with_rate(0.5, 1);
+        bad.rate = 1.5;
+        assert!(PlatformConfig::builder().faults(bad).build().is_err());
+        let mut no_timeout = FaultConfig::with_rate(0.5, 1);
+        no_timeout.timeout_ms = 0.0;
+        assert!(PlatformConfig::builder()
+            .faults(no_timeout)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn builder_default_builds_the_default_config() {
+        assert_eq!(
+            PlatformConfig::builder().build().unwrap(),
+            PlatformConfig::default()
         );
     }
 }

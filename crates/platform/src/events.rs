@@ -1,0 +1,333 @@
+//! Typed bus events — the platform's event taxonomy.
+//!
+//! The paper's prototype publishes worker and request lifecycle signals
+//! over Kafka (§4) and derives the whole evaluation from them. Here those
+//! signals are a closed, typed vocabulary: every emission on the
+//! [`Bus`](crate::bus::Bus) is a [`BusEvent`] variant and every topic is a
+//! [`Topic`] constant. `serde_json::Value` appears only at the
+//! serialization boundary (the [`export`](crate::export) module); nothing
+//! inside the dispatch path builds untyped JSON.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// The bus topics, one per [`BusEvent`] variant.
+///
+/// Topics are a closed enum rather than free-form strings so a typo in a
+/// subscription is a compile error, and so the bus can answer
+/// "does anyone listen?" with a bitmask test instead of a map lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Topic {
+    /// A workflow trigger arrived at the Dispatch Manager.
+    RequestTriggered,
+    /// The speculation engine produced a deployment plan for a request.
+    PlanComputed,
+    /// A sandbox finished provisioning (cold start paid).
+    WorkerProvisioned,
+    /// A provisioned worker reached the warm pool.
+    WorkerReady,
+    /// A function invocation began executing on a worker.
+    ExecStarted,
+    /// A function invocation finished executing.
+    ExecEnded,
+    /// Control flow took a branch the plan did not predict.
+    PredictionMiss,
+    /// A worker crashed (fault injection).
+    WorkerCrashed,
+    /// An invocation exceeded the per-invocation timeout.
+    InvokeTimeout,
+    /// A crashed or timed-out invocation was rescheduled after backoff.
+    InvokeRetried,
+    /// A request's last function completed; the run result is final.
+    RequestCompleted,
+}
+
+impl Topic {
+    /// Every topic, in declaration order.
+    pub const ALL: [Topic; 11] = [
+        Topic::RequestTriggered,
+        Topic::PlanComputed,
+        Topic::WorkerProvisioned,
+        Topic::WorkerReady,
+        Topic::ExecStarted,
+        Topic::ExecEnded,
+        Topic::PredictionMiss,
+        Topic::WorkerCrashed,
+        Topic::InvokeTimeout,
+        Topic::InvokeRetried,
+        Topic::RequestCompleted,
+    ];
+
+    /// The dotted wire name (what the Kafka topic would be called).
+    pub const fn name(self) -> &'static str {
+        match self {
+            Topic::RequestTriggered => "request.triggered",
+            Topic::PlanComputed => "plan.computed",
+            Topic::WorkerProvisioned => "worker.provisioned",
+            Topic::WorkerReady => "worker.ready",
+            Topic::ExecStarted => "exec.started",
+            Topic::ExecEnded => "exec.ended",
+            Topic::PredictionMiss => "prediction.miss",
+            Topic::WorkerCrashed => "worker.crashed",
+            Topic::InvokeTimeout => "invoke.timeout",
+            Topic::InvokeRetried => "invoke.retried",
+            Topic::RequestCompleted => "request.completed",
+        }
+    }
+
+    /// Stable position in [`Topic::ALL`]; used for the bus's subscriber
+    /// bitmask.
+    pub const fn index(self) -> usize {
+        self as usize
+    }
+}
+
+impl fmt::Display for Topic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A typed platform lifecycle event.
+///
+/// Each variant maps to exactly one [`Topic`] (see [`BusEvent::topic`]).
+/// All payload fields are plain data — durations pre-converted to
+/// milliseconds, ids as integers — so events serialize deterministically
+/// and observers never parse JSON.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum BusEvent {
+    /// A workflow trigger arrived.
+    RequestTriggered {
+        /// Request id.
+        request: u64,
+        /// Workflow name.
+        workflow: String,
+    },
+    /// The speculation engine planned a request's deployments.
+    PlanComputed {
+        /// Request id.
+        request: u64,
+        /// Workflow name.
+        workflow: String,
+        /// Number of functions the plan schedules for pre-deployment.
+        planned: u64,
+    },
+    /// A sandbox finished provisioning.
+    WorkerProvisioned {
+        /// Worker id.
+        worker: u64,
+        /// Function the worker hosts.
+        function: String,
+        /// Sampled cold-start latency in milliseconds.
+        cold_start_ms: f64,
+        /// `true` when provisioned on demand (a request is waiting),
+        /// `false` for speculative pre-deployment.
+        on_demand: bool,
+    },
+    /// A provisioned worker reached the warm pool.
+    WorkerReady {
+        /// Worker id.
+        worker: u64,
+    },
+    /// An invocation began executing.
+    ExecStarted {
+        /// Request id.
+        request: u64,
+        /// Function name.
+        function: String,
+        /// Worker id serving the invocation.
+        worker: u64,
+        /// `true` when served from the warm pool (no startup wait).
+        warm: bool,
+        /// Time spent between invocation and execution start, in
+        /// milliseconds (cold-start or provisioning wait).
+        queue_wait_ms: f64,
+    },
+    /// An invocation finished executing.
+    ExecEnded {
+        /// Request id.
+        request: u64,
+        /// Function name.
+        function: String,
+        /// Worker id that served the invocation.
+        worker: u64,
+        /// Execution duration in milliseconds.
+        exec_ms: f64,
+    },
+    /// Control flow took an unplanned branch.
+    PredictionMiss {
+        /// Request id.
+        request: u64,
+        /// Function that was actually invoked.
+        function: String,
+        /// Node index of the actual branch.
+        node: u64,
+    },
+    /// A worker crashed.
+    WorkerCrashed {
+        /// Worker id.
+        worker: u64,
+        /// Function the worker hosted.
+        function: String,
+    },
+    /// An invocation exceeded the timeout.
+    InvokeTimeout {
+        /// Request id.
+        request: u64,
+        /// Function name.
+        function: String,
+        /// Fault attempt count at the time of the timeout.
+        attempt: u64,
+    },
+    /// A faulted invocation was rescheduled after backoff.
+    InvokeRetried {
+        /// Request id.
+        request: u64,
+        /// Function name.
+        function: String,
+        /// Retry attempt number (1 = first retry).
+        attempt: u64,
+        /// Backoff delay before the retry, in milliseconds.
+        backoff_ms: f64,
+    },
+    /// A request completed.
+    RequestCompleted {
+        /// Request id.
+        request: u64,
+        /// Workflow name.
+        workflow: String,
+        /// Platform-attributable overhead in milliseconds.
+        overhead_ms: f64,
+        /// End-to-end latency in milliseconds.
+        end_to_end_ms: f64,
+    },
+}
+
+impl BusEvent {
+    /// The topic this event is published on.
+    pub const fn topic(&self) -> Topic {
+        match self {
+            BusEvent::RequestTriggered { .. } => Topic::RequestTriggered,
+            BusEvent::PlanComputed { .. } => Topic::PlanComputed,
+            BusEvent::WorkerProvisioned { .. } => Topic::WorkerProvisioned,
+            BusEvent::WorkerReady { .. } => Topic::WorkerReady,
+            BusEvent::ExecStarted { .. } => Topic::ExecStarted,
+            BusEvent::ExecEnded { .. } => Topic::ExecEnded,
+            BusEvent::PredictionMiss { .. } => Topic::PredictionMiss,
+            BusEvent::WorkerCrashed { .. } => Topic::WorkerCrashed,
+            BusEvent::InvokeTimeout { .. } => Topic::InvokeTimeout,
+            BusEvent::InvokeRetried { .. } => Topic::InvokeRetried,
+            BusEvent::RequestCompleted { .. } => Topic::RequestCompleted,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topic_indices_match_all_order() {
+        for (i, t) in Topic::ALL.iter().enumerate() {
+            assert_eq!(t.index(), i);
+        }
+    }
+
+    #[test]
+    fn topic_names_are_unique_and_dotted() {
+        let mut names: Vec<&str> = Topic::ALL.iter().map(|t| t.name()).collect();
+        names.sort_unstable();
+        let before = names.len();
+        names.dedup();
+        assert_eq!(names.len(), before, "duplicate topic name");
+        for n in names {
+            assert!(n.contains('.'), "topic {n} is not dotted");
+        }
+    }
+
+    #[test]
+    fn display_matches_name() {
+        assert_eq!(Topic::WorkerReady.to_string(), "worker.ready");
+    }
+
+    #[test]
+    fn every_variant_maps_to_a_distinct_topic() {
+        let events = sample_events();
+        assert_eq!(events.len(), Topic::ALL.len());
+        let mut topics: Vec<Topic> = events.iter().map(|e| e.topic()).collect();
+        topics.sort();
+        topics.dedup();
+        assert_eq!(topics.len(), Topic::ALL.len());
+    }
+
+    #[test]
+    fn events_roundtrip_through_serde() {
+        for event in sample_events() {
+            let json = serde_json::to_string(&event).unwrap();
+            let back: BusEvent = serde_json::from_str(&json).unwrap();
+            assert_eq!(back, event, "roundtrip changed {json}");
+        }
+    }
+
+    /// One instance of every variant; `every_variant_maps_to_a_distinct_topic`
+    /// fails if a new variant is added without extending this list.
+    fn sample_events() -> Vec<BusEvent> {
+        vec![
+            BusEvent::RequestTriggered {
+                request: 1,
+                workflow: "w".into(),
+            },
+            BusEvent::PlanComputed {
+                request: 1,
+                workflow: "w".into(),
+                planned: 3,
+            },
+            BusEvent::WorkerProvisioned {
+                worker: 7,
+                function: "f".into(),
+                cold_start_ms: 812.5,
+                on_demand: false,
+            },
+            BusEvent::WorkerReady { worker: 7 },
+            BusEvent::ExecStarted {
+                request: 1,
+                function: "f".into(),
+                worker: 7,
+                warm: true,
+                queue_wait_ms: 0.0,
+            },
+            BusEvent::ExecEnded {
+                request: 1,
+                function: "f".into(),
+                worker: 7,
+                exec_ms: 150.0,
+            },
+            BusEvent::PredictionMiss {
+                request: 1,
+                function: "alt".into(),
+                node: 2,
+            },
+            BusEvent::WorkerCrashed {
+                worker: 7,
+                function: "f".into(),
+            },
+            BusEvent::InvokeTimeout {
+                request: 1,
+                function: "f".into(),
+                attempt: 1,
+            },
+            BusEvent::InvokeRetried {
+                request: 1,
+                function: "f".into(),
+                attempt: 1,
+                backoff_ms: 200.0,
+            },
+            BusEvent::RequestCompleted {
+                request: 1,
+                workflow: "w".into(),
+                overhead_ms: 42.0,
+                end_to_end_ms: 1042.0,
+            },
+        ]
+    }
+}

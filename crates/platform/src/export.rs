@@ -1,0 +1,340 @@
+//! Observability exporters — the serialization boundary.
+//!
+//! This is the **only** module in `xanadu-platform` where observability
+//! data may meet `serde_json::Value`: everything upstream (bus, observers,
+//! traces, metrics) is typed, and CI rejects diffs that introduce
+//! `serde_json::Value` anywhere else under `crates/platform/src`.
+//!
+//! Two formats are produced:
+//!
+//! * [`chrome_trace`] — the Chrome `trace_event` JSON format (complete
+//!   `"X"` events + instant `"i"` events), loadable in `chrome://tracing`
+//!   or Perfetto. One process (`pid`) per request, one thread lane
+//!   (`tid`) per function.
+//! * [`metrics_json`] — a flat snapshot of a [`MetricsRegistry`]:
+//!   counters plus histogram buckets and means.
+//!
+//! Both are deterministic functions of their typed inputs: spans are
+//! ordered by the [`SpanTree`](crate::timeline::SpanTree) contract, map
+//! keys are `BTreeMap`-ordered, and timestamps come from `SimTime` in
+//! integer microseconds — so the same seed yields byte-identical files
+//! regardless of harness thread count.
+
+use crate::obs::MetricsRegistry;
+use crate::timeline::{SpanKind, SpanTree, Trace};
+use serde_json::{json, Map, Value};
+
+/// Builds a Chrome `trace_event` document from per-request traces.
+///
+/// `traces` is a `(request id, trace)` list; requests are emitted in the
+/// given order (callers pass them sorted by id). Empty traces are
+/// skipped.
+pub fn chrome_trace(traces: &[(u64, Trace)]) -> Value {
+    let mut events: Vec<Value> = Vec::new();
+    for (request, trace) in traces {
+        let Some(tree) = SpanTree::from_trace(*request, trace) else {
+            continue;
+        };
+        let lanes = tree.functions();
+        let lane = |function: &str| -> u64 {
+            if function.is_empty() {
+                0
+            } else {
+                1 + lanes.iter().position(|f| *f == function).unwrap_or(0) as u64
+            }
+        };
+        events.push(complete_event(
+            &tree.root.name,
+            "request",
+            *request,
+            0,
+            tree.root.start.as_micros(),
+            tree.root.duration().as_micros(),
+        ));
+        for span in &tree.children {
+            let cat = match span.kind {
+                SpanKind::Request => "request",
+                SpanKind::Deploy => "deploy",
+                SpanKind::Wait => "wait",
+                SpanKind::Exec => "exec",
+            };
+            events.push(complete_event(
+                &span.name,
+                cat,
+                *request,
+                lane(&span.function),
+                span.start.as_micros(),
+                span.duration().as_micros(),
+            ));
+        }
+        for marker in &tree.markers {
+            events.push(json!({
+                "name": marker.label.clone(),
+                "cat": "marker",
+                "ph": "i",
+                "s": "p",
+                "ts": marker.at.as_micros(),
+                "pid": *request,
+                "tid": lane(&marker.function),
+            }));
+        }
+    }
+    json!({
+        "displayTimeUnit": "ms",
+        "traceEvents": events,
+    })
+}
+
+/// Renders [`chrome_trace`] as pretty JSON text with a trailing newline.
+pub fn chrome_trace_string(traces: &[(u64, Trace)]) -> String {
+    let mut out = chrome_trace(traces).to_json_string_pretty();
+    out.push('\n');
+    out
+}
+
+fn complete_event(name: &str, cat: &str, pid: u64, tid: u64, ts: u64, dur: u64) -> Value {
+    json!({
+        "name": name.to_string(),
+        "cat": cat.to_string(),
+        "ph": "X",
+        "ts": ts,
+        "dur": dur,
+        "pid": pid,
+        "tid": tid,
+    })
+}
+
+/// Builds the flat metrics document: `{"counters": {...},
+/// "histograms": {name: {bounds, counts, count, sum_ms, mean_ms}}}`.
+pub fn metrics_json(registry: &MetricsRegistry) -> Value {
+    let mut counters = Map::new();
+    for (name, value) in &registry.counters {
+        counters.insert(name.clone(), json!(*value));
+    }
+    let mut histograms = Map::new();
+    for (name, h) in &registry.histograms {
+        histograms.insert(
+            name.clone(),
+            json!({
+                "bounds": h.bounds.clone(),
+                "counts": h.counts.clone(),
+                "count": h.count,
+                "sum_ms": h.sum_ms,
+                "mean_ms": h.mean_ms(),
+            }),
+        );
+    }
+    json!({
+        "counters": Value::Object(counters),
+        "histograms": Value::Object(histograms),
+    })
+}
+
+/// Renders [`metrics_json`] as pretty JSON text with a trailing newline.
+pub fn metrics_json_string(registry: &MetricsRegistry) -> String {
+    let mut out = metrics_json(registry).to_json_string_pretty();
+    out.push('\n');
+    out
+}
+
+/// Validates `value` against a minimal JSON-Schema subset: `type`
+/// (`object`/`array`/`string`/`number`/`integer`/`boolean`/`null`),
+/// `required`, `properties`, `additionalProperties` (boolean or schema),
+/// and `items`. Enough for the checked-in export schemas under
+/// `docs/schemas/`; unknown keywords are ignored.
+pub fn validate_schema(value: &Value, schema: &Value) -> Result<(), String> {
+    validate_at(value, schema, "$")
+}
+
+fn validate_at(value: &Value, schema: &Value, path: &str) -> Result<(), String> {
+    let Some(schema) = schema.as_object() else {
+        return Err(format!("{path}: schema node is not an object"));
+    };
+    if let Some(ty) = schema.get("type").and_then(Value::as_str) {
+        let ok = match ty {
+            "object" => value.as_object().is_some(),
+            "array" => value.as_array().is_some(),
+            "string" => value.as_str().is_some(),
+            "number" => value.as_f64().is_some(),
+            "integer" => value.as_i64().is_some() || value.as_u64().is_some(),
+            "boolean" => value.as_bool().is_some(),
+            "null" => value.is_null(),
+            other => return Err(format!("{path}: unsupported schema type {other:?}")),
+        };
+        if !ok {
+            return Err(format!("{path}: expected {ty}, got {value:?}"));
+        }
+    }
+    if let Some(obj) = value.as_object() {
+        if let Some(required) = schema.get("required").and_then(Value::as_array) {
+            for key in required {
+                let key = key
+                    .as_str()
+                    .ok_or_else(|| format!("{path}: non-string entry in required"))?;
+                if !obj.contains_key(key) {
+                    return Err(format!("{path}: missing required property {key:?}"));
+                }
+            }
+        }
+        let properties = schema.get("properties").and_then(Value::as_object);
+        for (key, child) in obj {
+            let child_path = format!("{path}.{key}");
+            if let Some(prop_schema) = properties.and_then(|p| p.get(key)) {
+                validate_at(child, prop_schema, &child_path)?;
+            } else {
+                match schema.get("additionalProperties") {
+                    Some(Value::Bool(false)) => {
+                        return Err(format!("{path}: unexpected property {key:?}"));
+                    }
+                    Some(extra @ Value::Object(_)) => validate_at(child, extra, &child_path)?,
+                    _ => {}
+                }
+            }
+        }
+    }
+    if let (Some(items), Some(arr)) = (schema.get("items"), value.as_array()) {
+        for (i, item) in arr.iter().enumerate() {
+            validate_at(item, items, &format!("{path}[{i}]"))?;
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::timeline::TraceEventKind;
+    use xanadu_simcore::SimTime;
+
+    fn demo_trace() -> Trace {
+        let mut t = Trace::default();
+        let ms = SimTime::from_millis;
+        t.record(ms(0), TraceEventKind::Triggered);
+        t.record(ms(0), TraceEventKind::PlanComputed { planned: 1 });
+        t.record(
+            ms(0),
+            TraceEventKind::DeployStarted {
+                function: "f".into(),
+                on_demand: false,
+            },
+        );
+        t.record(
+            ms(5),
+            TraceEventKind::Invoked {
+                function: "f".into(),
+            },
+        );
+        t.record(
+            ms(800),
+            TraceEventKind::ExecStarted {
+                function: "f".into(),
+                warm: false,
+            },
+        );
+        t.record(
+            ms(950),
+            TraceEventKind::ExecEnded {
+                function: "f".into(),
+            },
+        );
+        t.record(ms(950), TraceEventKind::Completed);
+        t
+    }
+
+    #[test]
+    fn chrome_trace_emits_complete_and_instant_events() {
+        let doc = chrome_trace(&[(7, demo_trace())]);
+        let events = doc.get("traceEvents").unwrap().as_array().unwrap();
+        // request root + deploy + wait + exec + plan marker.
+        assert_eq!(events.len(), 5);
+        let root = &events[0];
+        assert_eq!(root.get("ph").unwrap().as_str().unwrap(), "X");
+        assert_eq!(root.get("pid").unwrap().as_u64().unwrap(), 7);
+        assert_eq!(root.get("tid").unwrap().as_u64().unwrap(), 0);
+        assert_eq!(root.get("dur").unwrap().as_u64().unwrap(), 950_000);
+        let marker = events
+            .iter()
+            .find(|e| e.get("ph").unwrap().as_str().unwrap() == "i")
+            .expect("instant marker");
+        assert_eq!(marker.get("cat").unwrap().as_str().unwrap(), "marker");
+        // All function spans share the function's lane.
+        for e in events.iter().skip(1) {
+            if e.get("ph").unwrap().as_str().unwrap() == "X" {
+                assert_eq!(e.get("tid").unwrap().as_u64().unwrap(), 1);
+            }
+        }
+    }
+
+    #[test]
+    fn chrome_trace_is_deterministic_text() {
+        let traces = vec![(0, demo_trace()), (1, demo_trace())];
+        assert_eq!(chrome_trace_string(&traces), chrome_trace_string(&traces));
+    }
+
+    #[test]
+    fn metrics_json_is_flat_and_ordered() {
+        let mut reg = MetricsRegistry::new();
+        reg.incr("starts.cold", 2);
+        reg.incr("retries", 1);
+        reg.observe_ms("exec_ms", 100.0);
+        let doc = metrics_json(&reg);
+        assert_eq!(
+            doc.get("counters")
+                .unwrap()
+                .get("starts.cold")
+                .unwrap()
+                .as_u64(),
+            Some(2)
+        );
+        let hist = doc.get("histograms").unwrap().get("exec_ms").unwrap();
+        assert_eq!(hist.get("count").unwrap().as_u64(), Some(1));
+        assert_eq!(hist.get("mean_ms").unwrap().as_f64(), Some(100.0));
+        // BTreeMap ordering ⇒ "retries" precedes "starts.cold" in text.
+        let text = metrics_json_string(&reg);
+        assert!(text.find("retries").unwrap() < text.find("starts.cold").unwrap());
+    }
+
+    #[test]
+    fn validator_accepts_matching_documents() {
+        let schema = json!({
+            "type": "object",
+            "required": ["a"],
+            "properties": {
+                "a": {"type": "integer"},
+                "b": {"type": "array", "items": {"type": "number"}},
+            },
+            "additionalProperties": false,
+        });
+        let doc = json!({"a": 3, "b": [1.5, 2.0]});
+        validate_schema(&doc, &schema).unwrap();
+    }
+
+    #[test]
+    fn validator_rejects_type_missing_and_extra_keys() {
+        let schema = json!({
+            "type": "object",
+            "required": ["a"],
+            "properties": {"a": {"type": "integer"}},
+            "additionalProperties": false,
+        });
+        assert!(validate_schema(&json!({"a": "nope"}), &schema)
+            .unwrap_err()
+            .contains("expected integer"));
+        assert!(validate_schema(&json!({}), &schema)
+            .unwrap_err()
+            .contains("missing required"));
+        assert!(validate_schema(&json!({"a": 1, "z": 2}), &schema)
+            .unwrap_err()
+            .contains("unexpected property"));
+    }
+
+    #[test]
+    fn validator_applies_additional_properties_schema_to_map_values() {
+        let schema = json!({
+            "type": "object",
+            "additionalProperties": {"type": "integer"},
+        });
+        validate_schema(&json!({"x": 1, "y": 2}), &schema).unwrap();
+        assert!(validate_schema(&json!({"x": 1.5}), &schema).is_err());
+    }
+}

@@ -43,14 +43,19 @@
 pub mod bus;
 mod config;
 mod estimates;
+pub mod events;
+pub mod export;
 pub mod faults;
 pub mod hosts;
 pub mod metastore;
+pub mod obs;
 mod result;
 mod sim;
 pub mod timeline;
 
-pub use config::PlatformConfig;
+pub use config::{ClusterConfig, ConfigError, PlatformConfig, PlatformConfigBuilder};
+pub use events::{BusEvent, Topic};
 pub use faults::{FaultConfig, FaultPlan};
+pub use obs::{Histogram, MetricsRegistry, Observer, ObserverHandle};
 pub use result::{PlatformReport, RunResult};
-pub use sim::{report_total_costs, Platform, PlatformError};
+pub use sim::{report_total_costs, LearnedState, Platform, PlatformError};

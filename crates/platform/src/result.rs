@@ -1,5 +1,6 @@
 //! Per-request and per-run results.
 
+use crate::obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use xanadu_core::cost::{PenaltyFactors, ResourceCosts, WorkflowRunCosts};
 use xanadu_sandbox::WorkerRecord;
@@ -66,6 +67,11 @@ pub struct PlatformReport {
     pub results: Vec<RunResult>,
     /// Lifetime records of every worker the platform ever created.
     pub worker_records: Vec<WorkerRecord>,
+    /// Aggregated metrics, present only when a metrics registry was
+    /// attached via `Platform::attach_metrics` — reports from unobserved
+    /// platforms serialize byte-identically to pre-observability ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub metrics: Option<MetricsRegistry>,
 }
 
 impl PlatformReport {
@@ -176,6 +182,7 @@ mod tests {
         let report = PlatformReport {
             results: vec![result(1000, 1.0, 10.0), result(3000, 3.0, 30.0)],
             worker_records: Vec::new(),
+            metrics: None,
         };
         assert_eq!(report.mean_overhead_ms(), 2000.0);
         assert_eq!(report.mean_end_to_end_ms(), 3000.0);
@@ -186,6 +193,21 @@ mod tests {
         assert_eq!(report.fault_counts(), (2, 0));
         let p = report.mean_penalties();
         assert!((p.phi_cpu_s2 - (1.0 + 9.0) / 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn absent_metrics_do_not_appear_in_serialized_reports() {
+        let report = PlatformReport::default();
+        let json = serde_json::to_string(&report).unwrap();
+        assert!(!json.contains("metrics"), "{json}");
+        let with = PlatformReport {
+            metrics: Some(MetricsRegistry::new()),
+            ..PlatformReport::default()
+        };
+        let json = serde_json::to_string(&with).unwrap();
+        assert!(json.contains("metrics"), "{json}");
+        let back: PlatformReport = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, with);
     }
 
     #[test]

@@ -17,15 +17,17 @@
 use crate::bus::Bus;
 use crate::config::PlatformConfig;
 use crate::estimates::PlatformEstimates;
+use crate::events::{BusEvent, Topic};
 use crate::faults::{FaultConfig, FaultPlan};
 use crate::hosts::{HostRegistry, HostSpec};
 use crate::metastore::MetaStore;
+use crate::obs::{MetricsRegistry, Observer, ObserverHandle};
 use crate::result::{PlatformReport, RunResult};
 use crate::timeline::{Trace, TraceEventKind};
 use serde_json::json;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use xanadu_chain::{BranchMode, ChainError, NodeId, NodeSet, WorkflowDag};
 use xanadu_core::cost::{total_resource_cost, CpuRates, ResourceCosts};
 use xanadu_core::keepalive::{AdaptiveKeepAlive, KeepAliveConfig};
@@ -47,6 +49,9 @@ pub enum PlatformError {
     UnknownWorkflow(String),
     /// Workflow construction/validation failed.
     Chain(ChainError),
+    /// Restoring persisted learned state failed (missing or malformed
+    /// documents in the metadata store).
+    Restore(String),
 }
 
 impl fmt::Display for PlatformError {
@@ -57,6 +62,9 @@ impl fmt::Display for PlatformError {
             }
             PlatformError::UnknownWorkflow(name) => write!(f, "unknown workflow `{name}`"),
             PlatformError::Chain(e) => write!(f, "invalid workflow: {e}"),
+            PlatformError::Restore(reason) => {
+                write!(f, "failed to restore learned state: {reason}")
+            }
         }
     }
 }
@@ -74,6 +82,16 @@ impl From<ChainError> for PlatformError {
     fn from(e: ChainError) -> Self {
         PlatformError::Chain(e)
     }
+}
+
+/// Metadata-store document ids of persisted learned state, returned by
+/// [`Platform::persist_learned_state`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LearnedState {
+    /// Document holding the profiled function metrics (EMAs).
+    pub metrics_doc: String,
+    /// Document holding the learned branch model.
+    pub branch_doc: String,
 }
 
 /// Sentinel request id marking workers owned by the static pre-warm pool
@@ -256,6 +274,13 @@ pub struct Platform {
     metastore: MetaStore,
     /// The seeded fault schedule (inert when the configured rate is 0).
     faults: FaultPlan,
+    /// Synchronous observers, called in attach order for every emitted
+    /// event. Empty on an unobserved platform, in which case no event is
+    /// ever constructed (see [`Platform::observing`]).
+    observers: Vec<Arc<Mutex<dyn Observer>>>,
+    /// The registry attached via [`Platform::attach_metrics`], snapshotted
+    /// into the final report by [`Platform::finish`].
+    registry: Option<ObserverHandle<MetricsRegistry>>,
 }
 
 impl Platform {
@@ -308,6 +333,8 @@ impl Platform {
             bus: Bus::new(),
             metastore: MetaStore::new(),
             faults: FaultPlan::new(config.faults),
+            observers: Vec::new(),
+            registry: None,
             config,
         }
     }
@@ -472,10 +499,55 @@ impl Platform {
         &self.metastore
     }
 
-    /// Subscribes to a bus topic (`request.completed`, `worker.provisioned`,
-    /// `worker.ready`, `prediction.miss`).
-    pub fn subscribe(&mut self, topic: &str) -> crate::bus::Subscription {
+    /// Subscribes to a bus [`Topic`]; every [`BusEvent`] subsequently
+    /// emitted on it is delivered to the returned handle.
+    pub fn subscribe(&mut self, topic: Topic) -> crate::bus::Subscription {
         self.bus.subscribe(topic)
+    }
+
+    /// Attaches a synchronous [`Observer`]: it sees every emitted event,
+    /// in deterministic simulation order, for the rest of the platform's
+    /// life. The returned handle reads the observer's state back out.
+    ///
+    /// Attaching any observer (or bus subscriber) is what turns event
+    /// emission on — an unobserved platform never constructs events, so
+    /// observability costs nothing when unused.
+    pub fn attach_observer<O: Observer + 'static>(&mut self, observer: O) -> ObserverHandle<O> {
+        let handle = ObserverHandle::new(observer);
+        self.observers.push(handle.shared());
+        handle
+    }
+
+    /// Attaches a [`MetricsRegistry`] observer and remembers it:
+    /// [`finish`](Self::finish) embeds its final snapshot into
+    /// [`PlatformReport::metrics`].
+    pub fn attach_metrics(&mut self) -> ObserverHandle<MetricsRegistry> {
+        let handle = self.attach_observer(MetricsRegistry::new());
+        self.registry = Some(handle.clone());
+        handle
+    }
+
+    /// Total events published on the bus so far. Zero on an unobserved
+    /// platform — the emission guard skips construction entirely.
+    pub fn published_events(&self) -> u64 {
+        self.bus.published_count()
+    }
+
+    /// Whether an emission to `topic` would reach anyone. Checked before
+    /// constructing any [`BusEvent`] so the unobserved hot path pays a
+    /// branch, not an allocation.
+    fn observing(&self, topic: Topic) -> bool {
+        !self.observers.is_empty() || self.bus.has_subscribers(topic)
+    }
+
+    /// Delivers `event` to every observer, then publishes it on the bus.
+    fn emit(&mut self, event: BusEvent) {
+        for obs in &self.observers {
+            obs.lock()
+                .expect("observer lock poisoned")
+                .on_event(self.now, &event);
+        }
+        self.bus.publish(self.now, event);
     }
 
     /// Number of live workers (any state).
@@ -512,12 +584,15 @@ impl Platform {
     /// Persists the learned state — function profiles and the branch
     /// model — into the metadata store, the paper's "backing everything up
     /// on the Metadata DB for persistence" (§4). Returns the document ids.
-    pub fn persist_learned_state(&mut self) -> (String, String) {
+    pub fn persist_learned_state(&mut self) -> LearnedState {
         let metrics_doc = serde_json::to_value(&self.metrics).expect("metrics serialize");
         let detector_doc = serde_json::to_value(&self.detector).expect("detector serialize");
         self.metastore.put("learned/metrics", metrics_doc);
         self.metastore.put("learned/branches", detector_doc);
-        ("learned/metrics".into(), "learned/branches".into())
+        LearnedState {
+            metrics_doc: "learned/metrics".into(),
+            branch_doc: "learned/branches".into(),
+        }
     }
 
     /// Restores learned state previously persisted with
@@ -527,19 +602,20 @@ impl Platform {
     ///
     /// # Errors
     ///
-    /// Returns a descriptive error string if either document is missing or
-    /// fails to deserialize.
-    pub fn restore_learned_state(&mut self, store: &MetaStore) -> Result<(), String> {
+    /// [`PlatformError::Restore`] if either document is missing or fails
+    /// to deserialize.
+    pub fn restore_learned_state(&mut self, store: &MetaStore) -> Result<(), PlatformError> {
+        let restore = |reason: String| PlatformError::Restore(reason);
         let (metrics_doc, _) = store
             .get("learned/metrics")
-            .ok_or("learned/metrics document missing")?;
+            .ok_or_else(|| restore("learned/metrics document missing".into()))?;
         let (detector_doc, _) = store
             .get("learned/branches")
-            .ok_or("learned/branches document missing")?;
+            .ok_or_else(|| restore("learned/branches document missing".into()))?;
         self.metrics = serde_json::from_value(metrics_doc.clone())
-            .map_err(|e| format!("bad metrics document: {e}"))?;
+            .map_err(|e| restore(format!("bad metrics document: {e}")))?;
         self.detector = serde_json::from_value(detector_doc.clone())
-            .map_err(|e| format!("bad branch document: {e}"))?;
+            .map_err(|e| restore(format!("bad branch document: {e}")))?;
         // The restored engines restart their epoch counters, which could
         // collide with the epochs a cached plan was tagged with.
         self.engine.invalidate_plan_cache();
@@ -579,6 +655,7 @@ impl Platform {
         PlatformReport {
             results: self.results,
             worker_records: records,
+            metrics: self.registry.as_ref().map(ObserverHandle::snapshot),
         }
     }
 
@@ -778,6 +855,7 @@ impl Platform {
         }
 
         let plan_active = !planned.is_empty();
+        let planned_count = planned.len() as u64;
         let state = RunState {
             workflow: workflow.to_string(),
             dag: dag.clone(),
@@ -808,6 +886,27 @@ impl Platform {
         self.runs.insert(req, state);
         let run = self.runs.get_mut(&req).expect("just inserted");
         run.trace.record(self.now, TraceEventKind::Triggered);
+        if plan_active {
+            run.trace.record(
+                self.now,
+                TraceEventKind::PlanComputed {
+                    planned: planned_count,
+                },
+            );
+        }
+        if self.observing(Topic::RequestTriggered) {
+            self.emit(BusEvent::RequestTriggered {
+                request: req,
+                workflow: workflow.to_string(),
+            });
+        }
+        if plan_active && self.observing(Topic::PlanComputed) {
+            self.emit(BusEvent::PlanComputed {
+                request: req,
+                workflow: workflow.to_string(),
+                planned: planned_count,
+            });
+        }
 
         // Dispatch roots through the reverse proxy.
         for root in dag.roots() {
@@ -978,9 +1077,8 @@ impl Platform {
     }
 
     fn on_worker_ready(&mut self, worker: WorkerId) {
-        if self.pool.mark_ready(worker) {
-            self.bus
-                .publish("worker.ready", self.now, json!({"worker": worker.0}));
+        if self.pool.mark_ready(worker) && self.observing(Topic::WorkerReady) {
+            self.emit(BusEvent::WorkerReady { worker: worker.0 });
         }
     }
 
@@ -1038,6 +1136,16 @@ impl Platform {
                 warm: acquired == Acquired::Warm,
             },
         );
+        if self.observing(Topic::ExecStarted) {
+            self.emit(BusEvent::ExecStarted {
+                request: req,
+                function: function.clone(),
+                worker: worker.0,
+                warm: acquired == Acquired::Warm,
+                queue_wait_ms: startup_wait.as_millis_f64(),
+            });
+        }
+        let run = self.runs.get_mut(&req).expect("run exists");
 
         let mut service = run.service[node.index()];
         let attempt = run.fault_attempts[node.index()];
@@ -1098,6 +1206,14 @@ impl Platform {
                 function: function.clone(),
             },
         );
+        if self.observing(Topic::ExecEnded) {
+            self.emit(BusEvent::ExecEnded {
+                request: req,
+                function: function.clone(),
+                worker: worker.0,
+                exec_ms: exec_duration.as_millis_f64(),
+            });
+        }
 
         // Replenish the static pre-warm pool: the used worker stays warm,
         // but if churn (eviction/misses) dropped the function below its
@@ -1180,11 +1296,12 @@ impl Platform {
         self.claimed.remove(&worker);
         self.pool.crash(worker, self.now);
         self.cluster.release(worker);
-        self.bus.publish(
-            "worker.crashed",
-            self.now,
-            json!({"worker": worker.0, "function": function}),
-        );
+        if self.observing(Topic::WorkerCrashed) {
+            self.emit(BusEvent::WorkerCrashed {
+                worker: worker.0,
+                function: function.clone(),
+            });
+        }
 
         if orphans.is_empty() && was_provisioning {
             // Nothing was waiting on this sandbox: a failed speculative
@@ -1196,11 +1313,33 @@ impl Platform {
             let Some(run) = self.runs.get_mut(&req) else {
                 continue;
             };
+            let function = run.dag.node(node).spec().name().to_string();
             let attempt = run.fault_attempts[node.index()];
             run.fault_attempts[node.index()] += 1;
             run.faults += 1;
             run.retries += 1;
+            run.trace.record(
+                self.now,
+                TraceEventKind::WorkerCrashed {
+                    function: function.clone(),
+                },
+            );
+            run.trace.record(
+                self.now,
+                TraceEventKind::Retried {
+                    function: function.clone(),
+                    attempt: u64::from(attempt) + 1,
+                },
+            );
             let delay = self.config.faults.backoff(attempt);
+            if self.observing(Topic::InvokeRetried) {
+                self.emit(BusEvent::InvokeRetried {
+                    request: req,
+                    function,
+                    attempt: u64::from(attempt) + 1,
+                    backoff_ms: delay.as_millis_f64(),
+                });
+            }
             self.queue
                 .schedule(self.now + delay, Event::Redispatch { req, node });
         }
@@ -1240,6 +1379,13 @@ impl Platform {
         let run = self.runs.get_mut(&req).expect("run exists");
         run.fault_attempts[node.index()] += 1;
         run.faults += 1;
+        run.trace.record(
+            self.now,
+            TraceEventKind::DeployFailed {
+                function: function.to_string(),
+                attempt: u64::from(attempt) + 1,
+            },
+        );
         match action {
             DeployFailureAction::Retry { delay } => {
                 self.queue.schedule(
@@ -1269,22 +1415,52 @@ impl Platform {
         run.fault_attempts[node.index()] += 1;
         run.faults += 1;
         run.retries += 1;
-        self.bus.publish(
-            "invoke.timeout",
+        run.trace.record(
             self.now,
-            json!({"request": req, "function": function, "attempt": attempt}),
+            TraceEventKind::TimedOut {
+                function: function.clone(),
+                attempt: u64::from(attempt) + 1,
+            },
         );
+        run.trace.record(
+            self.now,
+            TraceEventKind::Retried {
+                function: function.clone(),
+                attempt: u64::from(attempt) + 1,
+            },
+        );
+        if self.observing(Topic::InvokeTimeout) {
+            self.emit(BusEvent::InvokeTimeout {
+                request: req,
+                function: function.clone(),
+                attempt: u64::from(attempt) + 1,
+            });
+        }
         let delay = self.config.faults.backoff(attempt);
+        if self.observing(Topic::InvokeRetried) {
+            self.emit(BusEvent::InvokeRetried {
+                request: req,
+                function,
+                attempt: u64::from(attempt) + 1,
+                backoff_ms: delay.as_millis_f64(),
+            });
+        }
         self.queue
             .schedule(self.now + delay, Event::Redispatch { req, node });
     }
 
     fn on_prediction_miss(&mut self, req: u64, actual: NodeId) {
-        self.bus.publish(
-            "prediction.miss",
-            self.now,
-            json!({"request": req, "node": actual.index()}),
-        );
+        if self.observing(Topic::PredictionMiss) {
+            let function = {
+                let run = self.runs.get(&req).expect("run exists");
+                run.dag.node(actual).spec().name().to_string()
+            };
+            self.emit(BusEvent::PredictionMiss {
+                request: req,
+                function,
+                node: actual.index() as u64,
+            });
+        }
         let run = self.runs.get_mut(&req).expect("run exists");
         let old_generation = run.plan_generation;
         let dag = run.dag.clone();
@@ -1412,11 +1588,14 @@ impl Platform {
             &format!("runs/{req}"),
             serde_json::to_value(&result).expect("result serializes"),
         );
-        self.bus.publish(
-            "request.completed",
-            self.now,
-            json!({"request": req, "overhead_ms": overhead.as_millis_f64()}),
-        );
+        if self.observing(Topic::RequestCompleted) {
+            self.emit(BusEvent::RequestCompleted {
+                request: req,
+                workflow: result.workflow.clone(),
+                overhead_ms: overhead.as_millis_f64(),
+                end_to_end_ms: end_to_end.as_millis_f64(),
+            });
+        }
         self.results.push(result);
     }
 
@@ -1549,16 +1728,14 @@ impl Platform {
                     .schedule(crash_at, Event::WorkerCrash { worker: id });
             }
         }
-        self.bus.publish(
-            "worker.provisioned",
-            self.now,
-            json!({
-                "worker": id.0,
-                "function": spec.name(),
-                "cold_start_ms": cold.total().as_millis_f64(),
-                "on_demand": on_demand,
-            }),
-        );
+        if self.observing(Topic::WorkerProvisioned) {
+            self.emit(BusEvent::WorkerProvisioned {
+                worker: id.0,
+                function: spec.name().to_string(),
+                cold_start_ms: cold.total().as_millis_f64(),
+                on_demand,
+            });
+        }
         let total_wait = extra + cold.total();
         self.metrics.record_cold_start(spec.name(), total_wait);
         (id, ready_at)
@@ -1971,15 +2148,69 @@ mod tests {
     #[test]
     fn bus_and_metastore_observe_lifecycle() {
         let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Cold, 2));
-        let completions = p.subscribe("request.completed");
-        let provisions = p.subscribe("worker.provisioned");
+        let completions = p.subscribe(Topic::RequestCompleted);
+        let provisions = p.subscribe(Topic::WorkerProvisioned);
         p.deploy(chain(2, 100.0)).unwrap();
         p.trigger_at("chain", SimTime::ZERO).unwrap();
         p.run_until_idle();
         assert_eq!(completions.drain().len(), 1);
-        assert_eq!(provisions.drain().len(), 2);
+        let provisioned = provisions.drain();
+        assert_eq!(provisioned.len(), 2);
+        assert!(provisioned.iter().all(|m| matches!(
+            m.event,
+            BusEvent::WorkerProvisioned {
+                on_demand: true,
+                ..
+            }
+        )));
         assert!(p.metastore().get("runs/0").is_some());
         assert!(p.metastore().get("workflow/chain").is_some());
+    }
+
+    #[test]
+    fn unobserved_platforms_emit_no_events() {
+        let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 2));
+        p.deploy(chain(3, 100.0)).unwrap();
+        p.trigger_at("chain", SimTime::ZERO).unwrap();
+        p.run_until_idle();
+        assert_eq!(p.published_events(), 0, "no observers ⇒ no events built");
+    }
+
+    #[test]
+    fn attached_observer_turns_emission_on_and_aggregates() {
+        let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 2));
+        let metrics = p.attach_metrics();
+        p.deploy(chain(3, 100.0)).unwrap();
+        p.trigger_at("chain", SimTime::ZERO).unwrap();
+        p.run_until_idle();
+        assert!(p.published_events() > 0);
+        let snap = metrics.snapshot();
+        assert_eq!(snap.counter("requests.triggered"), 1);
+        assert_eq!(snap.counter("requests.completed"), 1);
+        assert_eq!(
+            snap.counter("starts.cold") + snap.counter("starts.warm"),
+            3,
+            "every executed function started exactly once: {snap:?}"
+        );
+        let report = p.finish();
+        assert_eq!(report.metrics.as_ref(), Some(&snap));
+    }
+
+    #[test]
+    fn observer_presence_does_not_change_results() {
+        let run = |observe: bool| {
+            let mut p = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 31));
+            if observe {
+                p.attach_metrics();
+            }
+            p.deploy(chain(4, 300.0)).unwrap();
+            p.trigger_at("chain", SimTime::ZERO).unwrap();
+            p.run_until_idle();
+            let mut report = p.finish();
+            report.metrics = None;
+            report
+        };
+        assert_eq!(run(false), run(true));
     }
 
     #[test]

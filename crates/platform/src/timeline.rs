@@ -46,6 +46,39 @@ pub enum TraceEventKind {
         /// The mispredicted function.
         function: String,
     },
+    /// The speculation engine produced this request's deployment plan
+    /// (MLP inference + JIT timeline slots).
+    PlanComputed {
+        /// Number of functions the plan schedules for pre-deployment.
+        planned: u64,
+    },
+    /// The worker executing `function` crashed (fault injection).
+    WorkerCrashed {
+        /// The function whose worker died.
+        function: String,
+    },
+    /// The invocation of `function` exceeded the per-invocation timeout.
+    TimedOut {
+        /// The timed-out function.
+        function: String,
+        /// Fault attempt count at the time of the timeout.
+        attempt: u64,
+    },
+    /// A crashed or timed-out invocation was rescheduled after backoff.
+    Retried {
+        /// The function being retried.
+        function: String,
+        /// Retry attempt number (1 = first retry).
+        attempt: u64,
+    },
+    /// A speculative pre-deployment of `function` failed during startup
+    /// (no request was waiting on it yet).
+    DeployFailed {
+        /// The function whose pre-deployment died.
+        function: String,
+        /// Fault attempt count after this failure.
+        attempt: u64,
+    },
     /// The request completed.
     Completed,
 }
@@ -197,6 +230,21 @@ impl Trace {
                 TraceEventKind::PredictionMiss { function } => {
                     format!("prediction-miss {function}")
                 }
+                TraceEventKind::PlanComputed { planned } => {
+                    format!("plan-computed ({planned} deployments)")
+                }
+                TraceEventKind::WorkerCrashed { function } => {
+                    format!("worker-crash {function}")
+                }
+                TraceEventKind::TimedOut { function, attempt } => {
+                    format!("timeout {function} (attempt {attempt})")
+                }
+                TraceEventKind::Retried { function, attempt } => {
+                    format!("retry {function} (attempt {attempt})")
+                }
+                TraceEventKind::DeployFailed { function, attempt } => {
+                    format!("deploy-failed {function} (attempt {attempt})")
+                }
                 TraceEventKind::Completed => "completed".to_string(),
             };
             let _ = writeln!(out, "{}  {desc}", e.at);
@@ -214,6 +262,239 @@ impl Trace {
         })?;
         let (exec_start, _) = self.exec_interval(function)?;
         Some(exec_start.saturating_since(deploy))
+    }
+}
+
+/// What a [`Span`] measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum SpanKind {
+    /// The whole request, trigger to completion.
+    Request,
+    /// A sandbox provisioning window (deploy start → first execution).
+    Deploy,
+    /// The wait between invocation and execution start (queueing,
+    /// cold-start overlap).
+    Wait,
+    /// One execution attempt of a function.
+    Exec,
+}
+
+/// A named interval in a request's timeline.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Span {
+    /// Human-readable label (`"exec f"`, `"deploy f"`, …).
+    pub name: String,
+    /// What the span measures.
+    pub kind: SpanKind,
+    /// Function the span belongs to (empty for the request root).
+    pub function: String,
+    /// Start of the interval.
+    pub start: SimTime,
+    /// End of the interval.
+    pub end: SimTime,
+}
+
+impl Span {
+    /// The span's duration.
+    pub fn duration(&self) -> SimDuration {
+        self.end.saturating_since(self.start)
+    }
+}
+
+/// A zero-duration annotation on the timeline (miss, crash, timeout,
+/// retry markers).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanMarker {
+    /// When it happened.
+    pub at: SimTime,
+    /// What happened (`"crash f"`, `"retry f #2"`, …).
+    pub label: String,
+    /// Function the marker belongs to.
+    pub function: String,
+}
+
+/// The span decomposition of one request: a root request span, child
+/// spans for every deploy / wait / exec interval, and instant markers for
+/// faults and mispredictions.
+///
+/// Derived deterministically from a [`Trace`] — two identical traces
+/// always yield identical trees, which is what makes the Chrome trace
+/// export byte-reproducible.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpanTree {
+    /// The request this tree describes.
+    pub request: u64,
+    /// The root request span (trigger → completion).
+    pub root: Span,
+    /// Child intervals, ordered by (start, end, name).
+    pub children: Vec<Span>,
+    /// Instant annotations, in trace order.
+    pub markers: Vec<SpanMarker>,
+}
+
+impl SpanTree {
+    /// Builds the span tree of `trace`, or `None` for an empty trace.
+    ///
+    /// Execution attempts are paired sequentially per function (an
+    /// `ExecStarted` closes at the next `ExecEnded` or `TimedOut` of the
+    /// same function), so retried invocations produce one `Exec` span per
+    /// attempt. Deploy spans close at the function's next execution start
+    /// (or at trace end for workers that never served).
+    pub fn from_trace(request: u64, trace: &Trace) -> Option<SpanTree> {
+        let events = trace.events();
+        let start = events.first()?.at;
+        let end = events.last().map(|e| e.at).unwrap_or(start);
+
+        let mut children: Vec<Span> = Vec::new();
+        let mut markers: Vec<SpanMarker> = Vec::new();
+        // Open intervals per function, closed as their end events arrive.
+        let mut open_deploys: Vec<(String, SimTime)> = Vec::new();
+        let mut open_waits: Vec<(String, SimTime)> = Vec::new();
+        let mut open_execs: Vec<(String, SimTime, u64)> = Vec::new();
+        // Attempt numbering per function, so retried executions get
+        // distinct span names.
+        let mut attempts: Vec<(String, u64)> = Vec::new();
+
+        fn take(open: &mut Vec<(String, SimTime)>, function: &str) -> Option<SimTime> {
+            let idx = open.iter().position(|(f, _)| f == function)?;
+            Some(open.remove(idx).1)
+        }
+
+        for e in events {
+            match &e.kind {
+                TraceEventKind::DeployStarted { function, .. } => {
+                    open_deploys.push((function.clone(), e.at));
+                }
+                TraceEventKind::Invoked { function } => {
+                    open_waits.push((function.clone(), e.at));
+                }
+                TraceEventKind::ExecStarted { function, .. } => {
+                    if let Some(at) = take(&mut open_deploys, function) {
+                        children.push(Span {
+                            name: format!("deploy {function}"),
+                            kind: SpanKind::Deploy,
+                            function: function.clone(),
+                            start: at,
+                            end: e.at,
+                        });
+                    }
+                    if let Some(at) = take(&mut open_waits, function) {
+                        children.push(Span {
+                            name: format!("wait {function}"),
+                            kind: SpanKind::Wait,
+                            function: function.clone(),
+                            start: at,
+                            end: e.at,
+                        });
+                    }
+                    let attempt = match attempts.iter_mut().find(|(f, _)| f == function) {
+                        Some((_, n)) => {
+                            *n += 1;
+                            *n
+                        }
+                        None => {
+                            attempts.push((function.clone(), 1));
+                            1
+                        }
+                    };
+                    open_execs.push((function.clone(), e.at, attempt));
+                }
+                TraceEventKind::ExecEnded { function }
+                | TraceEventKind::TimedOut { function, .. } => {
+                    if let Some(idx) = open_execs.iter().position(|(f, _, _)| f == function) {
+                        let (function, at, attempt) = open_execs.remove(idx);
+                        let name = if attempt == 1 {
+                            format!("exec {function}")
+                        } else {
+                            format!("exec {function} #{attempt}")
+                        };
+                        children.push(Span {
+                            name,
+                            kind: SpanKind::Exec,
+                            function,
+                            start: at,
+                            end: e.at,
+                        });
+                    }
+                    if let TraceEventKind::TimedOut { function, attempt } = &e.kind {
+                        markers.push(SpanMarker {
+                            at: e.at,
+                            label: format!("timeout {function} (attempt {attempt})"),
+                            function: function.clone(),
+                        });
+                    }
+                }
+                TraceEventKind::PredictionMiss { function } => markers.push(SpanMarker {
+                    at: e.at,
+                    label: format!("miss {function}"),
+                    function: function.clone(),
+                }),
+                TraceEventKind::WorkerCrashed { function } => markers.push(SpanMarker {
+                    at: e.at,
+                    label: format!("crash {function}"),
+                    function: function.clone(),
+                }),
+                TraceEventKind::Retried { function, attempt } => markers.push(SpanMarker {
+                    at: e.at,
+                    label: format!("retry {function} #{attempt}"),
+                    function: function.clone(),
+                }),
+                TraceEventKind::DeployFailed { function, attempt } => markers.push(SpanMarker {
+                    at: e.at,
+                    label: format!("deploy-failed {function} (attempt {attempt})"),
+                    function: function.clone(),
+                }),
+                TraceEventKind::PlanComputed { planned } => markers.push(SpanMarker {
+                    at: e.at,
+                    label: format!("plan ({planned} deployments)"),
+                    function: String::new(),
+                }),
+                TraceEventKind::Triggered | TraceEventKind::Completed => {}
+            }
+        }
+        // Workers that never served: their provisioning still cost time.
+        for (function, at) in open_deploys {
+            children.push(Span {
+                name: format!("deploy {function} (unused)"),
+                kind: SpanKind::Deploy,
+                function,
+                start: at,
+                end,
+            });
+        }
+        children.sort_by(|a, b| {
+            (a.start, a.end, a.name.as_str()).cmp(&(b.start, b.end, b.name.as_str()))
+        });
+
+        Some(SpanTree {
+            request,
+            root: Span {
+                name: format!("request {request}"),
+                kind: SpanKind::Request,
+                function: String::new(),
+                start,
+                end,
+            },
+            children,
+            markers,
+        })
+    }
+
+    /// The functions appearing in the tree, in first-appearance order —
+    /// the deterministic lane assignment exporters use.
+    pub fn functions(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for name in self
+            .children
+            .iter()
+            .map(|s| s.function.as_str())
+            .chain(self.markers.iter().map(|m| m.function.as_str()))
+        {
+            if !name.is_empty() && !out.contains(&name) {
+                out.push(name);
+            }
+        }
+        out
     }
 }
 
@@ -348,5 +629,122 @@ mod tests {
         let json = serde_json::to_string(&t).unwrap();
         let back: Trace = serde_json::from_str(&json).unwrap();
         assert_eq!(back, t);
+    }
+
+    #[test]
+    fn span_tree_decomposes_the_sample_trace() {
+        let tree = SpanTree::from_trace(3, &sample()).unwrap();
+        assert_eq!(tree.request, 3);
+        assert_eq!(tree.root.kind, SpanKind::Request);
+        assert_eq!(tree.root.start, SimTime::ZERO);
+        assert_eq!(tree.root.end, SimTime::from_millis(7100));
+        // a: deploy + wait + exec; b: deploy + wait + exec.
+        assert_eq!(tree.children.len(), 6);
+        let exec_a = tree
+            .children
+            .iter()
+            .find(|s| s.name == "exec a")
+            .expect("exec a span");
+        assert_eq!(exec_a.kind, SpanKind::Exec);
+        assert_eq!(exec_a.duration(), SimDuration::from_millis(500));
+        let deploy_b = tree
+            .children
+            .iter()
+            .find(|s| s.name == "deploy b")
+            .expect("deploy b span");
+        assert_eq!(deploy_b.duration(), SimDuration::from_millis(3080));
+        assert_eq!(tree.markers.len(), 1);
+        assert_eq!(tree.markers[0].label, "miss b");
+        assert_eq!(tree.functions(), vec!["a", "b"]);
+        // Children come out start-ordered.
+        for w in tree.children.windows(2) {
+            assert!(w[0].start <= w[1].start);
+        }
+    }
+
+    #[test]
+    fn span_tree_numbers_retried_attempts_and_keeps_fault_markers() {
+        let mut t = Trace::default();
+        let ms = SimTime::from_millis;
+        t.record(ms(0), TraceEventKind::Triggered);
+        t.record(ms(0), TraceEventKind::PlanComputed { planned: 2 });
+        t.record(
+            ms(10),
+            TraceEventKind::ExecStarted {
+                function: "f".into(),
+                warm: false,
+            },
+        );
+        t.record(
+            ms(500),
+            TraceEventKind::TimedOut {
+                function: "f".into(),
+                attempt: 1,
+            },
+        );
+        t.record(
+            ms(500),
+            TraceEventKind::Retried {
+                function: "f".into(),
+                attempt: 1,
+            },
+        );
+        t.record(
+            ms(700),
+            TraceEventKind::ExecStarted {
+                function: "f".into(),
+                warm: true,
+            },
+        );
+        t.record(
+            ms(900),
+            TraceEventKind::ExecEnded {
+                function: "f".into(),
+            },
+        );
+        t.record(
+            ms(950),
+            TraceEventKind::WorkerCrashed {
+                function: "g".into(),
+            },
+        );
+        t.record(ms(1000), TraceEventKind::Completed);
+
+        let tree = SpanTree::from_trace(0, &t).unwrap();
+        let names: Vec<&str> = tree.children.iter().map(|s| s.name.as_str()).collect();
+        assert_eq!(names, vec!["exec f", "exec f #2"]);
+        let labels: Vec<&str> = tree.markers.iter().map(|m| m.label.as_str()).collect();
+        assert_eq!(
+            labels,
+            vec![
+                "plan (2 deployments)",
+                "timeout f (attempt 1)",
+                "retry f #1",
+                "crash g"
+            ]
+        );
+    }
+
+    #[test]
+    fn span_tree_of_empty_trace_is_none() {
+        assert!(SpanTree::from_trace(0, &Trace::default()).is_none());
+    }
+
+    #[test]
+    fn span_tree_charges_unused_deploys_to_trace_end() {
+        let mut t = Trace::default();
+        t.record(SimTime::ZERO, TraceEventKind::Triggered);
+        t.record(
+            SimTime::from_millis(5),
+            TraceEventKind::DeployStarted {
+                function: "spare".into(),
+                on_demand: false,
+            },
+        );
+        t.record(SimTime::from_millis(100), TraceEventKind::Completed);
+        let tree = SpanTree::from_trace(0, &t).unwrap();
+        assert_eq!(tree.children.len(), 1);
+        assert_eq!(tree.children[0].name, "deploy spare (unused)");
+        assert_eq!(tree.children[0].end, SimTime::from_millis(100));
     }
 }

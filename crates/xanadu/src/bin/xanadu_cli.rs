@@ -2,7 +2,7 @@
 //! the rendered report. See `xanadu help` for usage.
 
 use std::process::ExitCode;
-use xanadu::cli::{execute, parse_args, USAGE};
+use xanadu::cli::{execute_with_exports, parse_args, USAGE};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -14,8 +14,15 @@ fn main() -> ExitCode {
         }
     };
     let read_file = |path: &str| std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"));
-    match execute(&command, read_file) {
-        Ok(report) => {
+    match execute_with_exports(&command, read_file) {
+        Ok((report, exports)) => {
+            for file in &exports {
+                if let Err(e) = std::fs::write(&file.path, &file.contents) {
+                    eprintln!("error: writing {}: {e}", file.path);
+                    return ExitCode::FAILURE;
+                }
+                eprintln!("wrote {}", file.path);
+            }
             println!("{report}");
             ExitCode::SUCCESS
         }

@@ -33,6 +33,14 @@ pub enum Command {
         /// Emit Graphviz DOT instead of the text summary.
         dot: bool,
     },
+    /// Validate a JSON document against a JSON-schema file (used by CI to
+    /// check `--trace-out`/`--metrics-out` exports).
+    Validate {
+        /// Path to the JSON document to check.
+        json_path: String,
+        /// Path to the schema.
+        schema_path: String,
+    },
     /// Print usage help.
     Help,
 }
@@ -58,6 +66,21 @@ pub struct RunArgs {
     pub fault_rate: f64,
     /// Fault RNG seed, independent of the platform seed.
     pub fault_seed: u64,
+    /// Write a Chrome `trace_event` JSON span export here.
+    pub trace_out: Option<String>,
+    /// Write the flat metrics-registry JSON export here.
+    pub metrics_out: Option<String>,
+}
+
+/// A file the CLI wants written: path plus full contents. Returned by
+/// [`execute_with_exports`] so the pure command logic stays testable
+/// without touching the filesystem; only the binary performs the writes.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExportFile {
+    /// Destination path, verbatim from the flag.
+    pub path: String,
+    /// Complete file contents (pretty JSON, trailing newline).
+    pub contents: String,
 }
 
 /// Which platform model to run on.
@@ -151,7 +174,9 @@ USAGE:
   xanadu run --sdl <file> [--mode cold|spec|jit|knative|openwhisk|asf|adf]
              [--triggers N] [--gap-min M] [--seed S] [--implicit] [--trace]
              [--fault-rate R] [--fault-seed F]
+             [--trace-out <file>] [--metrics-out <file>]
   xanadu inspect --sdl <file> [--dot]
+  xanadu validate --json <file> --schema <file>
   xanadu help
 
 `run` deploys the workflow described by the JSON state-definition
@@ -160,7 +185,12 @@ latency, overhead and cold/warm starts.
 `--fault-rate R` (0..1) injects deterministic worker crashes and latency
 spikes at rate R, seeded by `--fault-seed` (default 0xFA17); recovery
 (timeouts, bounded retry, re-planning) is reported per request.
-`inspect` prints the parsed structure and the predicted most-likely path.";
+`--trace-out` writes a Chrome trace_event JSON span export (load it in
+chrome://tracing or Perfetto); `--metrics-out` writes the aggregated
+counters and latency histograms as flat JSON.
+`inspect` prints the parsed structure and the predicted most-likely path.
+`validate` checks a JSON document against a schema file and exits
+non-zero on mismatch (CI uses it on the exports).";
 
 /// Parses raw arguments (without the program name).
 ///
@@ -193,6 +223,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let trace = args.iter().any(|a| a == "--trace");
             let fault_rate = parse_fraction(args, "--fault-rate", 0.0)?;
             let fault_seed = parse_num(args, "--fault-seed", 0xFA17)?;
+            let trace_out = flag_value(args, "--trace-out")?;
+            let metrics_out = flag_value(args, "--metrics-out")?;
             Ok(Command::Run(RunArgs {
                 sdl_path,
                 platform,
@@ -203,7 +235,19 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
                 trace,
                 fault_rate,
                 fault_seed,
+                trace_out,
+                metrics_out,
             }))
+        }
+        "validate" => {
+            let json_path = flag_value(args, "--json")?
+                .ok_or_else(|| CliError::MissingFlag("--json".into()))?;
+            let schema_path = flag_value(args, "--schema")?
+                .ok_or_else(|| CliError::MissingFlag("--schema".into()))?;
+            Ok(Command::Validate {
+                json_path,
+                schema_path,
+            })
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
@@ -246,7 +290,8 @@ fn parse_fraction(args: &[String], flag: &str, default: f64) -> Result<f64, CliE
 
 /// Executes a parsed command against an SDL document's *content* (the
 /// binary reads the file; tests pass strings). Returns the rendered
-/// report.
+/// report, discarding any export files — use [`execute_with_exports`]
+/// when `--trace-out`/`--metrics-out` must take effect.
 ///
 /// # Errors
 ///
@@ -255,8 +300,46 @@ pub fn execute(
     command: &Command,
     sdl_source: impl Fn(&str) -> Result<String, String>,
 ) -> Result<String, CliError> {
+    execute_with_exports(command, sdl_source).map(|(report, _)| report)
+}
+
+/// Like [`execute`], but also returns the files `--trace-out` /
+/// `--metrics-out` asked for. The command logic never touches the
+/// filesystem itself; the binary writes what this returns.
+///
+/// # Errors
+///
+/// Returns [`CliError::Workflow`] for SDL or platform failures.
+pub fn execute_with_exports(
+    command: &Command,
+    sdl_source: impl Fn(&str) -> Result<String, String>,
+) -> Result<(String, Vec<ExportFile>), CliError> {
+    let mut exports = Vec::new();
+    let report = execute_inner(command, sdl_source, &mut exports)?;
+    Ok((report, exports))
+}
+
+fn execute_inner(
+    command: &Command,
+    sdl_source: impl Fn(&str) -> Result<String, String>,
+    exports: &mut Vec<ExportFile>,
+) -> Result<String, CliError> {
     match command {
         Command::Help => Ok(USAGE.to_string()),
+        Command::Validate {
+            json_path,
+            schema_path,
+        } => {
+            let doc = sdl_source(json_path).map_err(CliError::Workflow)?;
+            let schema = sdl_source(schema_path).map_err(CliError::Workflow)?;
+            let doc: serde_json::Value = serde_json::from_str(&doc)
+                .map_err(|e| CliError::Workflow(format!("{json_path}: {e}")))?;
+            let schema: serde_json::Value = serde_json::from_str(&schema)
+                .map_err(|e| CliError::Workflow(format!("{schema_path}: {e}")))?;
+            xanadu_platform::export::validate_schema(&doc, &schema)
+                .map_err(|e| CliError::Workflow(format!("{json_path}: {e}")))?;
+            Ok(format!("{json_path}: valid against {schema_path}\n"))
+        }
         Command::Inspect { sdl_path, dot } => {
             let doc = sdl_source(sdl_path).map_err(CliError::Workflow)?;
             let dag = sdl::parse(workflow_name(sdl_path), &doc)
@@ -302,6 +385,7 @@ pub fn execute(
             if run.fault_rate > 0.0 {
                 platform.set_faults(FaultConfig::with_rate(run.fault_rate, run.fault_seed));
             }
+            let registry = run.metrics_out.as_ref().map(|_| platform.attach_metrics());
             let result = if run.implicit {
                 platform.deploy_implicit(dag)
             } else {
@@ -327,6 +411,22 @@ pub fn execute(
             } else {
                 Vec::new()
             };
+            if let Some(path) = &run.trace_out {
+                let spans: Vec<(u64, xanadu_platform::timeline::Trace)> = request_ids
+                    .iter()
+                    .filter_map(|&id| platform.trace(id).map(|tr| (id, tr.clone())))
+                    .collect();
+                exports.push(ExportFile {
+                    path: path.clone(),
+                    contents: xanadu_platform::export::chrome_trace_string(&spans),
+                });
+            }
+            if let (Some(path), Some(registry)) = (&run.metrics_out, &registry) {
+                exports.push(ExportFile {
+                    path: path.clone(),
+                    contents: xanadu_platform::export::metrics_json_string(&registry.snapshot()),
+                });
+            }
             let report = platform.finish();
             let mut out = format!(
                 "platform {} — {} triggers of `{}` every {} min (seed {})\n",
@@ -608,5 +708,108 @@ mod tests {
     fn help_text_via_execute() {
         let out = execute(&Command::Help, source).unwrap();
         assert!(out.contains("USAGE"));
+    }
+
+    #[test]
+    fn parse_export_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "wf.json",
+            "--trace-out",
+            "trace.json",
+            "--metrics-out",
+            "metrics.json",
+        ]))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(run.trace_out.as_deref(), Some("trace.json"));
+        assert_eq!(run.metrics_out.as_deref(), Some("metrics.json"));
+        let Command::Run(defaults) = parse_args(&args(&["run", "--sdl", "wf.json"])).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(defaults.trace_out, None);
+        assert_eq!(defaults.metrics_out, None);
+    }
+
+    #[test]
+    fn run_returns_requested_exports() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "jit",
+            "--triggers",
+            "2",
+            "--trace-out",
+            "t.json",
+            "--metrics-out",
+            "m.json",
+        ]))
+        .unwrap();
+        let (report, exports) = execute_with_exports(&cmd, source).unwrap();
+        assert!(report.contains("mean overhead"));
+        assert_eq!(exports.len(), 2);
+        assert_eq!(exports[0].path, "t.json");
+        assert!(exports[0].contents.contains("traceEvents"), "trace export");
+        assert_eq!(exports[1].path, "m.json");
+        assert!(exports[1].contents.contains("counters"), "metrics export");
+        assert!(exports[1].contents.contains("requests.completed"));
+        // Without the flags, no exports and an identical report.
+        let bare = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "jit",
+            "--triggers",
+            "2",
+        ]))
+        .unwrap();
+        let (bare_report, bare_exports) = execute_with_exports(&bare, source).unwrap();
+        assert!(bare_exports.is_empty());
+        assert_eq!(report, bare_report, "exports must not perturb the report");
+    }
+
+    #[test]
+    fn validate_accepts_and_rejects() {
+        let files = |path: &str| -> Result<String, String> {
+            match path {
+                "doc.json" => Ok(r#"{"n": 3}"#.into()),
+                "schema.json" => Ok(r#"{"type": "object", "required": ["n"],
+                        "properties": {"n": {"type": "integer"}},
+                        "additionalProperties": false}"#
+                    .into()),
+                "bad.json" => Ok(r#"{"n": "three"}"#.into()),
+                other => Err(format!("{other}: not found")),
+            }
+        };
+        let ok = parse_args(&args(&[
+            "validate",
+            "--json",
+            "doc.json",
+            "--schema",
+            "schema.json",
+        ]))
+        .unwrap();
+        assert!(execute(&ok, files).unwrap().contains("valid"));
+        let bad = parse_args(&args(&[
+            "validate",
+            "--json",
+            "bad.json",
+            "--schema",
+            "schema.json",
+        ]))
+        .unwrap();
+        let err = execute(&bad, files).unwrap_err();
+        assert!(matches!(err, CliError::Workflow(_)), "{err}");
+        assert!(matches!(
+            parse_args(&args(&["validate", "--json", "doc.json"])),
+            Err(CliError::MissingFlag(_))
+        ));
     }
 }

@@ -75,6 +75,9 @@ pub mod prelude {
         WorkflowBuilder, WorkflowDag,
     };
     pub use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
-    pub use xanadu_platform::{FaultConfig, Platform, PlatformConfig, PlatformReport, RunResult};
+    pub use xanadu_platform::{
+        BusEvent, ClusterConfig, FaultConfig, LearnedState, MetricsRegistry, Observer,
+        ObserverHandle, Platform, PlatformConfig, PlatformError, PlatformReport, RunResult, Topic,
+    };
     pub use xanadu_simcore::{Distribution, SimDuration, SimTime};
 }

@@ -16,8 +16,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         dag.conditional_points()
     );
 
-    let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, 11);
-    cfg.use_learned_probabilities = true;
+    let cfg = PlatformConfig::builder()
+        .for_mode(ExecutionMode::Speculative, 11)
+        .use_learned_probabilities(true)
+        .build()?;
     let mut platform = Platform::new(cfg);
     platform.deploy_implicit(dag)?;
 

@@ -48,9 +48,12 @@ fn run_chaos(
     faults: FaultConfig,
     plan_cache: bool,
 ) -> PlatformReport {
-    let mut config = PlatformConfig::for_mode(mode, platform_seed);
-    config.plan_cache = plan_cache;
-    config.faults = faults;
+    let config = PlatformConfig::builder()
+        .for_mode(mode, platform_seed)
+        .plan_cache(plan_cache)
+        .faults(faults)
+        .build()
+        .unwrap();
     let mut platform = Platform::new(config);
     platform.deploy(chain_dag()).unwrap();
     platform.deploy(branchy_dag()).unwrap();

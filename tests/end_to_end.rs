@@ -23,7 +23,7 @@ const CONDITIONAL_SDL: &str = r#"{
 #[test]
 fn sdl_conditional_workflow_runs_end_to_end() {
     let mut platform = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 9));
-    let completions = platform.subscribe("request.completed");
+    let completions = platform.subscribe(Topic::RequestCompleted);
     platform.deploy_sdl("approval", CONDITIONAL_SDL).unwrap();
 
     let n = 12u64;
@@ -69,9 +69,9 @@ fn figure10_operation_sequence_over_the_bus() {
     // it appears on the message bus for a JIT run.
     let dag = linear_chain("seq", 3, &FunctionSpec::new("f").service_ms(500.0)).unwrap();
     let mut platform = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 21));
-    let provisioned = platform.subscribe("worker.provisioned");
-    let ready = platform.subscribe("worker.ready");
-    let completed = platform.subscribe("request.completed");
+    let provisioned = platform.subscribe(Topic::WorkerProvisioned);
+    let ready = platform.subscribe(Topic::WorkerReady);
+    let completed = platform.subscribe(Topic::RequestCompleted);
     platform.deploy(dag).unwrap();
     platform.trigger_at("seq", SimTime::ZERO).unwrap();
     platform.run_until_idle();
@@ -93,7 +93,16 @@ fn figure10_operation_sequence_over_the_bus() {
     assert!(completed[0].at >= ready.last().unwrap().at);
     // None of the provisions were on-demand: speculation covered the chain.
     for p in &provisioned {
-        assert_eq!(p.payload["on_demand"], false, "{p:?}");
+        assert!(
+            matches!(
+                p.event,
+                BusEvent::WorkerProvisioned {
+                    on_demand: false,
+                    ..
+                }
+            ),
+            "{p:?}"
+        );
     }
 }
 

@@ -56,18 +56,23 @@ fn small_cluster_survives_wide_fan() {
     // A 12-wide fan of 512 MB workers against a 4 GB, two-host cluster:
     // placement pressure forces evictions, but the request completes and
     // memory accounting stays within capacity.
-    let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, 7);
-    cfg.cluster.policy = PlacementPolicy::RoundRobin;
-    cfg.cluster.hosts = vec![
-        HostSpec {
-            name: "small-a".into(),
-            memory_mb: 2048,
-        },
-        HostSpec {
-            name: "small-b".into(),
-            memory_mb: 2048,
-        },
-    ];
+    let cfg = PlatformConfig::builder()
+        .for_mode(ExecutionMode::Speculative, 7)
+        .cluster(ClusterConfig {
+            policy: PlacementPolicy::RoundRobin,
+            hosts: vec![
+                HostSpec {
+                    name: "small-a".into(),
+                    memory_mb: 2048,
+                },
+                HostSpec {
+                    name: "small-b".into(),
+                    memory_mb: 2048,
+                },
+            ],
+        })
+        .build()
+        .unwrap();
     let mut platform = Platform::new(cfg);
     let dag = fan_out_fan_in("fan", 12, 100.0, 1500.0).unwrap();
     platform.deploy(dag).unwrap();
@@ -90,9 +95,14 @@ fn placement_policies_spread_or_pack() {
         },
     ];
     let spread_counts = |policy: PlacementPolicy| {
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, 11);
-        cfg.cluster.policy = policy;
-        cfg.cluster.hosts = hosts.clone();
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Speculative, 11)
+            .cluster(ClusterConfig {
+                policy,
+                hosts: hosts.clone(),
+            })
+            .build()
+            .unwrap();
         let mut platform = Platform::new(cfg);
         let dag = fan_out_fan_in("fan", 6, 100.0, 1000.0).unwrap();
         platform.deploy(dag).unwrap();

@@ -3,11 +3,11 @@
 //! keep-alive, the EMA smoothing factor, and the prediction-miss policy.
 
 use super::tab1::lattice_chain;
-use crate::harness::{cold_runs, mean, Experiment, Finding};
+use crate::harness::{audit_platform, audited_cold_runs, mean, Experiment, Finding};
 use xanadu_chain::{linear_chain, FunctionSpec};
 use xanadu_core::cost::{worker_steady_cost, CpuRates};
 use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
-use xanadu_platform::{Platform, PlatformConfig};
+use xanadu_platform::{Audit, Platform, PlatformConfig};
 use xanadu_profiler::BranchDetector;
 use xanadu_sandbox::PoolConfig;
 use xanadu_simcore::report::{fmt_f64, Table};
@@ -42,18 +42,23 @@ pub fn aggressiveness() -> Experiment {
         ],
     );
     let mut rows = Vec::new();
+    let mut audit: Option<Audit> = None;
     for &a in &[0.0, 0.25, 0.5, 0.75, 1.0] {
         let spec = SpeculationConfig {
             mode: ExecutionMode::Jit,
             aggressiveness: a,
             ..SpeculationConfig::default()
         };
-        let runs = cold_runs(
+        let (runs, run_audit) = audited_cold_runs(
             &|s| platform_with(spec, PoolConfig::default(), s),
             &dag,
             6,
             false,
         );
+        // Audit the full-horizon run — the setting the other figures use.
+        if a >= 1.0 {
+            audit = Some(run_audit);
+        }
         let overhead = mean(runs.iter().map(|r| r.overhead.as_secs_f64()));
         let mem = mean(runs.iter().map(|r| r.resources.mem_mbs));
         let colds = mean(runs.iter().map(|r| r.cold_starts as f64));
@@ -90,6 +95,7 @@ pub fn aggressiveness() -> Experiment {
         title: "Deployment aggressiveness sweep",
         output,
         findings,
+        audit,
     }
 }
 
@@ -112,6 +118,7 @@ pub fn keepalive() -> Experiment {
     );
     let mut jit_rows = Vec::new();
     let mut cold_rows = Vec::new();
+    let mut audit: Option<Audit> = None;
     for &(ka, label) in &[
         (SimDuration::from_secs(5), "5s"),
         (SimDuration::from_secs(60), "1min"),
@@ -133,6 +140,10 @@ pub fn keepalive() -> Experiment {
             let mem = mean(p.results().iter().map(|r| r.resources.mem_mbs));
             table.row(&[label, mode.label(), &fmt_f64(overhead, 0), &fmt_f64(mem, 1)]);
             if mode == ExecutionMode::Jit {
+                // Audit the headline cell: JIT with the 5s keep-alive §7 proposes.
+                if label == "5s" {
+                    audit = Some(audit_platform(&p));
+                }
                 jit_rows.push(overhead);
             } else {
                 cold_rows.push(overhead);
@@ -170,6 +181,7 @@ pub fn keepalive() -> Experiment {
         title: "Worker keep-alive sweep (future work §7)",
         output,
         findings,
+        audit,
     }
 }
 
@@ -243,6 +255,8 @@ pub fn ema() -> Experiment {
         title: "EMA smoothing factor vs branch-probability drift",
         output,
         findings,
+        // Detector-only study — no platform runs, nothing to audit.
+        audit: None,
     }
 }
 
@@ -262,6 +276,7 @@ pub fn miss_policy() -> Experiment {
         ],
     );
     let mut stats = Vec::new();
+    let mut audit: Option<Audit> = None;
     for (policy, label) in [
         (MissPolicy::StopSpeculation, "stop-speculation (paper)"),
         (MissPolicy::ReplanAndReuse, "replan-and-reuse (§7)"),
@@ -271,12 +286,16 @@ pub fn miss_policy() -> Experiment {
             miss_policy: policy,
             ..SpeculationConfig::default()
         };
-        let runs = cold_runs(
+        let (runs, run_audit) = audited_cold_runs(
             &|s| platform_with(spec, PoolConfig::default(), s),
             &dag,
             20,
             false,
         );
+        // Audit the paper's policy — the configuration the figures use.
+        if matches!(policy, MissPolicy::StopSpeculation) {
+            audit = Some(run_audit);
+        }
         let latency = mean(runs.iter().map(|r| r.end_to_end.as_secs_f64()));
         let misses = mean(runs.iter().map(|r| r.misses as f64));
         let workers = mean(runs.iter().map(|r| r.workers_spawned as f64));
@@ -313,6 +332,7 @@ pub fn miss_policy() -> Experiment {
         title: "Prediction-miss policy: stop vs replan-and-reuse",
         output,
         findings,
+        audit,
     }
 }
 
@@ -363,11 +383,12 @@ pub fn fleet_trace() -> Experiment {
                     .map(|r| r.overhead.as_millis_f64()),
             )
         };
-        (class_overhead(true), class_overhead(false))
+        let audit = audit_platform(&p);
+        (class_overhead(true), class_overhead(false), audit)
     };
 
-    let (cold_rare, cold_popular) = run_fleet(ExecutionMode::Cold);
-    let (jit_rare, jit_popular) = run_fleet(ExecutionMode::Jit);
+    let (cold_rare, cold_popular, _) = run_fleet(ExecutionMode::Cold);
+    let (jit_rare, jit_popular, audit) = run_fleet(ExecutionMode::Jit);
 
     let mut table = Table::new(
         "Ablation — Azure-style fleet (12 workflows, 45% rare, 16h)",
@@ -421,6 +442,7 @@ rare-class inter-arrival gaps exceeding the 10min keep-alive: {}%
         title: "Azure-style mixed-popularity fleet (rare vs popular workflows)",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 
@@ -441,18 +463,23 @@ pub fn hedging() -> Experiment {
         ],
     );
     let mut rows = Vec::new();
+    let mut audit: Option<Audit> = None;
     for &margin in &[0.0, 0.05, 0.2, 1.0] {
         let spec = SpeculationConfig {
             mode: ExecutionMode::Jit,
             hedge_margin: margin,
             ..SpeculationConfig::default()
         };
-        let runs = cold_runs(
+        let (runs, run_audit) = audited_cold_runs(
             &|s| platform_with(spec, PoolConfig::default(), s),
             &dag,
             20,
             false,
         );
+        // Audit strict (unhedged) speculation — the miss-heavy regime.
+        if margin == 0.0 {
+            audit = Some(run_audit);
+        }
         let latency = mean(runs.iter().map(|r| r.end_to_end.as_secs_f64()));
         let misses = mean(runs.iter().map(|r| r.misses as f64));
         let workers = mean(runs.iter().map(|r| r.workers_spawned as f64));
@@ -499,6 +526,7 @@ pub fn hedging() -> Experiment {
         title: "Hedged speculation on near-tied conditional points",
         output,
         findings,
+        audit,
     }
 }
 
@@ -528,6 +556,7 @@ pub fn pool_baseline() -> Experiment {
         ],
     );
     let mut stats = Vec::new();
+    let mut audit: Option<Audit> = None;
     for (label, mode, prewarm) in [
         ("chain-agnostic cold", ExecutionMode::Cold, 0usize),
         ("pre-crafted pool (k=1)", ExecutionMode::Cold, 1),
@@ -556,6 +585,9 @@ pub fn pool_baseline() -> Experiment {
         }
         p.run_until_idle();
         let overhead = mean(p.results().iter().map(|r| r.overhead.as_millis_f64()));
+        if mode == ExecutionMode::Jit {
+            audit = Some(audit_platform(&p));
+        }
         let report = p.finish();
         let steady: f64 = report
             .worker_records
@@ -603,6 +635,7 @@ pub fn pool_baseline() -> Experiment {
         title: "Pre-crafted worker pool vs JIT speculation (related work §6)",
         output,
         findings,
+        audit,
     }
 }
 

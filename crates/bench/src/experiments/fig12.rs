@@ -10,7 +10,7 @@
 //! Docker concurrency bottleneck; and mean penalty reductions of ≈5.8×
 //! (φ_cpu) and ≈1.7× (φ_mem) for JIT over Cold.
 
-use crate::harness::{cold_runs, mean, within, xanadu, Experiment, Finding};
+use crate::harness::{audited_cold_runs, cold_runs, mean, within, xanadu, Experiment, Finding};
 use xanadu_baselines::{baseline_platform, BaselineKind};
 use xanadu_chain::{linear_chain, FunctionSpec};
 use xanadu_core::speculation::ExecutionMode;
@@ -227,11 +227,21 @@ pub fn run() -> Experiment {
         phi_mem_ratio > 0.8,
     ));
 
+    // Audit the headline cell: the depth-10 JIT chain whose near-constant
+    // overhead is the figure's claim.
+    let (_, audit) = audited_cold_runs(
+        &|s| xanadu(ExecutionMode::Jit, s),
+        &linear_chain("fig12", 10, &FunctionSpec::new("f").service_ms(5000.0)).expect("valid"),
+        TRIGGERS,
+        false,
+    );
+
     Experiment {
         id: "fig12",
         title: "C_D and joint penalties vs chain length (all platforms)",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 

@@ -8,7 +8,9 @@
 //! compared to Xanadu Speculative".
 
 use super::fig12::sweep;
-use crate::harness::{mean, Experiment, Finding};
+use crate::harness::{audited_cold_runs, mean, xanadu, Experiment, Finding};
+use xanadu_chain::{linear_chain, FunctionSpec};
+use xanadu_core::speculation::ExecutionMode;
 use xanadu_simcore::report::{fmt_f64, Table};
 
 /// Runs the experiment.
@@ -92,11 +94,21 @@ pub fn run() -> Experiment {
         jit_mem_ratio < spec_mem_ratio / 8.0,
     ));
 
+    // Audit the cost-side headline: the depth-10 Speculative chain whose
+    // up-front provisioning is what the wasted-deploy accounting measures.
+    let (_, audit) = audited_cold_runs(
+        &|s| xanadu(ExecutionMode::Speculative, s),
+        &linear_chain("fig13", 10, &FunctionSpec::new("f").service_ms(5000.0)).expect("valid"),
+        10,
+        false,
+    );
+
     Experiment {
         id: "fig13",
         title: "C_R CPU & memory cost profiles of the Xanadu modes",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 

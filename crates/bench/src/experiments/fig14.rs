@@ -191,6 +191,8 @@ pub fn run() -> Experiment {
         title: "MLP convergence across 100 random biased binary trees",
         output,
         findings,
+        // Detector-only study — no platform runs, nothing to audit.
+        audit: None,
     }
 }
 

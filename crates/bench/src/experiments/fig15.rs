@@ -8,7 +8,7 @@
 //! within ≈11.9 % of Cold, JIT within ≈1 %; and memory costs of ≈5.8×
 //! (Speculative) improving to ≈2.7× (JIT).
 
-use crate::harness::{cold_runs, mean, xanadu, Experiment, Finding};
+use crate::harness::{audited_cold_runs, cold_runs, mean, xanadu, Experiment, Finding};
 use xanadu_core::speculation::ExecutionMode;
 use xanadu_simcore::report::{fmt_f64, Table};
 use xanadu_workloads::{random_binary_tree, RandomTreeConfig};
@@ -155,11 +155,29 @@ pub fn run() -> Experiment {
         spec_gain > 0.0 && jit_gain > 0.0,
     ));
 
+    // Audit one representative conditional tree under Speculative mode —
+    // the regime where mispredicted branches create wasted pre-deploys.
+    let audit_dag = random_binary_tree(
+        &RandomTreeConfig {
+            nodes: 10,
+            ..Default::default()
+        },
+        9,
+    )
+    .expect("tree");
+    let (_, audit) = audited_cold_runs(
+        &|s| xanadu(ExecutionMode::Speculative, s),
+        &audit_dag,
+        TRIGGERS_PER_TREE,
+        false,
+    );
+
     Experiment {
         id: "fig15",
         title: "Conditional chains: Speculative & JIT vs Cold on 100 random trees",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 

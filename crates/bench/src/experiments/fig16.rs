@@ -8,7 +8,9 @@
 //! lightweight sandboxes plus pre-deployment ideal for latency-sensitive
 //! workloads.
 
-use crate::harness::{cold_runs, mean, mean_end_to_end_ms, within, xanadu, Experiment, Finding};
+use crate::harness::{
+    audited_cold_runs, cold_runs, mean, mean_end_to_end_ms, within, xanadu, Experiment, Finding,
+};
 use xanadu_chain::{linear_chain, FunctionSpec, IsolationLevel};
 use xanadu_core::speculation::ExecutionMode;
 use xanadu_simcore::report::{fmt_f64, Table};
@@ -83,11 +85,29 @@ pub fn run() -> Experiment {
             .all(|l| results[&IsolationLevel::Isolate].1 <= results[l].1),
     ));
 
+    // Audit the headline cell: isolate sandboxes with speculation, where
+    // pre-deploys should land on time and waste should stay near zero.
+    let audit_dag = linear_chain(
+        "fig16",
+        DEPTH,
+        &FunctionSpec::new("f")
+            .service_ms(5000.0)
+            .isolation(IsolationLevel::Isolate),
+    )
+    .expect("valid");
+    let (_, audit) = audited_cold_runs(
+        &|s| xanadu(ExecutionMode::Speculative, s),
+        &audit_dag,
+        TRIGGERS,
+        false,
+    );
+
     Experiment {
         id: "fig16",
         title: "Sandboxing impact at depth 10 (cold vs speculative)",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 

@@ -7,7 +7,7 @@
 //! with Xanadu improving to ≈70 %. For the image pipeline, Xanadu's
 //! overhead is ≈5× lower than Knative's and ≈2× lower than OpenWhisk's.
 
-use crate::harness::{learned_runs, mean, Experiment, Finding};
+use crate::harness::{audited_learned_runs, learned_runs, mean, Experiment, Finding};
 use xanadu_baselines::{baseline_platform, BaselineKind};
 use xanadu_chain::WorkflowDag;
 use xanadu_core::speculation::ExecutionMode;
@@ -156,11 +156,18 @@ pub fn run() -> Experiment {
         kn_o > res["knative"].exec_ms,
     ));
 
+    // Audit the implicit e-commerce chain under JIT — the case study where
+    // learned predictions and deploy timing both matter.
+    let mut audited = Platform::new(PlatformConfig::for_mode(ExecutionMode::Jit, 31));
+    audited.deploy_implicit(ecom.clone()).expect("deploy");
+    let (_, audit) = audited_learned_runs(&mut audited, ecom.name(), WARMUP, MEASURE, GAP);
+
     Experiment {
         id: "fig17",
         title: "Case studies: e-commerce checkout & image processing pipeline",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 

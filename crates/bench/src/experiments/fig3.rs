@@ -110,6 +110,8 @@ pub fn run() -> Experiment {
         title: "ASF & ADF cascading cold starts (emulated)",
         output,
         findings,
+        // Baseline emulations only — no Xanadu speculation to audit.
+        audit: None,
     }
 }
 

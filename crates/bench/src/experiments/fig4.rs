@@ -91,6 +91,8 @@ pub fn run() -> Experiment {
         title: "Knative & OpenWhisk cascading cold starts (emulated)",
         output,
         findings,
+        // Baseline emulations only — no Xanadu speculation to audit.
+        audit: None,
     }
 }
 

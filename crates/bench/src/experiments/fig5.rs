@@ -104,6 +104,8 @@ pub fn run() -> Experiment {
         title: "Keep-alive reclamation probes (decreasing arithmetic progression)",
         output,
         findings,
+        // Baseline emulations only — no Xanadu speculation to audit.
+        audit: None,
     }
 }
 

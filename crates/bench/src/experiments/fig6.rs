@@ -141,6 +141,8 @@ pub fn run() -> Experiment {
         title: "Lightly loaded workflow overhead timeline (emulated ASF/ADF)",
         output,
         findings,
+        // Baseline emulations only — no Xanadu speculation to audit.
+        audit: None,
     }
 }
 

@@ -90,6 +90,8 @@ pub fn run() -> Experiment {
         title: "Isolation environment overheads (isolate / process / container)",
         output,
         findings,
+        // Cold-mode sweep: nothing is speculated, so the audit says little.
+        audit: None,
     }
 }
 

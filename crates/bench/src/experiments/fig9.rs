@@ -7,9 +7,10 @@
 //! converged within ≈7 triggers (≈80 % correct after round 5), and no
 //! oscillation after convergence through trigger 20.
 
-use crate::harness::{Experiment, Finding};
+use crate::harness::{audit_platform, Experiment, Finding};
 use xanadu_core::mlp::infer_mlp_learned;
 use xanadu_core::speculation::ExecutionMode;
+use xanadu_platform::Audit;
 use xanadu_platform::{Platform, PlatformConfig};
 use xanadu_simcore::report::{fmt_f64, Table};
 use xanadu_simcore::{SimDuration, SimTime};
@@ -25,7 +26,7 @@ struct Round {
     accuracy: f64,
 }
 
-fn observe_rounds(seed: u64) -> Vec<Round> {
+fn observe_rounds(seed: u64) -> (Vec<Round>, Audit) {
     let dag = fig8_dag(200.0).expect("fig8 dag");
     let total_nodes = dag.len();
     let cfg = PlatformConfig::builder()
@@ -55,7 +56,8 @@ fn observe_rounds(seed: u64) -> Vec<Round> {
         });
         t += SimDuration::from_mins(15);
     }
-    rounds
+    let audit = audit_platform(&p);
+    (rounds, audit)
 }
 
 /// First round index (1-based) after which the learned MLP equals the
@@ -72,7 +74,7 @@ fn convergence_round(rounds: &[Round]) -> Option<usize> {
 
 /// Runs the experiment.
 pub fn run() -> Experiment {
-    let rounds = observe_rounds(21);
+    let (rounds, audit) = observe_rounds(21);
     let mut table = Table::new(
         "Figure 9 — MLP estimation stages on the Figure 8 DAG (20 triggers)",
         &[
@@ -124,7 +126,7 @@ pub fn run() -> Experiment {
     // Convergence robustness across seeds.
     let mut converged = 0;
     for seed in 100..110 {
-        if convergence_round(&observe_rounds(seed)).is_some() {
+        if convergence_round(&observe_rounds(seed).0).is_some() {
             converged += 1;
         }
     }
@@ -139,6 +141,7 @@ pub fn run() -> Experiment {
         title: "MLP estimation stages (Figure 8 XOR DAG, implicit deployment)",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 

@@ -9,7 +9,9 @@
 //! than no optimization); best case 4.8 s vs 14.12 s; average 0.6 misses
 //! and 5.6 workers per request (8 workers, 3 misses worst case).
 
-use crate::harness::{cold_runs_seeded, mean, ms_as_s, within, xanadu, Experiment, Finding};
+use crate::harness::{
+    audited_cold_runs_seeded, cold_runs_seeded, mean, ms_as_s, within, xanadu, Experiment, Finding,
+};
 use xanadu_chain::{ChainError, FunctionSpec, WorkflowBuilder, WorkflowDag};
 use xanadu_core::speculation::ExecutionMode;
 use xanadu_platform::RunResult;
@@ -65,7 +67,9 @@ fn summarize(runs: &[RunResult], pick: impl Fn(&[RunResult]) -> &RunResult) -> R
 /// Runs the experiment.
 pub fn run() -> Experiment {
     let dag = lattice_chain(0.8, 500.0).expect("lattice");
-    let on = cold_runs_seeded(
+    // The ON runs double as the audit workload: the lattice's XOR misses
+    // are exactly what the MLP precision/recall accounting measures.
+    let (on, audit) = audited_cold_runs_seeded(
         &|s| xanadu(ExecutionMode::Speculative, s),
         &dag,
         TRIGGERS,
@@ -179,6 +183,7 @@ pub fn run() -> Experiment {
         title: "Speculation under prediction misses (depth-5 chain, 3 conditional points)",
         output,
         findings,
+        audit: Some(audit),
     }
 }
 

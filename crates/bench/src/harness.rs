@@ -4,9 +4,9 @@ use std::cell::Cell;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use xanadu_chain::{linear_chain, FunctionSpec, WorkflowDag};
 use xanadu_core::speculation::ExecutionMode;
-use xanadu_platform::export::{chrome_trace_string, metrics_json_string};
+use xanadu_platform::export::{audit_json_string, chrome_trace_string, metrics_json_string};
 use xanadu_platform::timeline::Trace;
-use xanadu_platform::{FaultConfig, Platform, PlatformConfig, RunResult};
+use xanadu_platform::{Audit, FaultConfig, Platform, PlatformConfig, RequestAudit, RunResult};
 use xanadu_simcore::report::fmt_f64;
 use xanadu_simcore::{SimDuration, SimTime};
 
@@ -106,6 +106,11 @@ pub struct Experiment {
     pub output: String,
     /// Paper-vs-measured comparisons.
     pub findings: Vec<Finding>,
+    /// Speculation audit of the experiment's primary Xanadu run (`None`
+    /// when the experiment has no single representative workload).
+    /// `xanadu-repro` writes these behind `--audit-out` and records their
+    /// summary rows in `BENCH_harness.json`.
+    pub audit: Option<Audit>,
 }
 
 impl Experiment {
@@ -167,20 +172,68 @@ pub fn cold_runs_seeded(
     implicit: bool,
     seed_base: u64,
 ) -> Vec<RunResult> {
-    run_indexed(triggers as usize, |i| {
-        let mut p = make(seed_base + i as u64);
-        if implicit {
-            p.deploy_implicit(dag.clone()).expect("deploy");
-        } else {
-            p.deploy(dag.clone()).expect("deploy");
-        }
-        p.trigger_at(dag.name(), SimTime::ZERO).expect("trigger");
-        p.run_until_idle();
-        p.finish().results
-    })
-    .into_iter()
-    .flatten()
-    .collect()
+    audited_cold_runs_seeded(make, dag, triggers, implicit, seed_base).0
+}
+
+/// [`cold_runs`] that also returns the speculation [`Audit`] of the
+/// triggers. Per-request audits are re-keyed by *trigger index* (each
+/// fresh platform numbers its own requests from zero), so the audit is
+/// byte-identical across [`jobs`] widths.
+pub fn audited_cold_runs(
+    make: &(dyn Fn(u64) -> Platform + Sync),
+    dag: &WorkflowDag,
+    triggers: u64,
+    implicit: bool,
+) -> (Vec<RunResult>, Audit) {
+    audited_cold_runs_seeded(make, dag, triggers, implicit, 1000)
+}
+
+/// [`audited_cold_runs`] with an explicit seed base.
+pub fn audited_cold_runs_seeded(
+    make: &(dyn Fn(u64) -> Platform + Sync),
+    dag: &WorkflowDag,
+    triggers: u64,
+    implicit: bool,
+    seed_base: u64,
+) -> (Vec<RunResult>, Audit) {
+    let per_trigger: Vec<(Vec<RunResult>, Vec<RequestAudit>)> =
+        run_indexed(triggers as usize, |i| {
+            let mut p = make(seed_base + i as u64);
+            if implicit {
+                p.deploy_implicit(dag.clone()).expect("deploy");
+            } else {
+                p.deploy(dag.clone()).expect("deploy");
+            }
+            p.trigger_at(dag.name(), SimTime::ZERO).expect("trigger");
+            p.run_until_idle();
+            let audits: Vec<RequestAudit> = p
+                .results()
+                .iter()
+                .filter_map(|r| {
+                    p.trace(r.request)
+                        .and_then(|t| RequestAudit::from_trace(i as u64, t))
+                })
+                .collect();
+            (p.finish().results, audits)
+        });
+    let mut runs = Vec::new();
+    let mut audits = Vec::new();
+    for (r, a) in per_trigger {
+        runs.extend(r);
+        audits.extend(a);
+    }
+    (runs, Audit::from_requests(audits))
+}
+
+/// Builds the speculation [`Audit`] of every request a platform has
+/// completed so far, in request-id order.
+pub fn audit_platform(platform: &Platform) -> Audit {
+    let traces: Vec<(u64, Trace)> = platform
+        .results()
+        .iter()
+        .filter_map(|r| platform.trace(r.request).map(|t| (r.request, t.clone())))
+        .collect();
+    Audit::from_traces(&traces)
 }
 
 /// Runs a learning sequence on a *single* platform: `warmup` unmeasured
@@ -211,6 +264,25 @@ pub fn learned_runs(
     platform.results()[before..].to_vec()
 }
 
+/// [`learned_runs`] that also returns the speculation [`Audit`] of the
+/// *measured* tail (warmup triggers are excluded from the audit exactly as
+/// they are excluded from the returned results).
+pub fn audited_learned_runs(
+    platform: &mut Platform,
+    workflow: &str,
+    warmup: u64,
+    measure: u64,
+    gap: SimDuration,
+) -> (Vec<RunResult>, Audit) {
+    let runs = learned_runs(platform, workflow, warmup, measure, gap);
+    let traces: Vec<(u64, Trace)> = runs
+        .iter()
+        .filter_map(|r| platform.trace(r.request).map(|t| (r.request, t.clone())))
+        .collect();
+    let audit = Audit::from_traces(&traces);
+    (runs, audit)
+}
+
 /// Runs the standard observability workload — a depth-4 JIT chain under
 /// heavy deterministic fault injection, metrics registry attached — and
 /// returns the two export documents as `(chrome_trace, metrics_json)`
@@ -221,6 +293,31 @@ pub fn learned_runs(
 /// and the determinism suite asserts they are byte-identical across
 /// `--jobs` widths and plan-cache settings for the same seed.
 pub fn observability_probe(seed: u64, plan_cache: bool) -> (String, String) {
+    let (platform, requests, metrics) = probe_run(seed, plan_cache);
+    let traces: Vec<(u64, Trace)> = requests
+        .iter()
+        .filter_map(|&id| platform.trace(id).map(|t| (id, t.clone())))
+        .collect();
+    (chrome_trace_string(&traces), metrics)
+}
+
+/// The audit JSON of the same workload [`observability_probe`] runs: the
+/// chaos chain pushed through the analysis tier. Byte-identical across
+/// `--jobs` widths and plan-cache settings for the same seed, like the
+/// other two exports.
+pub fn observability_audit(seed: u64, plan_cache: bool) -> String {
+    let (platform, requests, _) = probe_run(seed, plan_cache);
+    let traces: Vec<(u64, Trace)> = requests
+        .iter()
+        .filter_map(|&id| platform.trace(id).map(|t| (id, t.clone())))
+        .collect();
+    audit_json_string(&Audit::from_traces(&traces))
+}
+
+/// Runs the standard probe workload and returns the platform (traces
+/// intact), the request ids in trigger order, and the rendered metrics
+/// snapshot.
+fn probe_run(seed: u64, plan_cache: bool) -> (Platform, Vec<u64>, String) {
     let dag =
         linear_chain("probe", 4, &FunctionSpec::new("f").service_ms(1200.0)).expect("valid chain");
     let config = PlatformConfig::builder()
@@ -240,14 +337,8 @@ pub fn observability_probe(seed: u64, plan_cache: bool) -> (String, String) {
         requests.push(id);
     }
     platform.run_until_idle();
-    let traces: Vec<(u64, Trace)> = requests
-        .iter()
-        .filter_map(|&id| platform.trace(id).map(|t| (id, t.clone())))
-        .collect();
-    (
-        chrome_trace_string(&traces),
-        metrics_json_string(&registry.snapshot()),
-    )
+    let metrics = metrics_json_string(&registry.snapshot());
+    (platform, requests, metrics)
 }
 
 /// Arithmetic mean of an iterator (0 when empty).
@@ -325,6 +416,7 @@ mod tests {
             title: "t",
             output: "body".into(),
             findings: vec![Finding::new("a", "b", true)],
+            audit: None,
         };
         let r = e.render();
         assert!(r.contains("# x — t"));

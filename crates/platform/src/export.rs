@@ -12,7 +12,11 @@
 //!   or Perfetto. One process (`pid`) per request, one thread lane
 //!   (`tid`) per function.
 //! * [`metrics_json`] — a flat snapshot of a [`MetricsRegistry`]:
-//!   counters plus histogram buckets and means.
+//!   counters plus histogram buckets, means and interpolated
+//!   p50/p95/p99 quantiles.
+//! * [`audit_json`] — the speculation [`Audit`] produced by the analysis
+//!   tier, serialized losslessly (the document round-trips back into an
+//!   `Audit` for `xanadu diff`).
 //!
 //! Both are deterministic functions of their typed inputs: spans are
 //! ordered by the [`SpanTree`](crate::timeline::SpanTree) contract, map
@@ -20,6 +24,7 @@
 //! integer microseconds — so the same seed yields byte-identical files
 //! regardless of harness thread count.
 
+use crate::analysis::Audit;
 use crate::obs::MetricsRegistry;
 use crate::timeline::{SpanKind, SpanTree, Trace};
 use serde_json::{json, Map, Value};
@@ -105,7 +110,9 @@ fn complete_event(name: &str, cat: &str, pid: u64, tid: u64, ts: u64, dur: u64) 
 }
 
 /// Builds the flat metrics document: `{"counters": {...},
-/// "histograms": {name: {bounds, counts, count, sum_ms, mean_ms}}}`.
+/// "histograms": {name: {bounds, counts, count, sum_ms, mean_ms,
+/// p50_ms, p95_ms, p99_ms}}}`. The quantiles are the bucket-interpolated
+/// [`Histogram::quantile_ms`](crate::obs::Histogram::quantile_ms) values.
 pub fn metrics_json(registry: &MetricsRegistry) -> Value {
     let mut counters = Map::new();
     for (name, value) in &registry.counters {
@@ -121,6 +128,9 @@ pub fn metrics_json(registry: &MetricsRegistry) -> Value {
                 "count": h.count,
                 "sum_ms": h.sum_ms,
                 "mean_ms": h.mean_ms(),
+                "p50_ms": h.quantile_ms(0.50),
+                "p95_ms": h.quantile_ms(0.95),
+                "p99_ms": h.quantile_ms(0.99),
             }),
         );
     }
@@ -133,6 +143,20 @@ pub fn metrics_json(registry: &MetricsRegistry) -> Value {
 /// Renders [`metrics_json`] as pretty JSON text with a trailing newline.
 pub fn metrics_json_string(registry: &MetricsRegistry) -> String {
     let mut out = metrics_json(registry).to_json_string_pretty();
+    out.push('\n');
+    out
+}
+
+/// Serializes an [`Audit`] to its JSON document. The document matches
+/// `docs/schemas/audit.schema.json` and deserializes back into an equal
+/// `Audit` — `xanadu diff` relies on that round trip.
+pub fn audit_json(audit: &Audit) -> Value {
+    serde_json::to_value(audit).expect("Audit serializes infallibly: string keys, finite floats")
+}
+
+/// Renders [`audit_json`] as pretty JSON text with a trailing newline.
+pub fn audit_json_string(audit: &Audit) -> String {
+    let mut out = audit_json(audit).to_json_string_pretty();
     out.push('\n');
     out
 }
@@ -216,6 +240,7 @@ mod tests {
             TraceEventKind::DeployStarted {
                 function: "f".into(),
                 on_demand: false,
+                ready_at: ms(800),
             },
         );
         t.record(
@@ -292,6 +317,31 @@ mod tests {
         // BTreeMap ordering ⇒ "retries" precedes "starts.cold" in text.
         let text = metrics_json_string(&reg);
         assert!(text.find("retries").unwrap() < text.find("starts.cold").unwrap());
+    }
+
+    #[test]
+    fn metrics_json_exports_interpolated_quantiles() {
+        let mut reg = MetricsRegistry::new();
+        for _ in 0..10 {
+            reg.observe_ms("end_to_end_ms", 200.0);
+        }
+        let doc = metrics_json(&reg);
+        let hist = doc.get("histograms").unwrap().get("end_to_end_ms").unwrap();
+        for key in ["p50_ms", "p95_ms", "p99_ms"] {
+            let q = hist.get(key).unwrap().as_f64().unwrap();
+            // All samples landed in the (100, 250] bucket.
+            assert!((100.0..=250.0).contains(&q), "{key} = {q}");
+        }
+    }
+
+    #[test]
+    fn audit_json_round_trips_through_text() {
+        let audit = Audit::from_traces(&[(0, demo_trace()), (1, demo_trace())]);
+        let text = audit_json_string(&audit);
+        let parsed: Audit = serde_json::from_str(&text).unwrap();
+        assert_eq!(parsed, audit);
+        // Byte-determinism of the rendered document.
+        assert_eq!(text, audit_json_string(&audit));
     }
 
     #[test]

@@ -40,6 +40,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod analysis;
 pub mod bus;
 mod config;
 mod estimates;
@@ -53,6 +54,10 @@ mod result;
 mod sim;
 pub mod timeline;
 
+pub use analysis::{
+    diff_audits, diff_metrics, Audit, AuditSummary, DiffThresholds, EdgeStats, JitSample, JitStats,
+    LatencyStats, MlpStats, Regression, RequestAudit, WasteStats,
+};
 pub use config::{ClusterConfig, ConfigError, PlatformConfig, PlatformConfigBuilder};
 pub use events::{BusEvent, Topic};
 pub use faults::{FaultConfig, FaultPlan};

@@ -137,6 +137,37 @@ impl Histogram {
             self.sum_ms / self.count as f64
         }
     }
+
+    /// Bucket-interpolated quantile estimate (Prometheus-style): finds the
+    /// bucket containing the `q`·count-th observation and interpolates
+    /// linearly between the bucket's bounds. Observations in the implicit
+    /// overflow bucket are clamped to the largest finite bound, so the
+    /// estimate never invents a value beyond the histogram's range.
+    /// Returns 0 for an empty histogram; `q` is clamped to `[0, 1]`.
+    pub fn quantile_ms(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = q.clamp(0.0, 1.0) * self.count as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let next = cum + c;
+            if next as f64 >= rank {
+                let lower = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let Some(&upper) = self.bounds.get(i) else {
+                    // Overflow bucket: clamp to the last finite bound.
+                    return self.bounds.last().copied().unwrap_or(lower).max(lower);
+                };
+                let within = ((rank - cum as f64) / c as f64).clamp(0.0, 1.0);
+                return lower + (upper - lower) * within;
+            }
+            cum = next;
+        }
+        self.bounds.last().copied().unwrap_or(0.0)
+    }
 }
 
 /// Counter and histogram names the built-in registry maintains. Keys are
@@ -253,6 +284,34 @@ mod tests {
         assert_eq!(h.counts[0], 1);
         assert_eq!(h.counts[h.counts.len() - 1], 1);
         assert!((h.mean_ms() - (0.5 + 30.0 + 1e6) / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate_within_buckets_and_clamp_overflow() {
+        let mut h = Histogram::latency();
+        // 100 observations spread uniformly through the (100, 250] bucket.
+        for i in 0..100 {
+            h.observe(101.0 + i as f64);
+        }
+        let p50 = h.quantile_ms(0.5);
+        assert!(
+            (100.0..=250.0).contains(&p50) && (p50 - 175.0).abs() < 1.0,
+            "p50 {p50} should interpolate to the bucket midpoint"
+        );
+        assert!(h.quantile_ms(0.0) >= 100.0);
+        assert!(h.quantile_ms(1.0) <= 250.0);
+        assert!(h.quantile_ms(0.25) < h.quantile_ms(0.75), "monotone in q");
+
+        // Overflow observations clamp to the largest finite bound.
+        let mut o = Histogram::latency();
+        o.observe(1e9);
+        assert_eq!(
+            o.quantile_ms(0.99),
+            *LATENCY_BUCKET_BOUNDS_MS.last().unwrap()
+        );
+
+        // Empty histogram reports 0.
+        assert_eq!(Histogram::latency().quantile_ms(0.95), 0.0);
     }
 
     #[test]

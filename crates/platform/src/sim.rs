@@ -1717,6 +1717,7 @@ impl Platform {
                 TraceEventKind::DeployStarted {
                     function: spec.name().to_string(),
                     on_demand,
+                    ready_at,
                 },
             );
         }

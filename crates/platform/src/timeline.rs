@@ -23,6 +23,11 @@ pub enum TraceEventKind {
         function: String,
         /// Whether a waiting request forced this provision.
         on_demand: bool,
+        /// When the sandbox is scheduled to become warm. The analysis tier
+        /// derives JIT timing quality (slack/lateness versus the
+        /// invocation) from this; crashes can void the schedule, in which
+        /// case the replacement provision records its own event.
+        ready_at: SimTime,
     },
     /// The orchestrator invoked `function` (its dependencies were met).
     Invoked {
@@ -215,6 +220,7 @@ impl Trace {
                 TraceEventKind::DeployStarted {
                     function,
                     on_demand,
+                    ..
                 } => format!(
                     "deploy {} ({})",
                     function,
@@ -511,6 +517,7 @@ mod tests {
             TraceEventKind::DeployStarted {
                 function: "a".into(),
                 on_demand: false,
+                ready_at: ms(3000),
             },
         );
         t.record(
@@ -549,6 +556,7 @@ mod tests {
             TraceEventKind::DeployStarted {
                 function: "b".into(),
                 on_demand: true,
+                ready_at: ms(6600),
             },
         );
         t.record(
@@ -739,6 +747,7 @@ mod tests {
             TraceEventKind::DeployStarted {
                 function: "spare".into(),
                 on_demand: false,
+                ready_at: SimTime::from_millis(40),
             },
         );
         t.record(SimTime::from_millis(100), TraceEventKind::Completed);

@@ -17,8 +17,11 @@ use std::fmt;
 use xanadu_baselines::BaselineKind;
 use xanadu_chain::sdl;
 use xanadu_core::mlp::infer_mlp;
-use xanadu_core::speculation::ExecutionMode;
-use xanadu_platform::{FaultConfig, Platform, PlatformConfig};
+use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
+use xanadu_platform::{
+    diff_audits, diff_metrics, Audit, DiffThresholds, FaultConfig, MetricsRegistry, ObserverHandle,
+    Platform, PlatformConfig,
+};
 use xanadu_simcore::{SimDuration, SimTime};
 
 /// A parsed CLI invocation.
@@ -34,15 +37,32 @@ pub enum Command {
         dot: bool,
     },
     /// Validate a JSON document against a JSON-schema file (used by CI to
-    /// check `--trace-out`/`--metrics-out` exports).
+    /// check `--trace-out`/`--metrics-out`/`--audit-out` exports).
     Validate {
         /// Path to the JSON document to check.
         json_path: String,
         /// Path to the schema.
         schema_path: String,
     },
+    /// Run a workload and print the speculation audit (critical-path
+    /// decomposition, MLP precision/recall, waste, JIT timing).
+    Analyze(RunArgs),
+    /// Compare two audit or metrics snapshots; exit non-zero when a
+    /// threshold regresses.
+    Diff(DiffArgs),
     /// Print usage help.
     Help,
+}
+
+/// Arguments of `xanadu diff`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffArgs {
+    /// Path of the baseline snapshot (audit or metrics JSON).
+    pub baseline_path: String,
+    /// Path of the candidate snapshot (same kind as the baseline).
+    pub candidate_path: String,
+    /// Regression gates.
+    pub thresholds: DiffThresholds,
 }
 
 /// Arguments of `xanadu run`.
@@ -66,10 +86,16 @@ pub struct RunArgs {
     pub fault_rate: f64,
     /// Fault RNG seed, independent of the platform seed.
     pub fault_seed: u64,
+    /// Speculation look-ahead horizon in `[0, 1]` (§3.2.1); 1.0
+    /// pre-provisions the whole MLP, 0.0 degenerates to Cold. Ignored by
+    /// the baselines.
+    pub aggressiveness: f64,
     /// Write a Chrome `trace_event` JSON span export here.
     pub trace_out: Option<String>,
     /// Write the flat metrics-registry JSON export here.
     pub metrics_out: Option<String>,
+    /// Write the speculation-audit JSON export here.
+    pub audit_out: Option<String>,
 }
 
 /// A file the CLI wants written: path plus full contents. Returned by
@@ -109,9 +135,18 @@ impl PlatformChoice {
         }
     }
 
-    fn build(self, seed: u64) -> Platform {
+    fn build(self, seed: u64, aggressiveness: f64) -> Platform {
         match self {
-            PlatformChoice::Xanadu(mode) => Platform::new(PlatformConfig::for_mode(mode, seed)),
+            PlatformChoice::Xanadu(mode) => {
+                let mut spec = SpeculationConfig::for_mode(mode);
+                spec.aggressiveness = aggressiveness;
+                let cfg = PlatformConfig::builder()
+                    .for_mode(mode, seed)
+                    .speculation(spec)
+                    .build()
+                    .expect("mode defaults with a [0,1] aggressiveness are valid");
+                Platform::new(cfg)
+            }
             PlatformChoice::Baseline(kind) => xanadu_baselines::baseline_platform(kind, seed),
         }
     }
@@ -144,6 +179,16 @@ pub enum CliError {
     MissingFlag(String),
     /// Reading or parsing the SDL document failed.
     Workflow(String),
+    /// `xanadu diff` found metrics past their thresholds; each detail line
+    /// names the regressed field by its JSON-pointer-style path.
+    Regressions {
+        /// Path of the baseline snapshot.
+        baseline: String,
+        /// Path of the candidate snapshot.
+        candidate: String,
+        /// Rendered [`Regression`](xanadu_platform::Regression) rows.
+        details: Vec<String>,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -160,6 +205,21 @@ impl fmt::Display for CliError {
             } => write!(f, "bad value `{value}` for {flag}, expected {expected}"),
             CliError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
             CliError::Workflow(msg) => write!(f, "workflow error: {msg}"),
+            CliError::Regressions {
+                baseline,
+                candidate,
+                details,
+            } => {
+                write!(
+                    f,
+                    "{} regression(s) in {candidate} versus {baseline}:",
+                    details.len()
+                )?;
+                for d in details {
+                    write!(f, "\n  {d}")?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -173,8 +233,12 @@ xanadu — serverless function-chain platform (paper reproduction)
 USAGE:
   xanadu run --sdl <file> [--mode cold|spec|jit|knative|openwhisk|asf|adf]
              [--triggers N] [--gap-min M] [--seed S] [--implicit] [--trace]
-             [--fault-rate R] [--fault-seed F]
-             [--trace-out <file>] [--metrics-out <file>]
+             [--fault-rate R] [--fault-seed F] [--aggressiveness A]
+             [--trace-out <file>] [--metrics-out <file>] [--audit-out <file>]
+  xanadu analyze --sdl <file> [same flags as run]
+  xanadu diff --baseline <file> --candidate <file>
+              [--max-p95-regress-pct P] [--max-wasted-cpu-regress-pct W]
+              [--max-recall-drop D]
   xanadu inspect --sdl <file> [--dot]
   xanadu validate --json <file> --schema <file>
   xanadu help
@@ -188,6 +252,14 @@ spikes at rate R, seeded by `--fault-seed` (default 0xFA17); recovery
 `--trace-out` writes a Chrome trace_event JSON span export (load it in
 chrome://tracing or Perfetto); `--metrics-out` writes the aggregated
 counters and latency histograms as flat JSON.
+`--audit-out` writes the speculation audit (critical-path decomposition,
+MLP precision/recall, wasted-deploy cost, JIT slack) as JSON.
+`analyze` runs the same workload but prints the speculation audit instead
+of the per-request table.
+`diff` compares two audit or metrics snapshots and exits non-zero when
+the candidate regresses past a threshold (p95 end-to-end +10%, wasted
+CPU-ms +25%, MLP recall −0.05 by default), printing the JSON path of
+each offending field.
 `inspect` prints the parsed structure and the predicted most-likely path.
 `validate` checks a JSON document against a schema file and exits
 non-zero on mismatch (CI uses it on the exports).";
@@ -209,34 +281,31 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
             let dot = args.iter().any(|a| a == "--dot");
             Ok(Command::Inspect { sdl_path, dot })
         }
-        "run" => {
-            let sdl_path =
-                flag_value(args, "--sdl")?.ok_or_else(|| CliError::MissingFlag("--sdl".into()))?;
-            let platform = match flag_value(args, "--mode")? {
-                Some(v) => PlatformChoice::parse(&v)?,
-                None => PlatformChoice::Xanadu(ExecutionMode::Jit),
+        "run" => Ok(Command::Run(parse_run_flags(args)?)),
+        "analyze" => Ok(Command::Analyze(parse_run_flags(args)?)),
+        "diff" => {
+            let baseline_path = flag_value(args, "--baseline")?
+                .ok_or_else(|| CliError::MissingFlag("--baseline".into()))?;
+            let candidate_path = flag_value(args, "--candidate")?
+                .ok_or_else(|| CliError::MissingFlag("--candidate".into()))?;
+            let defaults = DiffThresholds::default();
+            let thresholds = DiffThresholds {
+                max_p95_regress_pct: parse_float(
+                    args,
+                    "--max-p95-regress-pct",
+                    defaults.max_p95_regress_pct,
+                )?,
+                max_wasted_cpu_regress_pct: parse_float(
+                    args,
+                    "--max-wasted-cpu-regress-pct",
+                    defaults.max_wasted_cpu_regress_pct,
+                )?,
+                max_recall_drop: parse_float(args, "--max-recall-drop", defaults.max_recall_drop)?,
             };
-            let triggers = parse_num(args, "--triggers", 1)?;
-            let gap_min = parse_num(args, "--gap-min", 20)?;
-            let seed = parse_num(args, "--seed", 42)?;
-            let implicit = args.iter().any(|a| a == "--implicit");
-            let trace = args.iter().any(|a| a == "--trace");
-            let fault_rate = parse_fraction(args, "--fault-rate", 0.0)?;
-            let fault_seed = parse_num(args, "--fault-seed", 0xFA17)?;
-            let trace_out = flag_value(args, "--trace-out")?;
-            let metrics_out = flag_value(args, "--metrics-out")?;
-            Ok(Command::Run(RunArgs {
-                sdl_path,
-                platform,
-                triggers,
-                gap_min,
-                seed,
-                implicit,
-                trace,
-                fault_rate,
-                fault_seed,
-                trace_out,
-                metrics_out,
+            Ok(Command::Diff(DiffArgs {
+                baseline_path,
+                candidate_path,
+                thresholds,
             }))
         }
         "validate" => {
@@ -251,6 +320,30 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         other => Err(CliError::UnknownCommand(other.to_string())),
     }
+}
+
+fn parse_run_flags(args: &[String]) -> Result<RunArgs, CliError> {
+    let sdl_path =
+        flag_value(args, "--sdl")?.ok_or_else(|| CliError::MissingFlag("--sdl".into()))?;
+    let platform = match flag_value(args, "--mode")? {
+        Some(v) => PlatformChoice::parse(&v)?,
+        None => PlatformChoice::Xanadu(ExecutionMode::Jit),
+    };
+    Ok(RunArgs {
+        sdl_path,
+        platform,
+        triggers: parse_num(args, "--triggers", 1)?,
+        gap_min: parse_num(args, "--gap-min", 20)?,
+        seed: parse_num(args, "--seed", 42)?,
+        implicit: args.iter().any(|a| a == "--implicit"),
+        trace: args.iter().any(|a| a == "--trace"),
+        fault_rate: parse_fraction(args, "--fault-rate", 0.0)?,
+        fault_seed: parse_num(args, "--fault-seed", 0xFA17)?,
+        aggressiveness: parse_fraction(args, "--aggressiveness", 1.0)?,
+        trace_out: flag_value(args, "--trace-out")?,
+        metrics_out: flag_value(args, "--metrics-out")?,
+        audit_out: flag_value(args, "--audit-out")?,
+    })
 }
 
 fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
@@ -271,6 +364,20 @@ fn parse_num(args: &[String], flag: &str, default: u64) -> Result<u64, CliError>
             value: v,
             expected: "a non-negative integer".into(),
         }),
+    }
+}
+
+fn parse_float(args: &[String], flag: &str, default: f64) -> Result<f64, CliError> {
+    match flag_value(args, flag)? {
+        None => Ok(default),
+        Some(v) => match v.parse::<f64>() {
+            Ok(x) if x >= 0.0 => Ok(x),
+            _ => Err(CliError::BadValue {
+                flag: flag.into(),
+                value: v,
+                expected: "a non-negative number".into(),
+            }),
+        },
     }
 }
 
@@ -379,55 +486,18 @@ fn execute_inner(
         }
         Command::Run(run) => {
             let doc = sdl_source(&run.sdl_path).map_err(CliError::Workflow)?;
-            let name = workflow_name(&run.sdl_path).to_string();
-            let dag = sdl::parse(&name, &doc).map_err(|e| CliError::Workflow(e.to_string()))?;
-            let mut platform = run.platform.build(run.seed);
-            if run.fault_rate > 0.0 {
-                platform.set_faults(FaultConfig::with_rate(run.fault_rate, run.fault_seed));
-            }
-            let registry = run.metrics_out.as_ref().map(|_| platform.attach_metrics());
-            let result = if run.implicit {
-                platform.deploy_implicit(dag)
-            } else {
-                platform.deploy(dag)
-            };
-            result.map_err(|e| CliError::Workflow(e.to_string()))?;
-            let mut t = SimTime::ZERO;
-            let mut request_ids = Vec::new();
-            for _ in 0..run.triggers {
-                let id = platform
-                    .trigger_at(&name, t)
-                    .map_err(|e| CliError::Workflow(e.to_string()))?;
-                request_ids.push(id);
-                platform.run_until_idle();
-                platform.roll_profile_window();
-                t += SimDuration::from_mins(run.gap_min);
-            }
+            let w = run_workload(run, &doc)?;
             let traces: Vec<(u64, String)> = if run.trace {
-                request_ids
+                w.request_ids
                     .iter()
-                    .filter_map(|&id| platform.trace(id).map(|tr| (id, tr.render_gantt(72))))
+                    .filter_map(|&id| w.platform.trace(id).map(|tr| (id, tr.render_gantt(72))))
                     .collect()
             } else {
                 Vec::new()
             };
-            if let Some(path) = &run.trace_out {
-                let spans: Vec<(u64, xanadu_platform::timeline::Trace)> = request_ids
-                    .iter()
-                    .filter_map(|&id| platform.trace(id).map(|tr| (id, tr.clone())))
-                    .collect();
-                exports.push(ExportFile {
-                    path: path.clone(),
-                    contents: xanadu_platform::export::chrome_trace_string(&spans),
-                });
-            }
-            if let (Some(path), Some(registry)) = (&run.metrics_out, &registry) {
-                exports.push(ExportFile {
-                    path: path.clone(),
-                    contents: xanadu_platform::export::metrics_json_string(&registry.snapshot()),
-                });
-            }
-            let report = platform.finish();
+            w.push_exports(run, exports);
+            let name = w.name.clone();
+            let report = w.platform.finish();
             let mut out = format!(
                 "platform {} — {} triggers of `{}` every {} min (seed {})\n",
                 run.platform.label(),
@@ -479,6 +549,162 @@ fn execute_inner(
             }
             Ok(out)
         }
+        Command::Analyze(run) => {
+            let doc = sdl_source(&run.sdl_path).map_err(CliError::Workflow)?;
+            let w = run_workload(run, &doc)?;
+            w.push_exports(run, exports);
+            let mut out = format!(
+                "platform {} — {} triggers of `{}` every {} min (seed {})\n",
+                run.platform.label(),
+                run.triggers,
+                w.name,
+                run.gap_min,
+                run.seed
+            );
+            out.push_str(&w.audit().render());
+            Ok(out)
+        }
+        Command::Diff(diff) => {
+            let baseline = load_snapshot(&diff.baseline_path, &sdl_source)?;
+            let candidate = load_snapshot(&diff.candidate_path, &sdl_source)?;
+            let (kind, regressions) = match (&baseline, &candidate) {
+                (Snapshot::Audit(b), Snapshot::Audit(c)) => {
+                    ("audit", diff_audits(b, c, &diff.thresholds))
+                }
+                (Snapshot::Metrics(b), Snapshot::Metrics(c)) => {
+                    ("metrics", diff_metrics(b, c, &diff.thresholds))
+                }
+                _ => {
+                    return Err(CliError::Workflow(format!(
+                        "snapshot kinds differ: {} and {} must both be audit or both \
+                         be metrics documents",
+                        diff.baseline_path, diff.candidate_path
+                    )));
+                }
+            };
+            if regressions.is_empty() {
+                Ok(format!(
+                    "{}: no regressions versus {} ({kind} snapshots, \
+                     thresholds: p95 +{}%, wasted CPU +{}%, recall -{})\n",
+                    diff.candidate_path,
+                    diff.baseline_path,
+                    diff.thresholds.max_p95_regress_pct,
+                    diff.thresholds.max_wasted_cpu_regress_pct,
+                    diff.thresholds.max_recall_drop
+                ))
+            } else {
+                Err(CliError::Regressions {
+                    baseline: diff.baseline_path.clone(),
+                    candidate: diff.candidate_path.clone(),
+                    details: regressions.iter().map(|r| r.to_string()).collect(),
+                })
+            }
+        }
+    }
+}
+
+/// A finished workload run: the platform still holds per-request traces.
+struct Workload {
+    name: String,
+    platform: Platform,
+    request_ids: Vec<u64>,
+    registry: Option<ObserverHandle<MetricsRegistry>>,
+}
+
+fn run_workload(run: &RunArgs, doc: &str) -> Result<Workload, CliError> {
+    let name = workflow_name(&run.sdl_path).to_string();
+    let dag = sdl::parse(&name, doc).map_err(|e| CliError::Workflow(e.to_string()))?;
+    let mut platform = run.platform.build(run.seed, run.aggressiveness);
+    if run.fault_rate > 0.0 {
+        platform.set_faults(FaultConfig::with_rate(run.fault_rate, run.fault_seed));
+    }
+    let registry = run.metrics_out.as_ref().map(|_| platform.attach_metrics());
+    let result = if run.implicit {
+        platform.deploy_implicit(dag)
+    } else {
+        platform.deploy(dag)
+    };
+    result.map_err(|e| CliError::Workflow(e.to_string()))?;
+    let mut t = SimTime::ZERO;
+    let mut request_ids = Vec::new();
+    for _ in 0..run.triggers {
+        let id = platform
+            .trigger_at(&name, t)
+            .map_err(|e| CliError::Workflow(e.to_string()))?;
+        request_ids.push(id);
+        platform.run_until_idle();
+        platform.roll_profile_window();
+        t += SimDuration::from_mins(run.gap_min);
+    }
+    Ok(Workload {
+        name,
+        platform,
+        request_ids,
+        registry,
+    })
+}
+
+impl Workload {
+    fn traces(&self) -> Vec<(u64, xanadu_platform::timeline::Trace)> {
+        self.request_ids
+            .iter()
+            .filter_map(|&id| self.platform.trace(id).map(|tr| (id, tr.clone())))
+            .collect()
+    }
+
+    fn audit(&self) -> Audit {
+        Audit::from_traces(&self.traces())
+    }
+
+    fn push_exports(&self, run: &RunArgs, exports: &mut Vec<ExportFile>) {
+        if let Some(path) = &run.trace_out {
+            exports.push(ExportFile {
+                path: path.clone(),
+                contents: xanadu_platform::export::chrome_trace_string(&self.traces()),
+            });
+        }
+        if let (Some(path), Some(registry)) = (&run.metrics_out, &self.registry) {
+            exports.push(ExportFile {
+                path: path.clone(),
+                contents: xanadu_platform::export::metrics_json_string(&registry.snapshot()),
+            });
+        }
+        if let Some(path) = &run.audit_out {
+            exports.push(ExportFile {
+                path: path.clone(),
+                contents: xanadu_platform::export::audit_json_string(&self.audit()),
+            });
+        }
+    }
+}
+
+/// A parsed `xanadu diff` input: either snapshot kind, sniffed from the
+/// document's top-level keys.
+enum Snapshot {
+    Audit(Box<Audit>),
+    Metrics(Box<MetricsRegistry>),
+}
+
+fn load_snapshot(
+    path: &str,
+    source: impl Fn(&str) -> Result<String, String>,
+) -> Result<Snapshot, CliError> {
+    let text = source(path).map_err(CliError::Workflow)?;
+    let value: serde_json::Value =
+        serde_json::from_str(&text).map_err(|e| CliError::Workflow(format!("{path}: {e}")))?;
+    if value.get("summary").is_some() {
+        let audit: Audit = serde_json::from_value(value)
+            .map_err(|e| CliError::Workflow(format!("{path}: not an audit document: {e}")))?;
+        Ok(Snapshot::Audit(Box::new(audit)))
+    } else if value.get("counters").is_some() {
+        let metrics: MetricsRegistry = serde_json::from_value(value)
+            .map_err(|e| CliError::Workflow(format!("{path}: not a metrics document: {e}")))?;
+        Ok(Snapshot::Metrics(Box::new(metrics)))
+    } else {
+        Err(CliError::Workflow(format!(
+            "{path}: neither an audit (no \"summary\") nor a metrics snapshot \
+             (no \"counters\")"
+        )))
     }
 }
 
@@ -773,6 +999,211 @@ mod tests {
         let (bare_report, bare_exports) = execute_with_exports(&bare, source).unwrap();
         assert!(bare_exports.is_empty());
         assert_eq!(report, bare_report, "exports must not perturb the report");
+    }
+
+    #[test]
+    fn parse_analyze_and_diff() {
+        let cmd = parse_args(&args(&[
+            "analyze",
+            "--sdl",
+            "wf.json",
+            "--mode",
+            "cold",
+            "--triggers",
+            "4",
+            "--audit-out",
+            "audit.json",
+        ]))
+        .unwrap();
+        let Command::Analyze(run) = cmd else {
+            panic!("expected analyze")
+        };
+        assert_eq!(run.platform, PlatformChoice::Xanadu(ExecutionMode::Cold));
+        assert_eq!(run.triggers, 4);
+        assert_eq!(run.audit_out.as_deref(), Some("audit.json"));
+
+        let cmd = parse_args(&args(&[
+            "diff",
+            "--baseline",
+            "a.json",
+            "--candidate",
+            "b.json",
+            "--max-p95-regress-pct",
+            "2.5",
+        ]))
+        .unwrap();
+        let Command::Diff(diff) = cmd else {
+            panic!("expected diff")
+        };
+        assert_eq!(diff.baseline_path, "a.json");
+        assert_eq!(diff.candidate_path, "b.json");
+        assert_eq!(diff.thresholds.max_p95_regress_pct, 2.5);
+        assert_eq!(
+            diff.thresholds.max_recall_drop,
+            DiffThresholds::default().max_recall_drop
+        );
+
+        assert!(matches!(
+            parse_args(&args(&["diff", "--baseline", "a.json"])),
+            Err(CliError::MissingFlag(_))
+        ));
+        assert!(matches!(
+            parse_args(&args(&[
+                "diff",
+                "--baseline",
+                "a",
+                "--candidate",
+                "b",
+                "--max-recall-drop",
+                "-1"
+            ])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn analyze_prints_audit_summary() {
+        let cmd = parse_args(&args(&[
+            "analyze",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "jit",
+            "--triggers",
+            "2",
+        ]))
+        .unwrap();
+        let out = execute(&cmd, source).unwrap();
+        assert!(out.contains("speculation audit — 2 requests"), "{out}");
+        assert!(out.contains("critical path: exec"), "{out}");
+        assert!(out.contains("MLP: precision"), "{out}");
+        assert!(out.contains("JIT:"), "{out}");
+        assert_eq!(out, execute(&cmd, source).unwrap(), "deterministic audit");
+    }
+
+    #[test]
+    fn audit_export_matches_checked_in_schema() {
+        let cmd = parse_args(&args(&[
+            "analyze",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "spec",
+            "--triggers",
+            "2",
+            "--audit-out",
+            "audit.json",
+        ]))
+        .unwrap();
+        let (_, exports) = execute_with_exports(&cmd, source).unwrap();
+        assert_eq!(exports.len(), 1);
+        let doc: serde_json::Value = serde_json::from_str(&exports[0].contents).unwrap();
+        let schema: serde_json::Value =
+            serde_json::from_str(include_str!("../../../docs/schemas/audit.schema.json")).unwrap();
+        xanadu_platform::export::validate_schema(&doc, &schema).unwrap();
+    }
+
+    #[test]
+    fn diff_accepts_equal_audits_and_flags_injected_regression() {
+        let cmd = parse_args(&args(&[
+            "analyze",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "cold",
+            "--triggers",
+            "2",
+            "--audit-out",
+            "base.json",
+        ]))
+        .unwrap();
+        let (_, exports) = execute_with_exports(&cmd, source).unwrap();
+        let base_text = exports[0].contents.clone();
+        let mut worse: Audit = serde_json::from_str(&base_text).unwrap();
+        worse.summary.end_to_end_ms.p95 *= 2.0;
+        let worse_text = xanadu_platform::export::audit_json_string(&worse);
+        let files = move |path: &str| -> Result<String, String> {
+            match path {
+                "base.json" => Ok(base_text.clone()),
+                "cand.json" => Ok(worse_text.clone()),
+                other => Err(format!("{other}: not found")),
+            }
+        };
+
+        let same = parse_args(&args(&[
+            "diff",
+            "--baseline",
+            "base.json",
+            "--candidate",
+            "base.json",
+        ]))
+        .unwrap();
+        assert!(execute(&same, &files).unwrap().contains("no regressions"));
+
+        let regressed = parse_args(&args(&[
+            "diff",
+            "--baseline",
+            "base.json",
+            "--candidate",
+            "cand.json",
+        ]))
+        .unwrap();
+        let err = execute(&regressed, &files).unwrap_err();
+        let CliError::Regressions { details, .. } = &err else {
+            panic!("expected regressions, got {err}")
+        };
+        assert!(
+            details
+                .iter()
+                .any(|d| d.contains("$.summary.end_to_end_ms.p95")),
+            "{details:?}"
+        );
+        // The rendered message carries the JSON path for CI logs.
+        assert!(err.to_string().contains("$.summary.end_to_end_ms.p95"));
+
+        // A generous threshold lets the same pair pass.
+        let loose = parse_args(&args(&[
+            "diff",
+            "--baseline",
+            "base.json",
+            "--candidate",
+            "cand.json",
+            "--max-p95-regress-pct",
+            "400",
+        ]))
+        .unwrap();
+        assert!(execute(&loose, &files).unwrap().contains("no regressions"));
+    }
+
+    #[test]
+    fn diff_rejects_mismatched_snapshot_kinds() {
+        let audit_text = xanadu_platform::export::audit_json_string(&Audit::default());
+        let files = move |path: &str| -> Result<String, String> {
+            match path {
+                "audit.json" => Ok(audit_text.clone()),
+                "metrics.json" => Ok(r#"{"counters": {}, "histograms": {}}"#.into()),
+                other => Err(format!("{other}: not found")),
+            }
+        };
+        let cmd = parse_args(&args(&[
+            "diff",
+            "--baseline",
+            "metrics.json",
+            "--candidate",
+            "metrics.json",
+        ]))
+        .unwrap();
+        assert!(execute(&cmd, &files).unwrap().contains("no regressions"));
+        let cmd = parse_args(&args(&[
+            "diff",
+            "--baseline",
+            "audit.json",
+            "--candidate",
+            "metrics.json",
+        ]))
+        .unwrap();
+        let err = execute(&cmd, &files).unwrap_err();
+        assert!(err.to_string().contains("snapshot kinds differ"), "{err}");
     }
 
     #[test]

@@ -76,8 +76,10 @@ pub mod prelude {
     };
     pub use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
     pub use xanadu_platform::{
-        BusEvent, ClusterConfig, FaultConfig, LearnedState, MetricsRegistry, Observer,
-        ObserverHandle, Platform, PlatformConfig, PlatformError, PlatformReport, RunResult, Topic,
+        diff_audits, diff_metrics, Audit, AuditSummary, BusEvent, ClusterConfig, DiffThresholds,
+        FaultConfig, Histogram, JitStats, LatencyStats, LearnedState, MetricsRegistry, MlpStats,
+        Observer, ObserverHandle, Platform, PlatformConfig, PlatformError, PlatformReport,
+        Regression, RequestAudit, RunResult, Topic, WasteStats,
     };
     pub use xanadu_simcore::{Distribution, SimDuration, SimTime};
 }

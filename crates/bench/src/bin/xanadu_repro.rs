@@ -135,16 +135,18 @@ fn write_bench_report(jobs: usize, timed: &[(Experiment, f64)], total_wall_ms: f
         "speedup_vs_serial": speedup,
     });
     let path = "BENCH_harness.json";
-    // The `microbench` section is produced out-of-band (`cargo bench
-    // --bench worker_index`); carry it over so regenerating the
-    // experiment timings does not drop it.
-    if let Some(microbench) = std::fs::read_to_string(path)
+    // The `microbench` and `kernel` sections are produced out-of-band
+    // (`cargo bench --bench worker_index`, `xanadu replay --bench-out`);
+    // carry them over so regenerating the experiment timings does not
+    // drop them.
+    if let Some(previous) = std::fs::read_to_string(path)
         .ok()
         .and_then(|s| serde_json::from_str::<serde_json::Value>(&s).ok())
-        .and_then(|v| v.get("microbench").cloned())
     {
-        if let Some(obj) = report.as_object_mut() {
-            obj.insert("microbench".to_string(), microbench);
+        for section in ["microbench", "kernel"] {
+            if let (Some(value), Some(obj)) = (previous.get(section), report.as_object_mut()) {
+                obj.insert(section.to_string(), value.clone());
+            }
         }
     }
     match std::fs::write(path, report.to_json_string_pretty() + "\n") {

@@ -23,7 +23,27 @@ use crate::error::ChainError;
 use crate::id::NodeId;
 use crate::spec::FunctionSpec;
 use serde::{Deserialize, Serialize};
-use std::collections::VecDeque;
+use std::collections::{HashMap, VecDeque};
+use std::ops::Deref;
+
+/// The workflow's declared function outputs, keyed by function name —
+/// the inputs [`Condition::evaluate`] reads.
+///
+/// Building this map walks every node and clones its declared output
+/// JSON, so callers should compute it **once per workflow registration**
+/// (via [`WorkflowDag::declared_outputs`]) and reuse it across requests
+/// rather than rebuilding it per trigger; it derefs to the underlying
+/// map for evaluation.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct DeclaredOutputs(HashMap<String, serde_json::Value>);
+
+impl Deref for DeclaredOutputs {
+    type Target = HashMap<String, serde_json::Value>;
+
+    fn deref(&self) -> &Self::Target {
+        &self.0
+    }
+}
 
 /// A data-driven XOR decision attached to an XOR-cast node: when the
 /// declared outputs allow the [`Condition`] to evaluate, the decision picks
@@ -225,6 +245,22 @@ impl WorkflowDag {
                 }
             }
         }
+    }
+
+    /// Collects every node's declared output into a [`DeclaredOutputs`]
+    /// map for conditional evaluation. Compute once per registration; the
+    /// result is immutable for the workflow's lifetime.
+    pub fn declared_outputs(&self) -> DeclaredOutputs {
+        DeclaredOutputs(
+            self.nodes
+                .iter()
+                .filter_map(|n| {
+                    n.spec()
+                        .output()
+                        .map(|o| (n.spec().name().to_string(), o.clone()))
+                })
+                .collect(),
+        )
     }
 
     /// Nodes with no parents (entry points of the workflow).

@@ -49,7 +49,7 @@ mod spec;
 
 pub use builder::{linear_chain, WorkflowBuilder};
 pub use condition::Condition;
-pub use dag::{BranchMode, Edge, NodeData, WorkflowDag, XorDecision};
+pub use dag::{BranchMode, DeclaredOutputs, Edge, NodeData, WorkflowDag, XorDecision};
 pub use dot::to_dot;
 pub use error::ChainError;
 pub use id::NodeId;

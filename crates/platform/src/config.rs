@@ -12,6 +12,11 @@ fn default_plan_cache() -> bool {
     true
 }
 
+/// Serde default for [`PlatformConfig::record_traces`]: recording is on.
+fn default_record_traces() -> bool {
+    true
+}
+
 /// The cluster the Dispatch Daemons run on: hosts plus the placement
 /// policy the Dispatch Manager uses (Figure 11 of the paper).
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,6 +88,15 @@ pub struct PlatformConfig {
     /// paper's related work (§6), used by the `abl-pool` ablation as a
     /// cost foil for JIT speculation.
     pub static_prewarm: usize,
+    /// Record per-request artifacts: the orchestration timeline
+    /// ([`Trace`](crate::timeline::Trace)) of every request plus its
+    /// `runs/{id}` metadata-store document. On by default — audits, the
+    /// CLI's `--trace` rendering and Chrome export all read them.
+    /// Fleet-scale replays (millions of invocations) turn this off so
+    /// per-request memory stays flat; aggregate results and metrics are
+    /// unaffected either way.
+    #[serde(default = "default_record_traces")]
+    pub record_traces: bool,
     /// Fault injection: rate, fault seed, timeout and retry policy.
     /// Disabled (rate 0) by default.
     #[serde(default)]
@@ -213,6 +227,12 @@ impl PlatformConfigBuilder {
         self
     }
 
+    /// Whether per-request traces and run documents are recorded.
+    pub fn record_traces(mut self, record: bool) -> Self {
+        self.config.record_traces = record;
+        self
+    }
+
     /// Fault injection policy.
     pub fn faults(mut self, faults: FaultConfig) -> Self {
         self.config.faults = faults;
@@ -269,6 +289,7 @@ impl PlatformConfig {
             cluster: ClusterConfig::default(),
             plan_cache: true,
             static_prewarm: 0,
+            record_traces: true,
             faults: FaultConfig::default(),
         }
     }

@@ -51,6 +51,7 @@ pub mod hosts;
 pub mod metastore;
 pub mod obs;
 mod result;
+pub mod shard;
 mod sim;
 pub mod timeline;
 
@@ -63,4 +64,5 @@ pub use events::{BusEvent, Topic};
 pub use faults::{FaultConfig, FaultPlan};
 pub use obs::{Histogram, MetricsRegistry, Observer, ObserverHandle};
 pub use result::{PlatformReport, RunResult};
+pub use shard::{replay_sharded, ShardOptions, ShardWorkload, ShardedRun};
 pub use sim::{report_total_costs, LearnedState, Platform, PlatformError};

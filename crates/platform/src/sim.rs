@@ -28,7 +28,7 @@ use serde_json::json;
 use std::collections::{HashMap, HashSet};
 use std::fmt;
 use std::sync::{Arc, Mutex};
-use xanadu_chain::{BranchMode, ChainError, NodeId, NodeSet, WorkflowDag};
+use xanadu_chain::{BranchMode, ChainError, DeclaredOutputs, NodeId, NodeSet, WorkflowDag};
 use xanadu_core::cost::{total_resource_cost, CpuRates, ResourceCosts};
 use xanadu_core::keepalive::{AdaptiveKeepAlive, KeepAliveConfig};
 use xanadu_core::speculation::{
@@ -38,7 +38,7 @@ use xanadu_profiler::{BranchDetector, MetricsEngine, RequestCorrelator};
 use xanadu_sandbox::{
     SandboxProvider, SimSandboxProvider, Worker, WorkerId, WorkerPool, WorkerState,
 };
-use xanadu_simcore::{EventQueue, RngStream, SimDuration, SimTime};
+use xanadu_simcore::{EventQueue, Interner, RngStream, SimDuration, SimTime, Sym};
 
 /// Errors surfaced by the platform API.
 #[derive(Debug, Clone, PartialEq)]
@@ -110,11 +110,14 @@ enum Acquired {
     Fresh,
 }
 
-#[derive(Debug)]
+/// A future-event-list entry. Every payload is `Copy`: workflow names are
+/// interned to [`Sym`]s at deployment, so the hot path never moves or
+/// allocates a `String` per event.
+#[derive(Debug, Clone, Copy)]
 enum Event {
     Trigger {
         req: u64,
-        workflow: String,
+        workflow: Sym,
     },
     Deploy {
         req: u64,
@@ -168,11 +171,14 @@ enum Event {
 struct WorkflowEntry {
     dag: Arc<WorkflowDag>,
     implicit: bool,
+    /// Declared-output table for data-driven conditionals, computed once at
+    /// registration instead of per trigger.
+    declared_outputs: Arc<DeclaredOutputs>,
 }
 
 #[derive(Debug)]
 struct RunState {
-    workflow: String,
+    workflow: Sym,
     dag: Arc<WorkflowDag>,
     implicit: bool,
     trigger: SimTime,
@@ -250,10 +256,16 @@ pub struct Platform {
     metrics: MetricsEngine,
     detector: BranchDetector,
     correlator: RequestCorrelator,
-    workflows: HashMap<String, WorkflowEntry>,
+    /// Workflow name → dense id; ids index [`Platform::workflows`].
+    workflow_ids: Interner,
+    /// Registered workflows, indexed by interned id.
+    workflows: Vec<WorkflowEntry>,
     queue: EventQueue<Event>,
     now: SimTime,
-    runs: HashMap<u64, RunState>,
+    /// In-flight requests, indexed by request id (dense: ids are handed
+    /// out sequentially). Boxed so the slab stays compact after a request
+    /// retires.
+    runs: Vec<Option<Box<RunState>>>,
     results: Vec<RunResult>,
     next_request: u64,
     rng_branch: RngStream,
@@ -261,8 +273,9 @@ pub struct Platform {
     rng_overhead: RngStream,
     /// Workers chosen for an invocation but not yet executing.
     claimed: HashSet<WorkerId>,
-    /// Which request spawned each worker (cost attribution).
-    spawner: HashMap<WorkerId, u64>,
+    /// Which request spawned each worker (cost attribution), indexed by
+    /// worker id (dense: ids are handed out sequentially).
+    spawner: Vec<Option<u64>>,
     /// The cluster the Dispatch Daemons manage (Figure 11).
     cluster: HostRegistry,
     /// Advisor implementing the paper's future-work adaptive keep-alive
@@ -316,17 +329,18 @@ impl Platform {
             metrics: MetricsEngine::new(),
             detector: BranchDetector::new(),
             correlator: RequestCorrelator::new(),
-            workflows: HashMap::new(),
+            workflow_ids: Interner::new(),
+            workflows: Vec::new(),
             queue: EventQueue::new(),
             now: SimTime::ZERO,
-            runs: HashMap::new(),
+            runs: Vec::new(),
             results: Vec::new(),
             next_request: 0,
             rng_branch: RngStream::derive(seed, "platform-branch"),
             rng_service: RngStream::derive(seed, "platform-service"),
             rng_overhead: RngStream::derive(seed, "platform-overhead"),
             claimed: HashSet::new(),
-            spawner: HashMap::new(),
+            spawner: Vec::new(),
             cluster,
             keepalive_advisor: AdaptiveKeepAlive::new(KeepAliveConfig::default()),
             traces: HashMap::new(),
@@ -393,13 +407,14 @@ impl Platform {
     fn deploy_entry(&mut self, dag: WorkflowDag, implicit: bool) -> Result<(), PlatformError> {
         dag.validate()?;
         let name = dag.name().to_string();
-        if self.workflows.contains_key(&name) {
+        if self.workflow_ids.get(&name).is_some() {
             return Err(PlatformError::AlreadyDeployed(name));
         }
         self.metastore.put(
             &format!("workflow/{name}"),
             json!({"functions": dag.len(), "depth": dag.depth(), "implicit": implicit}),
         );
+        let declared_outputs = Arc::new(dag.declared_outputs());
         let dag = Arc::new(dag);
         if self.config.static_prewarm > 0 {
             for id in dag.node_ids() {
@@ -409,7 +424,13 @@ impl Platform {
                 }
             }
         }
-        self.workflows.insert(name, WorkflowEntry { dag, implicit });
+        let sym = self.workflow_ids.intern(&name);
+        debug_assert_eq!(sym.index(), self.workflows.len());
+        self.workflows.push(WorkflowEntry {
+            dag,
+            implicit,
+            declared_outputs,
+        });
         Ok(())
     }
 
@@ -425,19 +446,52 @@ impl Platform {
     /// Panics if `at` is in the simulated past once
     /// [`run_until_idle`](Self::run_until_idle) has advanced beyond it.
     pub fn trigger_at(&mut self, workflow: &str, at: SimTime) -> Result<u64, PlatformError> {
-        if !self.workflows.contains_key(workflow) {
+        let Some(sym) = self.workflow_ids.get(workflow) else {
             return Err(PlatformError::UnknownWorkflow(workflow.to_string()));
-        }
+        };
         let req = self.next_request;
         self.next_request += 1;
-        self.queue.schedule(
-            at,
-            Event::Trigger {
-                req,
-                workflow: workflow.to_string(),
-            },
-        );
+        self.queue
+            .schedule(at, Event::Trigger { req, workflow: sym });
         Ok(req)
+    }
+
+    /// Pre-sizes the event queue and per-request tables for a workload of
+    /// roughly `invocations` triggers, avoiding incremental re-allocation
+    /// during fleet-scale replays. Purely an optimization: results are
+    /// identical with or without the call.
+    pub fn reserve_invocations(&mut self, invocations: usize) {
+        self.queue.reserve(invocations.saturating_mul(2));
+        self.runs.reserve(invocations);
+        self.results.reserve(invocations);
+    }
+
+    /// The in-flight run for `req`, if it has not finished.
+    fn run(&self, req: u64) -> Option<&RunState> {
+        // `req as usize` saturates sentinel ids (POOL_OWNER) far past the
+        // slab: the bounds check turns them into `None`.
+        self.runs.get(req as usize).and_then(|slot| slot.as_deref())
+    }
+
+    /// Mutable access to the in-flight run for `req`.
+    fn run_mut(&mut self, req: u64) -> Option<&mut RunState> {
+        self.runs
+            .get_mut(req as usize)
+            .and_then(|slot| slot.as_deref_mut())
+    }
+
+    /// The request that spawned `worker`, if any.
+    fn spawner_of(&self, worker: WorkerId) -> Option<u64> {
+        self.spawner.get(worker.0 as usize).copied().flatten()
+    }
+
+    /// Records which request spawned `worker`.
+    fn set_spawner(&mut self, worker: WorkerId, req: u64) {
+        let idx = worker.0 as usize;
+        if self.spawner.len() <= idx {
+            self.spawner.resize(idx + 1, None);
+        }
+        self.spawner[idx] = Some(req);
     }
 
     /// Drains the event queue, advancing virtual time until no events
@@ -471,6 +525,28 @@ impl Platform {
             processed += 1;
         }
         self.now = self.now.max(deadline);
+        processed
+    }
+
+    /// Processes events up to and including `deadline` like
+    /// [`run_until`](Self::run_until), but leaves the clock at the last
+    /// processed event instead of advancing it to `deadline`. The
+    /// sharded driver ([`crate::shard`]) steps with this so the final
+    /// clock value — which prices end-of-run worker teardown in
+    /// [`finish`](Self::finish) — depends only on the event stream,
+    /// never on the driver's barrier-window width.
+    pub fn step_window(&mut self, deadline: SimTime) -> u64 {
+        let mut processed = 0;
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            let (t, event) = self.queue.pop().expect("peeked event exists");
+            assert!(t >= self.now, "time went backwards");
+            self.now = t;
+            self.handle(event);
+            processed += 1;
+        }
         processed
     }
 
@@ -555,6 +631,13 @@ impl Platform {
         self.pool.live_count()
     }
 
+    /// Number of events still queued. The sharded replay driver
+    /// ([`crate::shard`]) polls this at every time-window barrier to
+    /// detect fleet-wide quiescence.
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
     /// The cluster view: host placement and load of every live worker.
     pub fn cluster(&self) -> &HostRegistry {
         &self.cluster
@@ -633,7 +716,7 @@ impl Platform {
             .pool
             .live_workers()
             .map(|w| {
-                let at = if self.spawner.get(&w.id()) == Some(&POOL_OWNER) {
+                let at = if self.spawner_of(w.id()) == Some(POOL_OWNER) {
                     self.now
                 } else {
                     match w.last_active().checked_add(keep_alive) {
@@ -665,7 +748,7 @@ impl Platform {
 
     fn handle(&mut self, event: Event) {
         match event {
-            Event::Trigger { req, workflow } => self.on_trigger(req, &workflow),
+            Event::Trigger { req, workflow } => self.on_trigger(req, workflow),
             Event::Deploy {
                 req,
                 node,
@@ -697,7 +780,7 @@ impl Platform {
         }
     }
 
-    fn on_trigger(&mut self, req: u64, workflow: &str) {
+    fn on_trigger(&mut self, req: u64, workflow: Sym) {
         // Lazy keep-alive reaping (the Dispatch Daemons' maintenance duty):
         // workers idle past keep-alive are torn down before new work is
         // admitted, returning their host memory. `find_warm` already
@@ -720,30 +803,21 @@ impl Platform {
             self.kill_worker(id, at);
         }
 
-        let entry = self
-            .workflows
-            .get(workflow)
-            .expect("trigger for undeployed workflow")
-            .clone();
+        let entry = self.workflows[workflow.index()].clone();
         let dag = entry.dag.clone();
 
         // Draw the request's ground truth: XOR outcomes and service times.
         // A node with a data-driven decision whose condition evaluates over
         // the workflow's declared outputs follows the data; otherwise the
-        // outcome is drawn from the declared branch probabilities.
-        let declared_outputs: HashMap<String, serde_json::Value> = dag
-            .node_ids()
-            .filter_map(|id| {
-                let spec = dag.node(id).spec();
-                spec.output().map(|o| (spec.name().to_string(), o.clone()))
-            })
-            .collect();
+        // outcome is drawn from the declared branch probabilities. The
+        // declared-output table was computed once at registration.
+        let declared_outputs = &entry.declared_outputs;
         let mut rng = self.rng_branch.child(req);
         let mut xor_choice = HashMap::new();
         for id in dag.node_ids() {
             if dag.node(id).branch_mode() == BranchMode::Xor && !dag.children(id).is_empty() {
                 let decided = dag.node(id).decision().and_then(|d| {
-                    d.condition.evaluate(&declared_outputs).map(|holds| {
+                    d.condition.evaluate(declared_outputs).map(|holds| {
                         if holds {
                             d.on_true.clone()
                         } else {
@@ -857,7 +931,7 @@ impl Platform {
         let plan_active = !planned.is_empty();
         let planned_count = planned.len() as u64;
         let state = RunState {
-            workflow: workflow.to_string(),
+            workflow,
             dag: dag.clone(),
             implicit: entry.implicit,
             trigger: self.now,
@@ -883,27 +957,36 @@ impl Platform {
             retries: 0,
             trace: Trace::default(),
         };
-        self.runs.insert(req, state);
-        let run = self.runs.get_mut(&req).expect("just inserted");
-        run.trace.record(self.now, TraceEventKind::Triggered);
-        if plan_active {
-            run.trace.record(
-                self.now,
-                TraceEventKind::PlanComputed {
-                    planned: planned_count,
-                },
-            );
+        let idx = req as usize;
+        if self.runs.len() <= idx {
+            self.runs.resize_with(idx + 1, || None);
+        }
+        debug_assert!(self.runs[idx].is_none(), "request id reused");
+        self.runs[idx] = Some(Box::new(state));
+        if self.config.record_traces {
+            let run = self.runs[idx].as_deref_mut().expect("just inserted");
+            run.trace.record(self.now, TraceEventKind::Triggered);
+            if plan_active {
+                run.trace.record(
+                    self.now,
+                    TraceEventKind::PlanComputed {
+                        planned: planned_count,
+                    },
+                );
+            }
         }
         if self.observing(Topic::RequestTriggered) {
+            let name = self.workflow_ids.resolve(workflow).to_string();
             self.emit(BusEvent::RequestTriggered {
                 request: req,
-                workflow: workflow.to_string(),
+                workflow: name,
             });
         }
         if plan_active && self.observing(Topic::PlanComputed) {
+            let name = self.workflow_ids.resolve(workflow).to_string();
             self.emit(BusEvent::PlanComputed {
                 request: req,
-                workflow: workflow.to_string(),
+                workflow: name,
                 planned: planned_count,
             });
         }
@@ -923,57 +1006,60 @@ impl Platform {
     }
 
     fn on_deploy(&mut self, req: u64, node: NodeId, generation: u32) {
-        let Some(run) = self.runs.get(&req) else {
+        let Some(run) = self.run(req) else {
             return; // request already finished
         };
         if !run.plan_active || run.plan_generation != generation {
             return; // plan was cancelled or replaced (prediction miss)
         }
-        let function = run.dag.node(node).spec().name().to_string();
+        let dag = run.dag.clone();
+        let spec = dag.node(node).spec();
         // Skip when a warm or in-flight worker already covers the function
         // (e.g. kept warm from a previous request).
-        if self.usable_worker_exists(&function) {
+        if self.usable_worker_exists(spec.name()) {
             return;
         }
-        let spec = run.dag.node(node).spec().clone();
         let allow_retarget = self.config.speculation.miss_policy == MissPolicy::ReplanAndReuse;
-        if allow_retarget && self.try_retarget(req, &spec) {
+        if allow_retarget && self.try_retarget(req, spec) {
             return;
         }
-        self.provision_worker(req, &spec, false, false);
+        self.provision_worker(req, spec, false, false);
     }
 
     fn on_invoke(&mut self, req: u64, node: NodeId, parent: Option<NodeId>) {
-        let Some(run) = self.runs.get_mut(&req) else {
+        let record_traces = self.config.record_traces;
+        let now = self.now;
+        let Some(run) = self.run_mut(req) else {
             return;
         };
         if run.invoked[node.index()] {
             return; // defensive: barrier delivered twice
         }
         run.invoked[node.index()] = true;
+        if record_traces {
+            run.trace.record(
+                now,
+                TraceEventKind::Invoked {
+                    function: run.dag.node(node).spec().name().to_string(),
+                },
+            );
+        }
         let dag = run.dag.clone();
-        let function = dag.node(node).spec().name().to_string();
-        run.trace.record(
-            self.now,
-            TraceEventKind::Invoked {
-                function: function.clone(),
-            },
-        );
-        let parent_name = parent.map(|p| dag.node(p).spec().name().to_string());
+        let function = dag.node(node).spec().name();
+        let parent_name = parent.map(|p| dag.node(p).spec().name());
 
         // Branch detection + request correlation (implicit-chain learning).
         // Invoke delays are measured against the parent's *execution start*
         // (logged by the reverse proxy at dispatch time), so the learned
         // delay reflects the parent's behaviour rather than however long it
         // happened to wait for a sandbox on this particular run.
-        self.detector
-            .observe_request(&function, parent_name.as_deref());
-        if let Some(pn) = &parent_name {
+        self.detector.observe_request(function, parent_name);
+        if let Some(pn) = parent_name {
             if let Some(delay) = self
                 .correlator
-                .observe_child_arrival(pn, &function, self.now)
+                .observe_child_arrival(pn, function, self.now)
             {
-                self.metrics.record_invoke_delay(pn, &function, delay);
+                self.metrics.record_invoke_delay(pn, function, delay);
             }
         }
 
@@ -981,15 +1067,17 @@ impl Platform {
         // is cancelled (the chain keeps deviating from what was predicted);
         // the miss *policy* fires per unplanned invocation but cancellation
         // happens only once.
-        let run = self.runs.get_mut(&req).expect("run exists");
+        let run = self.run_mut(req).expect("run exists");
         if run.had_plan && !run.planned.contains(node) {
             run.misses += 1;
-            run.trace.record(
-                self.now,
-                TraceEventKind::PredictionMiss {
-                    function: function.clone(),
-                },
-            );
+            if record_traces {
+                run.trace.record(
+                    now,
+                    TraceEventKind::PredictionMiss {
+                        function: function.to_string(),
+                    },
+                );
+            }
             self.on_prediction_miss(req, node);
         }
 
@@ -1005,14 +1093,15 @@ impl Platform {
     /// *shielded*: a fresh worker exempt from fault injection, so every
     /// request terminates under any fault schedule.
     fn dispatch_node(&mut self, req: u64, node: NodeId) {
-        let run = self.runs.get(&req).expect("run exists");
-        let spec = run.dag.node(node).spec().clone();
-        let function = spec.name().to_string();
+        let run = self.run(req).expect("run exists");
+        let dag = run.dag.clone();
+        let spec = dag.node(node).spec();
+        let function = spec.name();
         let invoked_at = self.now;
         let shielded = self.faults.enabled()
             && run.fault_attempts[node.index()] >= self.config.faults.max_retries;
         if shielded {
-            let (worker, ready_at) = self.provision_worker(req, &spec, true, true);
+            let (worker, ready_at) = self.provision_worker(req, spec, true, true);
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
             self.queue.schedule(
@@ -1027,7 +1116,7 @@ impl Platform {
             );
             return;
         }
-        if let Some(worker) = self.find_claimable_warm(&function) {
+        if let Some(worker) = self.find_claimable_warm(function) {
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
             self.queue.schedule(
@@ -1040,7 +1129,7 @@ impl Platform {
                     invoked_at,
                 },
             );
-        } else if let Some((worker, ready_at)) = self.find_claimable_pending(&function) {
+        } else if let Some((worker, ready_at)) = self.find_claimable_pending(function) {
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
             self.queue.schedule(
@@ -1054,7 +1143,7 @@ impl Platform {
                 },
             );
         } else {
-            let (worker, ready_at) = self.provision_worker(req, &spec, true, false);
+            let (worker, ready_at) = self.provision_worker(req, spec, true, false);
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
             self.queue.schedule(
@@ -1071,7 +1160,7 @@ impl Platform {
     }
 
     fn on_redispatch(&mut self, req: u64, node: NodeId) {
-        if self.runs.contains_key(&req) {
+        if self.run(req).is_some() {
             self.dispatch_node(req, node);
         }
     }
@@ -1091,61 +1180,67 @@ impl Platform {
         invoked_at: SimTime,
     ) {
         self.claimed.remove(&worker);
-        let Some(run) = self.runs.get_mut(&req) else {
+        let record_traces = self.config.record_traces;
+        let now = self.now;
+        let Some(run) = self.run_mut(req) else {
             // Request finished while we were waiting (should not happen for
             // activated nodes); release the claim.
             return;
         };
-        let function = run.dag.node(node).spec().name().to_string();
-        let level = run.dag.node(node).spec().isolation_level();
+        let dag = run.dag.clone();
+        let spec = dag.node(node).spec();
+        let function = spec.name();
+        let level = spec.isolation_level();
         // Observed startup latency: invocation to execution start.
         let startup_wait = self.now.saturating_since(invoked_at);
-        match acquired {
-            Acquired::Warm => run.warm_starts += 1,
-            Acquired::Fresh => run.cold_starts += 1,
-            Acquired::Pending => {
-                // A speculated worker that was *almost* ready: if the
-                // residual wait is a small fraction of a real cold start,
-                // the request effectively observed a warm start (this is
-                // what a latency-threshold measurement like the paper's
-                // Figure 6 classification would report).
-                let near_ready =
-                    startup_wait.as_millis_f64() <= 0.2 * self.provider.mean_cold_start_ms(level);
-                if near_ready {
-                    run.warm_starts += 1;
-                } else {
-                    run.cold_starts += 1;
-                }
-            }
+        // A speculated worker that was *almost* ready counts warm: if the
+        // residual wait is a small fraction of a real cold start, the
+        // request effectively observed a warm start (this is what a
+        // latency-threshold measurement like the paper's Figure 6
+        // classification would report).
+        let near_ready =
+            startup_wait.as_millis_f64() <= 0.2 * self.provider.mean_cold_start_ms(level);
+        let warm_start = match acquired {
+            Acquired::Warm => true,
+            Acquired::Fresh => false,
+            Acquired::Pending => near_ready,
+        };
+        let run = self.run_mut(req).expect("run exists");
+        if warm_start {
+            run.warm_starts += 1;
+        } else {
+            run.cold_starts += 1;
         }
         if acquired != Acquired::Warm {
-            self.metrics.record_startup(&function, startup_wait);
+            self.metrics.record_startup(function, startup_wait);
         }
         // Feed the adaptive keep-alive advisor: an invocation is "covered
         // by speculation" when its worker was spawned for this very
         // request's plan (not an on-demand provision, not a keep-alive
         // reuse of an older worker).
-        let covered = acquired != Acquired::Fresh && self.spawner.get(&worker) == Some(&req);
+        let covered = acquired != Acquired::Fresh && self.spawner_of(worker) == Some(req);
         self.keepalive_advisor
-            .observe(&function, invoked_at, covered);
-        let run = self.runs.get_mut(&req).expect("run exists");
-        run.trace.record(
-            self.now,
-            TraceEventKind::ExecStarted {
-                function: function.clone(),
-                warm: acquired == Acquired::Warm,
-            },
-        );
+            .observe(function, invoked_at, covered);
+        if record_traces {
+            let run = self.run_mut(req).expect("run exists");
+            run.trace.record(
+                now,
+                TraceEventKind::ExecStarted {
+                    function: function.to_string(),
+                    warm: acquired == Acquired::Warm,
+                },
+            );
+        }
         if self.observing(Topic::ExecStarted) {
             self.emit(BusEvent::ExecStarted {
                 request: req,
-                function: function.clone(),
+                function: function.to_string(),
                 worker: worker.0,
                 warm: acquired == Acquired::Warm,
                 queue_wait_ms: startup_wait.as_millis_f64(),
             });
         }
-        let run = self.runs.get_mut(&req).expect("run exists");
+        let run = self.run_mut(req).expect("run exists");
 
         let mut service = run.service[node.index()];
         let attempt = run.fault_attempts[node.index()];
@@ -1155,7 +1250,7 @@ impl Platform {
                 service = service.mul_f64(factor);
             }
         }
-        self.correlator.observe_arrival(&function, self.now);
+        self.correlator.observe_arrival(function, self.now);
         self.pool.begin_exec(worker, self.now);
         if self.faults.enabled()
             && !shielded
@@ -1196,20 +1291,26 @@ impl Platform {
             self.cluster.release(evicted);
         }
 
-        let run = self.runs.get_mut(&req).expect("run exists");
-        let function = run.dag.node(node).spec().name().to_string();
-        self.metrics.record_warm_runtime(&function, exec_duration);
-        let run = self.runs.get_mut(&req).expect("run exists");
-        run.trace.record(
-            self.now,
-            TraceEventKind::ExecEnded {
-                function: function.clone(),
-            },
-        );
+        let record_traces = self.config.record_traces;
+        let now = self.now;
+        let run = self.run_mut(req).expect("run exists");
+        let dag = run.dag.clone();
+        let spec = dag.node(node).spec();
+        let function = spec.name();
+        self.metrics.record_warm_runtime(function, exec_duration);
+        if record_traces {
+            let run = self.run_mut(req).expect("run exists");
+            run.trace.record(
+                now,
+                TraceEventKind::ExecEnded {
+                    function: function.to_string(),
+                },
+            );
+        }
         if self.observing(Topic::ExecEnded) {
             self.emit(BusEvent::ExecEnded {
                 request: req,
-                function: function.clone(),
+                function: function.to_string(),
                 worker: worker.0,
                 exec_ms: exec_duration.as_millis_f64(),
             });
@@ -1219,31 +1320,46 @@ impl Platform {
         // but if churn (eviction/misses) dropped the function below its
         // pool size, provision a replacement now.
         if self.config.static_prewarm > 0 {
-            let run = self.runs.get(&req).expect("run exists");
-            let spec = run.dag.node(node).spec().clone();
-            let available =
-                self.pool.warm_count(spec.name()) + self.pool.provisioning_count(spec.name());
+            let available = self.pool.warm_count(function) + self.pool.provisioning_count(function);
             if available < self.config.static_prewarm {
-                self.provision_worker(POOL_OWNER, &spec, false, false);
+                self.provision_worker(POOL_OWNER, spec, false, false);
             }
         }
 
-        let run = self.runs.get_mut(&req).expect("run exists");
+        let run = self.run_mut(req).expect("run exists");
         run.completed[node.index()] = true;
         run.remaining -= 1;
-        let dag = run.dag.clone();
 
-        // Reveal this node's outgoing activations and deliver barriers.
-        let firing: Vec<NodeId> = match dag.node(node).branch_mode() {
-            BranchMode::Multicast => dag.children(node).iter().map(|e| e.to).collect(),
-            BranchMode::Xor => run.xor_choice.get(&node).cloned().unwrap_or_default(),
-        };
-        let mut to_invoke = Vec::new();
-        for child in firing {
-            let run = self.runs.get_mut(&req).expect("run exists");
-            run.delivered_in[child.index()] += 1;
-            if run.delivered_in[child.index()] == run.required_in[child.index()] {
-                to_invoke.push(child);
+        // Reveal this node's outgoing activations and deliver barriers,
+        // without cloning the firing set: split borrows let the barrier
+        // counters update while the XOR choice is read in place.
+        let mut to_invoke: Vec<NodeId> = Vec::new();
+        {
+            let RunState {
+                xor_choice,
+                delivered_in,
+                required_in,
+                ..
+            } = run;
+            let mut deliver = |child: NodeId| {
+                delivered_in[child.index()] += 1;
+                if delivered_in[child.index()] == required_in[child.index()] {
+                    to_invoke.push(child);
+                }
+            };
+            match dag.node(node).branch_mode() {
+                BranchMode::Multicast => {
+                    for e in dag.children(node) {
+                        deliver(e.to);
+                    }
+                }
+                BranchMode::Xor => {
+                    if let Some(group) = xor_choice.get(&node) {
+                        for &child in group {
+                            deliver(child);
+                        }
+                    }
+                }
             }
         }
         for child in to_invoke {
@@ -1258,7 +1374,7 @@ impl Platform {
             );
         }
 
-        let run = self.runs.get(&req).expect("run exists");
+        let run = self.run(req).expect("run exists");
         if run.remaining == 0 {
             self.finalize_run(req);
         }
@@ -1309,33 +1425,38 @@ impl Platform {
             self.on_predeploy_failure(worker, &function);
             return;
         }
+        let record_traces = self.config.record_traces;
+        let now = self.now;
         for (req, node) in orphans {
-            let Some(run) = self.runs.get_mut(&req) else {
+            let Some(run) = self.run_mut(req) else {
                 continue;
             };
-            let function = run.dag.node(node).spec().name().to_string();
+            let dag = run.dag.clone();
+            let function = dag.node(node).spec().name();
             let attempt = run.fault_attempts[node.index()];
             run.fault_attempts[node.index()] += 1;
             run.faults += 1;
             run.retries += 1;
-            run.trace.record(
-                self.now,
-                TraceEventKind::WorkerCrashed {
-                    function: function.clone(),
-                },
-            );
-            run.trace.record(
-                self.now,
-                TraceEventKind::Retried {
-                    function: function.clone(),
-                    attempt: u64::from(attempt) + 1,
-                },
-            );
+            if record_traces {
+                run.trace.record(
+                    now,
+                    TraceEventKind::WorkerCrashed {
+                        function: function.to_string(),
+                    },
+                );
+                run.trace.record(
+                    now,
+                    TraceEventKind::Retried {
+                        function: function.to_string(),
+                        attempt: u64::from(attempt) + 1,
+                    },
+                );
+            }
             let delay = self.config.faults.backoff(attempt);
             if self.observing(Topic::InvokeRetried) {
                 self.emit(BusEvent::InvokeRetried {
                     request: req,
-                    function,
+                    function: function.to_string(),
                     attempt: u64::from(attempt) + 1,
                     backoff_ms: delay.as_millis_f64(),
                 });
@@ -1351,13 +1472,13 @@ impl Platform {
     /// dropped from the plan so its eventual invocation is accounted as
     /// the prediction miss it is — never silently counted warm.
     fn on_predeploy_failure(&mut self, worker: WorkerId, function: &str) {
-        let Some(&req) = self.spawner.get(&worker) else {
+        let Some(req) = self.spawner_of(worker) else {
             return;
         };
         if req == POOL_OWNER {
             return; // static pre-warm pool: replenished on next use
         }
-        let Some(run) = self.runs.get(&req) else {
+        let Some(run) = self.run(req) else {
             return;
         };
         let Some(node) = run.dag.node_by_name(function) else {
@@ -1376,16 +1497,20 @@ impl Platform {
             self.config.faults.max_retries,
             startup_ms,
         );
-        let run = self.runs.get_mut(&req).expect("run exists");
+        let record_traces = self.config.record_traces;
+        let now = self.now;
+        let run = self.run_mut(req).expect("run exists");
         run.fault_attempts[node.index()] += 1;
         run.faults += 1;
-        run.trace.record(
-            self.now,
-            TraceEventKind::DeployFailed {
-                function: function.to_string(),
-                attempt: u64::from(attempt) + 1,
-            },
-        );
+        if record_traces {
+            run.trace.record(
+                now,
+                TraceEventKind::DeployFailed {
+                    function: function.to_string(),
+                    attempt: u64::from(attempt) + 1,
+                },
+            );
+        }
         match action {
             DeployFailureAction::Retry { delay } => {
                 self.queue.schedule(
@@ -1398,7 +1523,7 @@ impl Platform {
                 );
             }
             DeployFailureAction::Drop => {
-                run.planned.remove(node);
+                self.run_mut(req).expect("run exists").planned.remove(node);
             }
         }
     }
@@ -1407,32 +1532,37 @@ impl Platform {
         // The sandbox survives — only the invocation is aborted; the
         // worker returns to the warm pool and the attempt is retried.
         self.pool.abort_exec(worker, began, self.now);
-        let Some(run) = self.runs.get_mut(&req) else {
+        let record_traces = self.config.record_traces;
+        let now = self.now;
+        let Some(run) = self.run_mut(req) else {
             return;
         };
-        let function = run.dag.node(node).spec().name().to_string();
+        let dag = run.dag.clone();
+        let function = dag.node(node).spec().name();
         let attempt = run.fault_attempts[node.index()];
         run.fault_attempts[node.index()] += 1;
         run.faults += 1;
         run.retries += 1;
-        run.trace.record(
-            self.now,
-            TraceEventKind::TimedOut {
-                function: function.clone(),
-                attempt: u64::from(attempt) + 1,
-            },
-        );
-        run.trace.record(
-            self.now,
-            TraceEventKind::Retried {
-                function: function.clone(),
-                attempt: u64::from(attempt) + 1,
-            },
-        );
+        if record_traces {
+            run.trace.record(
+                now,
+                TraceEventKind::TimedOut {
+                    function: function.to_string(),
+                    attempt: u64::from(attempt) + 1,
+                },
+            );
+            run.trace.record(
+                now,
+                TraceEventKind::Retried {
+                    function: function.to_string(),
+                    attempt: u64::from(attempt) + 1,
+                },
+            );
+        }
         if self.observing(Topic::InvokeTimeout) {
             self.emit(BusEvent::InvokeTimeout {
                 request: req,
-                function: function.clone(),
+                function: function.to_string(),
                 attempt: u64::from(attempt) + 1,
             });
         }
@@ -1440,7 +1570,7 @@ impl Platform {
         if self.observing(Topic::InvokeRetried) {
             self.emit(BusEvent::InvokeRetried {
                 request: req,
-                function,
+                function: function.to_string(),
                 attempt: u64::from(attempt) + 1,
                 backoff_ms: delay.as_millis_f64(),
             });
@@ -1452,7 +1582,7 @@ impl Platform {
     fn on_prediction_miss(&mut self, req: u64, actual: NodeId) {
         if self.observing(Topic::PredictionMiss) {
             let function = {
-                let run = self.runs.get(&req).expect("run exists");
+                let run = self.run(req).expect("run exists");
                 run.dag.node(actual).spec().name().to_string()
             };
             self.emit(BusEvent::PredictionMiss {
@@ -1461,7 +1591,7 @@ impl Platform {
                 node: actual.index() as u64,
             });
         }
-        let run = self.runs.get_mut(&req).expect("run exists");
+        let run = self.run(req).expect("run exists");
         let old_generation = run.plan_generation;
         let dag = run.dag.clone();
         let implicit = run.implicit;
@@ -1472,7 +1602,7 @@ impl Platform {
                 // "JIT deployment stops all planned proactive provisioning
                 // as soon as it detects a prediction miss" (§3.2.2). Only
                 // the first miss needs to cancel anything.
-                let run = self.runs.get_mut(&req).expect("run exists");
+                let run = self.run_mut(req).expect("run exists");
                 if run.plan_cancelled {
                     return;
                 }
@@ -1498,14 +1628,14 @@ impl Platform {
                     self.engine
                         .on_miss(&dag, &estimates, actual, elapsed, |_, _| None)
                 };
-                let run = self.runs.get_mut(&req).expect("run exists");
                 self.queue.cancel_where(|e| {
                     matches!(e, Event::Deploy { req: r, generation, .. }
                         if *r == req && *generation == old_generation)
                 });
                 match new_plan {
-                    None => run.plan_active = false,
+                    None => self.run_mut(req).expect("run exists").plan_active = false,
                     Some(plan) => {
+                        let run = self.run_mut(req).expect("run exists");
                         run.plan_generation += 1;
                         let generation = run.plan_generation;
                         run.planned = plan.deployments().iter().map(|d| d.node).collect();
@@ -1529,9 +1659,11 @@ impl Platform {
     }
 
     fn finalize_run(&mut self, req: u64) {
-        let mut run = self.runs.remove(&req).expect("run exists");
-        run.trace.record(self.now, TraceEventKind::Completed);
-        self.traces.insert(req, run.trace.clone());
+        let mut run = self.runs[req as usize].take().expect("run exists");
+        if self.config.record_traces {
+            run.trace.record(self.now, TraceEventKind::Completed);
+            self.traces.insert(req, std::mem::take(&mut run.trace));
+        }
         let run = &run;
         // Discard speculated workers that never served (per-request
         // accounting hygiene; §3.2's discarded mispredictions).
@@ -1569,7 +1701,7 @@ impl Platform {
         let executed = run.completed.iter().filter(|&&c| c).count() as u32;
         let result = RunResult {
             request: req,
-            workflow: run.workflow.clone(),
+            workflow: self.workflow_ids.resolve(run.workflow).to_string(),
             trigger: run.trigger,
             end: self.now,
             end_to_end,
@@ -1584,10 +1716,12 @@ impl Platform {
             faults: run.faults,
             retries: run.retries,
         };
-        self.metastore.put(
-            &format!("runs/{req}"),
-            serde_json::to_value(&result).expect("result serializes"),
-        );
+        if self.config.record_traces {
+            self.metastore.put(
+                &format!("runs/{req}"),
+                serde_json::to_value(&result).expect("result serializes"),
+            );
+        }
         if self.observing(Topic::RequestCompleted) {
             self.emit(BusEvent::RequestCompleted {
                 request: req,
@@ -1635,7 +1769,7 @@ impl Platform {
     }
 
     fn is_pool_owned(&self, id: WorkerId) -> bool {
-        self.spawner.get(&id) == Some(&POOL_OWNER)
+        self.spawner_of(id) == Some(POOL_OWNER)
     }
 
     fn find_claimable_pending(&self, function: &str) -> Option<(WorkerId, SimTime)> {
@@ -1707,19 +1841,21 @@ impl Platform {
             ready_at,
         );
         self.pool.insert(worker);
-        self.spawner.insert(id, req);
-        if let Some(run) = self.runs.get_mut(&req) {
+        self.set_spawner(id, req);
+        let record_traces = self.config.record_traces;
+        let now = self.now;
+        if let Some(run) = self.run_mut(req) {
             run.spawned.push(id);
-        }
-        if let Some(run) = self.runs.get_mut(&req) {
-            run.trace.record(
-                self.now,
-                TraceEventKind::DeployStarted {
-                    function: spec.name().to_string(),
-                    on_demand,
-                    ready_at,
-                },
-            );
+            if record_traces {
+                run.trace.record(
+                    now,
+                    TraceEventKind::DeployStarted {
+                        function: spec.name().to_string(),
+                        on_demand,
+                        ready_at,
+                    },
+                );
+            }
         }
         self.queue
             .schedule(ready_at, Event::WorkerReady { worker: id });
@@ -1756,7 +1892,7 @@ impl Platform {
                     && !self.claimed.contains(&w.id())
                     && w.isolation() == spec.isolation_level()
                     && w.memory_mb() == spec.memory()
-                    && self.spawner.get(&w.id()) == Some(&req)
+                    && self.spawner_of(w.id()) == Some(req)
             })
             .map(Worker::id);
         match candidate {
@@ -1768,14 +1904,14 @@ impl Platform {
     /// Kills speculative workers of this request whose functions are not on
     /// the actual (activated) path and have not served.
     fn discard_wrong_path_workers(&mut self, req: u64) {
-        let Some(run) = self.runs.get(&req) else {
+        let Some(run) = self.run(req) else {
             return;
         };
         let dag = run.dag.clone();
-        let activated_functions: HashSet<String> = dag
+        let activated_functions: HashSet<&str> = dag
             .node_ids()
             .filter(|n| run.activated[n.index()])
-            .map(|n| dag.node(n).spec().name().to_string())
+            .map(|n| dag.node(n).spec().name())
             .collect();
         let victims: Vec<WorkerId> = run
             .spawned

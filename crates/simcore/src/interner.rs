@@ -1,0 +1,172 @@
+//! String interning for the simulation hot path.
+//!
+//! Fleet-scale replays dispatch millions of events; carrying `String`
+//! payloads (workflow names, function names) through the future-event list
+//! costs an allocation per event and a hash of the full string per lookup.
+//! The [`Interner`] maps each distinct name to a dense [`Sym`] (`u32`) once
+//! at registration time; the hot path then moves `Copy`-able ids and indexes
+//! `Vec` tables directly, resolving back to `&str` only at report/export
+//! boundaries.
+//!
+//! Ids are assigned in insertion order, so a simulation that registers its
+//! workflows in a deterministic order gets deterministic ids — interning
+//! never perturbs reproducibility.
+//!
+//! # Example
+//!
+//! ```
+//! use xanadu_simcore::Interner;
+//!
+//! let mut names = Interner::new();
+//! let a = names.intern("checkout");
+//! let b = names.intern("thumbnail");
+//! assert_eq!(names.intern("checkout"), a); // idempotent
+//! assert_eq!(a.index(), 0);
+//! assert_eq!(b.index(), 1);
+//! assert_eq!(names.resolve(a), "checkout");
+//! assert_eq!(names.get("thumbnail"), Some(b));
+//! assert_eq!(names.get("missing"), None);
+//! ```
+
+use std::collections::HashMap;
+
+/// A dense interned-string id.
+///
+/// `Sym`s are plain `u32` indexes into their [`Interner`]'s table, handed
+/// out in insertion order starting at 0 — suitable for direct `Vec`
+/// indexing via [`Sym::index`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Sym(u32);
+
+impl Sym {
+    /// Builds a `Sym` from a raw table index.
+    pub fn from_index(index: usize) -> Self {
+        Sym(index as u32)
+    }
+
+    /// The id as a `Vec` index.
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` id.
+    pub fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+/// An insertion-ordered string interner with dense `u32` ids.
+///
+/// Lookups by name hash once; lookups by [`Sym`] are direct indexing.
+/// Cloning is cheap enough for snapshotting but the intended use is one
+/// interner per simulation, owned by the platform.
+#[derive(Debug, Clone, Default)]
+pub struct Interner {
+    ids: HashMap<String, Sym>,
+    names: Vec<String>,
+}
+
+impl Interner {
+    /// Creates an empty interner.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates an empty interner pre-sized for `capacity` distinct names.
+    pub fn with_capacity(capacity: usize) -> Self {
+        Interner {
+            ids: HashMap::with_capacity(capacity),
+            names: Vec::with_capacity(capacity),
+        }
+    }
+
+    /// Interns `name`, returning its id. Repeated calls with the same name
+    /// return the same id; new names get the next dense index.
+    pub fn intern(&mut self, name: &str) -> Sym {
+        if let Some(&sym) = self.ids.get(name) {
+            return sym;
+        }
+        let sym = Sym(self.names.len() as u32);
+        self.ids.insert(name.to_string(), sym);
+        self.names.push(name.to_string());
+        sym
+    }
+
+    /// The id of an already-interned name, or `None`.
+    pub fn get(&self, name: &str) -> Option<Sym> {
+        self.ids.get(name).copied()
+    }
+
+    /// Resolves an id back to its name.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sym` was not produced by this interner.
+    pub fn resolve(&self, sym: Sym) -> &str {
+        &self.names[sym.index()]
+    }
+
+    /// Number of distinct interned names.
+    pub fn len(&self) -> usize {
+        self.names.len()
+    }
+
+    /// Whether nothing has been interned yet.
+    pub fn is_empty(&self) -> bool {
+        self.names.is_empty()
+    }
+
+    /// Iterates `(Sym, name)` pairs in insertion (= id) order.
+    pub fn iter(&self) -> impl Iterator<Item = (Sym, &str)> + '_ {
+        self.names
+            .iter()
+            .enumerate()
+            .map(|(i, n)| (Sym(i as u32), n.as_str()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ids_are_dense_and_insertion_ordered() {
+        let mut i = Interner::new();
+        let syms: Vec<Sym> = ["a", "b", "c"].iter().map(|n| i.intern(n)).collect();
+        assert_eq!(
+            syms.iter().map(|s| s.index()).collect::<Vec<_>>(),
+            [0, 1, 2]
+        );
+        assert_eq!(i.len(), 3);
+    }
+
+    #[test]
+    fn intern_is_idempotent() {
+        let mut i = Interner::new();
+        let a = i.intern("x");
+        let b = i.intern("y");
+        assert_eq!(i.intern("x"), a);
+        assert_eq!(i.intern("y"), b);
+        assert_eq!(i.len(), 2);
+    }
+
+    #[test]
+    fn resolve_round_trips() {
+        let mut i = Interner::with_capacity(8);
+        for name in ["wf0", "wf1", "wf2"] {
+            let s = i.intern(name);
+            assert_eq!(i.resolve(s), name);
+            assert_eq!(i.get(name), Some(s));
+        }
+        assert_eq!(i.get("absent"), None);
+    }
+
+    #[test]
+    fn iter_in_id_order() {
+        let mut i = Interner::new();
+        i.intern("z");
+        i.intern("a");
+        let pairs: Vec<(usize, &str)> = i.iter().map(|(s, n)| (s.index(), n)).collect();
+        assert_eq!(pairs, vec![(0, "z"), (1, "a")]);
+    }
+}

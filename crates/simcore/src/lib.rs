@@ -11,7 +11,10 @@
 //!
 //! * [`SimTime`] / [`SimDuration`] — microsecond-resolution virtual time.
 //! * [`EventQueue`] — a deterministic future-event list with stable
-//!   tie-breaking (equal timestamps pop in insertion order).
+//!   tie-breaking (equal timestamps pop in insertion order), backed by a
+//!   calendar queue with a heap overflow for far-future events.
+//! * [`Interner`] — dense `u32` ids for workflow/function names so the
+//!   event hot path moves `Copy` payloads instead of `String`s.
 //! * [`RngStream`] — named, independently seeded random-number streams so
 //!   adding a new consumer of randomness never perturbs existing ones.
 //! * [`Distribution`] — latency/service-time distributions (constant,
@@ -42,6 +45,7 @@
 
 mod dist;
 mod events;
+mod interner;
 pub mod report;
 mod rng;
 pub mod stats;
@@ -49,5 +53,6 @@ mod time;
 
 pub use dist::{Distribution, SampleError};
 pub use events::{EventQueue, ScheduledEvent};
+pub use interner::{Interner, Sym};
 pub use rng::RngStream;
 pub use time::{SimDuration, SimTime};

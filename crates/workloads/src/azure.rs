@@ -107,6 +107,53 @@ pub fn generate_trace(config: &AzureTraceConfig, seed: u64) -> Vec<WorkflowTrace
         .collect()
 }
 
+/// Expected number of invocations the whole fleet produces over the
+/// trace duration: `workflows × hours × blended class rate`. This is
+/// the estimator fleet replays feed to queue pre-sizing
+/// (`Platform::reserve_invocations`) before generating any arrivals.
+pub fn expected_invocations(config: &AzureTraceConfig) -> f64 {
+    let hours = config.duration.as_secs_f64() / 3600.0;
+    let blended = config.rare_fraction * config.rare_rate_per_hour
+        + (1.0 - config.rare_fraction) * config.popular_rate_per_hour;
+    config.workflows as f64 * hours * blended
+}
+
+/// Scales `base` up to a fleet expected to produce at least `target`
+/// invocations, by growing the workflow count at fixed class rates,
+/// class mix and duration (the §2.3 characterization is preserved;
+/// only the fleet gets wider).
+///
+/// The realized count of a generated trace is Poisson around the
+/// expectation, so individual seeds land within a fraction of a percent
+/// of `target` at fleet scale.
+///
+/// # Example
+///
+/// ```
+/// use xanadu_workloads::azure::{scale_to_invocations, expected_invocations, AzureTraceConfig};
+///
+/// let cfg = scale_to_invocations(&AzureTraceConfig::default(), 1_000_000);
+/// assert!(expected_invocations(&cfg) >= 1_000_000.0);
+/// assert_eq!(cfg.rare_rate_per_hour, 0.7, "class rates unchanged");
+/// ```
+pub fn scale_to_invocations(base: &AzureTraceConfig, target: u64) -> AzureTraceConfig {
+    let mut scaled = *base;
+    if target == 0 {
+        return scaled;
+    }
+    let per_workflow = expected_invocations(base) / base.workflows.max(1) as f64;
+    if per_workflow <= 0.0 {
+        return scaled;
+    }
+    scaled.workflows = (target as f64 / per_workflow).ceil() as usize;
+    scaled
+}
+
+/// Total realized invocations of a generated trace.
+pub fn total_invocations(traces: &[WorkflowTrace]) -> u64 {
+    traces.iter().map(|t| t.arrivals.len() as u64).sum()
+}
+
 /// The fraction of inter-arrival gaps (across the rare class) exceeding
 /// `keep_alive` — an upper-bound predictor of the cold-start rate a
 /// chain-agnostic platform will suffer on this trace (§2.3's argument).
@@ -207,6 +254,44 @@ mod tests {
         // With a multi-hour keep-alive the picture flips.
         let generous = rare_gap_exceedance(&trace, SimDuration::from_mins(6 * 60));
         assert!(generous < exceedance);
+    }
+
+    #[test]
+    fn scaling_hits_invocation_targets() {
+        let base = AzureTraceConfig::default();
+        // Default: 20 workflows × 16 h × (0.45·0.7 + 0.55·30) ≈ 5380.
+        let expected = expected_invocations(&base);
+        assert!((expected - 5380.8).abs() < 1.0, "got {expected}");
+
+        let target = 100_000;
+        let scaled = scale_to_invocations(&base, target);
+        assert!(expected_invocations(&scaled) >= target as f64);
+        // Fixed per-workflow characterization: only the fleet grows.
+        assert_eq!(scaled.rare_rate_per_hour, base.rare_rate_per_hour);
+        assert_eq!(scaled.popular_rate_per_hour, base.popular_rate_per_hour);
+        assert_eq!(scaled.duration, base.duration);
+        // Realized arrivals are Poisson around the expectation: within
+        // a few percent of the target at this scale.
+        let realized = total_invocations(&generate_trace(&scaled, 7));
+        assert!(
+            realized as f64 >= target as f64 * 0.97,
+            "realized {realized} too far below target {target}"
+        );
+    }
+
+    #[test]
+    fn scaling_degenerate_inputs_are_no_ops() {
+        let base = AzureTraceConfig::default();
+        assert_eq!(scale_to_invocations(&base, 0), base);
+        let dead = AzureTraceConfig {
+            rare_rate_per_hour: 0.0,
+            popular_rate_per_hour: 0.0,
+            ..base
+        };
+        assert_eq!(scale_to_invocations(&dead, 1000), dead);
+        // Already large enough: one workflow is the floor.
+        let tiny = scale_to_invocations(&base, 1);
+        assert_eq!(tiny.workflows, 1);
     }
 
     #[test]

@@ -15,14 +15,18 @@
 
 use std::fmt;
 use xanadu_baselines::BaselineKind;
-use xanadu_chain::sdl;
+use xanadu_chain::{linear_chain, sdl, FunctionSpec};
 use xanadu_core::mlp::infer_mlp;
 use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
+use xanadu_platform::shard::{replay_sharded, ShardOptions, ShardWorkload};
 use xanadu_platform::{
     diff_audits, diff_metrics, Audit, DiffThresholds, FaultConfig, MetricsRegistry, ObserverHandle,
     Platform, PlatformConfig,
 };
 use xanadu_simcore::{SimDuration, SimTime};
+use xanadu_workloads::azure::{
+    generate_trace, scale_to_invocations, total_invocations, AzureTraceConfig,
+};
 
 /// A parsed CLI invocation.
 #[derive(Debug, Clone, PartialEq)]
@@ -47,6 +51,9 @@ pub enum Command {
     /// Run a workload and print the speculation audit (critical-path
     /// decomposition, MLP precision/recall, waste, JIT timing).
     Analyze(RunArgs),
+    /// Replay an Azure-style fleet trace over sharded event loops
+    /// (`--shards` OS threads) and print throughput plus a report digest.
+    Replay(ReplayArgs),
     /// Compare two audit or metrics snapshots; exit non-zero when a
     /// threshold regresses.
     Diff(DiffArgs),
@@ -96,6 +103,40 @@ pub struct RunArgs {
     pub metrics_out: Option<String>,
     /// Write the speculation-audit JSON export here.
     pub audit_out: Option<String>,
+}
+
+/// Arguments of `xanadu replay`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplayArgs {
+    /// Target fleet size: the Azure trace is scaled (at fixed class
+    /// rates and duration) until its expected invocation count reaches
+    /// this.
+    pub invocations: u64,
+    /// OS threads the logical shards are spread over. Never affects
+    /// report bytes, only wall-clock time.
+    pub shards: usize,
+    /// Conservative barrier-window width in simulated seconds.
+    pub window_secs: u64,
+    /// Master seed for the trace and every per-shard platform.
+    pub seed: u64,
+    /// Xanadu execution mode (baselines are not sharded).
+    pub mode: ExecutionMode,
+    /// Whether the speculation engine's plan cache is enabled.
+    pub plan_cache: bool,
+    /// Fault-injection rate in `[0, 1]`; 0 disables injection.
+    pub fault_rate: f64,
+    /// Fault RNG seed.
+    pub fault_seed: u64,
+    /// Depth of each workflow's linear chain.
+    pub depth: u64,
+    /// Write the full merged `PlatformReport` JSON here.
+    pub report_out: Option<String>,
+    /// Write the speculation-audit JSON here (turns per-request trace
+    /// recording on, so prefer small fleets when auditing).
+    pub audit_out: Option<String>,
+    /// Merge an `events_per_sec` kernel-throughput row into this
+    /// `BENCH_harness.json`-style file (other sections are preserved).
+    pub bench_out: Option<String>,
 }
 
 /// A file the CLI wants written: path plus full contents. Returned by
@@ -236,6 +277,10 @@ USAGE:
              [--fault-rate R] [--fault-seed F] [--aggressiveness A]
              [--trace-out <file>] [--metrics-out <file>] [--audit-out <file>]
   xanadu analyze --sdl <file> [same flags as run]
+  xanadu replay [--invocations N] [--shards S] [--window-secs W] [--seed S]
+                [--mode cold|spec|jit] [--no-plan-cache] [--depth D]
+                [--fault-rate R] [--fault-seed F] [--report-out <file>]
+                [--audit-out <file>] [--bench-out <file>]
   xanadu diff --baseline <file> --candidate <file>
               [--max-p95-regress-pct P] [--max-wasted-cpu-regress-pct W]
               [--max-recall-drop D]
@@ -256,6 +301,13 @@ counters and latency histograms as flat JSON.
 MLP precision/recall, wasted-deploy cost, JIT slack) as JSON.
 `analyze` runs the same workload but prints the speculation audit instead
 of the per-request table.
+`replay` synthesizes an Azure-style fleet (each workflow a linear chain
+with its own functions), scales it to `--invocations` expected triggers
+and replays it as per-workflow logical shards over `--shards` OS
+threads. The merged report is byte-identical for any `--shards`; the
+printed `report digest` line is the CI hook for that check.
+`--bench-out` merges an `events_per_sec` kernel-throughput row into the
+named BENCH_harness.json, preserving its other sections.
 `diff` compares two audit or metrics snapshots and exits non-zero when
 the candidate regresses past a threshold (p95 end-to-end +10%, wasted
 CPU-ms +25%, MLP recall −0.05 by default), printing the JSON path of
@@ -283,6 +335,7 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         }
         "run" => Ok(Command::Run(parse_run_flags(args)?)),
         "analyze" => Ok(Command::Analyze(parse_run_flags(args)?)),
+        "replay" => Ok(Command::Replay(parse_replay_flags(args)?)),
         "diff" => {
             let baseline_path = flag_value(args, "--baseline")?
                 .ok_or_else(|| CliError::MissingFlag("--baseline".into()))?;
@@ -343,6 +396,52 @@ fn parse_run_flags(args: &[String]) -> Result<RunArgs, CliError> {
         trace_out: flag_value(args, "--trace-out")?,
         metrics_out: flag_value(args, "--metrics-out")?,
         audit_out: flag_value(args, "--audit-out")?,
+    })
+}
+
+fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
+    let mode = match flag_value(args, "--mode")? {
+        None => ExecutionMode::Jit,
+        Some(v) => match PlatformChoice::parse(&v)? {
+            PlatformChoice::Xanadu(mode) => mode,
+            PlatformChoice::Baseline(_) => {
+                return Err(CliError::BadValue {
+                    flag: "--mode".into(),
+                    value: v,
+                    expected: "cold|spec|jit (baselines are not sharded)".into(),
+                })
+            }
+        },
+    };
+    let window_secs = parse_num(args, "--window-secs", 60)?;
+    if window_secs == 0 {
+        return Err(CliError::BadValue {
+            flag: "--window-secs".into(),
+            value: "0".into(),
+            expected: "a positive number of simulated seconds".into(),
+        });
+    }
+    let depth = parse_num(args, "--depth", 5)?;
+    if depth == 0 {
+        return Err(CliError::BadValue {
+            flag: "--depth".into(),
+            value: "0".into(),
+            expected: "a positive chain depth".into(),
+        });
+    }
+    Ok(ReplayArgs {
+        invocations: parse_num(args, "--invocations", 10_000)?,
+        shards: parse_num(args, "--shards", 1)?.max(1) as usize,
+        window_secs,
+        seed: parse_num(args, "--seed", 42)?,
+        mode,
+        plan_cache: !args.iter().any(|a| a == "--no-plan-cache"),
+        fault_rate: parse_fraction(args, "--fault-rate", 0.0)?,
+        fault_seed: parse_num(args, "--fault-seed", 0xFA17)?,
+        depth,
+        report_out: flag_value(args, "--report-out")?,
+        audit_out: flag_value(args, "--audit-out")?,
+        bench_out: flag_value(args, "--bench-out")?,
     })
 }
 
@@ -564,6 +663,7 @@ fn execute_inner(
             out.push_str(&w.audit().render());
             Ok(out)
         }
+        Command::Replay(replay) => execute_replay(replay, &sdl_source, exports),
         Command::Diff(diff) => {
             let baseline = load_snapshot(&diff.baseline_path, &sdl_source)?;
             let candidate = load_snapshot(&diff.candidate_path, &sdl_source)?;
@@ -601,6 +701,155 @@ fn execute_inner(
             }
         }
     }
+}
+
+/// Runs `xanadu replay`: synthesize the scaled Azure fleet, replay it
+/// over sharded event loops, render the throughput summary and stage
+/// the requested exports.
+fn execute_replay(
+    replay: &ReplayArgs,
+    sdl_source: &impl Fn(&str) -> Result<String, String>,
+    exports: &mut Vec<ExportFile>,
+) -> Result<String, CliError> {
+    let scaled = scale_to_invocations(&AzureTraceConfig::default(), replay.invocations);
+    let traces = generate_trace(&scaled, replay.seed);
+    let realized = total_invocations(&traces);
+    let workloads: Vec<ShardWorkload> = traces
+        .iter()
+        .map(|t| {
+            // Per-workflow function namespaces: no cross-workflow warm
+            // sharing, the property the per-workflow sharding relies on.
+            let template = FunctionSpec::new(format!("{}-f", t.name)).service_ms(400.0);
+            let dag = linear_chain(&t.name, replay.depth as usize, &template)
+                .map_err(|e| CliError::Workflow(e.to_string()))?;
+            Ok(ShardWorkload {
+                dag,
+                triggers: t.arrivals.clone(),
+            })
+        })
+        .collect::<Result<_, CliError>>()?;
+
+    let mut spec = SpeculationConfig::for_mode(replay.mode);
+    spec.aggressiveness = 1.0;
+    let mut builder = PlatformConfig::builder()
+        .for_mode(replay.mode, replay.seed)
+        .speculation(spec)
+        .plan_cache(replay.plan_cache)
+        // Per-request traces only when the audit export needs them —
+        // fleet-scale replays keep memory flat without them.
+        .record_traces(replay.audit_out.is_some());
+    if replay.fault_rate > 0.0 {
+        builder = builder.faults(FaultConfig::with_rate(replay.fault_rate, replay.fault_seed));
+    }
+    let config = builder
+        .build()
+        .map_err(|e| CliError::Workflow(e.to_string()))?;
+
+    let opts = ShardOptions {
+        threads: replay.shards,
+        window: SimDuration::from_secs(replay.window_secs),
+    };
+    let started = std::time::Instant::now();
+    let run =
+        replay_sharded(&config, workloads, &opts).map_err(|e| CliError::Workflow(e.to_string()))?;
+    let wall = started.elapsed().as_secs_f64();
+    let events_per_sec = if wall > 0.0 {
+        run.events_processed as f64 / wall
+    } else {
+        0.0
+    };
+
+    let report_json = serde_json::to_value(&run.report)
+        .expect("report serializes")
+        .to_json_string_pretty()
+        + "\n";
+    let digest = format!("fnv1a64:{:016x}", fnv1a64(report_json.as_bytes()));
+
+    let mut out = format!(
+        "sharded replay — {} workflows, {realized} invocations ({}, seed {}, plan cache {}, \
+         fault rate {})\n",
+        run.logical_shards,
+        replay.mode.label(),
+        replay.seed,
+        if replay.plan_cache { "on" } else { "off" },
+        replay.fault_rate,
+    );
+    out.push_str(&format!(
+        "shards: {} thread(s) over {} logical shards, window {}s\n",
+        replay.shards.min(run.logical_shards.max(1)),
+        run.logical_shards,
+        replay.window_secs
+    ));
+    out.push_str(&format!(
+        "events: {}   wall: {wall:.2}s   events/sec: {events_per_sec:.0}\n",
+        run.events_processed
+    ));
+    let report = &run.report;
+    let (cold, warm) = report.start_counts();
+    out.push_str(&format!(
+        "requests: {}   mean end-to-end: {:.2}s   mean overhead: {:.2}s   cold: {cold}   \
+         warm: {warm}\n",
+        report.results.len(),
+        report.mean_end_to_end_ms() / 1000.0,
+        report.mean_overhead_ms() / 1000.0,
+    ));
+    if replay.fault_rate > 0.0 {
+        let (faults, retries) = report.fault_counts();
+        out.push_str(&format!("faults injected: {faults}   retries: {retries}\n"));
+    }
+    out.push_str(&format!("report digest: {digest}\n"));
+
+    if let Some(path) = &replay.report_out {
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: report_json,
+        });
+    }
+    if let Some(path) = &replay.audit_out {
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: xanadu_platform::export::audit_json_string(&Audit::from_traces(&run.traces)),
+        });
+    }
+    if let Some(path) = &replay.bench_out {
+        // Read-modify-write: keep every other section of the bench
+        // report (experiments, audits, microbench) intact.
+        let mut root: serde_json::Value = sdl_source(path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_else(|| serde_json::json!({}));
+        if let Some(obj) = root.as_object_mut() {
+            obj.insert(
+                "kernel".to_string(),
+                serde_json::json!({
+                    "events_per_sec": events_per_sec,
+                    "events": run.events_processed,
+                    "invocations": realized,
+                    "logical_shards": run.logical_shards,
+                    "shard_threads": replay.shards,
+                    "wall_ms": wall * 1000.0,
+                    "report_digest": digest,
+                    "source": "xanadu replay",
+                }),
+            );
+        }
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: root.to_json_string_pretty() + "\n",
+        });
+    }
+    Ok(out)
+}
+
+/// FNV-1a over a byte slice: the stable digest `xanadu replay` prints so
+/// CI can byte-compare merged reports across shard counts without
+/// shipping the (potentially huge) report files around.
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// A finished workload run: the platform still holds per-request traces.
@@ -802,6 +1051,116 @@ mod tests {
             parse_args(&args(&["run", "--sdl", "x", "--triggers", "many"])),
             Err(CliError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn parse_replay_defaults_and_flags() {
+        let Command::Replay(replay) = parse_args(&args(&["replay"])).unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(replay.invocations, 10_000);
+        assert_eq!(replay.shards, 1);
+        assert_eq!(replay.window_secs, 60);
+        assert_eq!(replay.mode, ExecutionMode::Jit);
+        assert!(replay.plan_cache);
+        assert_eq!(replay.depth, 5);
+
+        let Command::Replay(replay) = parse_args(&args(&[
+            "replay",
+            "--invocations",
+            "500",
+            "--shards",
+            "4",
+            "--mode",
+            "spec",
+            "--no-plan-cache",
+            "--fault-rate",
+            "0.1",
+            "--bench-out",
+            "BENCH_harness.json",
+        ]))
+        .unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(replay.invocations, 500);
+        assert_eq!(replay.shards, 4);
+        assert_eq!(replay.mode, ExecutionMode::Speculative);
+        assert!(!replay.plan_cache);
+        assert_eq!(replay.fault_rate, 0.1);
+        assert_eq!(replay.bench_out.as_deref(), Some("BENCH_harness.json"));
+
+        assert!(matches!(
+            parse_args(&args(&["replay", "--mode", "knative"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["replay", "--window-secs", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn replay_digest_is_shard_count_invariant() {
+        let digest_line = |shards: &str, extra: &[&str]| {
+            let mut list = vec![
+                "replay",
+                "--invocations",
+                "300",
+                "--seed",
+                "9",
+                "--shards",
+                shards,
+            ];
+            list.extend_from_slice(extra);
+            let cmd = parse_args(&args(&list)).unwrap();
+            let out = execute(&cmd, source).unwrap();
+            out.lines()
+                .find(|l| l.starts_with("report digest:"))
+                .expect("digest line present")
+                .to_string()
+        };
+        let serial = digest_line("1", &[]);
+        assert_eq!(serial, digest_line("4", &[]), "shard count changed bytes");
+        // Window width is also invisible in the digest.
+        assert_eq!(serial, digest_line("2", &["--window-secs", "600"]));
+        // Plan cache and faults change the workload, not the determinism.
+        let faulty = digest_line("1", &["--fault-rate", "0.2"]);
+        assert_eq!(faulty, digest_line("8", &["--fault-rate", "0.2"]));
+        assert_ne!(serial, faulty, "faults should perturb the report");
+    }
+
+    #[test]
+    fn replay_bench_out_merges_kernel_row() {
+        let cmd = parse_args(&args(&[
+            "replay",
+            "--invocations",
+            "200",
+            "--bench-out",
+            "bench.json",
+        ]))
+        .unwrap();
+        // The source returns workflow SDL (not JSON matching a bench
+        // report), exercising the "start fresh" path.
+        let existing = |_: &str| -> Result<String, String> {
+            Ok(r#"{"microbench": {"keep": 1}}"#.to_string())
+        };
+        let (out, exports) = execute_with_exports(&cmd, existing).unwrap();
+        assert!(out.contains("events/sec"), "{out}");
+        let bench = exports.iter().find(|e| e.path == "bench.json").unwrap();
+        let value: serde_json::Value = serde_json::from_str(&bench.contents).unwrap();
+        assert!(value.get("kernel").is_some(), "{}", bench.contents);
+        assert_eq!(
+            value.get("microbench").and_then(|m| m.get("keep")),
+            Some(&serde_json::json!(1)),
+            "existing sections must be preserved"
+        );
+        let kernel = value.get("kernel").unwrap();
+        assert!(kernel.get("events_per_sec").is_some());
+        assert!(kernel
+            .get("report_digest")
+            .and_then(|d| d.as_str())
+            .unwrap()
+            .starts_with("fnv1a64:"));
     }
 
     #[test]

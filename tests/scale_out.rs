@@ -3,7 +3,10 @@
 //! Dispatch-Daemon placement layer of Figure 11.
 
 use xanadu::prelude::*;
+use xanadu_platform::export::audit_json_string;
 use xanadu_platform::hosts::{HostSpec, PlacementPolicy};
+use xanadu_platform::shard::{replay_sharded, ShardOptions, ShardWorkload};
+use xanadu_workloads::azure::{generate_trace, AzureTraceConfig};
 use xanadu_workloads::{fan_out_fan_in, layered_fan};
 
 fn run(mut platform: Platform, dag: WorkflowDag) -> RunResult {
@@ -80,6 +83,79 @@ fn small_cluster_survives_wide_fan() {
     platform.run_until_idle();
     assert_eq!(platform.results()[0].executed_functions, 14);
     assert!(platform.cluster().total_used_mb() <= 4096);
+}
+
+/// A small Azure-style fleet for the shard sweep: real trace arrivals,
+/// per-workflow function namespaces.
+fn azure_fleet() -> Vec<ShardWorkload> {
+    let cfg = AzureTraceConfig {
+        workflows: 8,
+        duration: SimDuration::from_mins(2 * 60),
+        ..AzureTraceConfig::default()
+    };
+    generate_trace(&cfg, 17)
+        .into_iter()
+        .map(|t| {
+            let template = FunctionSpec::new(format!("{}-f", t.name)).service_ms(350.0);
+            ShardWorkload {
+                dag: linear_chain(&t.name, 4, &template).expect("valid chain"),
+                triggers: t.arrivals,
+            }
+        })
+        .collect()
+}
+
+/// Replays the fleet and returns `(report JSON, audit JSON)`.
+fn sharded_snapshot(threads: usize, fault_rate: f64, plan_cache: bool) -> (String, String) {
+    let mut builder = PlatformConfig::builder()
+        .for_mode(ExecutionMode::Jit, 99)
+        .plan_cache(plan_cache);
+    if fault_rate > 0.0 {
+        builder = builder.faults(FaultConfig::with_rate(fault_rate, 0xFA17));
+    }
+    let config = builder.build().expect("valid config");
+    let opts = ShardOptions {
+        threads,
+        window: SimDuration::from_mins(1),
+    };
+    let run = replay_sharded(&config, azure_fleet(), &opts).expect("replay succeeds");
+    let report = serde_json::to_string(&run.report).expect("report serializes");
+    let audit = audit_json_string(&Audit::from_traces(&run.traces));
+    (report, audit)
+}
+
+/// The tentpole guarantee of the sharded kernel: `PlatformReport` and
+/// audit bytes are identical at any shard count — the same contract PR 1
+/// established for `--jobs` — including under fault injection and with
+/// the plan cache off.
+#[test]
+fn shard_sweep_is_byte_identical() {
+    for &(fault_rate, plan_cache) in &[(0.0, true), (0.0, false), (0.15, true), (0.15, false)] {
+        let baseline = sharded_snapshot(1, fault_rate, plan_cache);
+        assert!(
+            baseline.0.contains("\"results\""),
+            "report should be populated"
+        );
+        for threads in [2, 4, 8] {
+            let candidate = sharded_snapshot(threads, fault_rate, plan_cache);
+            assert_eq!(
+                baseline.0, candidate.0,
+                "report bytes diverged at {threads} shards \
+                 (fault_rate {fault_rate}, plan_cache {plan_cache})"
+            );
+            assert_eq!(
+                baseline.1, candidate.1,
+                "audit bytes diverged at {threads} shards \
+                 (fault_rate {fault_rate}, plan_cache {plan_cache})"
+            );
+        }
+    }
+    // Faults actually fired in the faulty sweeps (the sweep is not
+    // vacuously comparing fault-free runs).
+    let (report, _) = sharded_snapshot(1, 0.15, true);
+    let report: PlatformReport = serde_json::from_str(&report).expect("report parses");
+    let crashed = report.worker_records.iter().filter(|r| r.crashed).count();
+    assert!(crashed > 0, "fault sweep should crash some workers");
 }
 
 #[test]

@@ -626,9 +626,14 @@ impl std::fmt::Display for Regression {
 /// Milliseconds below which a relative latency/cost increase is ignored —
 /// keeps near-zero baselines from flagging noise as an infinite-percent
 /// regression.
-const ABS_FLOOR_MS: f64 = 1.0;
+pub(crate) const ABS_FLOOR_MS: f64 = 1.0;
 
-fn pct_regression(path: &str, baseline: f64, candidate: f64, max_pct: f64) -> Option<Regression> {
+pub(crate) fn pct_regression(
+    path: &str,
+    baseline: f64,
+    candidate: f64,
+    max_pct: f64,
+) -> Option<Regression> {
     if candidate <= baseline || candidate < ABS_FLOOR_MS {
         return None;
     }
@@ -653,7 +658,12 @@ fn pct_regression(path: &str, baseline: f64, candidate: f64, max_pct: f64) -> Op
     })
 }
 
-fn drop_regression(path: &str, baseline: f64, candidate: f64, max_drop: f64) -> Option<Regression> {
+pub(crate) fn drop_regression(
+    path: &str,
+    baseline: f64,
+    candidate: f64,
+    max_drop: f64,
+) -> Option<Regression> {
     let drop = baseline - candidate;
     (drop > max_drop).then_some(Regression {
         path: path.to_string(),

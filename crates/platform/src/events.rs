@@ -22,6 +22,8 @@ pub enum Topic {
     RequestTriggered,
     /// The speculation engine produced a deployment plan for a request.
     PlanComputed,
+    /// The orchestrator invoked a function (its dependencies were met).
+    FunctionInvoked,
     /// A sandbox finished provisioning (cold start paid).
     WorkerProvisioned,
     /// A provisioned worker reached the warm pool.
@@ -40,13 +42,16 @@ pub enum Topic {
     InvokeRetried,
     /// A request's last function completed; the run result is final.
     RequestCompleted,
+    /// A live SLO window breached its thresholds.
+    SloAlert,
 }
 
 impl Topic {
     /// Every topic, in declaration order.
-    pub const ALL: [Topic; 11] = [
+    pub const ALL: [Topic; 13] = [
         Topic::RequestTriggered,
         Topic::PlanComputed,
+        Topic::FunctionInvoked,
         Topic::WorkerProvisioned,
         Topic::WorkerReady,
         Topic::ExecStarted,
@@ -56,6 +61,7 @@ impl Topic {
         Topic::InvokeTimeout,
         Topic::InvokeRetried,
         Topic::RequestCompleted,
+        Topic::SloAlert,
     ];
 
     /// The dotted wire name (what the Kafka topic would be called).
@@ -63,6 +69,7 @@ impl Topic {
         match self {
             Topic::RequestTriggered => "request.triggered",
             Topic::PlanComputed => "plan.computed",
+            Topic::FunctionInvoked => "function.invoked",
             Topic::WorkerProvisioned => "worker.provisioned",
             Topic::WorkerReady => "worker.ready",
             Topic::ExecStarted => "exec.started",
@@ -72,6 +79,7 @@ impl Topic {
             Topic::InvokeTimeout => "invoke.timeout",
             Topic::InvokeRetried => "invoke.retried",
             Topic::RequestCompleted => "request.completed",
+            Topic::SloAlert => "slo.alert",
         }
     }
 
@@ -112,14 +120,30 @@ pub enum BusEvent {
         /// Number of functions the plan schedules for pre-deployment.
         planned: u64,
     },
+    /// The orchestrator invoked a function (its dependencies were met).
+    FunctionInvoked {
+        /// Request id.
+        request: u64,
+        /// The invoked function.
+        function: String,
+        /// Node index of the invoked function in the workflow DAG.
+        node: u64,
+    },
     /// A sandbox finished provisioning.
     WorkerProvisioned {
         /// Worker id.
         worker: u64,
+        /// Request that owns the deployment, or `u64::MAX` for
+        /// pool-owned provisions (static pre-warming, replenishment).
+        request: u64,
         /// Function the worker hosts.
         function: String,
         /// Sampled cold-start latency in milliseconds.
         cold_start_ms: f64,
+        /// Total delay until the sandbox is ready, in milliseconds —
+        /// the cold start plus any eviction/capacity stall. The sandbox
+        /// is warm at the event time plus this delay.
+        ready_in_ms: f64,
         /// `true` when provisioned on demand (a request is waiting),
         /// `false` for speculative pre-deployment.
         on_demand: bool,
@@ -201,6 +225,20 @@ pub enum BusEvent {
         /// End-to-end latency in milliseconds.
         end_to_end_ms: f64,
     },
+    /// A live SLO window breached its thresholds (emitted by an attached
+    /// [`SloMonitor`](crate::stream::SloMonitor)).
+    SloAlert {
+        /// Index of the tumbling window that breached.
+        window: u64,
+        /// JSONPath-style pointer to the violated gate.
+        path: String,
+        /// Baseline-window value of the gated quantity.
+        baseline: f64,
+        /// Breaching-window value of the gated quantity.
+        candidate: f64,
+        /// Human-readable statement of the allowed envelope.
+        allowed: String,
+    },
 }
 
 impl BusEvent {
@@ -209,6 +247,7 @@ impl BusEvent {
         match self {
             BusEvent::RequestTriggered { .. } => Topic::RequestTriggered,
             BusEvent::PlanComputed { .. } => Topic::PlanComputed,
+            BusEvent::FunctionInvoked { .. } => Topic::FunctionInvoked,
             BusEvent::WorkerProvisioned { .. } => Topic::WorkerProvisioned,
             BusEvent::WorkerReady { .. } => Topic::WorkerReady,
             BusEvent::ExecStarted { .. } => Topic::ExecStarted,
@@ -218,6 +257,7 @@ impl BusEvent {
             BusEvent::InvokeTimeout { .. } => Topic::InvokeTimeout,
             BusEvent::InvokeRetried { .. } => Topic::InvokeRetried,
             BusEvent::RequestCompleted { .. } => Topic::RequestCompleted,
+            BusEvent::SloAlert { .. } => Topic::SloAlert,
         }
     }
 }
@@ -282,10 +322,17 @@ mod tests {
                 workflow: "w".into(),
                 planned: 3,
             },
+            BusEvent::FunctionInvoked {
+                request: 1,
+                function: "f".into(),
+                node: 0,
+            },
             BusEvent::WorkerProvisioned {
                 worker: 7,
+                request: 1,
                 function: "f".into(),
                 cold_start_ms: 812.5,
+                ready_in_ms: 812.5,
                 on_demand: false,
             },
             BusEvent::WorkerReady { worker: 7 },
@@ -327,6 +374,13 @@ mod tests {
                 workflow: "w".into(),
                 overhead_ms: 42.0,
                 end_to_end_ms: 1042.0,
+            },
+            BusEvent::SloAlert {
+                window: 3,
+                path: "$.windows[3].end_to_end_ms.p95".into(),
+                baseline: 400.0,
+                candidate: 1300.0,
+                allowed: "+225.0% > allowed +10.0%".into(),
             },
         ]
     }

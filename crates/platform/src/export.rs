@@ -25,7 +25,8 @@
 //! regardless of harness thread count.
 
 use crate::analysis::Audit;
-use crate::obs::MetricsRegistry;
+use crate::obs::{Histogram, MetricsRegistry};
+use crate::stream::{SloReport, StreamingAudit};
 use crate::timeline::{SpanKind, SpanTree, Trace};
 use serde_json::{json, Map, Value};
 
@@ -120,23 +121,26 @@ pub fn metrics_json(registry: &MetricsRegistry) -> Value {
     }
     let mut histograms = Map::new();
     for (name, h) in &registry.histograms {
-        histograms.insert(
-            name.clone(),
-            json!({
-                "bounds": h.bounds.clone(),
-                "counts": h.counts.clone(),
-                "count": h.count,
-                "sum_ms": h.sum_ms,
-                "mean_ms": h.mean_ms(),
-                "p50_ms": h.quantile_ms(0.50),
-                "p95_ms": h.quantile_ms(0.95),
-                "p99_ms": h.quantile_ms(0.99),
-            }),
-        );
+        histograms.insert(name.clone(), histogram_json(h));
     }
     json!({
         "counters": Value::Object(counters),
         "histograms": Value::Object(histograms),
+    })
+}
+
+/// The shared histogram document: buckets plus derived mean and
+/// bucket-interpolated quantiles.
+fn histogram_json(h: &Histogram) -> Value {
+    json!({
+        "bounds": h.bounds.clone(),
+        "counts": h.counts.clone(),
+        "count": h.count,
+        "sum_ms": h.sum_ms,
+        "mean_ms": h.mean_ms(),
+        "p50_ms": h.quantile_ms(0.50),
+        "p95_ms": h.quantile_ms(0.95),
+        "p99_ms": h.quantile_ms(0.99),
     })
 }
 
@@ -157,6 +161,78 @@ pub fn audit_json(audit: &Audit) -> Value {
 /// Renders [`audit_json`] as pretty JSON text with a trailing newline.
 pub fn audit_json_string(audit: &Audit) -> String {
     let mut out = audit_json(audit).to_json_string_pretty();
+    out.push('\n');
+    out
+}
+
+/// Builds the bounded-memory audit document of a [`StreamingAudit`]:
+/// the run-level [`StreamingSummary`](crate::stream::StreamingSummary)
+/// rendered with derived quantiles, plus the worst-request exemplar
+/// span trees.
+///
+/// Counts and totals match the exact `--audit-out` document; latency
+/// quantiles are bucket-interpolated (see the [`crate::stream`] module
+/// docs for the tolerance contract).
+pub fn streaming_json(audit: &StreamingAudit) -> Value {
+    let s = audit.summary();
+    let exemplars: Vec<Value> = audit
+        .exemplars()
+        .iter()
+        .map(|e| {
+            json!({
+                "request": e.request,
+                "end_to_end_ms": e.end_to_end_us as f64 / 1000.0,
+                "spans": e.span_tree().map(|t| {
+                    serde_json::to_value(t)
+                        .expect("SpanTree serializes infallibly: strings and integer micros")
+                }),
+            })
+        })
+        .collect();
+    json!({
+        "requests": s.requests,
+        "end_to_end_ms": histogram_json(&s.end_to_end),
+        "components": {
+            "exec": {"total_ms": s.exec_ms, "hist": histogram_json(&s.exec)},
+            "cold_start_wait": {
+                "total_ms": s.cold_start_wait_ms,
+                "hist": histogram_json(&s.cold_start_wait),
+            },
+            "queue_wait": {"total_ms": s.queue_wait_ms, "hist": histogram_json(&s.queue_wait)},
+            "stall": {"total_ms": s.stall_ms, "hist": histogram_json(&s.stall)},
+        },
+        "mlp": serde_json::to_value(&s.mlp)
+            .expect("MlpStats serializes infallibly: string keys, finite floats"),
+        "waste": serde_json::to_value(&s.waste).expect("WasteStats serializes infallibly"),
+        "jit": {
+            "planned": s.jit.planned,
+            "late": s.jit.late,
+            "on_time": s.jit.on_time,
+            "late_ms": histogram_json(&s.jit.late_ms),
+            "slack_ms": histogram_json(&s.jit.slack_ms),
+        },
+        "exemplars": exemplars,
+    })
+}
+
+/// Renders [`streaming_json`] as pretty JSON text with a trailing
+/// newline.
+pub fn streaming_json_string(audit: &StreamingAudit) -> String {
+    let mut out = streaming_json(audit).to_json_string_pretty();
+    out.push('\n');
+    out
+}
+
+/// Serializes a windowed [`SloReport`] to the document described by
+/// `docs/schemas/slo.schema.json`.
+pub fn slo_json(report: &SloReport) -> Value {
+    serde_json::to_value(report)
+        .expect("SloReport serializes infallibly: string keys, finite floats")
+}
+
+/// Renders [`slo_json`] as pretty JSON text with a trailing newline.
+pub fn slo_json_string(report: &SloReport) -> String {
+    let mut out = slo_json(report).to_json_string_pretty();
     out.push('\n');
     out
 }

@@ -53,6 +53,7 @@ pub mod obs;
 mod result;
 pub mod shard;
 mod sim;
+pub mod stream;
 pub mod timeline;
 
 pub use analysis::{
@@ -64,5 +65,11 @@ pub use events::{BusEvent, Topic};
 pub use faults::{FaultConfig, FaultPlan};
 pub use obs::{Histogram, MetricsRegistry, Observer, ObserverHandle};
 pub use result::{PlatformReport, RunResult};
-pub use shard::{replay_sharded, ShardOptions, ShardWorkload, ShardedRun};
+pub use shard::{
+    replay_sharded, replay_sharded_with, KernelProfile, ShardOptions, ShardProfile, ShardTelemetry,
+    ShardWorkload, ShardedRun,
+};
 pub use sim::{report_total_costs, LearnedState, Platform, PlatformError};
+pub use stream::{
+    SloAlert, SloConfig, SloMonitor, SloReport, StreamingAudit, StreamingConfig, StreamingSummary,
+};

@@ -65,6 +65,12 @@ impl<T> ObserverHandle<T> {
         f(&self.inner.lock().expect("observer lock poisoned"))
     }
 
+    /// Runs `f` against the observer's state with mutable access (e.g. to
+    /// drain accumulated output out of an attached observer).
+    pub fn with_mut<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        f(&mut self.inner.lock().expect("observer lock poisoned"))
+    }
+
     /// Clones the observer's current state out of the handle.
     pub fn snapshot(&self) -> T
     where
@@ -168,15 +174,35 @@ impl Histogram {
         }
         self.bounds.last().copied().unwrap_or(0.0)
     }
+
+    /// Folds `other` into `self` bucket-by-bucket.
+    ///
+    /// Both histograms must share bucket bounds (all built-ins do — the
+    /// bounds are fixed at construction); mismatched shapes panic rather
+    /// than silently mis-merge. Merging is commutative on the integer
+    /// counts, and the platform always merges in canonical shard order so
+    /// the `sum_ms` float accumulation is reproducible too.
+    pub fn merge_from(&mut self, other: &Histogram) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "merging histograms with different bucket bounds"
+        );
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum_ms += other.sum_ms;
+    }
 }
 
 /// Counter and histogram names the built-in registry maintains. Keys are
 /// `BTreeMap`-ordered so serialization is deterministic.
 ///
-/// Counters: `faults.crashes`, `faults.timeouts`, `plans.computed`,
-/// `prediction.misses`, `requests.completed`, `requests.triggered`,
-/// `retries`, `starts.cold`, `starts.warm`, `workers.on_demand`,
-/// `workers.provisioned`, `workers.ready`.
+/// Counters: `faults.crashes`, `faults.timeouts`, `functions.invoked`,
+/// `plans.computed`, `prediction.misses`, `requests.completed`,
+/// `requests.triggered`, `retries`, `slo.alerts`, `starts.cold`,
+/// `starts.warm`, `workers.on_demand`, `workers.provisioned`,
+/// `workers.ready`.
 ///
 /// Histograms: `cold_start_ms`, `end_to_end_ms`, `exec_ms`,
 /// `overhead_ms`, `queue_wait_ms`, `retry_backoff_ms`.
@@ -222,6 +248,27 @@ impl MetricsRegistry {
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
         self.histograms.get(name)
     }
+
+    /// Folds `other` into `self`: counters add, histograms merge
+    /// bucket-by-bucket. Used to combine per-shard registries into one
+    /// fleet-wide registry; callers merge in canonical shard order so the
+    /// result is byte-identical at any thread count.
+    pub fn merge_from(&mut self, other: &MetricsRegistry) {
+        for (name, value) in &other.counters {
+            *self.counters.entry(name.clone()).or_insert(0) += value;
+        }
+        for (name, hist) in &other.histograms {
+            self.histograms
+                .entry(name.clone())
+                .or_insert_with(|| Histogram {
+                    bounds: hist.bounds.clone(),
+                    counts: vec![0; hist.counts.len()],
+                    count: 0,
+                    sum_ms: 0.0,
+                })
+                .merge_from(hist);
+        }
+    }
 }
 
 impl Observer for MetricsRegistry {
@@ -229,6 +276,7 @@ impl Observer for MetricsRegistry {
         match event {
             BusEvent::RequestTriggered { .. } => self.incr("requests.triggered", 1),
             BusEvent::PlanComputed { .. } => self.incr("plans.computed", 1),
+            BusEvent::FunctionInvoked { .. } => self.incr("functions.invoked", 1),
             BusEvent::WorkerProvisioned {
                 cold_start_ms,
                 on_demand,
@@ -266,6 +314,7 @@ impl Observer for MetricsRegistry {
                 self.observe_ms("overhead_ms", *overhead_ms);
                 self.observe_ms("end_to_end_ms", *end_to_end_ms);
             }
+            BusEvent::SloAlert { .. } => self.incr("slo.alerts", 1),
         }
     }
 }
@@ -363,6 +412,37 @@ mod tests {
         let json = serde_json::to_string(&reg).unwrap();
         let back: MetricsRegistry = serde_json::from_str(&json).unwrap();
         assert_eq!(back, reg);
+    }
+
+    #[test]
+    fn merge_combines_counters_and_histograms() {
+        let mut a = MetricsRegistry::new();
+        a.incr("retries", 2);
+        a.observe_ms("exec_ms", 40.0);
+        let mut b = MetricsRegistry::new();
+        b.incr("retries", 3);
+        b.incr("faults.crashes", 1);
+        b.observe_ms("exec_ms", 400.0);
+        b.observe_ms("queue_wait_ms", 5.0);
+        a.merge_from(&b);
+        assert_eq!(a.counter("retries"), 5);
+        assert_eq!(a.counter("faults.crashes"), 1);
+        let exec = a.histogram("exec_ms").unwrap();
+        assert_eq!(exec.count, 2);
+        assert!((exec.sum_ms - 440.0).abs() < 1e-9);
+        assert_eq!(a.histogram("queue_wait_ms").unwrap().count, 1);
+
+        // Merging is order-insensitive on the integer state.
+        let mut h1 = Histogram::latency();
+        h1.observe(3.0);
+        let mut h2 = Histogram::latency();
+        h2.observe(700.0);
+        let mut left = h1.clone();
+        left.merge_from(&h2);
+        let mut right = h2.clone();
+        right.merge_from(&h1);
+        assert_eq!(left.counts, right.counts);
+        assert_eq!(left.count, right.count);
     }
 
     #[test]

@@ -44,14 +44,18 @@
 
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
+use std::time::Instant;
 
+use serde::Serialize;
 use xanadu_chain::WorkflowDag;
 use xanadu_sandbox::WorkerId;
 use xanadu_simcore::{RngStream, SimDuration, SimTime};
 
 use crate::config::PlatformConfig;
+use crate::obs::{MetricsRegistry, ObserverHandle};
 use crate::result::{PlatformReport, RunResult};
 use crate::sim::{Platform, PlatformError};
+use crate::stream::{SloConfig, SloMonitor, StreamingAudit, StreamingConfig};
 use crate::timeline::Trace;
 
 /// One logical shard's input: a workflow and its trigger schedule.
@@ -87,6 +91,88 @@ impl Default for ShardOptions {
     }
 }
 
+/// Optional per-shard telemetry attached by the driver. Everything here
+/// streams in bounded memory and merges canonically, so enabling it
+/// never perturbs report bytes or the byte-identity guarantee of its own
+/// exports.
+#[derive(Debug, Clone, Default)]
+pub struct ShardTelemetry {
+    /// Attach a [`StreamingAudit`] to every shard; the merged audit lands
+    /// in [`ShardedRun::streaming`].
+    pub streaming: Option<StreamingConfig>,
+    /// Attach a collector-mode [`SloMonitor`] to every shard; the merged
+    /// monitor lands in [`ShardedRun::slo`].
+    pub slo: Option<SloConfig>,
+    /// Attach a [`MetricsRegistry`] to every shard; the merged registry
+    /// lands in [`ShardedRun::metrics`] (the report's own `metrics` field
+    /// stays `None`, keeping report bytes unchanged).
+    pub metrics: bool,
+    /// Print a wall-clock-gated heartbeat (events/sec, backlog, ETA) to
+    /// stderr roughly once a second. Diagnostics only: never written to
+    /// any export.
+    pub progress: bool,
+}
+
+/// Deterministic per-shard kernel counters.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct ShardProfile {
+    /// Shard index in canonical (workflow-name) order.
+    pub index: usize,
+    /// The workflow this shard simulated.
+    pub workflow: String,
+    /// Simulation events the shard processed.
+    pub events: u64,
+    /// Queue high-water mark observed at window barriers.
+    pub queue_peak: u64,
+}
+
+/// The kernel self-profile of a sharded replay: deterministic per-shard
+/// counters plus wall-clock driver costs.
+///
+/// The per-shard counters (`shards`, `windows`) depend only on the event
+/// streams and are safe to include in deterministic exports via
+/// [`deterministic_registry`](Self::deterministic_registry). The
+/// wall-clock numbers (`barrier_wait_us`, `merge_us`) vary run to run and
+/// belong only in bench output.
+#[derive(Debug, Clone, Default, Serialize)]
+pub struct KernelProfile {
+    /// Per-shard counters, shard-index order.
+    pub shards: Vec<ShardProfile>,
+    /// OS threads the fleet ran on.
+    pub threads: usize,
+    /// Barrier windows the fleet stepped through.
+    pub windows: u64,
+    /// Wall-clock microseconds each OS thread spent waiting at barriers
+    /// (thread-id order; nondeterministic).
+    pub barrier_wait_us: Vec<u64>,
+    /// Wall-clock microseconds the canonical merge took
+    /// (nondeterministic).
+    pub merge_us: u64,
+}
+
+impl KernelProfile {
+    /// Total events processed across all shards.
+    pub fn events(&self) -> u64 {
+        self.shards.iter().map(|s| s.events).sum()
+    }
+
+    /// Largest queue high-water mark across shards.
+    pub fn queue_peak(&self) -> u64 {
+        self.shards.iter().map(|s| s.queue_peak).max().unwrap_or(0)
+    }
+
+    /// The deterministic subset as `kernel.*` counters, suitable for
+    /// merging into a metrics export without breaking byte identity.
+    pub fn deterministic_registry(&self) -> MetricsRegistry {
+        let mut registry = MetricsRegistry::default();
+        registry.incr("kernel.shards", self.shards.len() as u64);
+        registry.incr("kernel.windows", self.windows);
+        registry.incr("kernel.events", self.events());
+        registry.incr("kernel.queue_peak", self.queue_peak());
+        registry
+    }
+}
+
 /// Outcome of a sharded replay.
 #[derive(Debug, Clone)]
 pub struct ShardedRun {
@@ -102,6 +188,17 @@ pub struct ShardedRun {
     pub logical_shards: usize,
     /// Total simulation events processed across all shards.
     pub events_processed: u64,
+    /// Merged streaming audit (exemplar ids remapped to global request
+    /// ids), when [`ShardTelemetry::streaming`] was set.
+    pub streaming: Option<StreamingAudit>,
+    /// Merged SLO collector, when [`ShardTelemetry::slo`] was set. Call
+    /// [`SloMonitor::report`] to evaluate it.
+    pub slo: Option<SloMonitor>,
+    /// Merged per-shard metrics, when [`ShardTelemetry::metrics`] was
+    /// set.
+    pub metrics: Option<MetricsRegistry>,
+    /// Kernel self-profile (always populated).
+    pub profile: KernelProfile,
 }
 
 /// Everything a worker thread needs to build and drive one shard.
@@ -116,11 +213,27 @@ struct ShardInput {
 /// A shard's raw output before merging.
 struct ShardOutput {
     index: usize,
+    name: String,
     triggers: Vec<SimTime>,
     report: PlatformReport,
     /// `(local request id, trace)`, present only when traces are on.
     traces: Vec<(u64, Trace)>,
     events: u64,
+    queue_peak: u64,
+    streaming: Option<StreamingAudit>,
+    slo: Option<SloMonitor>,
+    metrics: Option<MetricsRegistry>,
+}
+
+/// Cross-thread driver state: quiescence accounting plus the shared
+/// progress counters the heartbeat reads.
+struct SharedDriver {
+    pending: AtomicU64,
+    events: AtomicU64,
+    backlog_peak: AtomicU64,
+    horizon_us: u64,
+    progress: bool,
+    start: Instant,
 }
 
 /// Replays a fleet of independent workflows as logical shards over
@@ -167,6 +280,22 @@ pub fn replay_sharded(
     workloads: Vec<ShardWorkload>,
     opts: &ShardOptions,
 ) -> Result<ShardedRun, PlatformError> {
+    replay_sharded_with(base, workloads, opts, &ShardTelemetry::default())
+}
+
+/// [`replay_sharded`] with per-shard telemetry: streaming audits, SLO
+/// collectors and metrics registries are attached to every shard's
+/// platform and merged canonically into the [`ShardedRun`].
+///
+/// The merged report bytes are identical to a telemetry-free run — the
+/// observers only *read* the event stream — and every telemetry export
+/// is itself byte-identical at any `threads`/`window` width.
+pub fn replay_sharded_with(
+    base: &PlatformConfig,
+    workloads: Vec<ShardWorkload>,
+    opts: &ShardOptions,
+    telemetry: &ShardTelemetry,
+) -> Result<ShardedRun, PlatformError> {
     assert!(
         opts.window > SimDuration::ZERO,
         "shard window must be non-zero"
@@ -203,6 +332,10 @@ pub fn replay_sharded(
             traces: Vec::new(),
             logical_shards: 0,
             events_processed: 0,
+            streaming: telemetry.streaming.map(StreamingAudit::new),
+            slo: telemetry.slo.clone().map(SloMonitor::collector),
+            metrics: telemetry.metrics.then(MetricsRegistry::new),
+            profile: KernelProfile::default(),
         });
     }
 
@@ -214,35 +347,78 @@ pub fn replay_sharded(
     }
 
     let barrier = Barrier::new(threads);
-    let pending = AtomicU64::new(0);
+    let shared = SharedDriver {
+        pending: AtomicU64::new(0),
+        events: AtomicU64::new(0),
+        backlog_peak: AtomicU64::new(0),
+        horizon_us: per_thread
+            .iter()
+            .flatten()
+            .flat_map(|i| i.triggers.last())
+            .map(|t| t.as_micros())
+            .max()
+            .unwrap_or(0),
+        progress: telemetry.progress,
+        start: Instant::now(),
+    };
     let window = opts.window;
-    let mut outputs: Vec<ShardOutput> = std::thread::scope(|scope| {
+    let thread_outputs: Vec<(Vec<ShardOutput>, u64, u64)> = std::thread::scope(|scope| {
         let handles: Vec<_> = per_thread
             .into_iter()
-            .map(|mine| scope.spawn(|| drive_shards(base, mine, &barrier, &pending, window)))
+            .enumerate()
+            .map(|(tid, mine)| {
+                let shared = &shared;
+                let barrier = &barrier;
+                scope.spawn(move || {
+                    drive_shards(base, mine, tid, barrier, shared, window, telemetry)
+                })
+            })
             .collect();
         handles
             .into_iter()
-            .flat_map(|h| h.join().expect("shard thread panicked"))
+            .map(|h| h.join().expect("shard thread panicked"))
             .collect()
     });
+    let mut barrier_wait_us = Vec::with_capacity(threads);
+    let mut windows = 0u64;
+    let mut outputs: Vec<ShardOutput> = Vec::with_capacity(logical_shards);
+    for (outs, waited, wins) in thread_outputs {
+        outputs.extend(outs);
+        barrier_wait_us.push(waited);
+        windows = windows.max(wins);
+    }
     outputs.sort_by_key(|o| o.index);
-    Ok(merge(outputs, logical_shards))
+
+    let merge_start = Instant::now();
+    let mut run = merge(outputs, logical_shards);
+    run.profile.threads = threads;
+    run.profile.windows = windows;
+    run.profile.barrier_wait_us = barrier_wait_us;
+    run.profile.merge_us = merge_start.elapsed().as_micros() as u64;
+    Ok(run)
 }
 
 /// Thread body: build each assigned shard's platform, advance all of
 /// them window by window under the fleet barrier, then finish them.
+/// Returns the shard outputs plus this thread's total barrier-wait
+/// micros and the number of windows stepped.
 fn drive_shards(
     base: &PlatformConfig,
     inputs: Vec<ShardInput>,
+    thread_id: usize,
     barrier: &Barrier,
-    pending: &AtomicU64,
+    shared: &SharedDriver,
     window: SimDuration,
-) -> Vec<ShardOutput> {
+    telemetry: &ShardTelemetry,
+) -> (Vec<ShardOutput>, u64, u64) {
     struct Running {
         input: ShardInput,
         platform: Platform,
         events: u64,
+        queue_peak: u64,
+        streaming: Option<ObserverHandle<StreamingAudit>>,
+        slo: Option<ObserverHandle<SloMonitor>>,
+        metrics: Option<ObserverHandle<MetricsRegistry>>,
     }
     let mut shards: Vec<Running> = inputs
         .into_iter()
@@ -263,10 +439,28 @@ fn drive_shards(
                     .trigger_at(&input.name, at)
                     .expect("workflow was just deployed");
             }
+            // Telemetry observers: collector-mode SLO (evaluation happens
+            // once, post-merge) and a plain metrics observer (not
+            // `attach_metrics`, which would embed the registry into the
+            // report and change its bytes).
+            let streaming = telemetry
+                .streaming
+                .map(|cfg| platform.attach_observer(StreamingAudit::new(cfg)));
+            let slo = telemetry
+                .slo
+                .clone()
+                .map(|cfg| platform.attach_observer(SloMonitor::collector(cfg)));
+            let metrics = telemetry
+                .metrics
+                .then(|| platform.attach_observer(MetricsRegistry::new()));
             Running {
                 input,
                 platform,
                 events: 0,
+                queue_peak: 0,
+                streaming,
+                slo,
+                metrics,
             }
         })
         .collect();
@@ -278,26 +472,50 @@ fn drive_shards(
     // before anyone publishes for the next window. All threads observe
     // the same `done`, so they exit on the same window.
     let mut window_end = SimTime::ZERO;
+    let mut barrier_wait_us = 0u64;
+    let mut windows = 0u64;
+    let mut last_beat = shared.start;
+    let wait = |barrier: &Barrier, acc: &mut u64| {
+        let begin = Instant::now();
+        let result = barrier.wait();
+        *acc += begin.elapsed().as_micros() as u64;
+        result
+    };
     loop {
+        windows += 1;
         window_end += window;
         let mut mine = 0u64;
+        let mut processed = 0u64;
+        let mut my_peak = 0u64;
         for shard in &mut shards {
-            shard.events += shard.platform.step_window(window_end);
-            mine += shard.platform.pending_events() as u64;
+            let stepped = shard.platform.step_window(window_end);
+            shard.events += stepped;
+            processed += stepped;
+            let backlog = shard.platform.pending_events() as u64;
+            shard.queue_peak = shard.queue_peak.max(backlog);
+            my_peak = my_peak.max(backlog);
+            mine += backlog;
         }
-        pending.fetch_add(mine, Ordering::SeqCst);
-        barrier.wait();
-        let done = pending.load(Ordering::SeqCst) == 0;
-        if barrier.wait().is_leader() {
-            pending.store(0, Ordering::SeqCst);
+        shared.pending.fetch_add(mine, Ordering::SeqCst);
+        shared.events.fetch_add(processed, Ordering::SeqCst);
+        shared.backlog_peak.fetch_max(my_peak, Ordering::SeqCst);
+        wait(barrier, &mut barrier_wait_us);
+        let done = shared.pending.load(Ordering::SeqCst) == 0;
+        if shared.progress && thread_id == 0 && last_beat.elapsed().as_secs_f64() >= 1.0 {
+            last_beat = Instant::now();
+            heartbeat(shared, window_end);
         }
-        barrier.wait();
+        if wait(barrier, &mut barrier_wait_us).is_leader() {
+            shared.pending.store(0, Ordering::SeqCst);
+            shared.backlog_peak.store(0, Ordering::SeqCst);
+        }
+        wait(barrier, &mut barrier_wait_us);
         if done {
             break;
         }
     }
 
-    shards
+    let outputs = shards
         .into_iter()
         .map(|shard| {
             let requests = shard.input.triggers.len() as u64;
@@ -306,13 +524,43 @@ fn drive_shards(
                 .collect();
             ShardOutput {
                 index: shard.input.index,
+                name: shard.input.name,
                 triggers: shard.input.triggers,
                 report: shard.platform.finish(),
                 traces,
                 events: shard.events,
+                queue_peak: shard.queue_peak,
+                streaming: shard.streaming.map(|h| h.snapshot()),
+                slo: shard.slo.map(|h| h.snapshot()),
+                metrics: shard.metrics.map(|h| h.snapshot()),
             }
         })
-        .collect()
+        .collect();
+    (outputs, barrier_wait_us, windows)
+}
+
+/// One stderr progress line. Wall-clock only — never touches exports.
+fn heartbeat(shared: &SharedDriver, window_end: SimTime) {
+    let elapsed = shared.start.elapsed().as_secs_f64().max(1e-9);
+    let events = shared.events.load(Ordering::SeqCst);
+    let backlog = shared.pending.load(Ordering::SeqCst);
+    let shard_peak = shared.backlog_peak.load(Ordering::SeqCst);
+    let frac = if shared.horizon_us == 0 {
+        1.0
+    } else {
+        (window_end.as_micros() as f64 / shared.horizon_us as f64).min(1.0)
+    };
+    let eta = if frac > 0.0 && frac < 1.0 {
+        format!(", eta ~{:.0}s", elapsed * (1.0 - frac) / frac)
+    } else {
+        String::new()
+    };
+    eprintln!(
+        "replay: {:>3.0}% of trace (sim {window_end}), {events} events @ {:.0}/s, \
+         backlog {backlog} (peak shard {shard_peak}){eta}",
+        frac * 100.0,
+        events as f64 / elapsed,
+    );
 }
 
 /// Canonical merge of per-shard outputs (inputs sorted by shard index).
@@ -337,6 +585,10 @@ fn merge(outputs: Vec<ShardOutput>, logical_shards: usize) -> ShardedRun {
     let mut records = Vec::new();
     let mut events_processed = 0u64;
     let mut worker_offset = 0u64;
+    let mut shard_profiles: Vec<ShardProfile> = Vec::new();
+    let mut streaming: Option<StreamingAudit> = None;
+    let mut slo: Option<SloMonitor> = None;
+    let mut metrics: Option<MetricsRegistry> = None;
     for out in outputs {
         let map = &global[out.index];
         for mut r in out.report.results {
@@ -359,6 +611,34 @@ fn merge(outputs: Vec<ShardOutput>, logical_shards: usize) -> ShardedRun {
         }
         worker_offset = next_offset;
         events_processed += out.events;
+        shard_profiles.push(ShardProfile {
+            index: out.index,
+            workflow: out.name,
+            events: out.events,
+            queue_peak: out.queue_peak,
+        });
+        // Telemetry merges in shard-index order — the same canonical
+        // order as everything above, so merged telemetry is as
+        // thread-invariant as the report itself.
+        if let Some(mut audit) = out.streaming {
+            audit.remap_exemplar_requests(|local| map[local as usize]);
+            match &mut streaming {
+                None => streaming = Some(audit),
+                Some(acc) => acc.merge_from(&audit),
+            }
+        }
+        if let Some(monitor) = out.slo {
+            match &mut slo {
+                None => slo = Some(monitor),
+                Some(acc) => acc.merge_from(&monitor),
+            }
+        }
+        if let Some(registry) = out.metrics {
+            match &mut metrics {
+                None => metrics = Some(registry),
+                Some(acc) => acc.merge_from(&registry),
+            }
+        }
     }
     results.sort_by_key(|r| r.request);
     traces.sort_by_key(|&(gid, _)| gid);
@@ -372,6 +652,16 @@ fn merge(outputs: Vec<ShardOutput>, logical_shards: usize) -> ShardedRun {
         traces,
         logical_shards,
         events_processed,
+        streaming,
+        slo,
+        metrics,
+        profile: KernelProfile {
+            shards: shard_profiles,
+            threads: 0,
+            windows: 0,
+            barrier_wait_us: Vec::new(),
+            merge_us: 0,
+        },
     }
 }
 
@@ -483,6 +773,104 @@ mod tests {
             replay_sharded(&config, fleet(2, 3), &ShardOptions::default()).expect("replay");
         assert!(silent.traces.is_empty());
         assert_eq!(silent.report.results.len(), 6);
+    }
+
+    fn run_with_telemetry(threads: usize) -> ShardedRun {
+        let config = PlatformConfig::for_mode(ExecutionMode::Jit, 77);
+        let opts = ShardOptions {
+            threads,
+            window: SimDuration::from_secs(60),
+        };
+        let telemetry = ShardTelemetry {
+            streaming: Some(crate::stream::StreamingConfig { exemplars: 3 }),
+            slo: Some(crate::stream::SloConfig::default()),
+            metrics: true,
+            progress: false,
+        };
+        replay_sharded_with(&config, fleet(5, 6), &opts, &telemetry).expect("replay succeeds")
+    }
+
+    #[test]
+    fn telemetry_is_thread_invariant() {
+        let baseline = run_with_telemetry(1);
+        let summary = baseline.streaming.as_ref().unwrap().summary();
+        assert_eq!(summary.requests, 30);
+        let slo_report = baseline.slo.as_ref().unwrap().report();
+        let metrics = baseline.metrics.clone().unwrap();
+        assert!(metrics.counters["requests.completed"] == 30);
+        for threads in [2, 4, 8] {
+            let run = run_with_telemetry(threads);
+            assert_eq!(
+                run.streaming.as_ref().unwrap().summary(),
+                summary,
+                "threads={threads}"
+            );
+            assert_eq!(run.slo.as_ref().unwrap().report(), slo_report);
+            assert_eq!(run.metrics.clone().unwrap(), metrics);
+            let a: Vec<(u64, u64)> = baseline
+                .streaming
+                .as_ref()
+                .unwrap()
+                .exemplars()
+                .iter()
+                .map(|e| (e.request, e.end_to_end_us))
+                .collect();
+            let b: Vec<(u64, u64)> = run
+                .streaming
+                .as_ref()
+                .unwrap()
+                .exemplars()
+                .iter()
+                .map(|e| (e.request, e.end_to_end_us))
+                .collect();
+            assert_eq!(a, b, "exemplar reservoir is thread-invariant");
+        }
+    }
+
+    #[test]
+    fn telemetry_never_perturbs_report_bytes() {
+        let plain = run_with(1, 60, false);
+        let observed = run_with_telemetry(4);
+        assert_eq!(
+            serde_json::to_string(&plain.report).unwrap(),
+            serde_json::to_string(&observed.report).unwrap()
+        );
+    }
+
+    #[test]
+    fn kernel_profile_counts_the_fleet() {
+        let run = run_with_telemetry(3);
+        assert_eq!(run.profile.shards.len(), 5);
+        assert_eq!(run.profile.threads, 3);
+        assert!(run.profile.windows > 0);
+        assert_eq!(run.profile.events(), run.events_processed);
+        assert_eq!(run.profile.barrier_wait_us.len(), 3);
+        let names: Vec<&str> = run
+            .profile
+            .shards
+            .iter()
+            .map(|s| s.workflow.as_str())
+            .collect();
+        assert_eq!(
+            names,
+            ["wf0", "wf1", "wf2", "wf3", "wf4"],
+            "canonical order"
+        );
+        let registry = run.profile.deterministic_registry();
+        assert_eq!(registry.counters["kernel.shards"], 5);
+        assert_eq!(registry.counters["kernel.events"], run.events_processed);
+        assert!(registry.counters["kernel.queue_peak"] > 0);
+    }
+
+    #[test]
+    fn exemplar_requests_use_global_ids() {
+        let run = run_with_telemetry(2);
+        let audit = run.streaming.as_ref().unwrap();
+        for e in audit.exemplars() {
+            assert!(e.request < 30, "global request id in range");
+            let tree = e.span_tree().expect("span tree");
+            assert!(tree.root.name.contains(&format!("request {}", e.request)));
+        }
     }
 
     #[test]

@@ -23,6 +23,7 @@ use crate::hosts::{HostRegistry, HostSpec};
 use crate::metastore::MetaStore;
 use crate::obs::{MetricsRegistry, Observer, ObserverHandle};
 use crate::result::{PlatformReport, RunResult};
+use crate::stream::{SloConfig, SloMonitor};
 use crate::timeline::{Trace, TraceEventKind};
 use serde_json::json;
 use std::collections::{HashMap, HashSet};
@@ -294,6 +295,9 @@ pub struct Platform {
     /// The registry attached via [`Platform::attach_metrics`], snapshotted
     /// into the final report by [`Platform::finish`].
     registry: Option<ObserverHandle<MetricsRegistry>>,
+    /// The monitor attached via [`Platform::attach_slo`]; alerts raised by
+    /// closed windows are re-emitted as [`BusEvent::SloAlert`].
+    slo: Option<ObserverHandle<SloMonitor>>,
 }
 
 impl Platform {
@@ -349,6 +353,7 @@ impl Platform {
             faults: FaultPlan::new(config.faults),
             observers: Vec::new(),
             registry: None,
+            slo: None,
             config,
         }
     }
@@ -603,6 +608,17 @@ impl Platform {
         handle
     }
 
+    /// Attaches a live [`SloMonitor`]: it folds every completed request
+    /// into tumbling windows, and whenever a closed window breaches the
+    /// configured thresholds the platform re-emits the breach as a typed
+    /// [`BusEvent::SloAlert`] (subscribable like any other topic). The
+    /// final partial window is evaluated by [`finish`](Self::finish).
+    pub fn attach_slo(&mut self, config: SloConfig) -> ObserverHandle<SloMonitor> {
+        let handle = self.attach_observer(SloMonitor::live(config));
+        self.slo = Some(handle.clone());
+        handle
+    }
+
     /// Total events published on the bus so far. Zero on an unobserved
     /// platform — the emission guard skips construction entirely.
     pub fn published_events(&self) -> u64 {
@@ -617,6 +633,10 @@ impl Platform {
     }
 
     /// Delivers `event` to every observer, then publishes it on the bus.
+    /// When a live [`SloMonitor`] is attached, any alerts its windows
+    /// raised while absorbing the event are re-emitted immediately as
+    /// [`BusEvent::SloAlert`] (the monitor ignores alert events, so the
+    /// recursion is one level deep).
     fn emit(&mut self, event: BusEvent) {
         for obs in &self.observers {
             obs.lock()
@@ -624,6 +644,11 @@ impl Platform {
                 .on_event(self.now, &event);
         }
         self.bus.publish(self.now, event);
+        if let Some(slo) = self.slo.clone() {
+            for alert in slo.with_mut(SloMonitor::take_alerts) {
+                self.emit(alert.into_event());
+            }
+        }
     }
 
     /// Number of live workers (any state).
@@ -711,6 +736,13 @@ impl Platform {
     /// pool-owned workers are charged through to the end of the run.
     pub fn finish(mut self) -> PlatformReport {
         self.run_until_idle();
+        // Close and evaluate the SLO monitor's final partial window, so a
+        // breach in the stream's tail still alerts before teardown.
+        if let Some(slo) = self.slo.clone() {
+            for alert in slo.with_mut(SloMonitor::finish_stream) {
+                self.emit(alert.into_event());
+            }
+        }
         let keep_alive = self.pool.config().keep_alive;
         let ids: Vec<(WorkerId, SimTime)> = self
             .pool
@@ -1047,6 +1079,13 @@ impl Platform {
         let dag = run.dag.clone();
         let function = dag.node(node).spec().name();
         let parent_name = parent.map(|p| dag.node(p).spec().name());
+        if self.observing(Topic::FunctionInvoked) {
+            self.emit(BusEvent::FunctionInvoked {
+                request: req,
+                function: function.to_string(),
+                node: node.index() as u64,
+            });
+        }
 
         // Branch detection + request correlation (implicit-chain learning).
         // Invoke delays are measured against the parent's *execution start*
@@ -1865,15 +1904,17 @@ impl Platform {
                     .schedule(crash_at, Event::WorkerCrash { worker: id });
             }
         }
+        let total_wait = extra + cold.total();
         if self.observing(Topic::WorkerProvisioned) {
             self.emit(BusEvent::WorkerProvisioned {
                 worker: id.0,
+                request: req,
                 function: spec.name().to_string(),
                 cold_start_ms: cold.total().as_millis_f64(),
+                ready_in_ms: total_wait.as_millis_f64(),
                 on_demand,
             });
         }
-        let total_wait = extra + cold.total();
         self.metrics.record_cold_start(spec.name(), total_wait);
         (id, ready_at)
     }

@@ -2,7 +2,7 @@
 //! the rendered report. See `xanadu help` for usage.
 
 use std::process::ExitCode;
-use xanadu::cli::{execute_with_exports, parse_args, USAGE};
+use xanadu::cli::{execute_with_exports, parse_args, CliError, USAGE};
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -27,6 +27,17 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Err(e) => {
+            // An SLO breach still writes the staged exports (the windowed
+            // evaluation is the evidence for the non-zero exit).
+            if let CliError::SloBreach { exports, .. } = &e {
+                for file in exports {
+                    if let Err(write_err) = std::fs::write(&file.path, &file.contents) {
+                        eprintln!("error: writing {}: {write_err}", file.path);
+                    } else {
+                        eprintln!("wrote {}", file.path);
+                    }
+                }
+            }
             eprintln!("error: {e}");
             ExitCode::FAILURE
         }

@@ -18,10 +18,10 @@ use xanadu_baselines::BaselineKind;
 use xanadu_chain::{linear_chain, sdl, FunctionSpec};
 use xanadu_core::mlp::infer_mlp;
 use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
-use xanadu_platform::shard::{replay_sharded, ShardOptions, ShardWorkload};
+use xanadu_platform::shard::{replay_sharded_with, ShardOptions, ShardTelemetry, ShardWorkload};
 use xanadu_platform::{
     diff_audits, diff_metrics, Audit, DiffThresholds, FaultConfig, MetricsRegistry, ObserverHandle,
-    Platform, PlatformConfig,
+    Platform, PlatformConfig, SloConfig, StreamingConfig,
 };
 use xanadu_simcore::{SimDuration, SimTime};
 use xanadu_workloads::azure::{
@@ -131,9 +131,26 @@ pub struct ReplayArgs {
     pub depth: u64,
     /// Write the full merged `PlatformReport` JSON here.
     pub report_out: Option<String>,
-    /// Write the speculation-audit JSON here (turns per-request trace
-    /// recording on, so prefer small fleets when auditing).
+    /// Write the streaming speculation-audit JSON here. Backed by the
+    /// bounded-memory [`StreamingAudit`] — no per-request trace recording,
+    /// so fleet-scale replays stay flat in memory.
     pub audit_out: Option<String>,
+    /// Write the merged per-shard metrics registry (plus the
+    /// deterministic `kernel.*` counters) as flat JSON here.
+    pub metrics_out: Option<String>,
+    /// Path of a `DiffThresholds` JSON document enabling SLO gating of
+    /// tumbling completion-time windows; any breach exits non-zero, like
+    /// `xanadu diff`.
+    pub slo: Option<String>,
+    /// Write the windowed SLO evaluation JSON here
+    /// (`docs/schemas/slo.schema.json`). Implies SLO monitoring with
+    /// default thresholds when `--slo` is absent.
+    pub slo_out: Option<String>,
+    /// Tumbling SLO window width in simulated seconds.
+    pub slo_window_secs: u64,
+    /// Print a wall-clock heartbeat (progress, events/sec, backlog, ETA)
+    /// to stderr while replaying. Never affects stdout or exports.
+    pub progress: bool,
     /// Merge an `events_per_sec` kernel-throughput row into this
     /// `BENCH_harness.json`-style file (other sections are preserved).
     pub bench_out: Option<String>,
@@ -230,6 +247,18 @@ pub enum CliError {
         /// Rendered [`Regression`](xanadu_platform::Regression) rows.
         details: Vec<String>,
     },
+    /// `xanadu replay --slo` caught windows past their thresholds. The
+    /// staged exports ride along so the binary still writes
+    /// `--slo-out`/`--report-out` before exiting non-zero — the breach
+    /// evidence must not be lost to the failure it reports.
+    SloBreach {
+        /// Non-empty windows the monitor evaluated.
+        windows: usize,
+        /// Rendered [`SloAlert`](xanadu_platform::SloAlert) rows.
+        details: Vec<String>,
+        /// Exports staged before the gate fired.
+        exports: Vec<ExportFile>,
+    },
 }
 
 impl fmt::Display for CliError {
@@ -261,6 +290,29 @@ impl fmt::Display for CliError {
                 }
                 Ok(())
             }
+            CliError::SloBreach {
+                windows, details, ..
+            } => {
+                write!(
+                    f,
+                    "slo: {} alert(s) across {windows} evaluated window(s):",
+                    details.len()
+                )?;
+                // Long-horizon replays can breach in hundreds of windows;
+                // cap the stderr rendering — the full list is in --slo-out.
+                const MAX_DETAIL_LINES: usize = 10;
+                for d in details.iter().take(MAX_DETAIL_LINES) {
+                    write!(f, "\n  {d}")?;
+                }
+                if details.len() > MAX_DETAIL_LINES {
+                    write!(
+                        f,
+                        "\n  ... and {} more (full evaluation in --slo-out)",
+                        details.len() - MAX_DETAIL_LINES
+                    )?;
+                }
+                Ok(())
+            }
         }
     }
 }
@@ -280,7 +332,9 @@ USAGE:
   xanadu replay [--invocations N] [--shards S] [--window-secs W] [--seed S]
                 [--mode cold|spec|jit] [--no-plan-cache] [--depth D]
                 [--fault-rate R] [--fault-seed F] [--report-out <file>]
-                [--audit-out <file>] [--bench-out <file>]
+                [--audit-out <file>] [--metrics-out <file>]
+                [--slo <thresholds.json>] [--slo-out <file>]
+                [--slo-window-secs W] [--progress] [--bench-out <file>]
   xanadu diff --baseline <file> --candidate <file>
               [--max-p95-regress-pct P] [--max-wasted-cpu-regress-pct W]
               [--max-recall-drop D]
@@ -306,8 +360,18 @@ with its own functions), scales it to `--invocations` expected triggers
 and replays it as per-workflow logical shards over `--shards` OS
 threads. The merged report is byte-identical for any `--shards`; the
 printed `report digest` line is the CI hook for that check.
-`--bench-out` merges an `events_per_sec` kernel-throughput row into the
-named BENCH_harness.json, preserving its other sections.
+Replay telemetry is streaming: `--audit-out` writes a bounded-memory
+speculation audit (mergeable histograms, exact MLP/waste/JIT counters,
+worst-request exemplars) and `--metrics-out` the merged counters, both
+byte-identical at any `--shards`. `--slo <thresholds.json>` gates
+tumbling `--slo-window-secs` windows (default 60) against the first
+non-empty window with `diff` semantics, exits non-zero on any breach
+and, with `--slo-out`, writes the windowed evaluation JSON.
+`--progress` prints a stderr heartbeat (events/sec, backlog, ETA).
+`--bench-out` merges an `events_per_sec` kernel-throughput row plus a
+`kernel_profile` section (per-shard events and queue peaks, barrier and
+merge costs) into the named BENCH_harness.json, preserving its other
+sections.
 `diff` compares two audit or metrics snapshots and exits non-zero when
 the candidate regresses past a threshold (p95 end-to-end +10%, wasted
 CPU-ms +25%, MLP recall −0.05 by default), printing the JSON path of
@@ -429,6 +493,14 @@ fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
             expected: "a positive chain depth".into(),
         });
     }
+    let slo_window_secs = parse_num(args, "--slo-window-secs", 60)?;
+    if slo_window_secs == 0 {
+        return Err(CliError::BadValue {
+            flag: "--slo-window-secs".into(),
+            value: "0".into(),
+            expected: "a positive number of simulated seconds".into(),
+        });
+    }
     Ok(ReplayArgs {
         invocations: parse_num(args, "--invocations", 10_000)?,
         shards: parse_num(args, "--shards", 1)?.max(1) as usize,
@@ -441,6 +513,11 @@ fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
         depth,
         report_out: flag_value(args, "--report-out")?,
         audit_out: flag_value(args, "--audit-out")?,
+        metrics_out: flag_value(args, "--metrics-out")?,
+        slo: flag_value(args, "--slo")?,
+        slo_out: flag_value(args, "--slo-out")?,
+        slo_window_secs,
+        progress: args.iter().any(|a| a == "--progress"),
         bench_out: flag_value(args, "--bench-out")?,
     })
 }
@@ -729,15 +806,37 @@ fn execute_replay(
         })
         .collect::<Result<_, CliError>>()?;
 
+    let thresholds = match &replay.slo {
+        None => DiffThresholds::default(),
+        Some(path) => {
+            let text = sdl_source(path).map_err(CliError::Workflow)?;
+            serde_json::from_str(&text).map_err(|e| {
+                CliError::Workflow(format!("{path}: not a thresholds document: {e}"))
+            })?
+        }
+    };
+    let slo_wanted = replay.slo.is_some() || replay.slo_out.is_some();
+    let telemetry = ShardTelemetry {
+        streaming: replay
+            .audit_out
+            .as_ref()
+            .map(|_| StreamingConfig::default()),
+        slo: slo_wanted.then(|| SloConfig {
+            window: SimDuration::from_secs(replay.slo_window_secs),
+            thresholds,
+        }),
+        metrics: replay.metrics_out.is_some(),
+        progress: replay.progress,
+    };
+
     let mut spec = SpeculationConfig::for_mode(replay.mode);
     spec.aggressiveness = 1.0;
+    // The audit export streams (bounded memory), so per-request trace
+    // recording stays off even when auditing fleet-scale replays.
     let mut builder = PlatformConfig::builder()
         .for_mode(replay.mode, replay.seed)
         .speculation(spec)
-        .plan_cache(replay.plan_cache)
-        // Per-request traces only when the audit export needs them —
-        // fleet-scale replays keep memory flat without them.
-        .record_traces(replay.audit_out.is_some());
+        .plan_cache(replay.plan_cache);
     if replay.fault_rate > 0.0 {
         builder = builder.faults(FaultConfig::with_rate(replay.fault_rate, replay.fault_seed));
     }
@@ -750,8 +849,8 @@ fn execute_replay(
         window: SimDuration::from_secs(replay.window_secs),
     };
     let started = std::time::Instant::now();
-    let run =
-        replay_sharded(&config, workloads, &opts).map_err(|e| CliError::Workflow(e.to_string()))?;
+    let run = replay_sharded_with(&config, workloads, &opts, &telemetry)
+        .map_err(|e| CliError::Workflow(e.to_string()))?;
     let wall = started.elapsed().as_secs_f64();
     let events_per_sec = if wall > 0.0 {
         run.events_processed as f64 / wall
@@ -797,6 +896,28 @@ fn execute_replay(
         let (faults, retries) = report.fault_counts();
         out.push_str(&format!("faults injected: {faults}   retries: {retries}\n"));
     }
+    if let Some(audit) = &run.streaming {
+        let s = audit.summary();
+        out.push_str(&format!(
+            "streaming audit: {} requests, p95 ~{:.0}ms (bucketed), {} exemplar(s)\n",
+            s.requests,
+            s.end_to_end.quantile_ms(0.95),
+            audit.exemplars().len()
+        ));
+    }
+    let slo_report = run.slo.as_ref().map(|m| m.report());
+    if let Some(slo) = &slo_report {
+        let baseline = match slo.baseline_window {
+            Some(b) => format!("window {b}"),
+            None => "none".to_string(),
+        };
+        out.push_str(&format!(
+            "slo: {} window(s) of {}s, baseline {baseline}, {} alert(s)\n",
+            slo.windows.len(),
+            replay.slo_window_secs,
+            slo.alerts.len()
+        ));
+    }
     out.push_str(&format!("report digest: {digest}\n"));
 
     if let Some(path) = &replay.report_out {
@@ -806,9 +927,27 @@ fn execute_replay(
         });
     }
     if let Some(path) = &replay.audit_out {
+        let audit = run
+            .streaming
+            .as_ref()
+            .expect("--audit-out attaches the streaming audit");
         exports.push(ExportFile {
             path: path.clone(),
-            contents: xanadu_platform::export::audit_json_string(&Audit::from_traces(&run.traces)),
+            contents: xanadu_platform::export::streaming_json_string(audit),
+        });
+    }
+    if let Some(path) = &replay.metrics_out {
+        let mut registry = run.metrics.clone().unwrap_or_default();
+        registry.merge_from(&run.profile.deterministic_registry());
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: xanadu_platform::export::metrics_json_string(&registry),
+        });
+    }
+    if let (Some(path), Some(slo)) = (&replay.slo_out, &slo_report) {
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: xanadu_platform::export::slo_json_string(slo),
         });
     }
     if let Some(path) = &replay.bench_out {
@@ -832,13 +971,57 @@ fn execute_replay(
                     "source": "xanadu replay",
                 }),
             );
+            obj.insert("kernel_profile".to_string(), kernel_profile_json(&run));
         }
         exports.push(ExportFile {
             path: path.clone(),
             contents: root.to_json_string_pretty() + "\n",
         });
     }
+    if let Some(slo) = &slo_report {
+        if !slo.alerts.is_empty() {
+            return Err(CliError::SloBreach {
+                windows: slo.windows.len(),
+                details: slo.alerts.iter().map(render_slo_alert).collect(),
+                exports: std::mem::take(exports),
+            });
+        }
+    }
     Ok(out)
+}
+
+/// One human-readable line per SLO breach, mirroring how `xanadu diff`
+/// renders a [`Regression`](xanadu_platform::Regression).
+fn render_slo_alert(alert: &xanadu_platform::SloAlert) -> String {
+    format!(
+        "window {}: {} {:.3} -> {:.3} ({})",
+        alert.window, alert.path, alert.baseline, alert.candidate, alert.allowed
+    )
+}
+
+/// The `kernel_profile` section of `--bench-out`: driver costs plus the
+/// busiest shards. Per-shard rows are capped so a fleet-scale replay
+/// cannot balloon the bench report; `shards_total` records the real
+/// count when rows are dropped.
+fn kernel_profile_json(run: &xanadu_platform::ShardedRun) -> serde_json::Value {
+    const MAX_SHARD_ROWS: usize = 16;
+    let profile = &run.profile;
+    let mut busiest: Vec<_> = profile.shards.iter().collect();
+    busiest.sort_by(|a, b| b.events.cmp(&a.events).then(a.index.cmp(&b.index)));
+    busiest.truncate(MAX_SHARD_ROWS);
+    let rows: Vec<serde_json::Value> = busiest
+        .iter()
+        .map(|s| serde_json::to_value(s).expect("shard profile serializes"))
+        .collect();
+    serde_json::json!({
+        "threads": profile.threads,
+        "windows": profile.windows,
+        "merge_us": profile.merge_us,
+        "barrier_wait_us": profile.barrier_wait_us,
+        "queue_peak": profile.queue_peak(),
+        "shards_total": profile.shards.len(),
+        "busiest_shards": rows,
+    })
 }
 
 /// FNV-1a over a byte slice: the stable digest `xanadu replay` prints so
@@ -1130,6 +1313,159 @@ mod tests {
     }
 
     #[test]
+    fn parse_replay_telemetry_flags() {
+        let Command::Replay(replay) = parse_args(&args(&["replay"])).unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(replay.metrics_out, None);
+        assert_eq!(replay.slo, None);
+        assert_eq!(replay.slo_out, None);
+        assert_eq!(replay.slo_window_secs, 60);
+        assert!(!replay.progress);
+
+        let Command::Replay(replay) = parse_args(&args(&[
+            "replay",
+            "--metrics-out",
+            "m.json",
+            "--slo",
+            "thr.json",
+            "--slo-out",
+            "slo.json",
+            "--slo-window-secs",
+            "30",
+            "--progress",
+        ]))
+        .unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(replay.metrics_out.as_deref(), Some("m.json"));
+        assert_eq!(replay.slo.as_deref(), Some("thr.json"));
+        assert_eq!(replay.slo_out.as_deref(), Some("slo.json"));
+        assert_eq!(replay.slo_window_secs, 30);
+        assert!(replay.progress);
+
+        assert!(matches!(
+            parse_args(&args(&["replay", "--slo-window-secs", "0"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    /// Every streaming export (audit, metrics, SLO windows) must be
+    /// byte-identical at any `--shards`, and attaching them must not
+    /// perturb the report digest.
+    #[test]
+    fn replay_streaming_exports_are_shard_invariant() {
+        let loose = |_: &str| -> Result<String, String> {
+            Ok(r#"{"max_p95_regress_pct": 1e9,
+                    "max_wasted_cpu_regress_pct": 1e9,
+                    "max_recall_drop": 1e9}"#
+                .into())
+        };
+        let run = |shards: &str| {
+            let cmd = parse_args(&args(&[
+                "replay",
+                "--invocations",
+                "300",
+                "--seed",
+                "9",
+                "--shards",
+                shards,
+                "--audit-out",
+                "audit.json",
+                "--metrics-out",
+                "metrics.json",
+                "--slo",
+                "thr.json",
+                "--slo-out",
+                "slo.json",
+            ]))
+            .unwrap();
+            execute_with_exports(&cmd, loose).unwrap()
+        };
+        let (out_one, one) = run("1");
+        let (_, eight) = run("8");
+        assert_eq!(one, eight, "streaming exports changed with shard count");
+
+        let audit = &one
+            .iter()
+            .find(|e| e.path == "audit.json")
+            .unwrap()
+            .contents;
+        assert!(audit.contains("\"end_to_end_ms\""), "{audit}");
+        assert!(audit.contains("\"exemplars\""), "{audit}");
+        let metrics = &one
+            .iter()
+            .find(|e| e.path == "metrics.json")
+            .unwrap()
+            .contents;
+        assert!(metrics.contains("kernel.events"), "{metrics}");
+        assert!(metrics.contains("requests.completed"), "{metrics}");
+        let slo = &one.iter().find(|e| e.path == "slo.json").unwrap().contents;
+        assert!(slo.contains("\"windows\""), "{slo}");
+
+        // The telemetry run prints the same digest as a bare replay.
+        let bare = parse_args(&args(&["replay", "--invocations", "300", "--seed", "9"])).unwrap();
+        let bare_out = execute(&bare, source).unwrap();
+        let digest = |text: &str| {
+            text.lines()
+                .find(|l| l.starts_with("report digest:"))
+                .map(str::to_string)
+                .expect("digest line")
+        };
+        assert_eq!(
+            digest(&bare_out),
+            digest(&out_one),
+            "telemetry perturbed the report"
+        );
+        assert!(out_one.contains("streaming audit:"), "{out_one}");
+        assert!(out_one.contains("slo:"), "{out_one}");
+    }
+
+    /// A breached SLO gate exits non-zero like `diff`, and the staged
+    /// exports ride along on the error so the binary still writes them.
+    #[test]
+    fn replay_slo_breach_fails_with_exports() {
+        // A negative `max_recall_drop` makes every later window a breach
+        // (a zero drop already exceeds it), independent of the workload's
+        // actual latency shape.
+        let files = |path: &str| -> Result<String, String> {
+            match path {
+                "thr.json" => Ok(r#"{"max_p95_regress_pct": 1e9,
+                                     "max_wasted_cpu_regress_pct": 1e9,
+                                     "max_recall_drop": -1.0}"#
+                    .into()),
+                other => Err(format!("{other}: not found")),
+            }
+        };
+        let cmd = parse_args(&args(&[
+            "replay",
+            "--invocations",
+            "300",
+            "--seed",
+            "9",
+            "--slo",
+            "thr.json",
+            "--slo-out",
+            "slo.json",
+        ]))
+        .unwrap();
+        let err = execute_with_exports(&cmd, files).unwrap_err();
+        let CliError::SloBreach {
+            details, exports, ..
+        } = &err
+        else {
+            panic!("expected an slo breach, got {err}")
+        };
+        assert!(!details.is_empty());
+        let slo = exports
+            .iter()
+            .find(|e| e.path == "slo.json")
+            .expect("slo export rides the breach error");
+        assert!(slo.contents.contains("\"alerts\""), "{}", slo.contents);
+        assert!(err.to_string().contains("$.windows["), "{err}");
+    }
+
+    #[test]
     fn replay_bench_out_merges_kernel_row() {
         let cmd = parse_args(&args(&[
             "replay",
@@ -1161,6 +1497,19 @@ mod tests {
             .and_then(|d| d.as_str())
             .unwrap()
             .starts_with("fnv1a64:"));
+        let profile = value.get("kernel_profile").unwrap();
+        assert!(profile.get("windows").and_then(|w| w.as_u64()).is_some());
+        let shards = profile
+            .get("busiest_shards")
+            .and_then(|s| s.as_array())
+            .expect("per-shard profiler rows");
+        assert!(!shards.is_empty());
+        assert!(shards[0].get("queue_peak").is_some(), "{}", shards[0]);
+        assert_eq!(
+            profile.get("shards_total"),
+            kernel.get("logical_shards"),
+            "profile covers the whole fleet"
+        );
     }
 
     #[test]

@@ -18,10 +18,17 @@ fn sample_events() -> Vec<BusEvent> {
             workflow: "w".into(),
             planned: 3,
         },
+        BusEvent::FunctionInvoked {
+            request: 1,
+            function: "f".into(),
+            node: 0,
+        },
         BusEvent::WorkerProvisioned {
             worker: 9,
+            request: 1,
             function: "f".into(),
             cold_start_ms: 2500.0,
+            ready_in_ms: 2500.0,
             on_demand: false,
         },
         BusEvent::WorkerReady { worker: 9 },
@@ -63,6 +70,13 @@ fn sample_events() -> Vec<BusEvent> {
             workflow: "w".into(),
             overhead_ms: 90.0,
             end_to_end_ms: 1090.0,
+        },
+        BusEvent::SloAlert {
+            window: 2,
+            path: "$.windows[2].end_to_end_ms.p95".into(),
+            baseline: 120.0,
+            candidate: 480.0,
+            allowed: "+300.0% > allowed +10.0%".into(),
         },
     ]
 }
@@ -133,9 +147,80 @@ fn chaos_run_emits_every_topic_at_least_once() {
     let (seen, events) = coverage.with(|c| (c.seen, c.events));
     let missing: Vec<&str> = Topic::ALL
         .iter()
-        .filter(|t| !seen[t.index()])
+        // `slo.alert` only fires with a live monitor attached; the
+        // dedicated test below covers it.
+        .filter(|&&t| t != Topic::SloAlert && !seen[t.index()])
         .map(|t| t.name())
         .collect();
     assert!(missing.is_empty(), "topics never emitted: {missing:?}");
     assert!(events > 100, "a chaos run is chatty, saw only {events}");
+    assert!(!seen[Topic::SloAlert.index()], "no monitor, no slo alerts");
+}
+
+/// A live [`SloMonitor`] re-emits breaches as typed [`BusEvent::SloAlert`]
+/// events on the bus, in the window the degradation actually landed in —
+/// and a healthy stream emits none.
+#[test]
+fn live_slo_monitor_emits_typed_alerts_on_the_bus() {
+    use xanadu_platform::SloConfig;
+
+    let run = |with_degradation: bool| {
+        let fast = linear_chain("fast", 1, &FunctionSpec::new("fast-f").service_ms(100.0)).unwrap();
+        let slow =
+            linear_chain("slow", 1, &FunctionSpec::new("slow-f").service_ms(10_000.0)).unwrap();
+        let config = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Jit, 7)
+            .build()
+            .unwrap();
+        let mut platform = Platform::new(config);
+        let monitor = platform.attach_slo(SloConfig::default()); // 1-minute windows
+        let coverage = platform.attach_observer(TopicCoverage {
+            seen: [false; Topic::ALL.len()],
+            events: 0,
+        });
+        platform.deploy(fast).unwrap();
+        platform.deploy(slow).unwrap();
+        // Window 0 is the baseline; the 10s-slower workflow lands its
+        // completions in window 2; a final fast trigger in window 5
+        // closes window 2 mid-stream so its breach re-emits on the bus.
+        for s in [0u64, 5, 10] {
+            platform.trigger_at("fast", SimTime::from_secs(s)).unwrap();
+        }
+        if with_degradation {
+            platform
+                .trigger_at("slow", SimTime::from_secs(120))
+                .unwrap();
+            platform
+                .trigger_at("slow", SimTime::from_secs(125))
+                .unwrap();
+        }
+        platform
+            .trigger_at("fast", SimTime::from_secs(300))
+            .unwrap();
+        platform.run_until_idle();
+        let seen = coverage.with(|c| c.seen);
+        let report = monitor.with(|m| m.report());
+        (seen[Topic::SloAlert.index()], report)
+    };
+
+    let (alert_seen, report) = run(true);
+    assert!(alert_seen, "breach never reached the bus");
+    assert!(!report.alerts.is_empty());
+    assert!(
+        report.alerts.iter().all(|a| a.window == 2),
+        "alerts outside the degraded window: {:?}",
+        report.alerts
+    );
+    assert!(
+        report
+            .alerts
+            .iter()
+            .any(|a| a.path.contains("end_to_end_ms.p95")),
+        "{:?}",
+        report.alerts
+    );
+
+    let (alert_seen, report) = run(false);
+    assert!(!alert_seen, "clean stream raised a bus alert");
+    assert!(report.alerts.is_empty(), "{:?}", report.alerts);
 }

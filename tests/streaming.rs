@@ -1,0 +1,182 @@
+//! Streaming telemetry against ground truth: on randomized chaos runs
+//! the bounded-memory [`StreamingAudit`] must agree with the exact
+//! [`Audit`] — integer counters exactly, float totals to accumulation
+//! noise, quantiles within one histogram bucket — and every streaming
+//! export must be byte-identical at any `--shards` width.
+
+use xanadu::prelude::*;
+use xanadu_platform::export::{metrics_json_string, slo_json_string, streaming_json_string};
+use xanadu_platform::shard::{replay_sharded_with, ShardOptions, ShardTelemetry, ShardWorkload};
+use xanadu_platform::stream::latency_bucket;
+use xanadu_platform::{Audit, SloConfig, StreamingAudit, StreamingConfig, StreamingSummary};
+use xanadu_simcore::RngStream;
+
+/// Relative-epsilon float comparison for totals that only differ by
+/// accumulation order.
+fn close(a: f64, b: f64, what: &str) {
+    let tol = 1e-6 * a.abs().max(b.abs()).max(1.0);
+    assert!((a - b).abs() <= tol, "{what}: streaming {a} vs exact {b}");
+}
+
+/// Quantile agreement within the documented tolerance: the streaming
+/// estimate is bucket-interpolated, so it must land in the exact
+/// value's latency bucket or an adjacent one.
+fn bucket_close(stream_ms: f64, exact_ms: f64, what: &str) {
+    let (s, e) = (latency_bucket(stream_ms), latency_bucket(exact_ms));
+    assert!(
+        s.abs_diff(e) <= 1,
+        "{what}: streaming {stream_ms}ms (bucket {s}) vs exact {exact_ms}ms (bucket {e})"
+    );
+}
+
+/// One randomized single-platform run: chain shape, service time, gap,
+/// mode and fault rate all drawn from the seed. Returns the streaming
+/// summary folded live off the bus and the exact audit recomputed from
+/// full traces.
+fn random_run(seed: u64) -> (StreamingSummary, Audit) {
+    let mut rng = RngStream::derive(seed, "streaming-chaos");
+    let depth = rng.uniform_inclusive(2, 5) as usize;
+    let triggers = rng.uniform_inclusive(3, 8);
+    let gap_s = rng.uniform_inclusive(10, 240);
+    let service_ms = rng.uniform_inclusive(100, 2000) as f64;
+    let fault_rate = if rng.bernoulli(0.5) { 0.35 } else { 0.0 };
+    let mode = if rng.bernoulli(0.5) {
+        ExecutionMode::Jit
+    } else {
+        ExecutionMode::Speculative
+    };
+
+    let chain = linear_chain("wf", depth, &FunctionSpec::new("f").service_ms(service_ms)).unwrap();
+    let mut builder = PlatformConfig::builder()
+        .for_mode(mode, seed)
+        .record_traces(true);
+    if fault_rate > 0.0 {
+        builder = builder.faults(FaultConfig::with_rate(fault_rate, seed ^ 0xFA17));
+    }
+    let mut platform = Platform::new(builder.build().unwrap());
+    let streaming = platform.attach_observer(StreamingAudit::new(StreamingConfig::default()));
+    platform.deploy(chain).unwrap();
+    let mut ids = Vec::new();
+    let mut t = SimTime::ZERO;
+    for _ in 0..triggers {
+        ids.push(platform.trigger_at("wf", t).unwrap());
+        t += SimDuration::from_secs(gap_s);
+    }
+    platform.run_until_idle();
+
+    let traces: Vec<_> = ids
+        .iter()
+        .filter_map(|&id| platform.trace(id).map(|tr| (id, tr.clone())))
+        .collect();
+    let exact = Audit::from_traces(&traces);
+    let (summary, in_flight) = streaming.with(|a| (a.summary(), a.in_flight()));
+    assert_eq!(in_flight, 0, "seed {seed}: requests left open after idle");
+    (summary, exact)
+}
+
+#[test]
+fn streaming_matches_exact_audit_on_randomized_chaos_runs() {
+    for seed in 0..16u64 {
+        let (s, exact) = random_run(seed);
+        let e = &exact.summary;
+        let ctx = |what: &str| format!("seed {seed}: {what}");
+
+        assert_eq!(s.requests, e.requests, "{}", ctx("requests"));
+        assert_eq!(s.end_to_end.count, e.requests, "{}", ctx("e2e samples"));
+
+        // MLP hit/miss bookkeeping is exact, down to the per-function
+        // edges and the miss-depth profile.
+        assert_eq!(s.mlp, e.mlp, "{}", ctx("mlp"));
+
+        // Wasted-deploy accounting: integer deploy count exact, CPU-ms
+        // to accumulation noise.
+        assert_eq!(s.waste.deploys, e.waste.deploys, "{}", ctx("waste deploys"));
+        close(s.waste.cpu_ms, e.waste.cpu_ms, &ctx("waste cpu_ms"));
+
+        // Critical-path component totals.
+        close(s.exec_ms, e.exec_ms, &ctx("exec_ms"));
+        close(s.cold_start_wait_ms, e.cold_start_wait_ms, &ctx("cold_ms"));
+        close(s.queue_wait_ms, e.queue_wait_ms, &ctx("queue_ms"));
+        close(s.stall_ms, e.stall_ms, &ctx("stall_ms"));
+
+        // JIT lateness bookkeeping.
+        assert_eq!(s.jit.planned, e.jit.planned, "{}", ctx("jit planned"));
+        assert_eq!(s.jit.late, e.jit.late, "{}", ctx("jit late"));
+        assert_eq!(s.jit.on_time, e.jit.on_time, "{}", ctx("jit on_time"));
+        assert_eq!(
+            s.jit.late_ms.count,
+            e.jit.late_ms.count,
+            "{}",
+            ctx("late n")
+        );
+        close(
+            s.jit.late_ms.sum_ms,
+            e.jit.late_ms.mean * e.jit.late_ms.count as f64,
+            &ctx("late sum"),
+        );
+
+        // Latency quantiles agree to the documented bucket tolerance.
+        close(
+            s.end_to_end.mean_ms(),
+            e.end_to_end_ms.mean,
+            &ctx("e2e mean"),
+        );
+        bucket_close(
+            s.end_to_end.quantile_ms(0.5),
+            e.end_to_end_ms.p50,
+            &ctx("p50"),
+        );
+        bucket_close(
+            s.end_to_end.quantile_ms(0.95),
+            e.end_to_end_ms.p95,
+            &ctx("p95"),
+        );
+    }
+}
+
+/// A deterministic multi-workflow fleet with staggered triggers.
+fn fleet(workflows: usize, triggers: u64) -> Vec<ShardWorkload> {
+    (0..workflows)
+        .map(|i| {
+            let name = format!("wf{i}");
+            let template =
+                FunctionSpec::new(format!("{name}-f")).service_ms(300.0 + 150.0 * i as f64);
+            let dag = linear_chain(&name, 3, &template).unwrap();
+            let triggers = (0..triggers)
+                .map(|t| SimTime::from_secs(t * 90 + 11 * i as u64))
+                .collect();
+            ShardWorkload { dag, triggers }
+        })
+        .collect()
+}
+
+#[test]
+fn streaming_exports_are_byte_identical_at_any_thread_width() {
+    let run = |threads: usize| {
+        let config = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Jit, 77)
+            .build()
+            .unwrap();
+        let telemetry = ShardTelemetry {
+            streaming: Some(StreamingConfig::default()),
+            slo: Some(SloConfig::default()),
+            metrics: true,
+            progress: false,
+        };
+        let opts = ShardOptions {
+            threads,
+            window: SimDuration::from_secs(60),
+        };
+        let run = replay_sharded_with(&config, fleet(6, 5), &opts, &telemetry).unwrap();
+        let audit = streaming_json_string(run.streaming.as_ref().unwrap());
+        let slo = slo_json_string(&run.slo.as_ref().unwrap().report());
+        let metrics = metrics_json_string(run.metrics.as_ref().unwrap());
+        (audit, slo, metrics)
+    };
+    let serial = run(1);
+    assert_eq!(serial, run(8), "1 vs 8 threads changed export bytes");
+    assert_eq!(serial, run(3), "1 vs 3 threads changed export bytes");
+    let (audit, slo, _) = &serial;
+    assert!(audit.contains("\"exemplars\""), "{audit}");
+    assert!(slo.contains("\"baseline_window\""), "{slo}");
+}

@@ -16,9 +16,11 @@
 //! | `fig15` | Figure 15 — conditional chains scatter profiles | [`fig15`] |
 //! | `fig16` | Figure 16 — sandboxing impact at depth 10 | [`fig16`] |
 //! | `fig17` | Figure 17 — e-commerce & image pipeline case studies | [`fig17`] |
+//! | `cluster` | placement-policy head-to-head on a multi-host cluster | [`cluster`] |
 //! | `abl-*` | ablations (aggressiveness, keep-alive, EMA, miss policy) | [`ablations`] |
 
 pub mod ablations;
+pub mod cluster;
 pub mod fig1;
 pub mod fig12;
 pub mod fig13;
@@ -42,7 +44,7 @@ pub type ExperimentCtor = fn() -> Experiment;
 /// The full suite as `(id, constructor)` pairs, papers first then
 /// ablations. This single table drives [`run_by_id`], [`all`], and the
 /// per-experiment timing in `xanadu-repro`.
-pub const ALL_EXPERIMENTS: [(&str, ExperimentCtor); 21] = [
+pub const ALL_EXPERIMENTS: [(&str, ExperimentCtor); 22] = [
     ("fig1", fig1::run),
     ("fig3", fig3::run),
     ("fig4", fig4::run),
@@ -57,6 +59,7 @@ pub const ALL_EXPERIMENTS: [(&str, ExperimentCtor); 21] = [
     ("fig15", fig15::run),
     ("fig16", fig16::run),
     ("fig17", fig17::run),
+    ("cluster", cluster::run),
     ("abl-aggr", ablations::aggressiveness),
     ("abl-keepalive", ablations::keepalive),
     ("abl-ema", ablations::ema),
@@ -102,7 +105,7 @@ pub fn all_timed() -> Vec<(Experiment, f64)> {
 }
 
 /// All known experiment ids.
-pub const ALL_IDS: [&str; 21] = [
+pub const ALL_IDS: [&str; 22] = [
     "fig1",
     "fig3",
     "fig4",
@@ -117,6 +120,7 @@ pub const ALL_IDS: [&str; 21] = [
     "fig15",
     "fig16",
     "fig17",
+    "cluster",
     "abl-aggr",
     "abl-keepalive",
     "abl-ema",

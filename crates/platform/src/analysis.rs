@@ -28,6 +28,7 @@
 //! same traces produce byte-identical audits regardless of harness thread
 //! count or plan-cache setting (plan-cache state never reaches the trace).
 
+use crate::hosts::ClusterReport;
 use crate::obs::MetricsRegistry;
 use crate::timeline::{Trace, TraceEventKind};
 use serde::{Deserialize, Serialize};
@@ -423,6 +424,13 @@ pub struct Audit {
     pub summary: AuditSummary,
     /// Per-request audits, in the order given.
     pub requests: Vec<RequestAudit>,
+    /// Cluster scheduling outcome (per-host utilization, tenant
+    /// admission, cross-host cold attribution), attached via
+    /// [`Audit::with_cluster`] when the run used an explicit multi-host
+    /// cluster. Omitted from serialization otherwise, so single-testbed
+    /// audits keep their pre-cluster shape.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cluster: Option<ClusterReport>,
 }
 
 impl Audit {
@@ -497,7 +505,19 @@ impl Audit {
         };
         summary.jit.late_ms = LatencyStats::from_samples(late);
         summary.jit.slack_ms = LatencyStats::from_samples(slack);
-        Audit { summary, requests }
+        Audit {
+            summary,
+            requests,
+            cluster: None,
+        }
+    }
+
+    /// Attaches a cluster scheduling report (see
+    /// [`Platform::cluster_report`](crate::Platform::cluster_report)).
+    #[must_use]
+    pub fn with_cluster(mut self, cluster: Option<ClusterReport>) -> Audit {
+        self.cluster = cluster;
+        self
     }
 
     /// Builds the audit of `(request id, trace)` pairs (callers pass them
@@ -573,6 +593,51 @@ impl Audit {
              {} late (p95 lateness {:.1}ms)",
             s.jit.planned, s.jit.on_time, s.jit.slack_ms.p50, s.jit.late, s.jit.late_ms.p95
         );
+        if let Some(c) = &self.cluster {
+            let _ = writeln!(
+                out,
+                "  cluster ({} hosts, {} policy): {} placed, {} evicted, \
+                 {} overcommitted, {} booted, {} failed",
+                c.hosts.len(),
+                c.policy.label(),
+                c.hosts.iter().map(|h| h.placed).sum::<u64>(),
+                c.hosts.iter().map(|h| h.evicted).sum::<u64>(),
+                c.overcommitted,
+                c.hosts_booted,
+                c.hosts_failed
+            );
+            let chained = c.cross_host_cold + c.same_host_cold;
+            if chained > 0 {
+                let _ = writeln!(
+                    out,
+                    "    cold cascades: {} cross-host, {} co-located \
+                     ({:.1}% locality), {} retargets co-located",
+                    c.cross_host_cold,
+                    c.same_host_cold,
+                    100.0 * c.same_host_cold as f64 / chained as f64,
+                    c.retargets_colocated
+                );
+            }
+            for h in &c.hosts {
+                let _ = writeln!(
+                    out,
+                    "    {}: peak {:.1}% of {} MB ({} placed, {} evicted, {} failures)",
+                    h.name,
+                    100.0 * h.peak_utilization(),
+                    h.memory_mb,
+                    h.placed,
+                    h.evicted,
+                    h.failures
+                );
+            }
+            for t in &c.tenants {
+                let _ = writeln!(
+                    out,
+                    "    tenant {}: weight {:.1}, {} placed, {} rejected, peak {} MB",
+                    t.name, t.weight, t.placed, t.rejected, t.peak_used_mb
+                );
+            }
+        }
         out
     }
 }

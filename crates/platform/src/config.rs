@@ -1,7 +1,7 @@
 //! Platform configuration.
 
 use crate::faults::FaultConfig;
-use crate::hosts::{HostSpec, PlacementPolicy};
+use crate::hosts::{AutoscaleConfig, HostSpec, PlacementPolicy, TenantConfig};
 use serde::{Deserialize, Serialize};
 use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
 use xanadu_sandbox::PoolConfig;
@@ -25,6 +25,13 @@ pub struct ClusterConfig {
     pub policy: PlacementPolicy,
     /// The hosts; empty means "the paper's single-machine testbed".
     pub hosts: Vec<HostSpec>,
+    /// Tenants sharing the cluster (quotas + weighted fair admission).
+    /// Empty means single-tenant: no admission control at all.
+    #[serde(default)]
+    pub tenants: Vec<TenantConfig>,
+    /// Reactive fleet autoscaling; disabled by default.
+    #[serde(default)]
+    pub autoscale: AutoscaleConfig,
 }
 
 impl Default for ClusterConfig {
@@ -32,7 +39,31 @@ impl Default for ClusterConfig {
         ClusterConfig {
             policy: PlacementPolicy::LeastLoaded,
             hosts: Vec::new(),
+            tenants: Vec::new(),
+            autoscale: AutoscaleConfig::default(),
         }
+    }
+}
+
+impl ClusterConfig {
+    /// `n` identical hosts of `memory_mb` MB under `policy`. `n = 0`
+    /// gives the default single-machine testbed.
+    pub fn uniform(policy: PlacementPolicy, n: u32, memory_mb: u64) -> Self {
+        ClusterConfig {
+            policy,
+            hosts: (0..n)
+                .map(|i| HostSpec::new(format!("host-{i}"), memory_mb))
+                .collect(),
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// `k` equal-weight, unquota'd tenants named `tenant-0..k`.
+    pub fn with_tenants(mut self, k: u32) -> Self {
+        self.tenants = (0..k)
+            .map(|i| TenantConfig::new(format!("tenant-{i}")))
+            .collect();
+        self
     }
 }
 
@@ -261,6 +292,39 @@ impl PlatformConfigBuilder {
                 "fault injection needs a positive invocation timeout".into(),
             ));
         }
+        if !(0.0..=1.0).contains(&c.faults.host_failure_rate)
+            || !c.faults.host_failure_rate.is_finite()
+        {
+            return Err(ConfigError(format!(
+                "host failure rate {} outside [0, 1]",
+                c.faults.host_failure_rate
+            )));
+        }
+        if c.faults.host_failure_rate > 0.0
+            && (c.faults.host_mtbf_ms <= 0.0 || c.faults.host_reboot_ms <= 0.0)
+        {
+            return Err(ConfigError(
+                "host failure injection needs positive mtbf and reboot times".into(),
+            ));
+        }
+        for t in &c.cluster.tenants {
+            if t.name.trim().is_empty() {
+                return Err(ConfigError("tenant names must not be empty".into()));
+            }
+            if t.weight <= 0.0 || !t.weight.is_finite() {
+                return Err(ConfigError(format!(
+                    "tenant `{}` weight {} must be positive",
+                    t.name, t.weight
+                )));
+            }
+        }
+        if c.cluster.autoscale.enabled()
+            && (c.cluster.autoscale.host_memory_mb == 0 || c.cluster.autoscale.boot_ms < 0.0)
+        {
+            return Err(ConfigError(
+                "autoscaled hosts need memory and a non-negative boot time".into(),
+            ));
+        }
         Ok(c)
     }
 }
@@ -362,6 +426,48 @@ mod tests {
             .faults(no_timeout)
             .build()
             .is_err());
+        let bad_host = FaultConfig {
+            host_failure_rate: 1.5,
+            ..FaultConfig::default()
+        };
+        assert!(PlatformConfig::builder().faults(bad_host).build().is_err());
+        let no_reboot = FaultConfig {
+            host_failure_rate: 0.5,
+            host_reboot_ms: 0.0,
+            ..FaultConfig::default()
+        };
+        assert!(PlatformConfig::builder().faults(no_reboot).build().is_err());
+        let bad_tenant = ClusterConfig {
+            tenants: vec![TenantConfig {
+                weight: 0.0,
+                ..TenantConfig::new("t")
+            }],
+            ..ClusterConfig::uniform(PlacementPolicy::Affinity, 2, 1024)
+        };
+        assert!(PlatformConfig::builder()
+            .cluster(bad_tenant)
+            .build()
+            .is_err());
+        let bad_auto = ClusterConfig {
+            autoscale: AutoscaleConfig {
+                max_hosts: 2,
+                host_memory_mb: 0,
+                ..AutoscaleConfig::default()
+            },
+            ..ClusterConfig::default()
+        };
+        assert!(PlatformConfig::builder().cluster(bad_auto).build().is_err());
+    }
+
+    #[test]
+    fn uniform_cluster_and_tenant_helpers() {
+        let c = ClusterConfig::uniform(PlacementPolicy::Affinity, 4, 2048).with_tenants(2);
+        assert_eq!(c.hosts.len(), 4);
+        assert_eq!(c.hosts[3].name, "host-3");
+        assert_eq!(c.hosts[0].memory_mb, 2048);
+        assert_eq!(c.tenants.len(), 2);
+        assert_eq!(c.tenants[1].name, "tenant-1");
+        assert!(PlatformConfig::builder().cluster(c).build().is_ok());
     }
 
     #[test]

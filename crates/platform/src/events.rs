@@ -44,11 +44,19 @@ pub enum Topic {
     RequestCompleted,
     /// A live SLO window breached its thresholds.
     SloAlert,
+    /// A host came up (autoscaled boot or post-failure reboot).
+    HostUp,
+    /// A host failed, losing all its workers.
+    HostDown,
+    /// The Dispatch Manager placed a worker on a host.
+    WorkerPlaced,
+    /// A worker was forcibly evicted (capacity or quota pressure).
+    WorkerEvicted,
 }
 
 impl Topic {
     /// Every topic, in declaration order.
-    pub const ALL: [Topic; 13] = [
+    pub const ALL: [Topic; 17] = [
         Topic::RequestTriggered,
         Topic::PlanComputed,
         Topic::FunctionInvoked,
@@ -62,6 +70,10 @@ impl Topic {
         Topic::InvokeRetried,
         Topic::RequestCompleted,
         Topic::SloAlert,
+        Topic::HostUp,
+        Topic::HostDown,
+        Topic::WorkerPlaced,
+        Topic::WorkerEvicted,
     ];
 
     /// The dotted wire name (what the Kafka topic would be called).
@@ -80,6 +92,10 @@ impl Topic {
             Topic::InvokeRetried => "invoke.retried",
             Topic::RequestCompleted => "request.completed",
             Topic::SloAlert => "slo.alert",
+            Topic::HostUp => "host.up",
+            Topic::HostDown => "host.down",
+            Topic::WorkerPlaced => "worker.placed",
+            Topic::WorkerEvicted => "worker.evicted",
         }
     }
 
@@ -239,6 +255,40 @@ pub enum BusEvent {
         /// Human-readable statement of the allowed envelope.
         allowed: String,
     },
+    /// A host came up: an autoscaled boot or a post-failure reboot.
+    HostUp {
+        /// Host id.
+        host: u32,
+        /// The host's memory capacity, MB.
+        memory_mb: u64,
+    },
+    /// A host failed; its workers crashed and will be re-placed.
+    HostDown {
+        /// Host id.
+        host: u32,
+        /// Workers lost with the host.
+        workers_lost: u32,
+    },
+    /// The Dispatch Manager placed a worker on a host.
+    WorkerPlaced {
+        /// Worker id.
+        worker: u64,
+        /// Chosen host.
+        host: u32,
+        /// Request that owns the deployment, or `u64::MAX` for
+        /// pool-owned provisions.
+        request: u64,
+        /// The worker's memory footprint, MB.
+        memory_mb: u32,
+    },
+    /// A worker was forcibly evicted from its host (live-cap, capacity
+    /// or quota pressure — not keep-alive reaping).
+    WorkerEvicted {
+        /// Worker id.
+        worker: u64,
+        /// Host it was evicted from.
+        host: u32,
+    },
 }
 
 impl BusEvent {
@@ -258,6 +308,10 @@ impl BusEvent {
             BusEvent::InvokeRetried { .. } => Topic::InvokeRetried,
             BusEvent::RequestCompleted { .. } => Topic::RequestCompleted,
             BusEvent::SloAlert { .. } => Topic::SloAlert,
+            BusEvent::HostUp { .. } => Topic::HostUp,
+            BusEvent::HostDown { .. } => Topic::HostDown,
+            BusEvent::WorkerPlaced { .. } => Topic::WorkerPlaced,
+            BusEvent::WorkerEvicted { .. } => Topic::WorkerEvicted,
         }
     }
 }
@@ -382,6 +436,21 @@ mod tests {
                 candidate: 1300.0,
                 allowed: "+225.0% > allowed +10.0%".into(),
             },
+            BusEvent::HostUp {
+                host: 2,
+                memory_mb: 4096,
+            },
+            BusEvent::HostDown {
+                host: 2,
+                workers_lost: 3,
+            },
+            BusEvent::WorkerPlaced {
+                worker: 7,
+                host: 2,
+                request: 1,
+                memory_mb: 512,
+            },
+            BusEvent::WorkerEvicted { worker: 7, host: 2 },
         ]
     }
 }

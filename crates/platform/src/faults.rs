@@ -48,6 +48,16 @@ fn default_backoff_ms() -> f64 {
     200.0
 }
 
+/// Serde default for [`FaultConfig::host_mtbf_ms`].
+fn default_host_mtbf_ms() -> f64 {
+    120_000.0
+}
+
+/// Serde default for [`FaultConfig::host_reboot_ms`].
+fn default_host_reboot_ms() -> f64 {
+    30_000.0
+}
+
 /// Configuration of the fault injector.
 ///
 /// `rate` is the master knob: the probability that any given worker
@@ -80,6 +90,19 @@ pub struct FaultConfig {
     /// Base retry backoff; attempt `n` waits `backoff_ms · 2^n`.
     #[serde(default = "default_backoff_ms")]
     pub backoff_ms: f64,
+    /// Probability in `[0, 1]` that a host fails during any one of its
+    /// uptime epochs. 0 (the default) disables host failure injection,
+    /// independently of the worker/invocation `rate`.
+    #[serde(default)]
+    pub host_failure_rate: f64,
+    /// Width of the uptime window a doomed host's failure instant is
+    /// drawn from, per epoch.
+    #[serde(default = "default_host_mtbf_ms")]
+    pub host_mtbf_ms: f64,
+    /// How long a failed host stays down before rebooting (while the
+    /// platform still has requests in flight).
+    #[serde(default = "default_host_reboot_ms")]
+    pub host_reboot_ms: f64,
 }
 
 impl Default for FaultConfig {
@@ -91,14 +114,32 @@ impl Default for FaultConfig {
             timeout_ms: default_timeout_ms(),
             max_retries: default_max_retries(),
             backoff_ms: default_backoff_ms(),
+            host_failure_rate: 0.0,
+            host_mtbf_ms: default_host_mtbf_ms(),
+            host_reboot_ms: default_host_reboot_ms(),
         }
     }
 }
 
 impl FaultConfig {
-    /// Whether any faults will be injected.
+    /// Whether worker/invocation faults will be injected.
     pub fn enabled(&self) -> bool {
         self.rate > 0.0
+    }
+
+    /// Whether host failures will be injected.
+    pub fn hosts_enabled(&self) -> bool {
+        self.host_failure_rate > 0.0
+    }
+
+    /// Convenience constructor: host failures at `host_failure_rate` with
+    /// a specific fault seed (worker/invocation faults stay off).
+    pub fn with_host_rate(host_failure_rate: f64, seed: u64) -> Self {
+        FaultConfig {
+            host_failure_rate,
+            seed,
+            ..Default::default()
+        }
     }
 
     /// Convenience constructor: the default schedule at `rate` with a
@@ -124,6 +165,7 @@ pub struct FaultPlan {
     config: FaultConfig,
     rng_worker: RngStream,
     rng_invoke: RngStream,
+    rng_host: RngStream,
 }
 
 impl FaultPlan {
@@ -132,6 +174,7 @@ impl FaultPlan {
         FaultPlan {
             rng_worker: RngStream::derive(config.seed, "fault-worker"),
             rng_invoke: RngStream::derive(config.seed, "fault-invoke"),
+            rng_host: RngStream::derive(config.seed, "fault-host"),
             config,
         }
     }
@@ -141,9 +184,14 @@ impl FaultPlan {
         &self.config
     }
 
-    /// Whether any faults will be injected.
+    /// Whether worker/invocation faults will be injected.
     pub fn enabled(&self) -> bool {
         self.config.enabled()
+    }
+
+    /// Whether host failures will be injected.
+    pub fn hosts_enabled(&self) -> bool {
+        self.config.hosts_enabled()
     }
 
     /// Decides whether (and when) worker `worker` crashes.
@@ -165,6 +213,27 @@ impl FaultPlan {
         let window = startup + startup + SimDuration::from_secs(60);
         let offset_ms = rng.next_f64() * window.as_millis_f64();
         Some(provisioned + SimDuration::from_millis_f64(offset_ms))
+    }
+
+    /// Decides whether (and when) host `host` fails during uptime epoch
+    /// `epoch` starting at `up_since`.
+    ///
+    /// Like [`crash_time`](FaultPlan::crash_time), the decision is a pure
+    /// function of identities — `(host, epoch)` keys a child stream — so
+    /// the host failure schedule is independent of event interleaving. A
+    /// doomed epoch gets one failure instant drawn uniformly over
+    /// `[up_since, up_since + host_mtbf_ms)`.
+    pub fn host_crash_time(&self, host: u32, epoch: u32, up_since: SimTime) -> Option<SimTime> {
+        if !self.hosts_enabled() {
+            return None;
+        }
+        let key = u64::from(host) | (u64::from(epoch) << 32);
+        let mut rng = self.rng_host.child(key);
+        if rng.next_f64() >= self.config.host_failure_rate {
+            return None;
+        }
+        let offset_ms = rng.next_f64() * self.config.host_mtbf_ms;
+        Some(up_since + SimDuration::from_millis_f64(offset_ms))
     }
 
     /// Decides whether attempt `attempt` of invoking `node` for request
@@ -283,5 +352,47 @@ mod tests {
         assert_eq!(c.seed, 0xFA17);
         assert_eq!(c.max_retries, 3);
         assert!(c.enabled());
+        assert!(!c.hosts_enabled());
+        assert_eq!(c.host_mtbf_ms, 120_000.0);
+        assert_eq!(c.host_reboot_ms, 30_000.0);
+    }
+
+    #[test]
+    fn host_failures_are_independent_of_worker_faults() {
+        let p = FaultPlan::new(FaultConfig::with_host_rate(1.0, 7));
+        assert!(!p.enabled());
+        assert!(p.hosts_enabled());
+        // Worker faults stay off; every host epoch is doomed.
+        assert_eq!(p.crash_time(0, SimTime::ZERO, SimTime::from_secs(1)), None);
+        let t = p
+            .host_crash_time(0, 0, SimTime::from_secs(10))
+            .expect("rate 1.0 fails every epoch");
+        assert!(t >= SimTime::from_secs(10));
+        assert!(t < SimTime::from_secs(130), "within the mtbf window");
+    }
+
+    #[test]
+    fn host_crash_times_are_keyed_by_host_and_epoch() {
+        let a = FaultPlan::new(FaultConfig::with_host_rate(0.5, 3));
+        let b = FaultPlan::new(FaultConfig::with_host_rate(0.5, 3));
+        let fwd: Vec<_> = (0..64)
+            .flat_map(|h| (0..4).map(move |e| (h, e)))
+            .map(|(h, e)| a.host_crash_time(h, e, SimTime::ZERO))
+            .collect();
+        let rev: Vec<_> = (0..64)
+            .flat_map(|h| (0..4).map(move |e| (h, e)))
+            .rev()
+            .map(|(h, e)| b.host_crash_time(h, e, SimTime::ZERO))
+            .collect();
+        let rev_fwd: Vec<_> = rev.into_iter().rev().collect();
+        assert_eq!(fwd, rev_fwd);
+        assert!(fwd.iter().any(Option::is_some));
+        assert!(fwd.iter().any(Option::is_none));
+        // Consecutive epochs of the same host draw independently.
+        let per_epoch: Vec<bool> = (0..32)
+            .map(|e| a.host_crash_time(5, e, SimTime::ZERO).is_some())
+            .collect();
+        assert!(per_epoch.iter().any(|&s| s));
+        assert!(per_epoch.iter().any(|&s| !s));
     }
 }

@@ -63,6 +63,10 @@ pub use analysis::{
 pub use config::{ClusterConfig, ConfigError, PlatformConfig, PlatformConfigBuilder};
 pub use events::{BusEvent, Topic};
 pub use faults::{FaultConfig, FaultPlan};
+pub use hosts::{
+    AutoscaleConfig, ClusterReport, HostId, HostRegistry, HostReport, HostSpec, PlacementError,
+    PlacementPolicy, PlacementRequest, TenantConfig, TenantReport,
+};
 pub use obs::{Histogram, MetricsRegistry, Observer, ObserverHandle};
 pub use result::{PlatformReport, RunResult};
 pub use shard::{
@@ -71,5 +75,6 @@ pub use shard::{
 };
 pub use sim::{report_total_costs, LearnedState, Platform, PlatformError};
 pub use stream::{
-    SloAlert, SloConfig, SloMonitor, SloReport, StreamingAudit, StreamingConfig, StreamingSummary,
+    ClusterActivity, SloAlert, SloConfig, SloMonitor, SloReport, StreamingAudit, StreamingConfig,
+    StreamingSummary,
 };

@@ -315,6 +315,13 @@ impl Observer for MetricsRegistry {
                 self.observe_ms("end_to_end_ms", *end_to_end_ms);
             }
             BusEvent::SloAlert { .. } => self.incr("slo.alerts", 1),
+            BusEvent::HostUp { .. } => self.incr("hosts.up", 1),
+            BusEvent::HostDown { workers_lost, .. } => {
+                self.incr("hosts.down", 1);
+                self.incr("hosts.workers_lost", u64::from(*workers_lost));
+            }
+            BusEvent::WorkerPlaced { .. } => self.incr("workers.placed", 1),
+            BusEvent::WorkerEvicted { .. } => self.incr("workers.evicted", 1),
         }
     }
 }

@@ -1,5 +1,6 @@
 //! Per-request and per-run results.
 
+use crate::hosts::ClusterReport;
 use crate::obs::MetricsRegistry;
 use serde::{Deserialize, Serialize};
 use xanadu_core::cost::{PenaltyFactors, ResourceCosts, WorkflowRunCosts};
@@ -72,6 +73,13 @@ pub struct PlatformReport {
     /// platforms serialize byte-identically to pre-observability ones.
     #[serde(default, skip_serializing_if = "Option::is_none")]
     pub metrics: Option<MetricsRegistry>,
+    /// Cluster scheduling outcome (per-host utilization, tenant
+    /// admission, cross-host cold attribution). Present only when the
+    /// platform ran with an explicit multi-host cluster — default
+    /// single-testbed reports serialize byte-identically to pre-cluster
+    /// ones.
+    #[serde(default, skip_serializing_if = "Option::is_none")]
+    pub cluster: Option<ClusterReport>,
 }
 
 impl PlatformReport {
@@ -181,8 +189,7 @@ mod tests {
     fn report_aggregates() {
         let report = PlatformReport {
             results: vec![result(1000, 1.0, 10.0), result(3000, 3.0, 30.0)],
-            worker_records: Vec::new(),
-            metrics: None,
+            ..PlatformReport::default()
         };
         assert_eq!(report.mean_overhead_ms(), 2000.0);
         assert_eq!(report.mean_end_to_end_ms(), 3000.0);
@@ -200,6 +207,7 @@ mod tests {
         let report = PlatformReport::default();
         let json = serde_json::to_string(&report).unwrap();
         assert!(!json.contains("metrics"), "{json}");
+        assert!(!json.contains("cluster"), "{json}");
         let with = PlatformReport {
             metrics: Some(MetricsRegistry::new()),
             ..PlatformReport::default()

@@ -52,6 +52,7 @@ use xanadu_sandbox::WorkerId;
 use xanadu_simcore::{RngStream, SimDuration, SimTime};
 
 use crate::config::PlatformConfig;
+use crate::hosts::ClusterReport;
 use crate::obs::{MetricsRegistry, ObserverHandle};
 use crate::result::{PlatformReport, RunResult};
 use crate::sim::{Platform, PlatformError};
@@ -589,6 +590,7 @@ fn merge(outputs: Vec<ShardOutput>, logical_shards: usize) -> ShardedRun {
     let mut streaming: Option<StreamingAudit> = None;
     let mut slo: Option<SloMonitor> = None;
     let mut metrics: Option<MetricsRegistry> = None;
+    let mut cluster: Option<ClusterReport> = None;
     for out in outputs {
         let map = &global[out.index];
         for mut r in out.report.results {
@@ -639,6 +641,14 @@ fn merge(outputs: Vec<ShardOutput>, logical_shards: usize) -> ShardedRun {
                 Some(acc) => acc.merge_from(&registry),
             }
         }
+        // Every logical shard runs its own replica of the configured
+        // cluster, so host rows fold by id and counters sum.
+        if let Some(report) = out.report.cluster {
+            match &mut cluster {
+                None => cluster = Some(report),
+                Some(acc) => acc.merge_from(&report),
+            }
+        }
     }
     results.sort_by_key(|r| r.request);
     traces.sort_by_key(|&(gid, _)| gid);
@@ -648,6 +658,7 @@ fn merge(outputs: Vec<ShardOutput>, logical_shards: usize) -> ShardedRun {
             results,
             worker_records: records,
             metrics: None,
+            cluster,
         },
         traces,
         logical_shards,

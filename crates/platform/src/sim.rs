@@ -19,7 +19,7 @@ use crate::config::PlatformConfig;
 use crate::estimates::PlatformEstimates;
 use crate::events::{BusEvent, Topic};
 use crate::faults::{FaultConfig, FaultPlan};
-use crate::hosts::{HostRegistry, HostSpec};
+use crate::hosts::{ClusterReport, HostId, HostRegistry, HostSpec, PlacementRequest};
 use crate::metastore::MetaStore;
 use crate::obs::{MetricsRegistry, Observer, ObserverHandle};
 use crate::result::{PlatformReport, RunResult};
@@ -166,6 +166,17 @@ enum Event {
         req: u64,
         node: NodeId,
     },
+    /// Injected fault: a whole host fails, losing every worker on it.
+    /// `epoch` guards against staleness: the failure only applies if the
+    /// host is still in the uptime epoch the crash was scheduled for.
+    HostFail {
+        host: u32,
+        epoch: u32,
+    },
+    /// A host comes up: an autoscaled boot or a post-failure reboot.
+    HostBoot {
+        host: u32,
+    },
 }
 
 #[derive(Debug, Clone)]
@@ -175,6 +186,10 @@ struct WorkflowEntry {
     /// Declared-output table for data-driven conditionals, computed once at
     /// registration instead of per trigger.
     declared_outputs: Arc<DeclaredOutputs>,
+    /// Owning tenant (index into the cluster's tenant table), resolved
+    /// once at deploy: explicit workflow listing first, stable hash
+    /// otherwise. `None` when no tenants are configured.
+    tenant: Option<u32>,
 }
 
 #[derive(Debug)]
@@ -220,6 +235,9 @@ struct RunState {
     retries: u32,
     /// Orchestration event timeline (Figure 10).
     trace: Trace,
+    /// Host of the request's most recent execution start: the locality
+    /// locus the affinity policy and retargeting co-locate against.
+    locus: Option<HostId>,
 }
 
 impl RunState {
@@ -279,6 +297,25 @@ pub struct Platform {
     spawner: Vec<Option<u64>>,
     /// The cluster the Dispatch Daemons manage (Figure 11).
     cluster: HostRegistry,
+    /// Whether an explicit multi-host cluster (or autoscaler) was
+    /// configured. Gates cluster bookkeeping and report attachment so
+    /// default single-testbed runs stay byte-identical to pre-cluster
+    /// builds.
+    cluster_enabled: bool,
+    /// Cold executions whose request's previous hop ran on another host.
+    cross_host_cold: u64,
+    /// Cold executions co-located with the request's previous hop.
+    same_host_cold: u64,
+    /// Prediction-miss recoveries served by retargeting a co-located
+    /// warm worker.
+    retargets_colocated: u64,
+    /// Workers provisioned shielded (the guaranteed final retry): exempt
+    /// from injected worker crashes *and* host-failure drains, so every
+    /// request terminates under any fault schedule.
+    shielded_workers: HashSet<WorkerId>,
+    /// Requests triggered but not yet finalized. Host reboots are only
+    /// scheduled while this is non-zero, so an idle platform quiesces.
+    active_runs: usize,
     /// Advisor implementing the paper's future-work adaptive keep-alive
     /// (§7): it observes which invocations speculation covered.
     keepalive_advisor: AdaptiveKeepAlive,
@@ -312,18 +349,34 @@ impl Platform {
     pub fn with_provider(config: PlatformConfig, provider: SimSandboxProvider) -> Self {
         let pool = WorkerPool::new(config.pool);
         let seed = config.seed;
-        let cluster = if config.cluster.hosts.is_empty() {
-            HostRegistry::paper_testbed()
+        let cluster_enabled =
+            !config.cluster.hosts.is_empty() || config.cluster.autoscale.enabled();
+        let mut cluster = HostRegistry::new(config.cluster.policy);
+        if config.cluster.hosts.is_empty() && !config.cluster.autoscale.enabled() {
+            cluster.add_host(HostSpec::new("xeon-64c-128g", 128 * 1024));
         } else {
-            let mut registry = HostRegistry::new(config.cluster.policy);
             for spec in &config.cluster.hosts {
-                registry.add_host(HostSpec {
-                    name: spec.name.clone(),
-                    memory_mb: spec.memory_mb,
-                });
+                cluster.add_host(spec.clone());
             }
-            registry
-        };
+        }
+        cluster.set_seed(seed);
+        cluster.set_tenants(config.cluster.tenants.clone());
+        cluster.set_autoscale(config.cluster.autoscale.clone());
+        let faults = FaultPlan::new(config.faults);
+        let mut queue = EventQueue::new();
+        if faults.hosts_enabled() {
+            for host in cluster.up_hosts() {
+                if let Some(at) = faults.host_crash_time(host.0, 0, SimTime::ZERO) {
+                    queue.schedule(
+                        at,
+                        Event::HostFail {
+                            host: host.0,
+                            epoch: 0,
+                        },
+                    );
+                }
+            }
+        }
         let mut engine = SpeculationEngine::new(config.speculation);
         engine.set_plan_cache(config.plan_cache);
         Platform {
@@ -335,7 +388,7 @@ impl Platform {
             correlator: RequestCorrelator::new(),
             workflow_ids: Interner::new(),
             workflows: Vec::new(),
-            queue: EventQueue::new(),
+            queue,
             now: SimTime::ZERO,
             runs: Vec::new(),
             results: Vec::new(),
@@ -346,11 +399,17 @@ impl Platform {
             claimed: HashSet::new(),
             spawner: Vec::new(),
             cluster,
+            cluster_enabled,
+            cross_host_cold: 0,
+            same_host_cold: 0,
+            retargets_colocated: 0,
+            shielded_workers: HashSet::new(),
+            active_runs: 0,
             keepalive_advisor: AdaptiveKeepAlive::new(KeepAliveConfig::default()),
             traces: HashMap::new(),
             bus: Bus::new(),
             metastore: MetaStore::new(),
-            faults: FaultPlan::new(config.faults),
+            faults,
             observers: Vec::new(),
             registry: None,
             slo: None,
@@ -364,6 +423,23 @@ impl Platform {
     pub fn set_faults(&mut self, config: FaultConfig) {
         self.config.faults = config;
         self.faults = FaultPlan::new(config);
+        // Invalidate any host-crash events scheduled under the old plan and
+        // draw fresh crash times for every live host under the new one.
+        self.cluster.bump_epochs();
+        if self.faults.hosts_enabled() {
+            for host in self.cluster.up_hosts() {
+                let epoch = self.cluster.epoch(host);
+                if let Some(at) = self.faults.host_crash_time(host.0, epoch, self.now) {
+                    self.queue.schedule(
+                        at,
+                        Event::HostFail {
+                            host: host.0,
+                            epoch,
+                        },
+                    );
+                }
+            }
+        }
     }
 
     /// The platform's configuration.
@@ -431,10 +507,12 @@ impl Platform {
         }
         let sym = self.workflow_ids.intern(&name);
         debug_assert_eq!(sym.index(), self.workflows.len());
+        let tenant = self.cluster.tenant_for_workflow(&name);
         self.workflows.push(WorkflowEntry {
             dag,
             implicit,
             declared_outputs,
+            tenant,
         });
         Ok(())
     }
@@ -763,6 +841,7 @@ impl Platform {
             self.pool.kill(id, at);
             self.cluster.release(id);
         }
+        let cluster = self.cluster_report();
         let mut records = self.pool.drain(self.now);
         // The teardown above iterates the live map (hash order): sort the
         // ledger so identical runs produce byte-identical reports.
@@ -771,7 +850,23 @@ impl Platform {
             results: self.results,
             worker_records: records,
             metrics: self.registry.as_ref().map(ObserverHandle::snapshot),
+            cluster,
         }
+    }
+
+    /// Snapshot of the cluster scheduling outcome: per-host utilization
+    /// and the cold-start locality attribution tracked by the simulator.
+    /// `None` unless an explicit multi-host cluster (or autoscaler) was
+    /// configured, so default reports stay byte-identical.
+    pub fn cluster_report(&self) -> Option<ClusterReport> {
+        if !self.cluster_enabled {
+            return None;
+        }
+        let mut report = self.cluster.report();
+        report.cross_host_cold = self.cross_host_cold;
+        report.same_host_cold = self.same_host_cold;
+        report.retargets_colocated = self.retargets_colocated;
+        Some(report)
     }
 
     // ------------------------------------------------------------------
@@ -809,7 +904,78 @@ impl Platform {
                 began,
             } => self.on_exec_timeout(req, node, worker, began),
             Event::Redispatch { req, node } => self.on_redispatch(req, node),
+            Event::HostFail { host, epoch } => self.on_host_fail(host, epoch),
+            Event::HostBoot { host } => self.on_host_boot(host),
         }
+    }
+
+    /// An injected host failure fires. Stale if the host already cycled
+    /// into a newer uptime epoch (the fault plan was swapped, or the host
+    /// was down when the crash was drawn). Every non-shielded worker on
+    /// the host crashes; shielded final-retry workers survive hostless so
+    /// the termination guarantee holds under any fault schedule.
+    fn on_host_fail(&mut self, host: u32, epoch: u32) {
+        let id = HostId(host);
+        if self.cluster.epoch(id) != epoch || !self.cluster.is_up(id) {
+            return;
+        }
+        let drained = self.cluster.fail_host(id);
+        let (lost, shielded): (Vec<WorkerId>, Vec<WorkerId>) = drained
+            .into_iter()
+            .partition(|w| !self.shielded_workers.contains(w));
+        let _ = shielded; // survive hostless: nothing to do
+        if self.observing(Topic::HostDown) {
+            self.emit(BusEvent::HostDown {
+                host,
+                workers_lost: lost.len() as u32,
+            });
+        }
+        for worker in lost {
+            self.on_worker_crash(worker);
+        }
+        // Reboot only while requests are in flight: an idle platform must
+        // quiesce, or `run_until_idle` would cycle hosts forever.
+        if self.active_runs > 0 {
+            let reboot = SimDuration::from_millis_f64(self.config.faults.host_reboot_ms);
+            self.queue
+                .schedule(self.now + reboot, Event::HostBoot { host });
+        }
+    }
+
+    /// A host comes up: an autoscaled boot or a post-failure reboot. The
+    /// next injected crash for its new uptime epoch is drawn here.
+    fn on_host_boot(&mut self, host: u32) {
+        let id = HostId(host);
+        if !self.cluster.activate_host(id) {
+            return;
+        }
+        if self.observing(Topic::HostUp) {
+            self.emit(BusEvent::HostUp {
+                host,
+                memory_mb: self.cluster.memory_mb(id),
+            });
+        }
+        if self.faults.hosts_enabled() {
+            let epoch = self.cluster.epoch(id);
+            if let Some(at) = self.faults.host_crash_time(host, epoch, self.now) {
+                self.queue.schedule(at, Event::HostFail { host, epoch });
+            }
+        }
+    }
+
+    /// Reactive scale-up: when the autoscaler is enabled and cluster free
+    /// memory dips below the configured threshold, reserve one host and
+    /// schedule its boot. One host boots at a time (the registry refuses
+    /// to scale while a boot is pending), so reaction is gradual.
+    fn maybe_scale_up(&mut self) {
+        if !self.cluster.wants_scale_up() {
+            return;
+        }
+        let spec = self.cluster.autoscale_host_spec();
+        let id = self.cluster.reserve_host(spec);
+        let boot = SimDuration::from_millis_f64(self.cluster.autoscale().boot_ms);
+        self.queue
+            .schedule(self.now + boot, Event::HostBoot { host: id.0 });
     }
 
     fn on_trigger(&mut self, req: u64, workflow: Sym) {
@@ -988,6 +1154,7 @@ impl Platform {
             faults: 0,
             retries: 0,
             trace: Trace::default(),
+            locus: None,
         };
         let idx = req as usize;
         if self.runs.len() <= idx {
@@ -995,6 +1162,7 @@ impl Platform {
         }
         debug_assert!(self.runs[idx].is_none(), "request id reused");
         self.runs[idx] = Some(Box::new(state));
+        self.active_runs += 1;
         if self.config.record_traces {
             let run = self.runs[idx].as_deref_mut().expect("just inserted");
             run.trace.record(self.now, TraceEventKind::Triggered);
@@ -1127,8 +1295,10 @@ impl Platform {
     /// Routes one invocation of `node` to a worker: the resource-allocator
     /// half of [`on_invoke`](Self::on_invoke), also used to re-dispatch
     /// attempts orphaned by crashes or aborted by timeouts. Prefers a warm
-    /// worker, then in-flight provisioning, then a fresh on-demand
-    /// provision. Once the fault-retry budget is exhausted the attempt is
+    /// worker, then in-flight provisioning, then (under
+    /// [`MissPolicy::ReplanAndReuse`]) retargeting a compatible co-located
+    /// spare, then a fresh on-demand provision. Once the fault-retry budget
+    /// is exhausted the attempt is
     /// *shielded*: a fresh worker exempt from fault injection, so every
     /// request terminates under any fault schedule.
     fn dispatch_node(&mut self, req: u64, node: NodeId) {
@@ -1137,10 +1307,12 @@ impl Platform {
         let spec = dag.node(node).spec();
         let function = spec.name();
         let invoked_at = self.now;
-        let shielded = self.faults.enabled()
+        let shielded = (self.faults.enabled() || self.faults.hosts_enabled())
             && run.fault_attempts[node.index()] >= self.config.faults.max_retries;
         if shielded {
-            let (worker, ready_at) = self.provision_worker(req, spec, true, true);
+            let (worker, ready_at) = self
+                .provision_worker(req, spec, true, true)
+                .expect("on-demand provisioning always yields a worker");
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
             self.queue.schedule(
@@ -1181,8 +1353,32 @@ impl Platform {
                     invoked_at,
                 },
             );
+        } else if self.config.speculation.miss_policy == MissPolicy::ReplanAndReuse
+            && self.try_retarget(req, spec)
+        {
+            // Future work §7: a mispredicted branch left this request a
+            // compatible unused spare (co-located when running clustered).
+            // Retargeting it serves the dispatch warm instead of paying an
+            // on-demand cold start.
+            let worker = self
+                .find_claimable_warm(function)
+                .expect("retargeting produced a warm worker for this function");
+            self.claimed.insert(worker);
+            let dispatch = self.provider.warm_dispatch(spec.isolation_level());
+            self.queue.schedule(
+                self.now + dispatch,
+                Event::ExecStart {
+                    req,
+                    node,
+                    worker,
+                    acquired: Acquired::Warm,
+                    invoked_at,
+                },
+            );
         } else {
-            let (worker, ready_at) = self.provision_worker(req, spec, true, false);
+            let (worker, ready_at) = self
+                .provision_worker(req, spec, true, false)
+                .expect("on-demand provisioning always yields a worker");
             self.claimed.insert(worker);
             let dispatch = self.provider.warm_dispatch(spec.isolation_level());
             self.queue.schedule(
@@ -1205,6 +1401,9 @@ impl Platform {
     }
 
     fn on_worker_ready(&mut self, worker: WorkerId) {
+        // The worker's provisioning burst on its host is over: it stops
+        // contending with concurrent cold starts there.
+        self.cluster.worker_ready(worker);
         if self.pool.mark_ready(worker) && self.observing(Topic::WorkerReady) {
             self.emit(BusEvent::WorkerReady { worker: worker.0 });
         }
@@ -1249,6 +1448,20 @@ impl Platform {
             run.warm_starts += 1;
         } else {
             run.cold_starts += 1;
+        }
+        if self.cluster_enabled {
+            let host = self.cluster.host_of(worker);
+            let locus = self.run(req).and_then(|r| r.locus);
+            if !warm_start {
+                match (locus, host) {
+                    (Some(locus), Some(host)) if locus != host => self.cross_host_cold += 1,
+                    (Some(_), Some(_)) => self.same_host_cold += 1,
+                    _ => {} // first hop of the chain, or an overcommitted worker
+                }
+            }
+            if host.is_some() {
+                self.run_mut(req).expect("run exists").locus = host;
+            }
         }
         if acquired != Acquired::Warm {
             self.metrics.record_startup(function, startup_wait);
@@ -1327,7 +1540,7 @@ impl Platform {
         // max_live, not retroactively here; only the host memory returns.
         // Claimed workers (dispatch in flight) are exempt from eviction.
         for evicted in self.pool.enforce_warm_cap(self.now, &self.claimed) {
-            self.cluster.release(evicted);
+            self.evict_worker(evicted);
         }
 
         let record_traces = self.config.record_traces;
@@ -1699,6 +1912,7 @@ impl Platform {
 
     fn finalize_run(&mut self, req: u64) {
         let mut run = self.runs[req as usize].take().expect("run exists");
+        self.active_runs -= 1;
         if self.config.record_traces {
             run.trace.record(self.now, TraceEventKind::Completed);
             self.traces.insert(req, std::mem::take(&mut run.trace));
@@ -1782,6 +1996,24 @@ impl Platform {
         self.cluster.release(id);
     }
 
+    /// Forcibly evicts a worker (capacity/quota/warm-cap pressure):
+    /// records the eviction against its host, emits [`BusEvent::WorkerEvicted`]
+    /// for placed workers, then kills it. Emission is gated on an explicit
+    /// cluster so default observed runs emit exactly the pre-cluster
+    /// event stream.
+    fn evict_worker(&mut self, id: WorkerId) {
+        self.cluster.note_evicted(id);
+        if self.cluster_enabled && self.observing(Topic::WorkerEvicted) {
+            if let Some(host) = self.cluster.host_of(id) {
+                self.emit(BusEvent::WorkerEvicted {
+                    worker: id.0,
+                    host: host.0,
+                });
+            }
+        }
+        self.kill_worker(id, self.now);
+    }
+
     fn usable_worker_exists(&self, function: &str) -> bool {
         let keep_alive = self.pool.config().keep_alive;
         self.pool.warm_workers(function).any(|w| {
@@ -1824,13 +2056,21 @@ impl Platform {
     /// cold start observed by a waiting request (recorded in the profile);
     /// `shielded` exempts the worker from fault injection (the guaranteed
     /// final retry attempt).
+    ///
+    /// Returns `None` only for a *speculative* placement (`on_demand`
+    /// false) refused by tenant admission (quota or weighted fair share)
+    /// with no same-tenant warm worker to reclaim: the speculation is
+    /// dropped rather than allowed to starve other tenants. On-demand
+    /// provisioning always yields a worker — a saturated cluster
+    /// overcommits (the worker runs unplaced) instead of failing the
+    /// request.
     fn provision_worker(
         &mut self,
         req: u64,
         spec: &xanadu_chain::FunctionSpec,
         on_demand: bool,
         shielded: bool,
-    ) -> (WorkerId, SimTime) {
+    ) -> Option<(WorkerId, SimTime)> {
         let mut extra = SimDuration::ZERO;
         if let Some(cap) = self.config.max_live {
             if self.pool.live_count() >= cap {
@@ -1842,7 +2082,7 @@ impl Platform {
                     .find(|w| !self.claimed.contains(&w.id()))
                     .map(Worker::id);
                 if let Some(v) = victim {
-                    self.kill_worker(v, self.now);
+                    self.evict_worker(v);
                     extra = self.config.eviction_delay.sample(&mut self.rng_overhead);
                 }
                 // With no evictable worker the cap is soft: provisioning
@@ -1852,25 +2092,82 @@ impl Platform {
         }
 
         let id = self.pool.next_worker_id();
-        // Ask the Dispatch Daemons for placement; a full cluster forces a
-        // warm-worker eviction first (and failing that, an unplaced worker
-        // — the single-host default never takes that path in practice).
-        if self.cluster.place(id, spec.memory()).is_err() {
-            let victim = self
-                .pool
-                .warm_lru()
-                .find(|w| !self.claimed.contains(&w.id()))
-                .map(Worker::id);
-            if let Some(v) = victim {
-                self.kill_worker(v, self.now);
-                extra += self.config.eviction_delay.sample(&mut self.rng_overhead);
-                let _ = self.cluster.place(id, spec.memory());
+        // Resolve the worker's tenant: the owner of its request's workflow
+        // (pool-owned replenishments are platform-owned, tenantless).
+        let tenant = match self.run(req) {
+            Some(run) => {
+                let workflow = run.workflow;
+                self.workflows[workflow.index()].tenant
+            }
+            None => None,
+        };
+        let placement = PlacementRequest {
+            worker: id,
+            memory_mb: spec.memory(),
+            request: (req != POOL_OWNER).then_some(req),
+            tenant,
+            on_demand,
+        };
+        // Ask the Dispatch Daemons for placement; a full cluster forces
+        // warm-worker evictions first, and a cluster that stays full even
+        // then overcommits (the worker runs unplaced). Quota/fair-share
+        // refusals may only reclaim *same-tenant* warm workers.
+        let mut placed: Option<HostId> = None;
+        loop {
+            match self.cluster.place_for(&placement) {
+                Ok(host) => {
+                    placed = Some(host);
+                    break;
+                }
+                Err(e) => {
+                    if e.is_admission() && !on_demand {
+                        // Speculative placement refused by tenant admission:
+                        // drop the speculation rather than evict warm state.
+                        return None;
+                    }
+                    let victim = self
+                        .pool
+                        .warm_lru()
+                        .find(|w| {
+                            !self.claimed.contains(&w.id())
+                                && (!e.is_admission() || self.cluster.tenant_of(w.id()) == tenant)
+                        })
+                        .map(Worker::id);
+                    match victim {
+                        Some(v) => {
+                            self.evict_worker(v);
+                            extra += self.config.eviction_delay.sample(&mut self.rng_overhead);
+                            if !self.cluster_enabled {
+                                // Single-testbed legacy semantics: one
+                                // eviction, one retry, unplaced on failure —
+                                // keeps default runs byte-identical.
+                                if let Ok(host) = self.cluster.place_for(&placement) {
+                                    placed = Some(host);
+                                }
+                                break;
+                            }
+                        }
+                        None => {
+                            self.cluster.note_overcommit();
+                            break;
+                        }
+                    }
+                }
             }
         }
         let cold = self
             .provider
             .cold_start(spec.isolation_level(), self.now + extra);
-        let ready_at = self.now + extra + cold.total();
+        // Provisioning contention (the host's `contention_alpha` curve):
+        // concurrent cold starts on the same host inflate each other.
+        // Zero on the default testbed and for unplaced workers.
+        let penalty = placed.map_or(0.0, |host| self.cluster.contention_penalty(host));
+        let cold_total = if penalty > 0.0 {
+            cold.total().mul_f64(1.0 + penalty)
+        } else {
+            cold.total()
+        };
+        let ready_at = self.now + extra + cold_total;
         let worker = Worker::provisioning(
             id,
             spec.name(),
@@ -1898,25 +2195,36 @@ impl Platform {
         }
         self.queue
             .schedule(ready_at, Event::WorkerReady { worker: id });
-        if !shielded {
-            if let Some(crash_at) = self.faults.crash_time(id.0, self.now, ready_at) {
-                self.queue
-                    .schedule(crash_at, Event::WorkerCrash { worker: id });
+        if shielded {
+            self.shielded_workers.insert(id);
+        } else if let Some(crash_at) = self.faults.crash_time(id.0, self.now, ready_at) {
+            self.queue
+                .schedule(crash_at, Event::WorkerCrash { worker: id });
+        }
+        let total_wait = extra + cold_total;
+        if let Some(host) = placed {
+            if self.cluster_enabled && self.observing(Topic::WorkerPlaced) {
+                self.emit(BusEvent::WorkerPlaced {
+                    worker: id.0,
+                    host: host.0,
+                    request: req,
+                    memory_mb: spec.memory(),
+                });
             }
         }
-        let total_wait = extra + cold.total();
         if self.observing(Topic::WorkerProvisioned) {
             self.emit(BusEvent::WorkerProvisioned {
                 worker: id.0,
                 request: req,
                 function: spec.name().to_string(),
-                cold_start_ms: cold.total().as_millis_f64(),
+                cold_start_ms: cold_total.as_millis_f64(),
                 ready_in_ms: total_wait.as_millis_f64(),
                 on_demand,
             });
         }
         self.metrics.record_cold_start(spec.name(), total_wait);
-        (id, ready_at)
+        self.maybe_scale_up();
+        Some((id, ready_at))
     }
 
     /// Attempts to reuse a compatible unused warm worker for `spec` by
@@ -1925,6 +2233,11 @@ impl Platform {
     fn try_retarget(&mut self, req: u64, spec: &xanadu_chain::FunctionSpec) -> bool {
         // LRU order makes the pick deterministic (oldest compatible spare
         // first); the old any-order scan depended on hash-map iteration.
+        // A spare on another host is no use against a *cascading* cold
+        // start — the chain's state is on the locus host — so only
+        // co-located (or unplaced) spares qualify. Single-host clusters
+        // always pass the gate, preserving pre-cluster behaviour.
+        let locus = self.run(req).and_then(|r| r.locus);
         let candidate = self
             .pool
             .warm_lru()
@@ -1934,10 +2247,20 @@ impl Platform {
                     && w.isolation() == spec.isolation_level()
                     && w.memory_mb() == spec.memory()
                     && self.spawner_of(w.id()) == Some(req)
+                    && match (locus, self.cluster.host_of(w.id())) {
+                        (Some(locus), Some(host)) => locus == host,
+                        _ => true,
+                    }
             })
             .map(Worker::id);
         match candidate {
-            Some(id) => self.pool.retarget(id, spec.name()).is_ok(),
+            Some(id) => {
+                let reused = self.pool.retarget(id, spec.name()).is_ok();
+                if reused && self.cluster_enabled {
+                    self.retargets_colocated += 1;
+                }
+                reused
+            }
             None => false,
         }
     }
@@ -2594,6 +2917,7 @@ mod tests {
             timeout_ms: 5_000.0,
             max_retries: 2,
             backoff_ms: 100.0,
+            ..FaultConfig::default()
         };
         let mut p = Platform::new(cfg);
         p.deploy(chain(1, 1000.0)).unwrap();
@@ -2693,16 +3017,8 @@ mod tests {
         let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, 6);
         cfg.cluster = ClusterConfig {
             policy: PlacementPolicy::LeastLoaded,
-            hosts: vec![
-                HostSpec {
-                    name: "a".into(),
-                    memory_mb: 1536,
-                },
-                HostSpec {
-                    name: "b".into(),
-                    memory_mb: 1536,
-                },
-            ],
+            hosts: vec![HostSpec::new("a", 1536), HostSpec::new("b", 1536)],
+            ..ClusterConfig::default()
         };
         let mut p = Platform::new(cfg);
         p.deploy(chain(5, 500.0)).unwrap();
@@ -2724,10 +3040,9 @@ mod tests {
         let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 8);
         cfg.cluster = ClusterConfig {
             policy: PlacementPolicy::FirstFit,
-            hosts: vec![HostSpec {
-                name: "tiny".into(),
-                memory_mb: 1024, // fits two 512 MB workers
-            }],
+            // fits two 512 MB workers
+            hosts: vec![HostSpec::new("tiny", 1024)],
+            ..ClusterConfig::default()
         };
         let mut p = Platform::new(cfg);
         p.deploy(chain(4, 200.0)).unwrap();

@@ -316,7 +316,11 @@ impl RequestTracker {
             }
             BusEvent::WorkerReady { .. }
             | BusEvent::WorkerCrashed { .. }
-            | BusEvent::SloAlert { .. } => None,
+            | BusEvent::SloAlert { .. }
+            | BusEvent::HostUp { .. }
+            | BusEvent::HostDown { .. }
+            | BusEvent::WorkerPlaced { .. }
+            | BusEvent::WorkerEvicted { .. } => None,
         }
     }
 }
@@ -454,6 +458,39 @@ pub struct StreamingJitStats {
     pub slack_ms: Histogram,
 }
 
+/// Cluster-scheduling activity observed on the event stream: host churn
+/// and placement/eviction traffic. All counters stay zero on a default
+/// single-testbed run (the platform gates Host*/Placed/Evicted emission
+/// on an explicit cluster), so the summary serializes unchanged there.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub struct ClusterActivity {
+    /// Host activations (autoscaled boots and post-failure reboots).
+    pub hosts_up: u64,
+    /// Injected host failures.
+    pub hosts_down: u64,
+    /// Workers lost to host failures.
+    pub workers_lost: u64,
+    /// Successful worker placements.
+    pub placed: u64,
+    /// Forced evictions (capacity/quota/warm-cap pressure).
+    pub evicted: u64,
+}
+
+impl ClusterActivity {
+    /// Whether no cluster activity was observed (serialization gate).
+    pub fn is_empty(&self) -> bool {
+        *self == ClusterActivity::default()
+    }
+
+    fn merge_from(&mut self, other: &ClusterActivity) {
+        self.hosts_up += other.hosts_up;
+        self.hosts_down += other.hosts_down;
+        self.workers_lost += other.workers_lost;
+        self.placed += other.placed;
+        self.evicted += other.evicted;
+    }
+}
+
 /// The run-level aggregates a [`StreamingAudit`] maintains — the
 /// bounded-memory analogue of `AuditSummary`.
 ///
@@ -490,6 +527,11 @@ pub struct StreamingSummary {
     pub waste: WasteStats,
     /// JIT timing quality with streaming distributions.
     pub jit: StreamingJitStats,
+    /// Cluster scheduling activity (host churn, placements, evictions).
+    /// Omitted from serialization when all-zero, so summaries from
+    /// single-testbed runs keep their pre-cluster shape.
+    #[serde(default, skip_serializing_if = "ClusterActivity::is_empty")]
+    pub cluster: ClusterActivity,
 }
 
 /// Bounded-memory audit over the live event stream.
@@ -520,6 +562,7 @@ pub struct StreamingAudit {
     jit_on_time: u64,
     late_ms: Histogram,
     slack_ms: Histogram,
+    cluster: ClusterActivity,
     exemplars: Vec<Exemplar>,
 }
 
@@ -553,6 +596,7 @@ impl StreamingAudit {
             jit_on_time: 0,
             late_ms: Histogram::latency(),
             slack_ms: Histogram::latency(),
+            cluster: ClusterActivity::default(),
             exemplars: Vec::new(),
         }
     }
@@ -696,6 +740,7 @@ impl StreamingAudit {
         self.jit_on_time += other.jit_on_time;
         self.late_ms.merge_from(&other.late_ms);
         self.slack_ms.merge_from(&other.slack_ms);
+        self.cluster.merge_from(&other.cluster);
         self.exemplars.extend(other.exemplars.iter().cloned());
         self.sort_exemplars();
     }
@@ -736,12 +781,23 @@ impl StreamingAudit {
                 late_ms: self.late_ms.clone(),
                 slack_ms: self.slack_ms.clone(),
             },
+            cluster: self.cluster.clone(),
         }
     }
 }
 
 impl Observer for StreamingAudit {
     fn on_event(&mut self, at: SimTime, event: &BusEvent) {
+        match event {
+            BusEvent::HostUp { .. } => self.cluster.hosts_up += 1,
+            BusEvent::HostDown { workers_lost, .. } => {
+                self.cluster.hosts_down += 1;
+                self.cluster.workers_lost += u64::from(*workers_lost);
+            }
+            BusEvent::WorkerPlaced { .. } => self.cluster.placed += 1,
+            BusEvent::WorkerEvicted { .. } => self.cluster.evicted += 1,
+            _ => {}
+        }
         if let Some(digest) = self.tracker.on_event(at, event) {
             self.fold(digest);
         }

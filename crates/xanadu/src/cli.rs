@@ -17,11 +17,12 @@ use std::fmt;
 use xanadu_baselines::BaselineKind;
 use xanadu_chain::{linear_chain, sdl, FunctionSpec};
 use xanadu_core::mlp::infer_mlp;
-use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
+use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
 use xanadu_platform::shard::{replay_sharded_with, ShardOptions, ShardTelemetry, ShardWorkload};
 use xanadu_platform::{
-    diff_audits, diff_metrics, Audit, DiffThresholds, FaultConfig, MetricsRegistry, ObserverHandle,
-    Platform, PlatformConfig, SloConfig, StreamingConfig,
+    diff_audits, diff_metrics, Audit, AutoscaleConfig, ClusterConfig, DiffThresholds, FaultConfig,
+    MetricsRegistry, ObserverHandle, PlacementPolicy, Platform, PlatformConfig, SloConfig,
+    StreamingConfig,
 };
 use xanadu_simcore::{SimDuration, SimTime};
 use xanadu_workloads::azure::{
@@ -93,10 +94,28 @@ pub struct RunArgs {
     pub fault_rate: f64,
     /// Fault RNG seed, independent of the platform seed.
     pub fault_seed: u64,
+    /// Cluster width; 0 keeps the paper's single-machine testbed.
+    pub hosts: u32,
+    /// Memory per cluster host, MB.
+    pub host_memory_mb: u64,
+    /// Placement policy when `--hosts` is set.
+    pub placement: PlacementPolicy,
+    /// Number of equal-weight tenants sharing the cluster; 0 disables
+    /// admission control.
+    pub tenants: u32,
+    /// Per-epoch host-failure probability in `[0, 1]`; 0 disables host
+    /// faults.
+    pub host_fail_rate: f64,
+    /// Autoscaler fleet ceiling; 0 disables reactive autoscaling.
+    pub autoscale_max: u32,
     /// Speculation look-ahead horizon in `[0, 1]` (§3.2.1); 1.0
     /// pre-provisions the whole MLP, 0.0 degenerates to Cold. Ignored by
     /// the baselines.
     pub aggressiveness: f64,
+    /// Prediction-miss policy: stop all planned provisioning (the paper's
+    /// §3.2.2 behaviour) or replan and retarget compatible co-located
+    /// spares (§7 future work). Ignored by the baselines.
+    pub miss_policy: MissPolicy,
     /// Write a Chrome `trace_event` JSON span export here.
     pub trace_out: Option<String>,
     /// Write the flat metrics-registry JSON export here.
@@ -127,6 +146,18 @@ pub struct ReplayArgs {
     pub fault_rate: f64,
     /// Fault RNG seed.
     pub fault_seed: u64,
+    /// Cluster width per logical shard; 0 keeps the single testbed.
+    pub hosts: u32,
+    /// Memory per cluster host, MB.
+    pub host_memory_mb: u64,
+    /// Placement policy when `--hosts` is set.
+    pub placement: PlacementPolicy,
+    /// Number of equal-weight tenants sharing each shard's cluster.
+    pub tenants: u32,
+    /// Per-epoch host-failure probability in `[0, 1]`.
+    pub host_fail_rate: f64,
+    /// Prediction-miss policy (see [`RunArgs::miss_policy`]).
+    pub miss_policy: MissPolicy,
     /// Depth of each workflow's linear chain.
     pub depth: u64,
     /// Write the full merged `PlatformReport` JSON here.
@@ -193,18 +224,28 @@ impl PlatformChoice {
         }
     }
 
-    fn build(self, seed: u64, aggressiveness: f64) -> Platform {
+    fn build(
+        self,
+        seed: u64,
+        aggressiveness: f64,
+        miss_policy: MissPolicy,
+        cluster: ClusterConfig,
+    ) -> Platform {
         match self {
             PlatformChoice::Xanadu(mode) => {
                 let mut spec = SpeculationConfig::for_mode(mode);
                 spec.aggressiveness = aggressiveness;
+                spec.miss_policy = miss_policy;
                 let cfg = PlatformConfig::builder()
                     .for_mode(mode, seed)
                     .speculation(spec)
+                    .cluster(cluster)
                     .build()
                     .expect("mode defaults with a [0,1] aggressiveness are valid");
                 Platform::new(cfg)
             }
+            // Baselines model the paper's single-machine deployments; the
+            // cluster flags are a Xanadu-mode concept and are ignored here.
             PlatformChoice::Baseline(kind) => xanadu_baselines::baseline_platform(kind, seed),
         }
     }
@@ -327,11 +368,17 @@ USAGE:
   xanadu run --sdl <file> [--mode cold|spec|jit|knative|openwhisk|asf|adf]
              [--triggers N] [--gap-min M] [--seed S] [--implicit] [--trace]
              [--fault-rate R] [--fault-seed F] [--aggressiveness A]
+             [--miss-policy stop|replan-and-reuse]
+             [--hosts N] [--host-memory-mb M] [--placement P] [--tenants K]
+             [--host-fail-rate R] [--autoscale-max N]
              [--trace-out <file>] [--metrics-out <file>] [--audit-out <file>]
   xanadu analyze --sdl <file> [same flags as run]
   xanadu replay [--invocations N] [--shards S] [--window-secs W] [--seed S]
                 [--mode cold|spec|jit] [--no-plan-cache] [--depth D]
                 [--fault-rate R] [--fault-seed F] [--report-out <file>]
+                [--miss-policy stop|replan-and-reuse]
+                [--hosts N] [--host-memory-mb M] [--placement P] [--tenants K]
+                [--host-fail-rate R]
                 [--audit-out <file>] [--metrics-out <file>]
                 [--slo <thresholds.json>] [--slo-out <file>]
                 [--slo-window-secs W] [--progress] [--bench-out <file>]
@@ -353,6 +400,20 @@ chrome://tracing or Perfetto); `--metrics-out` writes the aggregated
 counters and latency histograms as flat JSON.
 `--audit-out` writes the speculation audit (critical-path decomposition,
 MLP precision/recall, wasted-deploy cost, JIT slack) as JSON.
+`--hosts N` schedules workers over an N-host cluster (default: the
+paper's single-machine testbed) of `--host-memory-mb` MB machines,
+placed by `--placement round-robin|least-loaded|first-fit|random|
+affinity` (default least-loaded; affinity co-locates chain neighbours).
+`--tenants K` splits the cluster between K equal-weight tenants with
+weighted fair admission; `--host-fail-rate R` (0..1) injects whole-host
+failures (drain, re-place, reboot) per epoch; `--autoscale-max N` lets
+a reactive autoscaler grow the fleet up to N hosts. Cluster runs add a
+per-host utilization and cross-host cold-cascade section to the audit.
+`--miss-policy replan-and-reuse` enables the paper's §7 future-work miss
+handling: on a prediction miss the plan is rebuilt for the actual path
+and compatible unused spares are retargeted — on a cluster, only spares
+co-located with the request's running chain qualify, which is what makes
+affinity placement beat spreading policies on cold-start rate.
 `analyze` runs the same workload but prints the speculation audit instead
 of the per-request table.
 `replay` synthesizes an Azure-style fleet (each workflow a linear chain
@@ -456,7 +517,14 @@ fn parse_run_flags(args: &[String]) -> Result<RunArgs, CliError> {
         trace: args.iter().any(|a| a == "--trace"),
         fault_rate: parse_fraction(args, "--fault-rate", 0.0)?,
         fault_seed: parse_num(args, "--fault-seed", 0xFA17)?,
+        hosts: parse_num(args, "--hosts", 0)? as u32,
+        host_memory_mb: parse_num(args, "--host-memory-mb", 4096)?,
+        placement: parse_placement(args)?,
+        tenants: parse_num(args, "--tenants", 0)? as u32,
+        host_fail_rate: parse_fraction(args, "--host-fail-rate", 0.0)?,
+        autoscale_max: parse_num(args, "--autoscale-max", 0)? as u32,
         aggressiveness: parse_fraction(args, "--aggressiveness", 1.0)?,
+        miss_policy: parse_miss_policy(args)?,
         trace_out: flag_value(args, "--trace-out")?,
         metrics_out: flag_value(args, "--metrics-out")?,
         audit_out: flag_value(args, "--audit-out")?,
@@ -510,6 +578,12 @@ fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
         plan_cache: !args.iter().any(|a| a == "--no-plan-cache"),
         fault_rate: parse_fraction(args, "--fault-rate", 0.0)?,
         fault_seed: parse_num(args, "--fault-seed", 0xFA17)?,
+        hosts: parse_num(args, "--hosts", 0)? as u32,
+        host_memory_mb: parse_num(args, "--host-memory-mb", 4096)?,
+        placement: parse_placement(args)?,
+        tenants: parse_num(args, "--tenants", 0)? as u32,
+        host_fail_rate: parse_fraction(args, "--host-fail-rate", 0.0)?,
+        miss_policy: parse_miss_policy(args)?,
         depth,
         report_out: flag_value(args, "--report-out")?,
         audit_out: flag_value(args, "--audit-out")?,
@@ -520,6 +594,29 @@ fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
         progress: args.iter().any(|a| a == "--progress"),
         bench_out: flag_value(args, "--bench-out")?,
     })
+}
+
+fn parse_miss_policy(args: &[String]) -> Result<MissPolicy, CliError> {
+    match flag_value(args, "--miss-policy")?.as_deref() {
+        None | Some("stop") => Ok(MissPolicy::StopSpeculation),
+        Some("replan-and-reuse") => Ok(MissPolicy::ReplanAndReuse),
+        Some(v) => Err(CliError::BadValue {
+            flag: "--miss-policy".into(),
+            value: v.into(),
+            expected: "stop|replan-and-reuse".into(),
+        }),
+    }
+}
+
+fn parse_placement(args: &[String]) -> Result<PlacementPolicy, CliError> {
+    match flag_value(args, "--placement")? {
+        None => Ok(PlacementPolicy::default()),
+        Some(v) => v.parse().map_err(|_| CliError::BadValue {
+            flag: "--placement".into(),
+            value: v,
+            expected: "round-robin|least-loaded|first-fit|random|affinity".into(),
+        }),
+    }
 }
 
 fn flag_value(args: &[String], flag: &str) -> Result<Option<String>, CliError> {
@@ -831,14 +928,22 @@ fn execute_replay(
 
     let mut spec = SpeculationConfig::for_mode(replay.mode);
     spec.aggressiveness = 1.0;
+    spec.miss_policy = replay.miss_policy;
     // The audit export streams (bounded memory), so per-request trace
     // recording stays off even when auditing fleet-scale replays.
     let mut builder = PlatformConfig::builder()
         .for_mode(replay.mode, replay.seed)
         .speculation(spec)
-        .plan_cache(replay.plan_cache);
-    if replay.fault_rate > 0.0 {
-        builder = builder.faults(FaultConfig::with_rate(replay.fault_rate, replay.fault_seed));
+        .plan_cache(replay.plan_cache)
+        .cluster(
+            ClusterConfig::uniform(replay.placement, replay.hosts, replay.host_memory_mb)
+                .with_tenants(replay.tenants),
+        );
+    if replay.fault_rate > 0.0 || replay.host_fail_rate > 0.0 {
+        builder = builder.faults(FaultConfig {
+            host_failure_rate: replay.host_fail_rate,
+            ..FaultConfig::with_rate(replay.fault_rate, replay.fault_seed)
+        });
     }
     let config = builder
         .build()
@@ -895,6 +1000,17 @@ fn execute_replay(
     if replay.fault_rate > 0.0 {
         let (faults, retries) = report.fault_counts();
         out.push_str(&format!("faults injected: {faults}   retries: {retries}\n"));
+    }
+    if let Some(cluster) = &report.cluster {
+        out.push_str(&format!(
+            "cluster: {} host(s)/shard, {} policy, cold {} cross-host / {} co-located, \
+             hosts failed: {}\n",
+            cluster.hosts.len(),
+            cluster.policy.label(),
+            cluster.cross_host_cold,
+            cluster.same_host_cold,
+            cluster.hosts_failed,
+        ));
     }
     if let Some(audit) = &run.streaming {
         let s = audit.summary();
@@ -1046,9 +1162,23 @@ struct Workload {
 fn run_workload(run: &RunArgs, doc: &str) -> Result<Workload, CliError> {
     let name = workflow_name(&run.sdl_path).to_string();
     let dag = sdl::parse(&name, doc).map_err(|e| CliError::Workflow(e.to_string()))?;
-    let mut platform = run.platform.build(run.seed, run.aggressiveness);
-    if run.fault_rate > 0.0 {
-        platform.set_faults(FaultConfig::with_rate(run.fault_rate, run.fault_seed));
+    let mut cluster = ClusterConfig::uniform(run.placement, run.hosts, run.host_memory_mb)
+        .with_tenants(run.tenants);
+    if run.autoscale_max > 0 {
+        cluster.autoscale = AutoscaleConfig {
+            max_hosts: run.autoscale_max,
+            host_memory_mb: run.host_memory_mb,
+            ..AutoscaleConfig::default()
+        };
+    }
+    let mut platform = run
+        .platform
+        .build(run.seed, run.aggressiveness, run.miss_policy, cluster);
+    if run.fault_rate > 0.0 || run.host_fail_rate > 0.0 {
+        platform.set_faults(FaultConfig {
+            host_failure_rate: run.host_fail_rate,
+            ..FaultConfig::with_rate(run.fault_rate, run.fault_seed)
+        });
     }
     let registry = run.metrics_out.as_ref().map(|_| platform.attach_metrics());
     let result = if run.implicit {
@@ -1085,7 +1215,7 @@ impl Workload {
     }
 
     fn audit(&self) -> Audit {
-        Audit::from_traces(&self.traces())
+        Audit::from_traces(&self.traces()).with_cluster(self.platform.cluster_report())
     }
 
     fn push_exports(&self, run: &RunArgs, exports: &mut Vec<ExportFile>) {
@@ -1601,6 +1731,110 @@ mod tests {
             parse_args(&args(&["run", "--sdl", "x", "--fault-rate", "lots"])),
             Err(CliError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn parse_cluster_flags() {
+        let cmd = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "wf.json",
+            "--hosts",
+            "4",
+            "--host-memory-mb",
+            "2048",
+            "--placement",
+            "affinity",
+            "--tenants",
+            "2",
+            "--host-fail-rate",
+            "0.2",
+            "--autoscale-max",
+            "8",
+            "--miss-policy",
+            "replan-and-reuse",
+        ]))
+        .unwrap();
+        let Command::Run(run) = cmd else {
+            panic!("expected run")
+        };
+        assert_eq!(run.hosts, 4);
+        assert_eq!(run.host_memory_mb, 2048);
+        assert_eq!(run.placement, PlacementPolicy::Affinity);
+        assert_eq!(run.tenants, 2);
+        assert_eq!(run.host_fail_rate, 0.2);
+        assert_eq!(run.autoscale_max, 8);
+        assert_eq!(run.miss_policy, MissPolicy::ReplanAndReuse);
+
+        let Command::Run(defaults) = parse_args(&args(&["run", "--sdl", "wf.json"])).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(defaults.hosts, 0, "single testbed by default");
+        assert_eq!(defaults.host_memory_mb, 4096);
+        assert_eq!(defaults.placement, PlacementPolicy::LeastLoaded);
+        assert_eq!(defaults.tenants, 0);
+        assert_eq!(defaults.host_fail_rate, 0.0);
+        assert_eq!(defaults.autoscale_max, 0);
+        assert_eq!(
+            defaults.miss_policy,
+            MissPolicy::StopSpeculation,
+            "the paper's miss handling by default"
+        );
+
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--placement", "nearest"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--miss-policy", "retry"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--host-fail-rate", "2.0"])),
+            Err(CliError::BadValue { .. })
+        ));
+
+        let Command::Replay(replay) = parse_args(&args(&[
+            "replay",
+            "--hosts",
+            "2",
+            "--placement",
+            "round-robin",
+            "--host-fail-rate",
+            "0.1",
+        ]))
+        .unwrap() else {
+            panic!("expected replay")
+        };
+        assert_eq!(replay.hosts, 2);
+        assert_eq!(replay.placement, PlacementPolicy::RoundRobin);
+        assert_eq!(replay.host_fail_rate, 0.1);
+    }
+
+    #[test]
+    fn run_on_a_cluster_reports_and_audits_placement() {
+        let cmd = parse_args(&args(&[
+            "analyze",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "jit",
+            "--triggers",
+            "3",
+            "--hosts",
+            "2",
+            "--host-memory-mb",
+            "1024",
+            "--placement",
+            "affinity",
+        ]))
+        .unwrap();
+        let out = execute(&cmd, source).unwrap();
+        assert!(out.contains("cluster (2 hosts, affinity policy)"), "{out}");
+        assert!(out.contains("host-0:"), "{out}");
+        // Deterministic: the same invocation renders byte-identically.
+        assert_eq!(out, execute(&cmd, source).unwrap());
     }
 
     #[test]

@@ -76,10 +76,11 @@ pub mod prelude {
     };
     pub use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
     pub use xanadu_platform::{
-        diff_audits, diff_metrics, Audit, AuditSummary, BusEvent, ClusterConfig, DiffThresholds,
-        FaultConfig, Histogram, JitStats, LatencyStats, LearnedState, MetricsRegistry, MlpStats,
-        Observer, ObserverHandle, Platform, PlatformConfig, PlatformError, PlatformReport,
-        Regression, RequestAudit, RunResult, Topic, WasteStats,
+        diff_audits, diff_metrics, Audit, AuditSummary, AutoscaleConfig, BusEvent, ClusterConfig,
+        ClusterReport, DiffThresholds, FaultConfig, Histogram, HostSpec, JitStats, LatencyStats,
+        LearnedState, MetricsRegistry, MlpStats, Observer, ObserverHandle, PlacementPolicy,
+        Platform, PlatformConfig, PlatformError, PlatformReport, Regression, RequestAudit,
+        RunResult, TenantConfig, Topic, WasteStats,
     };
     pub use xanadu_simcore::{Distribution, SimDuration, SimTime};
 }

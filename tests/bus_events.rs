@@ -78,6 +78,21 @@ fn sample_events() -> Vec<BusEvent> {
             candidate: 480.0,
             allowed: "+300.0% > allowed +10.0%".into(),
         },
+        BusEvent::HostUp {
+            host: 2,
+            memory_mb: 4096,
+        },
+        BusEvent::HostDown {
+            host: 2,
+            workers_lost: 3,
+        },
+        BusEvent::WorkerPlaced {
+            worker: 7,
+            host: 2,
+            request: 1,
+            memory_mb: 512,
+        },
+        BusEvent::WorkerEvicted { worker: 7, host: 2 },
     ]
 }
 
@@ -111,8 +126,11 @@ fn chaos_run_emits_every_topic_at_least_once() {
     // Depth-5 chain whose spiked service time blows the invocation
     // timeout (timeout + retry events), plus an XOR workflow whose cold
     // branch forces prediction misses; certain-fault injection covers
-    // crashes. 12 triggers of each make every topic deterministic for
-    // this seed pair.
+    // crashes. A tiny two-host cluster under certain host failure covers
+    // the cluster topics: placements on every provision, evictions under
+    // memory pressure, host.down from injected failures, host.up from
+    // the reboots that follow. 12 triggers of each make every topic
+    // deterministic for this seed pair.
     let chain = linear_chain("chain", 5, &FunctionSpec::new("f").service_ms(1500.0)).unwrap();
     let mut b = WorkflowBuilder::new("branchy");
     let head = b.add(FunctionSpec::new("head").service_ms(700.0)).unwrap();
@@ -123,9 +141,16 @@ fn chaos_run_emits_every_topic_at_least_once() {
     b.link(hot, tail).unwrap();
     let branchy = b.build().unwrap();
 
+    let faults = FaultConfig {
+        host_failure_rate: 1.0,
+        host_mtbf_ms: 90_000.0,
+        host_reboot_ms: 15_000.0,
+        ..FaultConfig::with_rate(1.0, 0xC0FFEE)
+    };
     let config = PlatformConfig::builder()
         .for_mode(ExecutionMode::Jit, 5)
-        .faults(FaultConfig::with_rate(1.0, 0xC0FFEE))
+        .faults(faults)
+        .cluster(ClusterConfig::uniform(PlacementPolicy::Affinity, 2, 1024))
         .build()
         .unwrap();
     let mut platform = Platform::new(config);

@@ -64,15 +64,10 @@ fn small_cluster_survives_wide_fan() {
         .cluster(ClusterConfig {
             policy: PlacementPolicy::RoundRobin,
             hosts: vec![
-                HostSpec {
-                    name: "small-a".into(),
-                    memory_mb: 2048,
-                },
-                HostSpec {
-                    name: "small-b".into(),
-                    memory_mb: 2048,
-                },
+                HostSpec::new("small-a", 2048),
+                HostSpec::new("small-b", 2048),
             ],
+            ..ClusterConfig::default()
         })
         .build()
         .unwrap();
@@ -160,22 +155,14 @@ fn shard_sweep_is_byte_identical() {
 
 #[test]
 fn placement_policies_spread_or_pack() {
-    let hosts = vec![
-        HostSpec {
-            name: "a".into(),
-            memory_mb: 8192,
-        },
-        HostSpec {
-            name: "b".into(),
-            memory_mb: 8192,
-        },
-    ];
+    let hosts = vec![HostSpec::new("a", 8192), HostSpec::new("b", 8192)];
     let spread_counts = |policy: PlacementPolicy| {
         let cfg = PlatformConfig::builder()
             .for_mode(ExecutionMode::Speculative, 11)
             .cluster(ClusterConfig {
                 policy,
                 hosts: hosts.clone(),
+                ..ClusterConfig::default()
             })
             .build()
             .unwrap();

@@ -17,6 +17,7 @@
 //! | `fig16` | Figure 16 — sandboxing impact at depth 10 | [`fig16`] |
 //! | `fig17` | Figure 17 — e-commerce & image pipeline case studies | [`fig17`] |
 //! | `cluster` | placement-policy head-to-head on a multi-host cluster | [`cluster`] |
+//! | `policies` | speculation-policy head-to-head (xanadu vs mpc vs rl) | [`policies`] |
 //! | `abl-*` | ablations (aggressiveness, keep-alive, EMA, miss policy) | [`ablations`] |
 
 pub mod ablations;
@@ -34,6 +35,7 @@ pub mod fig5;
 pub mod fig6;
 pub mod fig7;
 pub mod fig9;
+pub mod policies;
 pub mod tab1;
 
 use crate::harness::{run_indexed, Experiment};
@@ -44,7 +46,7 @@ pub type ExperimentCtor = fn() -> Experiment;
 /// The full suite as `(id, constructor)` pairs, papers first then
 /// ablations. This single table drives [`run_by_id`], [`all`], and the
 /// per-experiment timing in `xanadu-repro`.
-pub const ALL_EXPERIMENTS: [(&str, ExperimentCtor); 22] = [
+pub const ALL_EXPERIMENTS: [(&str, ExperimentCtor); 23] = [
     ("fig1", fig1::run),
     ("fig3", fig3::run),
     ("fig4", fig4::run),
@@ -60,6 +62,7 @@ pub const ALL_EXPERIMENTS: [(&str, ExperimentCtor); 22] = [
     ("fig16", fig16::run),
     ("fig17", fig17::run),
     ("cluster", cluster::run),
+    ("policies", policies::run),
     ("abl-aggr", ablations::aggressiveness),
     ("abl-keepalive", ablations::keepalive),
     ("abl-ema", ablations::ema),
@@ -105,7 +108,7 @@ pub fn all_timed() -> Vec<(Experiment, f64)> {
 }
 
 /// All known experiment ids.
-pub const ALL_IDS: [&str; 22] = [
+pub const ALL_IDS: [&str; 23] = [
     "fig1",
     "fig3",
     "fig4",
@@ -121,6 +124,7 @@ pub const ALL_IDS: [&str; 22] = [
     "fig16",
     "fig17",
     "cluster",
+    "policies",
     "abl-aggr",
     "abl-keepalive",
     "abl-ema",

@@ -13,6 +13,10 @@
 //!   (§3.2.1), execution modes (cold / speculative / JIT), and prediction-
 //!   miss policies including the paper's future-work replan-and-reuse
 //!   (§7).
+//! * [`policy`] — the pluggable [`policy::SpeculationPolicy`] trait that
+//!   generalizes the engine's surface, with the paper's planner as the
+//!   default implementation plus MPC and tabular-RL competitors and the
+//!   name-based [`policy::PolicyRegistry`].
 //! * [`cost`] — the cost model of §2.4: latency overhead `C_D`, resource
 //!   overheads `C_R_cpu` / `C_R_mem`, and the joint penalties `φ_cpu` /
 //!   `φ_mem`.
@@ -30,6 +34,7 @@ pub mod estimate;
 pub mod jit;
 pub mod keepalive;
 pub mod mlp;
+pub mod policy;
 pub mod speculation;
 
 pub use cost::{PenaltyFactors, ResourceCosts, WorkflowRunCosts};
@@ -37,4 +42,8 @@ pub use estimate::{EstimateSource, NodeEstimate, StaticEstimates};
 pub use jit::{JitPlan, PlannedDeployment};
 pub use keepalive::{AdaptiveKeepAlive, KeepAliveConfig};
 pub use mlp::{infer_mlp, infer_mlp_hedged, infer_mlp_learned, MlpResult};
+pub use policy::{
+    CompletionObservation, ConfiguredPolicy, MpcConfig, MpcPolicy, PlanContext, PolicyParseError,
+    PolicyRegistry, PolicySpec, RlConfig, RlPolicy, SpeculationPolicy, XanaduPolicy,
+};
 pub use speculation::{ExecutionMode, MissPolicy, SpeculationConfig, SpeculationEngine};

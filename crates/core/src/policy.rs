@@ -1,0 +1,1271 @@
+//! Pluggable speculation policies.
+//!
+//! The paper's MLP/JIT planner (wrapped by [`SpeculationEngine`]) is one
+//! way to decide *what to pre-deploy and when*. This module generalizes
+//! that surface into the object-safe [`SpeculationPolicy`] trait — plan at
+//! trigger, replan on a prediction miss, react to deploy failures, observe
+//! completions — so alternative planners from the literature can be
+//! evaluated head-to-head on the same platform and judged by the same
+//! audit layer:
+//!
+//! * [`XanaduPolicy`] — the default: the paper's engine behind the trait.
+//!   Runs through this adapter are byte-identical to the pre-trait code.
+//! * [`MpcPolicy`] — a receding-horizon model-predictive planner (after
+//!   Nguyen et al., *Taming Cold Starts with Model Predictive Control*):
+//!   each decision point optimizes a cold-penalty vs. waste-cost objective
+//!   over the next `horizon` DAG levels using the profiler's EMA
+//!   estimates. Stateless between decisions, hence trivially deterministic.
+//! * [`RlPolicy`] — a tabular off-policy Q-learner (after Agarwal et al.,
+//!   *Cold Start Frequency Reduction with Off-Policy Reinforcement
+//!   Learning*) over a discretized (idle-gap, chain-depth) state, choosing
+//!   between skipping speculation, JIT planning, and eager pre-deployment.
+//!   Exploration is seeded per `(policy seed, workflow, trigger index)` —
+//!   never from the platform seed — so learned state is a pure function of
+//!   the per-workflow trigger history and reports stay byte-identical at
+//!   any shard count.
+//!
+//! Policies are named and parsed through [`PolicyRegistry`] /
+//! [`PolicySpec`] (`name[:param=val,...]` labels, e.g. `mpc:horizon=6`).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+use xanadu_chain::{NodeId, WorkflowDag};
+use xanadu_simcore::{RngStream, SimDuration, SimTime};
+
+use crate::estimate::EstimateSource;
+use crate::jit::{plan_jit, JitPlan, PlannedDeployment};
+use crate::mlp::infer_mlp;
+use crate::speculation::{
+    DeployFailureAction, ExecutionMode, MissPolicy, PlanCacheStats, SpeculationConfig,
+    SpeculationEngine,
+};
+
+/// Object-safe probability lookup `ρ(child | parent)`; `None` falls back
+/// to the DAG's ground-truth edge probability.
+pub type ProbabilityFn<'a> = dyn FnMut(NodeId, NodeId) -> Option<f64> + 'a;
+
+/// Decision-point context handed to a policy by the platform.
+#[derive(Debug, Clone, Copy)]
+pub struct PlanContext {
+    /// Simulated time of the decision (the trigger, or the miss).
+    pub now: SimTime,
+    /// Profiler epoch: bumps whenever the EMA estimates move. Plans keyed
+    /// on an unchanged epoch pair may be served from a cache.
+    pub estimates_epoch: u64,
+    /// Branch-detector epoch (0 when learned probabilities are off).
+    pub prob_epoch: u64,
+}
+
+/// What a policy learned from one completed request.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct CompletionObservation {
+    /// Trigger-to-completion latency.
+    pub end_to_end_ms: f64,
+    /// Functions that waited on a cold sandbox.
+    pub cold_starts: u32,
+    /// Functions served by an already-warm sandbox.
+    pub warm_starts: u32,
+    /// Prediction misses observed during the run.
+    pub misses: u32,
+    /// Nodes in the final deployment plan.
+    pub planned: u32,
+    /// Functions that actually executed.
+    pub executed: u32,
+}
+
+/// A speculation policy: the generalized `plan`/`on_miss`/
+/// `on_deploy_failure` surface of the paper's [`SpeculationEngine`].
+///
+/// Implementations must be deterministic: the same sequence of calls (per
+/// workflow) must produce the same decisions regardless of how workflows
+/// are interleaved or sharded. Learned state must therefore be keyed per
+/// workflow and seeded from policy-owned parameters, never from the
+/// platform seed (which differs per shard).
+pub trait SpeculationPolicy: fmt::Debug + Send {
+    /// Short label identifying the policy (lands in reports and
+    /// `policy.decision` bus events).
+    fn label(&self) -> &'static str;
+
+    /// Whether a trigger enters the planning phase at all. `false` is the
+    /// pure-cold path: no plan, no deployments, no decision events.
+    fn plans_at_trigger(&self) -> bool;
+
+    /// Whether miss recovery may retarget a mispredicted spare worker to
+    /// serve a dispatch warm (the paper's §7 replan-and-reuse behavior).
+    fn allows_retarget(&self) -> bool;
+
+    /// Computes the deployment plan for one trigger of `dag`.
+    fn plan(
+        &mut self,
+        ctx: &PlanContext,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        rho: &mut ProbabilityFn,
+    ) -> JitPlan;
+
+    /// Reacts to a prediction miss at `actual`, `elapsed` after the
+    /// trigger. `Some(plan)` replaces the active plan (offsets are from
+    /// the original trigger); `None` stops speculation for this request.
+    fn on_miss(
+        &mut self,
+        ctx: &PlanContext,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        actual: NodeId,
+        elapsed: SimDuration,
+        rho: &mut ProbabilityFn,
+    ) -> Option<JitPlan>;
+
+    /// Reacts to a failed speculative pre-deployment of `failed` (attempt
+    /// numbers start at 0). The default is the engine's capped exponential
+    /// backoff, dropping the node once the retry budget is spent.
+    fn on_deploy_failure(
+        &mut self,
+        failed: NodeId,
+        attempt: u32,
+        max_retries: u32,
+        startup_ms: f64,
+    ) -> DeployFailureAction {
+        let _ = failed;
+        default_deploy_failure(attempt, max_retries, startup_ms)
+    }
+
+    /// Feedback hook: one completed request of `workflow`. Default no-op.
+    fn observe_completion(&mut self, workflow: &str, obs: &CompletionObservation) {
+        let _ = (workflow, obs);
+    }
+
+    /// Enables/disables plan memoization, if the policy has any.
+    fn set_plan_cache(&mut self, enabled: bool) {
+        let _ = enabled;
+    }
+
+    /// Drops memoized plans (e.g. after learned state was restored).
+    fn invalidate_plan_cache(&mut self) {}
+
+    /// Hit/miss counters of the plan cache, if the policy has one.
+    fn plan_cache_stats(&self) -> PlanCacheStats {
+        PlanCacheStats::default()
+    }
+}
+
+/// The engine's deploy-failure reaction, shared by all policies: retry
+/// with capped exponential backoff while the budget lasts, then drop.
+pub fn default_deploy_failure(
+    attempt: u32,
+    max_retries: u32,
+    startup_ms: f64,
+) -> DeployFailureAction {
+    if attempt >= max_retries {
+        return DeployFailureAction::Drop;
+    }
+    let backoff_ms = (startup_ms.max(1.0) / 2.0) * f64::from(1u32 << attempt.min(16));
+    DeployFailureAction::Retry {
+        delay: SimDuration::from_millis_f64(backoff_ms),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// XanaduPolicy: the paper's engine behind the trait
+// ---------------------------------------------------------------------------
+
+/// The default policy: the paper's MLP/JIT [`SpeculationEngine`] adapted
+/// to the trait. Pure delegation — trait-routed runs are byte-identical
+/// to pre-trait ones.
+#[derive(Debug, Clone)]
+pub struct XanaduPolicy {
+    engine: SpeculationEngine,
+}
+
+impl XanaduPolicy {
+    /// Wraps an engine configured with `config`.
+    pub fn new(config: SpeculationConfig) -> Self {
+        XanaduPolicy {
+            engine: SpeculationEngine::new(config),
+        }
+    }
+
+    /// The wrapped engine.
+    pub fn engine(&self) -> &SpeculationEngine {
+        &self.engine
+    }
+}
+
+impl SpeculationPolicy for XanaduPolicy {
+    fn label(&self) -> &'static str {
+        self.engine.config().mode.label()
+    }
+
+    fn plans_at_trigger(&self) -> bool {
+        self.engine.config().mode != ExecutionMode::Cold
+    }
+
+    fn allows_retarget(&self) -> bool {
+        self.engine.config().miss_policy == MissPolicy::ReplanAndReuse
+    }
+
+    fn plan(
+        &mut self,
+        ctx: &PlanContext,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        rho: &mut ProbabilityFn,
+    ) -> JitPlan {
+        self.engine
+            .plan_cached(dag, estimates, ctx.estimates_epoch, ctx.prob_epoch, rho)
+    }
+
+    fn on_miss(
+        &mut self,
+        _ctx: &PlanContext,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        actual: NodeId,
+        elapsed: SimDuration,
+        rho: &mut ProbabilityFn,
+    ) -> Option<JitPlan> {
+        self.engine.on_miss(dag, estimates, actual, elapsed, rho)
+    }
+
+    fn on_deploy_failure(
+        &mut self,
+        failed: NodeId,
+        attempt: u32,
+        max_retries: u32,
+        startup_ms: f64,
+    ) -> DeployFailureAction {
+        self.engine
+            .on_deploy_failure(failed, attempt, max_retries, startup_ms)
+    }
+
+    fn set_plan_cache(&mut self, enabled: bool) {
+        self.engine.set_plan_cache(enabled);
+    }
+
+    fn invalidate_plan_cache(&mut self) {
+        self.engine.invalidate_plan_cache();
+    }
+
+    fn plan_cache_stats(&self) -> PlanCacheStats {
+        self.engine.plan_cache_stats()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Shared DAG helpers
+// ---------------------------------------------------------------------------
+
+/// Longest-path level of every node (roots at 0), in `NodeId` index order.
+fn node_levels(dag: &WorkflowDag) -> Vec<u32> {
+    let mut level = vec![0u32; dag.len()];
+    for id in dag.topo_order() {
+        for e in dag.children(id) {
+            let next = level[id.index()] + 1;
+            if level[e.to.index()] < next {
+                level[e.to.index()] = next;
+            }
+        }
+    }
+    level
+}
+
+/// Probability of reaching each node from the given weighted roots,
+/// propagated along every edge (XOR children partition their parent's
+/// mass, so the sum over a request's realized path is exact).
+fn reach_likelihood(
+    dag: &WorkflowDag,
+    roots: &[(NodeId, f64)],
+    rho: &mut ProbabilityFn,
+) -> Vec<f64> {
+    let mut like = vec![0.0f64; dag.len()];
+    for &(root, p) in roots {
+        like[root.index()] = p;
+    }
+    for id in dag.topo_order() {
+        if like[id.index()] <= 0.0 {
+            continue;
+        }
+        for e in dag.children(id) {
+            let p = rho(id, e.to)
+                .or_else(|| dag.edge_probability(id, e.to))
+                .unwrap_or(0.0)
+                .clamp(0.0, 1.0);
+            like[e.to.index()] += like[id.index()] * p;
+        }
+    }
+    like
+}
+
+/// Shifts every offset in `plan` by `elapsed` (replans are expressed as
+/// offsets from the original trigger).
+fn shift_plan(plan: &JitPlan, elapsed: SimDuration) -> JitPlan {
+    let shifted: Vec<PlannedDeployment> = plan
+        .deployments()
+        .iter()
+        .map(|d| PlannedDeployment {
+            node: d.node,
+            deploy_at: d.deploy_at + elapsed,
+            expected_invocation: d.expected_invocation + elapsed,
+            expected_completion: d.expected_completion + elapsed,
+        })
+        .collect();
+    JitPlan::from_deployments(shifted)
+}
+
+// ---------------------------------------------------------------------------
+// MpcPolicy: receding-horizon cold-penalty / waste-cost optimizer
+// ---------------------------------------------------------------------------
+
+fn default_mpc_horizon() -> u32 {
+    4
+}
+fn default_mpc_cold_weight() -> f64 {
+    4.0
+}
+fn default_mpc_waste_weight() -> f64 {
+    1.0
+}
+
+/// Parameters of [`MpcPolicy`] (`mpc:horizon=..,cold-weight=..,...`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct MpcConfig {
+    /// Look-ahead horizon in DAG levels from the current frontier.
+    #[serde(default = "default_mpc_horizon")]
+    pub horizon: u32,
+    /// Weight on the expected cold-start wait a pre-deployment avoids.
+    #[serde(default = "default_mpc_cold_weight")]
+    pub cold_weight: f64,
+    /// Weight on the expected provisioning CPU-ms wasted when the node
+    /// turns out not to execute.
+    #[serde(default = "default_mpc_waste_weight")]
+    pub waste_weight: f64,
+    /// Deploy this much earlier than the JIT estimate, as slack against
+    /// EMA estimation error.
+    #[serde(default)]
+    pub slack_ms: f64,
+}
+
+impl Default for MpcConfig {
+    fn default() -> Self {
+        MpcConfig {
+            horizon: default_mpc_horizon(),
+            cold_weight: default_mpc_cold_weight(),
+            waste_weight: default_mpc_waste_weight(),
+            slack_ms: 0.0,
+        }
+    }
+}
+
+/// Receding-horizon model-predictive planner (Nguyen et al.).
+///
+/// At every decision point (trigger or miss) it solves the one-shot
+/// optimization: pre-deploy node `n` iff the expected cold wait avoided,
+/// `P(n) · cold_weight · cold_start_ms(n)`, is at least the expected
+/// provisioning waste, `(1 − P(n)) · waste_weight · startup_ms(n)` —
+/// restricted to nodes within `horizon` levels of the frontier and
+/// reachable through already-selected nodes. Timing comes from the same
+/// Algorithm-2 JIT pass as the paper's planner, so the two policies
+/// differ only in *which* nodes they cover. Stateless, hence
+/// deterministic at any shard count.
+#[derive(Debug, Clone)]
+pub struct MpcPolicy {
+    config: MpcConfig,
+}
+
+impl MpcPolicy {
+    /// Creates the policy with `config`.
+    pub fn new(config: MpcConfig) -> Self {
+        MpcPolicy { config }
+    }
+
+    /// Solves the horizon-restricted selection rooted at `roots`.
+    fn select(
+        &self,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        roots: &[(NodeId, f64)],
+        base_level: u32,
+        rho: &mut ProbabilityFn,
+    ) -> Vec<NodeId> {
+        let levels = node_levels(dag);
+        let like = reach_likelihood(dag, roots, rho);
+        let mut selected = vec![false; dag.len()];
+        let mut out = Vec::new();
+        for id in dag.topo_order() {
+            let p = like[id.index()];
+            if p <= 0.0 {
+                continue;
+            }
+            let rooted = roots.iter().any(|&(r, _)| r == id);
+            let connected = rooted || dag.parents(id).iter().any(|pa| selected[pa.index()]);
+            if !connected {
+                continue;
+            }
+            if levels[id.index()].saturating_sub(base_level) >= self.config.horizon {
+                continue;
+            }
+            let est = estimates.estimate(id, dag.node(id).spec());
+            let benefit = p * self.config.cold_weight * est.cold_start_ms;
+            let cost = (1.0 - p) * self.config.waste_weight * est.startup_ms;
+            if benefit >= cost {
+                selected[id.index()] = true;
+                out.push(id);
+            }
+        }
+        out
+    }
+
+    fn planned(
+        &self,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        picks: &[NodeId],
+    ) -> JitPlan {
+        let plan = plan_jit(dag, picks, estimates);
+        if self.config.slack_ms <= 0.0 {
+            return plan;
+        }
+        let slack = SimDuration::from_millis_f64(self.config.slack_ms);
+        JitPlan::from_deployments(
+            plan.deployments()
+                .iter()
+                .map(|d| PlannedDeployment {
+                    deploy_at: d.deploy_at.saturating_sub(slack),
+                    ..*d
+                })
+                .collect(),
+        )
+    }
+}
+
+impl SpeculationPolicy for MpcPolicy {
+    fn label(&self) -> &'static str {
+        "mpc"
+    }
+
+    fn plans_at_trigger(&self) -> bool {
+        true
+    }
+
+    fn allows_retarget(&self) -> bool {
+        true
+    }
+
+    fn plan(
+        &mut self,
+        _ctx: &PlanContext,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        rho: &mut ProbabilityFn,
+    ) -> JitPlan {
+        let roots: Vec<(NodeId, f64)> = dag.roots().into_iter().map(|r| (r, 1.0)).collect();
+        let picks = self.select(dag, estimates, &roots, 0, rho);
+        self.planned(dag, estimates, &picks)
+    }
+
+    fn on_miss(
+        &mut self,
+        _ctx: &PlanContext,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        actual: NodeId,
+        elapsed: SimDuration,
+        rho: &mut ProbabilityFn,
+    ) -> Option<JitPlan> {
+        let base_level = node_levels(dag)[actual.index()];
+        let picks = self.select(dag, estimates, &[(actual, 1.0)], base_level, rho);
+        Some(shift_plan(&self.planned(dag, estimates, &picks), elapsed))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// RlPolicy: tabular off-policy Q-learning over (idle gap, chain depth)
+// ---------------------------------------------------------------------------
+
+fn default_rl_seed() -> u64 {
+    0x5eed_9e3779b9
+}
+fn default_rl_warmup() -> u32 {
+    24
+}
+fn default_rl_epsilon() -> f64 {
+    0.2
+}
+fn default_rl_alpha() -> f64 {
+    0.3
+}
+fn default_rl_gamma() -> f64 {
+    0.5
+}
+fn default_rl_cold_penalty() -> f64 {
+    2500.0
+}
+fn default_rl_waste_penalty() -> f64 {
+    250.0
+}
+
+/// Parameters of [`RlPolicy`] (`rl:seed=..,warmup=..,epsilon=..,...`).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct RlConfig {
+    /// Exploration seed. Decision RNG is derived from
+    /// `(seed, workflow name, trigger index)` — never the platform seed —
+    /// so behavior is invariant to sharding.
+    #[serde(default = "default_rl_seed")]
+    pub seed: u64,
+    /// Per-workflow triggers during which ε-greedy exploration runs; the
+    /// policy is purely greedy afterwards (offline training window).
+    #[serde(default = "default_rl_warmup")]
+    pub warmup: u32,
+    /// Exploration probability during warmup.
+    #[serde(default = "default_rl_epsilon")]
+    pub epsilon: f64,
+    /// Q-update learning rate.
+    #[serde(default = "default_rl_alpha")]
+    pub alpha: f64,
+    /// Discount on the next state's greedy value.
+    #[serde(default = "default_rl_gamma")]
+    pub gamma: f64,
+    /// Reward penalty per cold start.
+    #[serde(default = "default_rl_cold_penalty")]
+    pub cold_penalty_ms: f64,
+    /// Reward penalty per planned-but-unused deployment.
+    #[serde(default = "default_rl_waste_penalty")]
+    pub waste_penalty_ms: f64,
+}
+
+impl Default for RlConfig {
+    fn default() -> Self {
+        RlConfig {
+            seed: default_rl_seed(),
+            warmup: default_rl_warmup(),
+            epsilon: default_rl_epsilon(),
+            alpha: default_rl_alpha(),
+            gamma: default_rl_gamma(),
+            cold_penalty_ms: default_rl_cold_penalty(),
+            waste_penalty_ms: default_rl_waste_penalty(),
+        }
+    }
+}
+
+const RL_IDLE_BUCKETS: usize = 4;
+const RL_DEPTH_BUCKETS: usize = 3;
+const RL_STATES: usize = RL_IDLE_BUCKETS * RL_DEPTH_BUCKETS;
+const RL_ACTIONS: usize = 3;
+const ACTION_SKIP: usize = 0;
+const ACTION_JIT: usize = 1;
+const ACTION_EAGER: usize = 2;
+
+/// Greedy tie-break order: prefer JIT, then eager, then skip — so an
+/// untrained table behaves like the paper's planner.
+const GREEDY_ORDER: [usize; RL_ACTIONS] = [ACTION_JIT, ACTION_EAGER, ACTION_SKIP];
+
+#[derive(Debug, Clone, Copy)]
+struct PendingDecision {
+    state: usize,
+    action: usize,
+    reward: Option<f64>,
+}
+
+#[derive(Debug, Clone)]
+struct WorkflowRl {
+    q: [[f64; RL_ACTIONS]; RL_STATES],
+    triggers: u64,
+    last_trigger: Option<SimTime>,
+    pending: Option<PendingDecision>,
+}
+
+impl Default for WorkflowRl {
+    fn default() -> Self {
+        WorkflowRl {
+            q: [[0.0; RL_ACTIONS]; RL_STATES],
+            triggers: 0,
+            last_trigger: None,
+            pending: None,
+        }
+    }
+}
+
+/// Tabular off-policy Q-learner (Agarwal et al.) choosing, per trigger,
+/// between no speculation, the paper's JIT plan, and eager pre-deployment
+/// of the whole MLP at trigger time.
+///
+/// The state is the discretized (time since this workflow's previous
+/// trigger, chain depth); the reward penalizes observed cold starts and
+/// planned-but-unused deployments. Updates are one-step Q-learning: the
+/// reward observed at completion plus the discounted greedy value of the
+/// state seen at the *next* trigger of the same workflow. All state is
+/// keyed per workflow, so decisions depend only on the per-workflow
+/// trigger history and are byte-identical at any `--jobs`/`--shards`
+/// width.
+#[derive(Debug)]
+pub struct RlPolicy {
+    config: RlConfig,
+    state: HashMap<String, WorkflowRl>,
+}
+
+impl RlPolicy {
+    /// Creates the policy with `config` and an empty Q-table.
+    pub fn new(config: RlConfig) -> Self {
+        RlPolicy {
+            config,
+            state: HashMap::new(),
+        }
+    }
+
+    fn state_index(idle_ms: f64, depth: u32) -> usize {
+        let idle = if idle_ms < 60_000.0 {
+            0
+        } else if idle_ms < 600_000.0 {
+            1
+        } else if idle_ms < 3_600_000.0 {
+            2
+        } else {
+            3
+        };
+        let depth = if depth <= 2 {
+            0
+        } else if depth <= 5 {
+            1
+        } else {
+            2
+        };
+        idle * RL_DEPTH_BUCKETS + depth
+    }
+
+    fn greedy(q: &[f64; RL_ACTIONS]) -> usize {
+        let mut best = GREEDY_ORDER[0];
+        for &a in &GREEDY_ORDER[1..] {
+            if q[a] > q[best] {
+                best = a;
+            }
+        }
+        best
+    }
+}
+
+impl SpeculationPolicy for RlPolicy {
+    fn label(&self) -> &'static str {
+        "rl"
+    }
+
+    fn plans_at_trigger(&self) -> bool {
+        true
+    }
+
+    fn allows_retarget(&self) -> bool {
+        false
+    }
+
+    fn plan(
+        &mut self,
+        ctx: &PlanContext,
+        dag: &WorkflowDag,
+        estimates: &dyn EstimateSource,
+        rho: &mut ProbabilityFn,
+    ) -> JitPlan {
+        let depth = node_levels(dag).iter().copied().max().unwrap_or(0) + 1;
+        let entry = self.state.entry(dag.name().to_string()).or_default();
+        let idle_ms = entry
+            .last_trigger
+            .map(|t| ctx.now.saturating_since(t).as_millis_f64())
+            .unwrap_or(f64::INFINITY);
+        let s = Self::state_index(idle_ms, depth);
+
+        // Off-policy one-step backup for the previous decision, now that
+        // both its reward and the successor state are known.
+        if let Some(prev) = entry.pending.take() {
+            if let Some(r) = prev.reward {
+                let next_best = entry.q[s][Self::greedy(&entry.q[s])];
+                let old = entry.q[prev.state][prev.action];
+                entry.q[prev.state][prev.action] =
+                    old + self.config.alpha * (r + self.config.gamma * next_best - old);
+            }
+        }
+
+        let action = if entry.triggers < u64::from(self.config.warmup) {
+            let mut rng =
+                RngStream::derive(self.config.seed.wrapping_add(entry.triggers), dag.name());
+            if rng.next_f64() < self.config.epsilon {
+                rng.uniform_inclusive(0, (RL_ACTIONS - 1) as u64) as usize
+            } else {
+                Self::greedy(&entry.q[s])
+            }
+        } else {
+            Self::greedy(&entry.q[s])
+        };
+        entry.triggers += 1;
+        entry.last_trigger = Some(ctx.now);
+        entry.pending = Some(PendingDecision {
+            state: s,
+            action,
+            reward: None,
+        });
+
+        match action {
+            ACTION_SKIP => JitPlan::default(),
+            ACTION_EAGER => {
+                let mlp = infer_mlp(dag, rho);
+                let plan = plan_jit(dag, &mlp.path, estimates);
+                JitPlan::from_deployments(
+                    plan.deployments()
+                        .iter()
+                        .map(|d| PlannedDeployment {
+                            deploy_at: SimDuration::ZERO,
+                            ..*d
+                        })
+                        .collect(),
+                )
+            }
+            _ => {
+                let mlp = infer_mlp(dag, rho);
+                plan_jit(dag, &mlp.path, estimates)
+            }
+        }
+    }
+
+    fn on_miss(
+        &mut self,
+        _ctx: &PlanContext,
+        _dag: &WorkflowDag,
+        _estimates: &dyn EstimateSource,
+        _actual: NodeId,
+        _elapsed: SimDuration,
+        _rho: &mut ProbabilityFn,
+    ) -> Option<JitPlan> {
+        // A miss means the chosen plan covered the wrong branch; stop
+        // speculating (§3.2.2 semantics) and let the reward account for it.
+        None
+    }
+
+    fn observe_completion(&mut self, workflow: &str, obs: &CompletionObservation) {
+        let Some(entry) = self.state.get_mut(workflow) else {
+            return;
+        };
+        let Some(pending) = entry.pending.as_mut() else {
+            return;
+        };
+        if pending.reward.is_some() {
+            return;
+        }
+        let unused = obs.planned.saturating_sub(obs.warm_starts);
+        let reward = -(f64::from(obs.cold_starts) * self.config.cold_penalty_ms
+            + f64::from(unused) * self.config.waste_penalty_ms);
+        pending.reward = Some(reward);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// PolicySpec + registry
+// ---------------------------------------------------------------------------
+
+/// Which policy a platform runs, with the learned policies' parameters.
+/// [`PolicySpec::Xanadu`] (the default) is parameterized by the platform's
+/// `SpeculationConfig`, so default configs serialize exactly as before.
+#[derive(Debug, Clone, PartialEq, Default, Serialize, Deserialize)]
+pub enum PolicySpec {
+    /// The paper's MLP/JIT engine ([`XanaduPolicy`]).
+    #[default]
+    Xanadu,
+    /// Receding-horizon MPC planner ([`MpcPolicy`]).
+    Mpc(MpcConfig),
+    /// Tabular off-policy Q-learner ([`RlPolicy`]).
+    Rl(RlConfig),
+}
+
+impl PolicySpec {
+    /// Whether this is the default (Xanadu) spec; used to skip the field
+    /// during serialization so default configs keep their exact bytes.
+    pub fn is_default(&self) -> bool {
+        matches!(self, PolicySpec::Xanadu)
+    }
+
+    /// The registry name of the policy.
+    pub fn name(&self) -> &'static str {
+        match self {
+            PolicySpec::Xanadu => "xanadu",
+            PolicySpec::Mpc(_) => "mpc",
+            PolicySpec::Rl(_) => "rl",
+        }
+    }
+}
+
+impl fmt::Display for PolicySpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Error from parsing a `--policy` spec or validating its parameters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PolicyParseError(pub String);
+
+impl fmt::Display for PolicyParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid policy spec: {}", self.0)
+    }
+}
+
+impl std::error::Error for PolicyParseError {}
+
+/// A fully parsed `--policy name[:param=val,...]` spec. For the learned
+/// policies the parameters live in the [`PolicySpec`]; for `xanadu` they
+/// desugar onto the platform's `SpeculationConfig` (the same knobs the
+/// `--mode`/`--aggressiveness`/`--miss-policy` aliases set).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ConfiguredPolicy {
+    /// Which policy to run.
+    pub spec: PolicySpec,
+    /// For `xanadu:...` specs: the speculation knobs the parameters set.
+    pub speculation: Option<SpeculationConfig>,
+}
+
+impl FromStr for ConfiguredPolicy {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        PolicyRegistry::parse(s)
+    }
+}
+
+impl FromStr for PolicySpec {
+    type Err = PolicyParseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        Ok(PolicyRegistry::parse(s)?.spec)
+    }
+}
+
+fn parse_f64(key: &str, value: &str) -> Result<f64, PolicyParseError> {
+    value
+        .parse::<f64>()
+        .map_err(|_| PolicyParseError(format!("`{key}` expects a number, got `{value}`")))
+}
+
+fn parse_u32(key: &str, value: &str) -> Result<u32, PolicyParseError> {
+    value
+        .parse::<u32>()
+        .map_err(|_| PolicyParseError(format!("`{key}` expects an integer, got `{value}`")))
+}
+
+fn parse_u64(key: &str, value: &str) -> Result<u64, PolicyParseError> {
+    value
+        .parse::<u64>()
+        .map_err(|_| PolicyParseError(format!("`{key}` expects an integer, got `{value}`")))
+}
+
+/// Name-based lookup of the built-in policies: parse `name[:k=v,...]`
+/// labels and build trait objects from specs.
+pub struct PolicyRegistry;
+
+impl PolicyRegistry {
+    /// Registered policy names.
+    pub const NAMES: [&'static str; 3] = ["xanadu", "mpc", "rl"];
+
+    /// Parses a `name[:param=val,...]` spec.
+    pub fn parse(s: &str) -> Result<ConfiguredPolicy, PolicyParseError> {
+        let (name, params) = match s.split_once(':') {
+            Some((n, p)) => (n.trim(), Some(p)),
+            None => (s.trim(), None),
+        };
+        let pairs = |params: Option<&str>| -> Result<Vec<(String, String)>, PolicyParseError> {
+            let Some(params) = params else {
+                return Ok(Vec::new());
+            };
+            params
+                .split(',')
+                .filter(|kv| !kv.trim().is_empty())
+                .map(|kv| {
+                    let (k, v) = kv.split_once('=').ok_or_else(|| {
+                        PolicyParseError(format!("expected `key=value`, got `{kv}`"))
+                    })?;
+                    Ok((k.trim().to_string(), v.trim().to_string()))
+                })
+                .collect()
+        };
+        match name {
+            "xanadu" => {
+                let mut spec = SpeculationConfig::default();
+                let mut touched = false;
+                for (k, v) in pairs(params)? {
+                    touched = true;
+                    match k.as_str() {
+                        "mode" => {
+                            spec.mode = match v.as_str() {
+                                "cold" => ExecutionMode::Cold,
+                                "spec" | "speculative" => ExecutionMode::Speculative,
+                                "jit" => ExecutionMode::Jit,
+                                other => {
+                                    return Err(PolicyParseError(format!(
+                                        "`mode` expects cold|spec|jit, got `{other}`"
+                                    )))
+                                }
+                            }
+                        }
+                        "aggressiveness" => spec.aggressiveness = parse_f64(&k, &v)?,
+                        "miss" => {
+                            spec.miss_policy = match v.as_str() {
+                                "stop" => MissPolicy::StopSpeculation,
+                                "replan-and-reuse" => MissPolicy::ReplanAndReuse,
+                                other => {
+                                    return Err(PolicyParseError(format!(
+                                        "`miss` expects stop|replan-and-reuse, got `{other}`"
+                                    )))
+                                }
+                            }
+                        }
+                        "hedge" => spec.hedge_margin = parse_f64(&k, &v)?,
+                        other => {
+                            return Err(PolicyParseError(format!(
+                                "unknown xanadu parameter `{other}` (mode, aggressiveness, miss, hedge)"
+                            )))
+                        }
+                    }
+                }
+                Ok(ConfiguredPolicy {
+                    spec: PolicySpec::Xanadu,
+                    speculation: touched.then_some(spec),
+                })
+            }
+            "mpc" => {
+                let mut cfg = MpcConfig::default();
+                for (k, v) in pairs(params)? {
+                    match k.as_str() {
+                        "horizon" => cfg.horizon = parse_u32(&k, &v)?,
+                        "cold-weight" | "cold_weight" => cfg.cold_weight = parse_f64(&k, &v)?,
+                        "waste-weight" | "waste_weight" => cfg.waste_weight = parse_f64(&k, &v)?,
+                        "slack-ms" | "slack_ms" => cfg.slack_ms = parse_f64(&k, &v)?,
+                        other => {
+                            return Err(PolicyParseError(format!(
+                                "unknown mpc parameter `{other}` (horizon, cold-weight, waste-weight, slack-ms)"
+                            )))
+                        }
+                    }
+                }
+                Ok(ConfiguredPolicy {
+                    spec: PolicySpec::Mpc(cfg),
+                    speculation: None,
+                })
+            }
+            "rl" => {
+                let mut cfg = RlConfig::default();
+                for (k, v) in pairs(params)? {
+                    match k.as_str() {
+                        "seed" => cfg.seed = parse_u64(&k, &v)?,
+                        "warmup" => cfg.warmup = parse_u32(&k, &v)?,
+                        "epsilon" => cfg.epsilon = parse_f64(&k, &v)?,
+                        "alpha" => cfg.alpha = parse_f64(&k, &v)?,
+                        "gamma" => cfg.gamma = parse_f64(&k, &v)?,
+                        "cold-penalty-ms" | "cold_penalty_ms" => {
+                            cfg.cold_penalty_ms = parse_f64(&k, &v)?
+                        }
+                        "waste-penalty-ms" | "waste_penalty_ms" => {
+                            cfg.waste_penalty_ms = parse_f64(&k, &v)?
+                        }
+                        other => {
+                            return Err(PolicyParseError(format!(
+                                "unknown rl parameter `{other}` (seed, warmup, epsilon, alpha, gamma, cold-penalty-ms, waste-penalty-ms)"
+                            )))
+                        }
+                    }
+                }
+                Ok(ConfiguredPolicy {
+                    spec: PolicySpec::Rl(cfg),
+                    speculation: None,
+                })
+            }
+            other => Err(PolicyParseError(format!(
+                "unknown policy `{other}` (known: {})",
+                Self::NAMES.join(", ")
+            ))),
+        }
+    }
+
+    /// Builds the trait object for `spec`; `speculation` parameterizes the
+    /// default Xanadu policy and is ignored by the learned ones.
+    pub fn build(spec: &PolicySpec, speculation: SpeculationConfig) -> Box<dyn SpeculationPolicy> {
+        match spec {
+            PolicySpec::Xanadu => Box::new(XanaduPolicy::new(speculation)),
+            PolicySpec::Mpc(cfg) => Box::new(MpcPolicy::new(*cfg)),
+            PolicySpec::Rl(cfg) => Box::new(RlPolicy::new(*cfg)),
+        }
+    }
+
+    /// Validates a spec's parameters (mirrored into platform config
+    /// validation so malformed specs fail before a run starts).
+    pub fn validate(spec: &PolicySpec) -> Result<(), PolicyParseError> {
+        match spec {
+            PolicySpec::Xanadu => Ok(()),
+            PolicySpec::Mpc(c) => {
+                if c.horizon == 0 {
+                    return Err(PolicyParseError("mpc horizon must be >= 1".into()));
+                }
+                for (k, v) in [
+                    ("cold-weight", c.cold_weight),
+                    ("waste-weight", c.waste_weight),
+                    ("slack-ms", c.slack_ms),
+                ] {
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(PolicyParseError(format!("mpc {k} must be finite and >= 0")));
+                    }
+                }
+                if c.cold_weight + c.waste_weight <= 0.0 {
+                    return Err(PolicyParseError("mpc weights must not both be zero".into()));
+                }
+                Ok(())
+            }
+            PolicySpec::Rl(c) => {
+                if !(0.0..=1.0).contains(&c.epsilon) {
+                    return Err(PolicyParseError("rl epsilon must be in [0, 1]".into()));
+                }
+                if !(c.alpha > 0.0 && c.alpha <= 1.0) {
+                    return Err(PolicyParseError("rl alpha must be in (0, 1]".into()));
+                }
+                if !(0.0..1.0).contains(&c.gamma) {
+                    return Err(PolicyParseError("rl gamma must be in [0, 1)".into()));
+                }
+                for (k, v) in [
+                    ("cold-penalty-ms", c.cold_penalty_ms),
+                    ("waste-penalty-ms", c.waste_penalty_ms),
+                ] {
+                    if !v.is_finite() || v < 0.0 {
+                        return Err(PolicyParseError(format!("rl {k} must be finite and >= 0")));
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::estimate::{NodeEstimate, StaticEstimates};
+    use xanadu_chain::{linear_chain, FunctionSpec, WorkflowBuilder};
+
+    fn est() -> StaticEstimates {
+        StaticEstimates::uniform(NodeEstimate {
+            cold_start_ms: 2500.0,
+            startup_ms: 2500.0,
+            warm_runtime_ms: 400.0,
+        })
+    }
+
+    fn ctx() -> PlanContext {
+        PlanContext {
+            now: SimTime::ZERO,
+            estimates_epoch: 0,
+            prob_epoch: 0,
+        }
+    }
+
+    fn xor_dag() -> WorkflowDag {
+        let mut b = WorkflowBuilder::new("w");
+        let a = b.add(FunctionSpec::new("a")).unwrap();
+        let hot = b.add(FunctionSpec::new("hot")).unwrap();
+        let cold = b.add(FunctionSpec::new("cold")).unwrap();
+        b.link_xor(a, &[(hot, 0.9), (cold, 0.1)]).unwrap();
+        b.build().unwrap()
+    }
+
+    #[test]
+    fn xanadu_policy_matches_engine_exactly() {
+        let dag = linear_chain("c", 6, &FunctionSpec::new("f").service_ms(400.0)).unwrap();
+        let estimates = est();
+        let mut engine = SpeculationEngine::new(SpeculationConfig::default());
+        let expected = engine.plan_cached(&dag, &estimates, 0, 0, |_, _| None);
+        let mut policy = XanaduPolicy::new(SpeculationConfig::default());
+        let mut rho = |_: NodeId, _: NodeId| None;
+        let got = policy.plan(&ctx(), &dag, &estimates, &mut rho);
+        assert_eq!(expected, got);
+        assert_eq!(
+            engine.on_deploy_failure(NodeId::from_index(0), 1, 3, 2500.0),
+            policy.on_deploy_failure(NodeId::from_index(0), 1, 3, 2500.0),
+        );
+    }
+
+    #[test]
+    fn mpc_covers_likely_branch_and_skips_unlikely() {
+        let dag = xor_dag();
+        let mut policy = MpcPolicy::new(MpcConfig::default());
+        let mut rho = |_: NodeId, _: NodeId| None;
+        let plan = policy.plan(&ctx(), &dag, &est(), &mut rho);
+        let names: Vec<&str> = plan
+            .deployments()
+            .iter()
+            .map(|d| dag.node(d.node).spec().name())
+            .collect();
+        assert!(names.contains(&"a") && names.contains(&"hot"));
+        assert!(!names.contains(&"cold"), "p=0.1 branch fails the objective");
+    }
+
+    #[test]
+    fn mpc_horizon_limits_lookahead() {
+        let dag = linear_chain("c", 8, &FunctionSpec::new("f").service_ms(400.0)).unwrap();
+        let mut policy = MpcPolicy::new(MpcConfig {
+            horizon: 3,
+            ..MpcConfig::default()
+        });
+        let mut rho = |_: NodeId, _: NodeId| None;
+        let plan = policy.plan(&ctx(), &dag, &est(), &mut rho);
+        assert_eq!(plan.len(), 3);
+    }
+
+    #[test]
+    fn mpc_replans_below_the_miss() {
+        let dag = xor_dag();
+        let cold = dag.node_by_name("cold").unwrap();
+        let mut policy = MpcPolicy::new(MpcConfig::default());
+        let mut rho = |_: NodeId, _: NodeId| None;
+        let plan = policy
+            .on_miss(
+                &ctx(),
+                &dag,
+                &est(),
+                cold,
+                SimDuration::from_secs(1),
+                &mut rho,
+            )
+            .expect("mpc replans");
+        assert_eq!(plan.len(), 1);
+        assert_eq!(plan.deployments()[0].node, cold);
+        assert!(plan.deployments()[0].deploy_at >= SimDuration::from_secs(1));
+    }
+
+    #[test]
+    fn rl_is_deterministic_per_workflow_history() {
+        let dag = linear_chain("c", 4, &FunctionSpec::new("f").service_ms(400.0)).unwrap();
+        let run = || {
+            let mut policy = RlPolicy::new(RlConfig::default());
+            let mut plans = Vec::new();
+            for i in 0..40u64 {
+                let ctx = PlanContext {
+                    now: SimTime::ZERO + SimDuration::from_secs(i * 120),
+                    estimates_epoch: 0,
+                    prob_epoch: 0,
+                };
+                let mut rho = |_: NodeId, _: NodeId| None;
+                let plan = policy.plan(&ctx, &dag, &est(), &mut rho);
+                policy.observe_completion(
+                    "c",
+                    &CompletionObservation {
+                        end_to_end_ms: 1000.0,
+                        cold_starts: u32::from(plan.is_empty()) * 4,
+                        warm_starts: plan.len() as u32,
+                        misses: 0,
+                        planned: plan.len() as u32,
+                        executed: 4,
+                    },
+                );
+                plans.push(plan);
+            }
+            plans
+        };
+        assert_eq!(run(), run());
+    }
+
+    #[test]
+    fn rl_greedy_after_warmup_avoids_penalized_skip() {
+        let dag = linear_chain("c", 4, &FunctionSpec::new("f").service_ms(400.0)).unwrap();
+        let mut policy = RlPolicy::new(RlConfig::default());
+        for i in 0..60u64 {
+            let ctx = PlanContext {
+                now: SimTime::ZERO + SimDuration::from_secs(i * 120),
+                estimates_epoch: 0,
+                prob_epoch: 0,
+            };
+            let mut rho = |_: NodeId, _: NodeId| None;
+            let plan = policy.plan(&ctx, &dag, &est(), &mut rho);
+            // Skipping speculation makes every function cold; planning
+            // serves everything warm with nothing wasted.
+            policy.observe_completion(
+                "c",
+                &CompletionObservation {
+                    end_to_end_ms: 1000.0,
+                    cold_starts: u32::from(plan.is_empty()) * 4,
+                    warm_starts: plan.len() as u32,
+                    misses: 0,
+                    planned: plan.len() as u32,
+                    executed: 4,
+                },
+            );
+        }
+        // Past warmup the greedy action must speculate.
+        let ctx = PlanContext {
+            now: SimTime::ZERO + SimDuration::from_secs(100_000),
+            estimates_epoch: 0,
+            prob_epoch: 0,
+        };
+        let mut rho = |_: NodeId, _: NodeId| None;
+        assert!(!policy.plan(&ctx, &dag, &est(), &mut rho).is_empty());
+    }
+
+    #[test]
+    fn registry_parses_labels_and_params() {
+        assert_eq!(
+            PolicyRegistry::parse("xanadu").unwrap(),
+            ConfiguredPolicy {
+                spec: PolicySpec::Xanadu,
+                speculation: None
+            }
+        );
+        let mpc = PolicyRegistry::parse("mpc:horizon=6,cold-weight=2.5").unwrap();
+        match mpc.spec {
+            PolicySpec::Mpc(c) => {
+                assert_eq!(c.horizon, 6);
+                assert!((c.cold_weight - 2.5).abs() < 1e-12);
+                assert!((c.waste_weight - 1.0).abs() < 1e-12);
+            }
+            other => panic!("expected mpc, got {other}"),
+        }
+        let rl: PolicySpec = "rl:seed=7,warmup=10".parse().unwrap();
+        match rl {
+            PolicySpec::Rl(c) => {
+                assert_eq!(c.seed, 7);
+                assert_eq!(c.warmup, 10);
+            }
+            other => panic!("expected rl, got {other}"),
+        }
+        let x = PolicyRegistry::parse("xanadu:mode=spec,aggressiveness=0.5").unwrap();
+        let spec = x.speculation.expect("xanadu params desugar");
+        assert_eq!(spec.mode, ExecutionMode::Speculative);
+        assert!((spec.aggressiveness - 0.5).abs() < 1e-12);
+        assert!(PolicyRegistry::parse("nope").is_err());
+        assert!(PolicyRegistry::parse("mpc:bogus=1").is_err());
+        assert!(PolicyRegistry::parse("rl:epsilon").is_err());
+    }
+
+    #[test]
+    fn registry_validates_params() {
+        assert!(PolicyRegistry::validate(&PolicySpec::Xanadu).is_ok());
+        assert!(PolicyRegistry::validate(&PolicySpec::Mpc(MpcConfig {
+            horizon: 0,
+            ..MpcConfig::default()
+        }))
+        .is_err());
+        assert!(PolicyRegistry::validate(&PolicySpec::Rl(RlConfig {
+            epsilon: 1.5,
+            ..RlConfig::default()
+        }))
+        .is_err());
+    }
+
+    #[test]
+    fn specs_roundtrip_through_serde() {
+        for spec in [
+            PolicySpec::Xanadu,
+            PolicySpec::Mpc(MpcConfig::default()),
+            PolicySpec::Rl(RlConfig {
+                seed: 42,
+                ..RlConfig::default()
+            }),
+        ] {
+            let value = spec.to_json();
+            let back = PolicySpec::from_json(&value).unwrap();
+            assert_eq!(spec, back);
+        }
+    }
+}

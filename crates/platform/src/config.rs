@@ -3,6 +3,7 @@
 use crate::faults::FaultConfig;
 use crate::hosts::{AutoscaleConfig, HostSpec, PlacementPolicy, TenantConfig};
 use serde::{Deserialize, Serialize};
+use xanadu_core::policy::{PolicyRegistry, PolicySpec};
 use xanadu_core::speculation::{ExecutionMode, SpeculationConfig};
 use xanadu_sandbox::PoolConfig;
 use xanadu_simcore::Distribution;
@@ -79,8 +80,17 @@ impl ClusterConfig {
 pub struct PlatformConfig {
     /// Human-readable platform label used in experiment output.
     pub label: String,
-    /// Speculation mode / aggressiveness / miss policy.
+    /// Speculation mode / aggressiveness / miss policy. Parameterizes the
+    /// default Xanadu policy; learned policies carry their own parameters
+    /// in [`policy`](PlatformConfig::policy).
     pub speculation: SpeculationConfig,
+    /// Which speculation policy drives planning (§11 of DESIGN.md). The
+    /// default, [`PolicySpec::Xanadu`], is the paper's engine configured
+    /// by [`speculation`](PlatformConfig::speculation); the field is
+    /// skipped during serialization in that case so default configs keep
+    /// their exact bytes.
+    #[serde(default, skip_serializing_if = "PolicySpec::is_default")]
+    pub policy: PolicySpec,
     /// Warm-pool keep-alive and cap policy.
     pub pool: PoolConfig,
     /// Master RNG seed; every derived stream is deterministic in it.
@@ -170,6 +180,10 @@ impl std::error::Error for ConfigError {}
 #[derive(Debug, Clone, Default)]
 pub struct PlatformConfigBuilder {
     config: PlatformConfig,
+    /// Whether `.speculation()`/`.miss_policy()` were called explicitly —
+    /// those knobs only parameterize the Xanadu policy, so combining them
+    /// with a learned `.policy(...)` is rejected at `build()`.
+    speculation_touched: bool,
 }
 
 impl PlatformConfigBuilder {
@@ -177,6 +191,7 @@ impl PlatformConfigBuilder {
     /// `mode` and `seed`; call first, then layer overrides.
     pub fn for_mode(mut self, mode: ExecutionMode, seed: u64) -> Self {
         self.config = PlatformConfig::for_mode(mode, seed);
+        self.speculation_touched = false;
         self
     }
 
@@ -195,12 +210,24 @@ impl PlatformConfigBuilder {
     /// Full speculation configuration (mode, aggressiveness, miss policy).
     pub fn speculation(mut self, speculation: SpeculationConfig) -> Self {
         self.config.speculation = speculation;
+        self.speculation_touched = true;
         self
     }
 
     /// Miss policy override, keeping the rest of the speculation preset.
     pub fn miss_policy(mut self, policy: xanadu_core::speculation::MissPolicy) -> Self {
         self.config.speculation.miss_policy = policy;
+        self.speculation_touched = true;
+        self
+    }
+
+    /// Which speculation policy drives planning. The default
+    /// [`PolicySpec::Xanadu`] reads the `speculation` knobs; learned
+    /// policies ([`PolicySpec::Mpc`], [`PolicySpec::Rl`]) carry their own
+    /// parameters and reject explicit `speculation`/`miss_policy`
+    /// overrides.
+    pub fn policy(mut self, spec: PolicySpec) -> Self {
+        self.config.policy = spec;
         self
     }
 
@@ -276,6 +303,15 @@ impl PlatformConfigBuilder {
         if c.label.trim().is_empty() {
             return Err(ConfigError("label must not be empty".into()));
         }
+        if self.speculation_touched && !c.policy.is_default() {
+            return Err(ConfigError(format!(
+                "policy `{}` does not read the xanadu speculation knobs; \
+                 configure it via its own `--policy {}:param=val` parameters",
+                c.policy.name(),
+                c.policy.name()
+            )));
+        }
+        PolicyRegistry::validate(&c.policy).map_err(|e| ConfigError(e.to_string()))?;
         if c.max_live == Some(0) {
             return Err(ConfigError(
                 "max_live = 0 would make provisioning impossible".into(),
@@ -342,6 +378,7 @@ impl PlatformConfig {
         PlatformConfig {
             label: mode.label().to_string(),
             speculation: SpeculationConfig::for_mode(mode),
+            policy: PolicySpec::Xanadu,
             pool: PoolConfig::default(),
             seed,
             orchestration_overhead: Distribution::log_normal(20.0, 5.0)
@@ -476,5 +513,59 @@ mod tests {
             PlatformConfig::builder().build().unwrap(),
             PlatformConfig::default()
         );
+    }
+
+    #[test]
+    fn policy_field_is_skipped_when_default() {
+        use serde::Serialize;
+        let json = PlatformConfig::default().to_json();
+        assert!(json.as_object().unwrap().get("policy").is_none());
+        let learned = PlatformConfig::builder()
+            .policy(PolicySpec::Mpc(xanadu_core::policy::MpcConfig::default()))
+            .build()
+            .unwrap();
+        assert!(learned
+            .to_json()
+            .as_object()
+            .unwrap()
+            .get("policy")
+            .is_some());
+    }
+
+    #[test]
+    fn builder_rejects_speculation_knobs_on_learned_policies() {
+        use xanadu_core::policy::{MpcConfig, RlConfig};
+        use xanadu_core::speculation::MissPolicy;
+        // Learned policy + explicit speculation override: typed error.
+        assert!(PlatformConfig::builder()
+            .policy(PolicySpec::Mpc(MpcConfig::default()))
+            .miss_policy(MissPolicy::ReplanAndReuse)
+            .build()
+            .is_err());
+        assert!(PlatformConfig::builder()
+            .speculation(SpeculationConfig::default())
+            .policy(PolicySpec::Rl(RlConfig::default()))
+            .build()
+            .is_err());
+        // The same knobs are fine with the default policy, and a preset
+        // reset clears the conflict.
+        assert!(PlatformConfig::builder()
+            .miss_policy(MissPolicy::ReplanAndReuse)
+            .build()
+            .is_ok());
+        assert!(PlatformConfig::builder()
+            .miss_policy(MissPolicy::ReplanAndReuse)
+            .for_mode(ExecutionMode::Jit, 3)
+            .policy(PolicySpec::Mpc(MpcConfig::default()))
+            .build()
+            .is_ok());
+        // Malformed learned-policy parameters fail validation.
+        assert!(PlatformConfig::builder()
+            .policy(PolicySpec::Mpc(MpcConfig {
+                horizon: 0,
+                ..MpcConfig::default()
+            }))
+            .build()
+            .is_err());
     }
 }

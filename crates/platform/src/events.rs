@@ -52,11 +52,13 @@ pub enum Topic {
     WorkerPlaced,
     /// A worker was forcibly evicted (capacity or quota pressure).
     WorkerEvicted,
+    /// The speculation policy made a planning decision (trigger or replan).
+    PolicyDecision,
 }
 
 impl Topic {
     /// Every topic, in declaration order.
-    pub const ALL: [Topic; 17] = [
+    pub const ALL: [Topic; 18] = [
         Topic::RequestTriggered,
         Topic::PlanComputed,
         Topic::FunctionInvoked,
@@ -74,6 +76,7 @@ impl Topic {
         Topic::HostDown,
         Topic::WorkerPlaced,
         Topic::WorkerEvicted,
+        Topic::PolicyDecision,
     ];
 
     /// The dotted wire name (what the Kafka topic would be called).
@@ -96,6 +99,7 @@ impl Topic {
             Topic::HostDown => "host.down",
             Topic::WorkerPlaced => "worker.placed",
             Topic::WorkerEvicted => "worker.evicted",
+            Topic::PolicyDecision => "policy.decision",
         }
     }
 
@@ -289,6 +293,19 @@ pub enum BusEvent {
         /// Host it was evicted from.
         host: u32,
     },
+    /// The speculation policy (DESIGN.md §11) committed a planning
+    /// decision for a request, at trigger time or while replanning after
+    /// a prediction miss.
+    PolicyDecision {
+        /// Request id.
+        request: u64,
+        /// Label of the deciding policy (e.g. `xanadu-jit`, `mpc`, `rl`).
+        policy: String,
+        /// Nodes in the committed plan.
+        planned: u64,
+        /// Why the decision was taken: `trigger` or `miss`.
+        reason: String,
+    },
 }
 
 impl BusEvent {
@@ -312,6 +329,7 @@ impl BusEvent {
             BusEvent::HostDown { .. } => Topic::HostDown,
             BusEvent::WorkerPlaced { .. } => Topic::WorkerPlaced,
             BusEvent::WorkerEvicted { .. } => Topic::WorkerEvicted,
+            BusEvent::PolicyDecision { .. } => Topic::PolicyDecision,
         }
     }
 }
@@ -451,6 +469,12 @@ mod tests {
                 memory_mb: 512,
             },
             BusEvent::WorkerEvicted { worker: 7, host: 2 },
+            BusEvent::PolicyDecision {
+                request: 1,
+                policy: "xanadu-jit".into(),
+                planned: 3,
+                reason: "trigger".into(),
+            },
         ]
     }
 }

@@ -322,6 +322,7 @@ impl Observer for MetricsRegistry {
             }
             BusEvent::WorkerPlaced { .. } => self.incr("workers.placed", 1),
             BusEvent::WorkerEvicted { .. } => self.incr("workers.evicted", 1),
+            BusEvent::PolicyDecision { .. } => self.incr("policy.decisions", 1),
         }
     }
 }

@@ -699,10 +699,11 @@ mod tests {
     }
 
     fn run_with(threads: usize, window_secs: u64, faults: bool) -> ShardedRun {
-        let mut config = PlatformConfig::for_mode(ExecutionMode::Jit, 77);
+        let mut builder = PlatformConfig::builder().for_mode(ExecutionMode::Jit, 77);
         if faults {
-            config.faults = FaultConfig::with_rate(0.25, 5);
+            builder = builder.faults(FaultConfig::with_rate(0.25, 5));
         }
+        let config = builder.build().expect("valid config");
         let opts = ShardOptions {
             threads,
             window: SimDuration::from_secs(window_secs),

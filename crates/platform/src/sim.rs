@@ -32,9 +32,8 @@ use std::sync::{Arc, Mutex};
 use xanadu_chain::{BranchMode, ChainError, DeclaredOutputs, NodeId, NodeSet, WorkflowDag};
 use xanadu_core::cost::{total_resource_cost, CpuRates, ResourceCosts};
 use xanadu_core::keepalive::{AdaptiveKeepAlive, KeepAliveConfig};
-use xanadu_core::speculation::{
-    DeployFailureAction, ExecutionMode, MissPolicy, PlanCacheStats, SpeculationEngine,
-};
+use xanadu_core::policy::{PlanContext, PolicyRegistry, SpeculationPolicy};
+use xanadu_core::speculation::{DeployFailureAction, PlanCacheStats};
 use xanadu_profiler::{BranchDetector, MetricsEngine, RequestCorrelator};
 use xanadu_sandbox::{
     SandboxProvider, SimSandboxProvider, Worker, WorkerId, WorkerPool, WorkerState,
@@ -269,7 +268,9 @@ impl RunState {
 /// sandbox substrate. See the [crate docs](crate) for a quickstart.
 pub struct Platform {
     config: PlatformConfig,
-    engine: SpeculationEngine,
+    /// The speculation policy (DESIGN.md §11): the paper's engine by
+    /// default, or a learned planner selected via `config.policy`.
+    policy: Box<dyn SpeculationPolicy>,
     provider: SimSandboxProvider,
     pool: WorkerPool,
     metrics: MetricsEngine,
@@ -377,10 +378,10 @@ impl Platform {
                 }
             }
         }
-        let mut engine = SpeculationEngine::new(config.speculation);
-        engine.set_plan_cache(config.plan_cache);
+        let mut policy = PolicyRegistry::build(&config.policy, config.speculation);
+        policy.set_plan_cache(config.plan_cache);
         Platform {
-            engine,
+            policy,
             provider,
             pool,
             metrics: MetricsEngine::new(),
@@ -648,9 +649,14 @@ impl Platform {
         &self.detector
     }
 
-    /// Hit/miss counters of the speculation engine's plan cache.
+    /// Hit/miss counters of the speculation policy's plan cache.
     pub fn plan_cache_stats(&self) -> PlanCacheStats {
-        self.engine.plan_cache_stats()
+        self.policy.plan_cache_stats()
+    }
+
+    /// Label of the active speculation policy (e.g. `xanadu-jit`, `mpc`).
+    pub fn policy_label(&self) -> &'static str {
+        self.policy.label()
     }
 
     /// The metadata store.
@@ -804,7 +810,7 @@ impl Platform {
             .map_err(|e| restore(format!("bad branch document: {e}")))?;
         // The restored engines restart their epoch counters, which could
         // collide with the epochs a cached plan was tagged with.
-        self.engine.invalidate_plan_cache();
+        self.policy.invalidate_plan_cache();
         Ok(())
     }
 
@@ -1073,7 +1079,7 @@ impl Platform {
         // i.e. deployments are scheduled at their plan offsets from now.
         let mut planned = NodeSet::with_capacity(dag.len());
         let mut plan_generation = 0;
-        if self.config.speculation.mode != ExecutionMode::Cold {
+        if self.policy.plans_at_trigger() {
             let plan = {
                 let estimates = PlatformEstimates {
                     metrics: &self.metrics,
@@ -1095,22 +1101,27 @@ impl Platform {
                 } else {
                     0
                 };
-                self.engine
-                    .plan_cached(dag_ref, &estimates, estimates_epoch, prob_epoch, |p, c| {
-                        if !use_learned {
-                            return None; // ground truth
-                        }
-                        let pn = dag_ref.node(p).spec().name();
-                        let cn = dag_ref.node(c).spec().name();
-                        match detector.smoothed_probability(pn, cn) {
-                            Some(prob) => Some(prob),
-                            // Implicit chains must not peek at the schema: an
-                            // unlearned edge has probability zero. Explicit
-                            // chains fall back to declared probabilities.
-                            None if implicit => Some(0.0),
-                            None => None,
-                        }
-                    })
+                let ctx = PlanContext {
+                    now: self.now,
+                    estimates_epoch,
+                    prob_epoch,
+                };
+                let mut rho = |p: NodeId, c: NodeId| {
+                    if !use_learned {
+                        return None; // ground truth
+                    }
+                    let pn = dag_ref.node(p).spec().name();
+                    let cn = dag_ref.node(c).spec().name();
+                    match detector.smoothed_probability(pn, cn) {
+                        Some(prob) => Some(prob),
+                        // Implicit chains must not peek at the schema: an
+                        // unlearned edge has probability zero. Explicit
+                        // chains fall back to declared probabilities.
+                        None if implicit => Some(0.0),
+                        None => None,
+                    }
+                };
+                self.policy.plan(&ctx, dag_ref, &estimates, &mut rho)
             };
             plan_generation = 1;
             for d in plan.deployments() {
@@ -1190,6 +1201,15 @@ impl Platform {
                 planned: planned_count,
             });
         }
+        if plan_generation != 0 && self.observing(Topic::PolicyDecision) {
+            let policy = self.policy.label().to_string();
+            self.emit(BusEvent::PolicyDecision {
+                request: req,
+                policy,
+                planned: planned_count,
+                reason: "trigger".to_string(),
+            });
+        }
 
         // Dispatch roots through the reverse proxy.
         for root in dag.roots() {
@@ -1219,7 +1239,7 @@ impl Platform {
         if self.usable_worker_exists(spec.name()) {
             return;
         }
-        let allow_retarget = self.config.speculation.miss_policy == MissPolicy::ReplanAndReuse;
+        let allow_retarget = self.policy.allows_retarget();
         if allow_retarget && self.try_retarget(req, spec) {
             return;
         }
@@ -1353,9 +1373,7 @@ impl Platform {
                     invoked_at,
                 },
             );
-        } else if self.config.speculation.miss_policy == MissPolicy::ReplanAndReuse
-            && self.try_retarget(req, spec)
-        {
+        } else if self.policy.allows_retarget() && self.try_retarget(req, spec) {
             // Future work §7: a mispredicted branch left this request a
             // compatible unused spare (co-located when running clustered).
             // Retargeting it serves the dispatch warm instead of paying an
@@ -1743,7 +1761,7 @@ impl Platform {
         let attempt = run.fault_attempts[node.index()];
         let generation = run.plan_generation;
         let startup_ms = self.provider.mean_cold_start_ms(level);
-        let action = self.engine.on_deploy_failure(
+        let action = self.policy.on_deploy_failure(
             node,
             attempt,
             self.config.faults.max_retries,
@@ -1849,8 +1867,26 @@ impl Platform {
         let implicit = run.implicit;
         let trigger = run.trigger;
 
-        match self.config.speculation.miss_policy {
-            MissPolicy::StopSpeculation => {
+        let elapsed = self.now.saturating_since(trigger);
+        let new_plan = {
+            let estimates = PlatformEstimates {
+                metrics: &self.metrics,
+                provider: &self.provider,
+                dag: &dag,
+                implicit,
+                hop_overhead_ms: self.config.orchestration_overhead.mean_ms(),
+            };
+            let ctx = PlanContext {
+                now: self.now,
+                estimates_epoch: self.metrics.epoch(),
+                prob_epoch: 0,
+            };
+            let mut rho = |_: NodeId, _: NodeId| None;
+            self.policy
+                .on_miss(&ctx, &dag, &estimates, actual, elapsed, &mut rho)
+        };
+        match new_plan {
+            None => {
                 // "JIT deployment stops all planned proactive provisioning
                 // as soon as it detects a prediction miss" (§3.2.2). Only
                 // the first miss needs to cancel anything.
@@ -1867,44 +1903,37 @@ impl Platform {
                 // Discard speculative workers on the dead branch now.
                 self.discard_wrong_path_workers(req);
             }
-            MissPolicy::ReplanAndReuse => {
-                let elapsed = self.now.saturating_since(trigger);
-                let new_plan = {
-                    let estimates = PlatformEstimates {
-                        metrics: &self.metrics,
-                        provider: &self.provider,
-                        dag: &dag,
-                        implicit,
-                        hop_overhead_ms: self.config.orchestration_overhead.mean_ms(),
-                    };
-                    self.engine
-                        .on_miss(&dag, &estimates, actual, elapsed, |_, _| None)
-                };
+            Some(plan) => {
                 self.queue.cancel_where(|e| {
                     matches!(e, Event::Deploy { req: r, generation, .. }
                         if *r == req && *generation == old_generation)
                 });
-                match new_plan {
-                    None => self.run_mut(req).expect("run exists").plan_active = false,
-                    Some(plan) => {
-                        let run = self.run_mut(req).expect("run exists");
-                        run.plan_generation += 1;
-                        let generation = run.plan_generation;
-                        run.planned = plan.deployments().iter().map(|d| d.node).collect();
-                        // The node that caused the miss is obviously on the
-                        // actual path.
-                        run.planned.insert(actual);
-                        for d in plan.deployments() {
-                            self.queue.schedule(
-                                trigger + d.deploy_at,
-                                Event::Deploy {
-                                    req,
-                                    node: d.node,
-                                    generation,
-                                },
-                            );
-                        }
-                    }
+                let run = self.run_mut(req).expect("run exists");
+                run.plan_generation += 1;
+                let generation = run.plan_generation;
+                run.planned = plan.deployments().iter().map(|d| d.node).collect();
+                // The node that caused the miss is obviously on the
+                // actual path.
+                run.planned.insert(actual);
+                let planned_count = run.planned.len() as u64;
+                for d in plan.deployments() {
+                    self.queue.schedule(
+                        trigger + d.deploy_at,
+                        Event::Deploy {
+                            req,
+                            node: d.node,
+                            generation,
+                        },
+                    );
+                }
+                if self.observing(Topic::PolicyDecision) {
+                    let policy = self.policy.label().to_string();
+                    self.emit(BusEvent::PolicyDecision {
+                        request: req,
+                        policy,
+                        planned: planned_count,
+                        reason: "miss".to_string(),
+                    });
                 }
             }
         }
@@ -1969,6 +1998,18 @@ impl Platform {
             faults: run.faults,
             retries: run.retries,
         };
+        // Feedback for learning policies (a no-op for the default engine).
+        self.policy.observe_completion(
+            &result.workflow,
+            &xanadu_core::policy::CompletionObservation {
+                end_to_end_ms: end_to_end.as_millis_f64(),
+                cold_starts: run.cold_starts,
+                warm_starts: run.warm_starts,
+                misses: run.misses,
+                planned: run.planned.len() as u32,
+                executed,
+            },
+        );
         if self.config.record_traces {
             self.metastore.put(
                 &format!("runs/{req}"),
@@ -2329,6 +2370,7 @@ pub fn report_total_costs(report: &PlatformReport) -> ResourceCosts {
 mod tests {
     use super::*;
     use xanadu_chain::{linear_chain, FunctionSpec, WorkflowBuilder};
+    use xanadu_core::speculation::{ExecutionMode, MissPolicy};
     use xanadu_sandbox::PoolConfig;
 
     fn chain(n: usize, service_ms: f64) -> WorkflowDag {
@@ -2370,8 +2412,11 @@ mod tests {
     #[test]
     fn plan_cache_does_not_change_results() {
         let run = |cache_on: bool| {
-            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 42);
-            cfg.plan_cache = cache_on;
+            let cfg = PlatformConfig::builder()
+                .for_mode(ExecutionMode::Jit, 42)
+                .plan_cache(cache_on)
+                .build()
+                .unwrap();
             let mut p = Platform::new(cfg);
             p.deploy(chain(6, 1000.0)).unwrap();
             for i in 0..5u64 {
@@ -2464,11 +2509,14 @@ mod tests {
 
     #[test]
     fn keep_alive_expiry_causes_cold_starts() {
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 1);
-        cfg.pool = PoolConfig {
-            keep_alive: SimDuration::from_mins(10),
-            max_warm: None,
-        };
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Cold, 1)
+            .pool(PoolConfig {
+                keep_alive: SimDuration::from_mins(10),
+                max_warm: None,
+            })
+            .build()
+            .unwrap();
         let mut p = Platform::new(cfg);
         p.deploy(chain(2, 500.0)).unwrap();
         p.trigger_at("chain", SimTime::ZERO).unwrap();
@@ -2790,8 +2838,11 @@ mod tests {
             b.link_xor(a, &[(hot, 0.7), (cold, 0.3)]).unwrap();
             b.link(cold, tail).unwrap();
             let dag = b.build().unwrap();
-            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, seed);
-            cfg.speculation.miss_policy = MissPolicy::ReplanAndReuse;
+            let cfg = PlatformConfig::builder()
+                .for_mode(ExecutionMode::Jit, seed)
+                .miss_policy(MissPolicy::ReplanAndReuse)
+                .build()
+                .unwrap();
             let mut p = Platform::new(cfg);
             p.deploy(dag).unwrap();
             p.trigger_at("chain", SimTime::ZERO).unwrap();
@@ -2842,9 +2893,12 @@ mod tests {
 
     #[test]
     fn static_prewarm_pool_serves_warm_and_replenishes() {
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 9);
-        cfg.static_prewarm = 1;
-        cfg.discard_unused_after_run = false; // pool workers persist
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Cold, 9)
+            .static_prewarm(1)
+            .discard_unused_after_run(false) // pool workers persist
+            .build()
+            .unwrap();
         let mut p = Platform::new(cfg);
         p.deploy(chain(3, 300.0)).unwrap();
         // Requests spaced far past keep-alive: pool workers are exempt from
@@ -2888,8 +2942,11 @@ mod tests {
 
     #[test]
     fn faulty_run_terminates_and_counts_faults() {
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 42);
-        cfg.faults = FaultConfig::with_rate(1.0, 7);
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Jit, 42)
+            .faults(FaultConfig::with_rate(1.0, 7))
+            .build()
+            .unwrap();
         let mut p = Platform::new(cfg);
         p.deploy(chain(4, 2000.0)).unwrap();
         for i in 0..3u64 {
@@ -2909,16 +2966,19 @@ mod tests {
 
     #[test]
     fn timeout_retries_until_shielded_attempt() {
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 11);
-        cfg.faults = FaultConfig {
-            rate: 1.0,
-            seed: 3,
-            spike_factor: 100.0,
-            timeout_ms: 5_000.0,
-            max_retries: 2,
-            backoff_ms: 100.0,
-            ..FaultConfig::default()
-        };
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Cold, 11)
+            .faults(FaultConfig {
+                rate: 1.0,
+                seed: 3,
+                spike_factor: 100.0,
+                timeout_ms: 5_000.0,
+                max_retries: 2,
+                backoff_ms: 100.0,
+                ..FaultConfig::default()
+            })
+            .build()
+            .unwrap();
         let mut p = Platform::new(cfg);
         p.deploy(chain(1, 1000.0)).unwrap();
         p.trigger_at("chain", SimTime::ZERO).unwrap();
@@ -2935,8 +2995,11 @@ mod tests {
     #[test]
     fn fault_injection_is_deterministic() {
         let run = || {
-            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 5);
-            cfg.faults = FaultConfig::with_rate(0.5, 21);
+            let cfg = PlatformConfig::builder()
+                .for_mode(ExecutionMode::Jit, 5)
+                .faults(FaultConfig::with_rate(0.5, 21))
+                .build()
+                .unwrap();
             let mut p = Platform::new(cfg);
             p.deploy(chain(5, 1500.0)).unwrap();
             for i in 0..4u64 {
@@ -2960,8 +3023,11 @@ mod tests {
             p.finish()
         };
         let zeroed = {
-            let mut cfg = PlatformConfig::for_mode(ExecutionMode::Jit, 17);
-            cfg.faults = FaultConfig::with_rate(0.0, 999);
+            let cfg = PlatformConfig::builder()
+                .for_mode(ExecutionMode::Jit, 17)
+                .faults(FaultConfig::with_rate(0.0, 999))
+                .build()
+                .unwrap();
             let mut p = Platform::new(cfg);
             p.deploy(chain(4, 800.0)).unwrap();
             p.trigger_at("chain", SimTime::ZERO).unwrap();
@@ -2976,8 +3042,11 @@ mod tests {
     fn crashed_warm_worker_leaves_pool_consistent_and_forces_cold_start() {
         // Crash every worker: a second request past the first must not
         // find a (dead) warm worker, and the pool indexes stay coherent.
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 23);
-        cfg.faults = FaultConfig::with_rate(1.0, 5);
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Cold, 23)
+            .faults(FaultConfig::with_rate(1.0, 5))
+            .build()
+            .unwrap();
         let mut p = Platform::new(cfg);
         p.deploy(chain(2, 500.0)).unwrap();
         p.trigger_at("chain", SimTime::ZERO).unwrap();
@@ -3014,12 +3083,15 @@ mod tests {
     fn multi_host_cluster_places_and_releases_workers() {
         use crate::config::ClusterConfig;
         use crate::hosts::{HostSpec, PlacementPolicy};
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Speculative, 6);
-        cfg.cluster = ClusterConfig {
-            policy: PlacementPolicy::LeastLoaded,
-            hosts: vec![HostSpec::new("a", 1536), HostSpec::new("b", 1536)],
-            ..ClusterConfig::default()
-        };
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Speculative, 6)
+            .cluster(ClusterConfig {
+                policy: PlacementPolicy::LeastLoaded,
+                hosts: vec![HostSpec::new("a", 1536), HostSpec::new("b", 1536)],
+                ..ClusterConfig::default()
+            })
+            .build()
+            .unwrap();
         let mut p = Platform::new(cfg);
         p.deploy(chain(5, 500.0)).unwrap();
         p.trigger_at("chain", SimTime::ZERO).unwrap();
@@ -3037,13 +3109,16 @@ mod tests {
     fn cluster_full_forces_eviction_but_completes() {
         use crate::config::ClusterConfig;
         use crate::hosts::{HostSpec, PlacementPolicy};
-        let mut cfg = PlatformConfig::for_mode(ExecutionMode::Cold, 8);
-        cfg.cluster = ClusterConfig {
-            policy: PlacementPolicy::FirstFit,
-            // fits two 512 MB workers
-            hosts: vec![HostSpec::new("tiny", 1024)],
-            ..ClusterConfig::default()
-        };
+        let cfg = PlatformConfig::builder()
+            .for_mode(ExecutionMode::Cold, 8)
+            .cluster(ClusterConfig {
+                policy: PlacementPolicy::FirstFit,
+                // fits two 512 MB workers
+                hosts: vec![HostSpec::new("tiny", 1024)],
+                ..ClusterConfig::default()
+            })
+            .build()
+            .unwrap();
         let mut p = Platform::new(cfg);
         p.deploy(chain(4, 200.0)).unwrap();
         p.trigger_at("chain", SimTime::ZERO).unwrap();
@@ -3078,6 +3153,7 @@ mod proptests {
     use super::*;
     use proptest::prelude::*;
     use xanadu_chain::{FunctionSpec, WorkflowBuilder};
+    use xanadu_core::speculation::ExecutionMode;
 
     /// A random workflow: a linear backbone with optional XOR alternates,
     /// deterministic in its inputs.

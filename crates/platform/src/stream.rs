@@ -320,7 +320,8 @@ impl RequestTracker {
             | BusEvent::HostUp { .. }
             | BusEvent::HostDown { .. }
             | BusEvent::WorkerPlaced { .. }
-            | BusEvent::WorkerEvicted { .. } => None,
+            | BusEvent::WorkerEvicted { .. }
+            | BusEvent::PolicyDecision { .. } => None,
         }
     }
 }

@@ -17,6 +17,7 @@ use std::fmt;
 use xanadu_baselines::BaselineKind;
 use xanadu_chain::{linear_chain, sdl, FunctionSpec};
 use xanadu_core::mlp::infer_mlp;
+use xanadu_core::policy::{ConfiguredPolicy, PolicySpec};
 use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
 use xanadu_platform::shard::{replay_sharded_with, ShardOptions, ShardTelemetry, ShardWorkload};
 use xanadu_platform::{
@@ -116,12 +117,29 @@ pub struct RunArgs {
     /// §3.2.2 behaviour) or replan and retarget compatible co-located
     /// spares (§7 future work). Ignored by the baselines.
     pub miss_policy: MissPolicy,
+    /// Speculation policy selected by `--policy name[:param=val,...]`.
+    /// The default keeps the paper's engine; `--mode`/`--aggressiveness`/
+    /// `--miss-policy` are back-compat aliases for its parameters and
+    /// conflict with an explicit `--policy`.
+    pub policy: PolicySpec,
     /// Write a Chrome `trace_event` JSON span export here.
     pub trace_out: Option<String>,
     /// Write the flat metrics-registry JSON export here.
     pub metrics_out: Option<String>,
     /// Write the speculation-audit JSON export here.
     pub audit_out: Option<String>,
+}
+
+impl RunArgs {
+    /// Label for report headers: the policy name when a learned policy
+    /// is selected, otherwise the platform's own label.
+    fn label(&self) -> String {
+        if self.policy.is_default() {
+            self.platform.label()
+        } else {
+            self.policy.name().to_string()
+        }
+    }
 }
 
 /// Arguments of `xanadu replay`.
@@ -158,6 +176,11 @@ pub struct ReplayArgs {
     pub host_fail_rate: f64,
     /// Prediction-miss policy (see [`RunArgs::miss_policy`]).
     pub miss_policy: MissPolicy,
+    /// Speculation policy (see [`RunArgs::policy`]).
+    pub policy: PolicySpec,
+    /// Speculation look-ahead horizon in `[0, 1]`; settable only through
+    /// a `--policy xanadu:aggressiveness=A` spec on replay.
+    pub aggressiveness: f64,
     /// Depth of each workflow's linear chain.
     pub depth: u64,
     /// Write the full merged `PlatformReport` JSON here.
@@ -230,15 +253,22 @@ impl PlatformChoice {
         aggressiveness: f64,
         miss_policy: MissPolicy,
         cluster: ClusterConfig,
+        policy: &PolicySpec,
     ) -> Platform {
         match self {
             PlatformChoice::Xanadu(mode) => {
-                let mut spec = SpeculationConfig::for_mode(mode);
-                spec.aggressiveness = aggressiveness;
-                spec.miss_policy = miss_policy;
-                let cfg = PlatformConfig::builder()
-                    .for_mode(mode, seed)
-                    .speculation(spec)
+                let mut builder = PlatformConfig::builder().for_mode(mode, seed);
+                if policy.is_default() {
+                    let mut spec = SpeculationConfig::for_mode(mode);
+                    spec.aggressiveness = aggressiveness;
+                    spec.miss_policy = miss_policy;
+                    builder = builder.speculation(spec);
+                } else {
+                    // Learned planners ignore the xanadu speculation knobs;
+                    // their parameters arrive inside the spec itself.
+                    builder = builder.policy(policy.clone()).label(policy.name());
+                }
+                let cfg = builder
                     .cluster(cluster)
                     .build()
                     .expect("mode defaults with a [0,1] aggressiveness are valid");
@@ -276,6 +306,16 @@ pub enum CliError {
     },
     /// A required flag is absent.
     MissingFlag(String),
+    /// `--policy` was combined with one of its back-compat alias flags
+    /// (`--mode`, `--aggressiveness`, `--miss-policy`); the aliases only
+    /// exist to desugar into a policy spec, so mixing the two spellings
+    /// would silently drop one side.
+    PolicyConflict {
+        /// The `--policy` value given.
+        policy: String,
+        /// The alias flags also present.
+        conflicting: Vec<String>,
+    },
     /// Reading or parsing the SDL document failed.
     Workflow(String),
     /// `xanadu diff` found metrics past their thresholds; each detail line
@@ -315,6 +355,15 @@ impl fmt::Display for CliError {
                 expected,
             } => write!(f, "bad value `{value}` for {flag}, expected {expected}"),
             CliError::MissingFlag(flag) => write!(f, "required flag {flag} is missing"),
+            CliError::PolicyConflict {
+                policy,
+                conflicting,
+            } => write!(
+                f,
+                "--policy {policy} conflicts with {}; encode them as policy parameters \
+                 instead (e.g. --policy xanadu:mode=jit,aggressiveness=0.5,miss=replan-and-reuse)",
+                conflicting.join(", ")
+            ),
             CliError::Workflow(msg) => write!(f, "workflow error: {msg}"),
             CliError::Regressions {
                 baseline,
@@ -366,6 +415,7 @@ xanadu — serverless function-chain platform (paper reproduction)
 
 USAGE:
   xanadu run --sdl <file> [--mode cold|spec|jit|knative|openwhisk|asf|adf]
+             [--policy name[:param=val,...]]
              [--triggers N] [--gap-min M] [--seed S] [--implicit] [--trace]
              [--fault-rate R] [--fault-seed F] [--aggressiveness A]
              [--miss-policy stop|replan-and-reuse]
@@ -374,7 +424,8 @@ USAGE:
              [--trace-out <file>] [--metrics-out <file>] [--audit-out <file>]
   xanadu analyze --sdl <file> [same flags as run]
   xanadu replay [--invocations N] [--shards S] [--window-secs W] [--seed S]
-                [--mode cold|spec|jit] [--no-plan-cache] [--depth D]
+                [--mode cold|spec|jit] [--policy name[:param=val,...]]
+                [--no-plan-cache] [--depth D]
                 [--fault-rate R] [--fault-seed F] [--report-out <file>]
                 [--miss-policy stop|replan-and-reuse]
                 [--hosts N] [--host-memory-mb M] [--placement P] [--tenants K]
@@ -392,6 +443,14 @@ USAGE:
 `run` deploys the workflow described by the JSON state-definition
 document and fires N triggers M minutes apart, printing per-request
 latency, overhead and cold/warm starts.
+`--policy name[:param=val,...]` selects the speculation policy: `xanadu`
+(the paper's MLP/JIT engine; params mode, aggressiveness, miss, hedge),
+`mpc` (receding-horizon planner; params horizon, cold-weight,
+waste-weight, slack-ms) or `rl` (tabular Q-learning; params seed,
+warmup, epsilon, alpha, gamma, cold-penalty-ms, waste-penalty-ms).
+`--mode`/`--aggressiveness`/`--miss-policy` are back-compat aliases for
+`--policy xanadu:...` parameters and conflict with an explicit
+`--policy`.
 `--fault-rate R` (0..1) injects deterministic worker crashes and latency
 spikes at rate R, seeded by `--fault-seed` (default 0xFA17); recovery
 (timeouts, bounded retry, re-planning) is reported per request.
@@ -503,9 +562,28 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
 fn parse_run_flags(args: &[String]) -> Result<RunArgs, CliError> {
     let sdl_path =
         flag_value(args, "--sdl")?.ok_or_else(|| CliError::MissingFlag("--sdl".into()))?;
-    let platform = match flag_value(args, "--mode")? {
-        Some(v) => PlatformChoice::parse(&v)?,
-        None => PlatformChoice::Xanadu(ExecutionMode::Jit),
+    let (platform, policy, aggressiveness, miss_policy) = match parse_policy(args)? {
+        Some(configured) => {
+            let knobs = configured.speculation.unwrap_or_default();
+            (
+                PlatformChoice::Xanadu(knobs.mode),
+                configured.spec,
+                knobs.aggressiveness,
+                knobs.miss_policy,
+            )
+        }
+        None => {
+            let platform = match flag_value(args, "--mode")? {
+                Some(v) => PlatformChoice::parse(&v)?,
+                None => PlatformChoice::Xanadu(ExecutionMode::Jit),
+            };
+            (
+                platform,
+                PolicySpec::Xanadu,
+                parse_fraction(args, "--aggressiveness", 1.0)?,
+                parse_miss_policy(args)?,
+            )
+        }
     };
     Ok(RunArgs {
         sdl_path,
@@ -523,27 +601,77 @@ fn parse_run_flags(args: &[String]) -> Result<RunArgs, CliError> {
         tenants: parse_num(args, "--tenants", 0)? as u32,
         host_fail_rate: parse_fraction(args, "--host-fail-rate", 0.0)?,
         autoscale_max: parse_num(args, "--autoscale-max", 0)? as u32,
-        aggressiveness: parse_fraction(args, "--aggressiveness", 1.0)?,
-        miss_policy: parse_miss_policy(args)?,
+        aggressiveness,
+        miss_policy,
+        policy,
         trace_out: flag_value(args, "--trace-out")?,
         metrics_out: flag_value(args, "--metrics-out")?,
         audit_out: flag_value(args, "--audit-out")?,
     })
 }
 
+/// Flags that are back-compat aliases for `--policy xanadu:...`
+/// parameters; present alongside `--policy` they are a conflict, not a
+/// merge.
+const POLICY_ALIAS_FLAGS: [&str; 3] = ["--mode", "--aggressiveness", "--miss-policy"];
+
+/// Parses `--policy name[:param=val,...]`, rejecting alias-flag mixes.
+fn parse_policy(args: &[String]) -> Result<Option<ConfiguredPolicy>, CliError> {
+    let Some(value) = flag_value(args, "--policy")? else {
+        return Ok(None);
+    };
+    let conflicting: Vec<String> = POLICY_ALIAS_FLAGS
+        .iter()
+        .filter(|flag| args.iter().any(|a| a == *flag))
+        .map(|flag| (*flag).to_string())
+        .collect();
+    if !conflicting.is_empty() {
+        return Err(CliError::PolicyConflict {
+            policy: value,
+            conflicting,
+        });
+    }
+    value
+        .parse::<ConfiguredPolicy>()
+        .and_then(|configured| {
+            xanadu_core::policy::PolicyRegistry::validate(&configured.spec)?;
+            Ok(configured)
+        })
+        .map(Some)
+        .map_err(|e| CliError::BadValue {
+            flag: "--policy".into(),
+            value,
+            expected: format!("xanadu|mpc|rl with optional `:param=val,...` ({e})"),
+        })
+}
+
 fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
-    let mode = match flag_value(args, "--mode")? {
-        None => ExecutionMode::Jit,
-        Some(v) => match PlatformChoice::parse(&v)? {
-            PlatformChoice::Xanadu(mode) => mode,
-            PlatformChoice::Baseline(_) => {
-                return Err(CliError::BadValue {
-                    flag: "--mode".into(),
-                    value: v,
-                    expected: "cold|spec|jit (baselines are not sharded)".into(),
-                })
-            }
-        },
+    let (mode, policy, aggressiveness, miss_policy) = match parse_policy(args)? {
+        Some(configured) => {
+            let knobs = configured.speculation.unwrap_or_default();
+            (
+                knobs.mode,
+                configured.spec,
+                knobs.aggressiveness,
+                knobs.miss_policy,
+            )
+        }
+        None => {
+            let mode = match flag_value(args, "--mode")? {
+                None => ExecutionMode::Jit,
+                Some(v) => match PlatformChoice::parse(&v)? {
+                    PlatformChoice::Xanadu(mode) => mode,
+                    PlatformChoice::Baseline(_) => {
+                        return Err(CliError::BadValue {
+                            flag: "--mode".into(),
+                            value: v,
+                            expected: "cold|spec|jit (baselines are not sharded)".into(),
+                        })
+                    }
+                },
+            };
+            (mode, PolicySpec::Xanadu, 1.0, parse_miss_policy(args)?)
+        }
     };
     let window_secs = parse_num(args, "--window-secs", 60)?;
     if window_secs == 0 {
@@ -583,7 +711,9 @@ fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
         placement: parse_placement(args)?,
         tenants: parse_num(args, "--tenants", 0)? as u32,
         host_fail_rate: parse_fraction(args, "--host-fail-rate", 0.0)?,
-        miss_policy: parse_miss_policy(args)?,
+        miss_policy,
+        policy,
+        aggressiveness,
         depth,
         report_out: flag_value(args, "--report-out")?,
         audit_out: flag_value(args, "--audit-out")?,
@@ -773,7 +903,7 @@ fn execute_inner(
             let report = w.platform.finish();
             let mut out = format!(
                 "platform {} — {} triggers of `{}` every {} min (seed {})\n",
-                run.platform.label(),
+                run.label(),
                 run.triggers,
                 name,
                 run.gap_min,
@@ -828,7 +958,7 @@ fn execute_inner(
             w.push_exports(run, exports);
             let mut out = format!(
                 "platform {} — {} triggers of `{}` every {} min (seed {})\n",
-                run.platform.label(),
+                run.label(),
                 run.triggers,
                 w.name,
                 run.gap_min,
@@ -926,19 +1056,23 @@ fn execute_replay(
         progress: replay.progress,
     };
 
-    let mut spec = SpeculationConfig::for_mode(replay.mode);
-    spec.aggressiveness = 1.0;
-    spec.miss_policy = replay.miss_policy;
     // The audit export streams (bounded memory), so per-request trace
     // recording stays off even when auditing fleet-scale replays.
-    let mut builder = PlatformConfig::builder()
-        .for_mode(replay.mode, replay.seed)
-        .speculation(spec)
-        .plan_cache(replay.plan_cache)
-        .cluster(
-            ClusterConfig::uniform(replay.placement, replay.hosts, replay.host_memory_mb)
-                .with_tenants(replay.tenants),
-        );
+    let mut builder = PlatformConfig::builder().for_mode(replay.mode, replay.seed);
+    if replay.policy.is_default() {
+        let mut spec = SpeculationConfig::for_mode(replay.mode);
+        spec.aggressiveness = replay.aggressiveness;
+        spec.miss_policy = replay.miss_policy;
+        builder = builder.speculation(spec);
+    } else {
+        builder = builder
+            .policy(replay.policy.clone())
+            .label(replay.policy.name());
+    }
+    builder = builder.plan_cache(replay.plan_cache).cluster(
+        ClusterConfig::uniform(replay.placement, replay.hosts, replay.host_memory_mb)
+            .with_tenants(replay.tenants),
+    );
     if replay.fault_rate > 0.0 || replay.host_fail_rate > 0.0 {
         builder = builder.faults(FaultConfig {
             host_failure_rate: replay.host_fail_rate,
@@ -969,11 +1103,16 @@ fn execute_replay(
         + "\n";
     let digest = format!("fnv1a64:{:016x}", fnv1a64(report_json.as_bytes()));
 
+    let label = if replay.policy.is_default() {
+        replay.mode.label().to_string()
+    } else {
+        replay.policy.name().to_string()
+    };
     let mut out = format!(
         "sharded replay — {} workflows, {realized} invocations ({}, seed {}, plan cache {}, \
          fault rate {})\n",
         run.logical_shards,
-        replay.mode.label(),
+        label,
         replay.seed,
         if replay.plan_cache { "on" } else { "off" },
         replay.fault_rate,
@@ -1171,9 +1310,13 @@ fn run_workload(run: &RunArgs, doc: &str) -> Result<Workload, CliError> {
             ..AutoscaleConfig::default()
         };
     }
-    let mut platform = run
-        .platform
-        .build(run.seed, run.aggressiveness, run.miss_policy, cluster);
+    let mut platform = run.platform.build(
+        run.seed,
+        run.aggressiveness,
+        run.miss_policy,
+        cluster,
+        &run.policy,
+    );
     if run.fault_rate > 0.0 || run.host_fail_rate > 0.0 {
         platform.set_faults(FaultConfig {
             host_failure_rate: run.host_fail_rate,
@@ -1364,6 +1507,189 @@ mod tests {
             parse_args(&args(&["run", "--sdl", "x", "--triggers", "many"])),
             Err(CliError::BadValue { .. })
         ));
+    }
+
+    #[test]
+    fn parse_policy_flag_and_desugared_aliases() {
+        use xanadu_core::policy::{MpcConfig, RlConfig};
+
+        let Command::Run(run) = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "wf.json",
+            "--policy",
+            "mpc:horizon=6",
+        ]))
+        .unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(
+            run.policy,
+            PolicySpec::Mpc(MpcConfig {
+                horizon: 6,
+                ..MpcConfig::default()
+            })
+        );
+        assert_eq!(run.platform, PlatformChoice::Xanadu(ExecutionMode::Jit));
+
+        let Command::Run(run) =
+            parse_args(&args(&["run", "--sdl", "wf.json", "--policy", "rl"])).unwrap()
+        else {
+            panic!("expected run")
+        };
+        assert_eq!(run.policy, PolicySpec::Rl(RlConfig::default()));
+
+        // A parameterized xanadu spec desugars onto the legacy fields, so
+        // the platform is built exactly as the alias flags would have.
+        let Command::Run(run) = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "wf.json",
+            "--policy",
+            "xanadu:mode=spec,aggressiveness=0.5,miss=replan-and-reuse",
+        ]))
+        .unwrap() else {
+            panic!("expected run")
+        };
+        assert_eq!(run.policy, PolicySpec::Xanadu);
+        assert_eq!(
+            run.platform,
+            PlatformChoice::Xanadu(ExecutionMode::Speculative)
+        );
+        assert_eq!(run.aggressiveness, 0.5);
+        assert_eq!(run.miss_policy, MissPolicy::ReplanAndReuse);
+
+        let Command::Replay(replay) =
+            parse_args(&args(&["replay", "--policy", "xanadu:mode=cold"])).unwrap()
+        else {
+            panic!("expected replay")
+        };
+        assert_eq!(replay.mode, ExecutionMode::Cold);
+        assert_eq!(replay.policy, PolicySpec::Xanadu);
+
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--policy", "dqn"])),
+            Err(CliError::BadValue { .. })
+        ));
+        assert!(matches!(
+            parse_args(&args(&["run", "--sdl", "x", "--policy", "mpc:horizon=0"])),
+            Err(CliError::BadValue { .. })
+        ));
+    }
+
+    #[test]
+    fn policy_flag_conflicts_with_alias_flags() {
+        let err = parse_args(&args(&[
+            "run", "--sdl", "wf.json", "--policy", "mpc", "--mode", "jit",
+        ]))
+        .unwrap_err();
+        let CliError::PolicyConflict {
+            policy,
+            conflicting,
+        } = &err
+        else {
+            panic!("expected a policy conflict, got {err}")
+        };
+        assert_eq!(policy, "mpc");
+        assert_eq!(conflicting, &["--mode".to_string()]);
+        assert!(err.to_string().contains("--policy mpc conflicts"), "{err}");
+
+        let err = parse_args(&args(&[
+            "run",
+            "--sdl",
+            "wf.json",
+            "--policy",
+            "xanadu:mode=jit",
+            "--aggressiveness",
+            "0.5",
+            "--miss-policy",
+            "stop",
+        ]))
+        .unwrap_err();
+        let CliError::PolicyConflict { conflicting, .. } = &err else {
+            panic!("expected a policy conflict, got {err}")
+        };
+        assert_eq!(
+            conflicting,
+            &["--aggressiveness".to_string(), "--miss-policy".to_string()]
+        );
+
+        assert!(matches!(
+            parse_args(&args(&[
+                "replay",
+                "--policy",
+                "rl",
+                "--miss-policy",
+                "stop"
+            ])),
+            Err(CliError::PolicyConflict { .. })
+        ));
+    }
+
+    #[test]
+    fn run_with_learned_policy_labels_and_terminates() {
+        for policy in ["mpc", "rl"] {
+            let cmd = parse_args(&args(&[
+                "run",
+                "--sdl",
+                "flow.json",
+                "--policy",
+                policy,
+                "--triggers",
+                "3",
+            ]))
+            .unwrap();
+            let out = execute(&cmd, source).unwrap();
+            assert!(
+                out.contains(&format!("platform {policy} — 3 triggers")),
+                "{out}"
+            );
+            assert!(out.contains("mean overhead"), "{out}");
+            assert_eq!(out, execute(&cmd, source).unwrap(), "deterministic");
+        }
+    }
+
+    /// `--policy xanadu` (bare or with the default parameters spelled
+    /// out) is byte-identical to the legacy alias flags.
+    #[test]
+    fn bare_xanadu_policy_matches_alias_flags() {
+        let run = |list: &[&str]| {
+            let cmd = parse_args(&args(list)).unwrap();
+            execute(&cmd, source).unwrap()
+        };
+        let legacy = run(&[
+            "run",
+            "--sdl",
+            "flow.json",
+            "--mode",
+            "jit",
+            "--triggers",
+            "2",
+        ]);
+        assert_eq!(
+            legacy,
+            run(&[
+                "run",
+                "--sdl",
+                "flow.json",
+                "--policy",
+                "xanadu",
+                "--triggers",
+                "2"
+            ])
+        );
+        assert_eq!(
+            legacy,
+            run(&[
+                "run",
+                "--sdl",
+                "flow.json",
+                "--policy",
+                "xanadu:mode=jit,aggressiveness=1.0",
+                "--triggers",
+                "2"
+            ])
+        );
     }
 
     #[test]

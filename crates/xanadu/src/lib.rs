@@ -74,6 +74,9 @@ pub mod prelude {
         linear_chain, BranchMode, ChainError, FunctionSpec, IsolationLevel, NodeId,
         WorkflowBuilder, WorkflowDag,
     };
+    pub use xanadu_core::policy::{
+        ConfiguredPolicy, MpcConfig, PolicyRegistry, PolicySpec, RlConfig, SpeculationPolicy,
+    };
     pub use xanadu_core::speculation::{ExecutionMode, MissPolicy, SpeculationConfig};
     pub use xanadu_platform::{
         diff_audits, diff_metrics, Audit, AuditSummary, AutoscaleConfig, BusEvent, ClusterConfig,

@@ -93,6 +93,12 @@ fn sample_events() -> Vec<BusEvent> {
             memory_mb: 512,
         },
         BusEvent::WorkerEvicted { worker: 7, host: 2 },
+        BusEvent::PolicyDecision {
+            request: 1,
+            policy: "xanadu-jit".into(),
+            planned: 3,
+            reason: "trigger".into(),
+        },
     ]
 }
 

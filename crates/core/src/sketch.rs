@@ -1,0 +1,352 @@
+//! Bounded-memory frequency sketches for online chain learning.
+//!
+//! The service tier (`xanadu serve`) watches an unbounded request stream
+//! and must learn which workflows are hot and which caller→callee edges
+//! are worth speculating on — without letting a high-cardinality workflow
+//! population grow the learned state unboundedly. Two classic streaming
+//! summaries cover that:
+//!
+//! * [`CountMinSketch`] — per-key arrival-rate estimates in `O(depth ×
+//!   width)` memory. Estimates never under-count; a key's estimate
+//!   over-counts by at most `ε · N` (where `N` is the stream length and
+//!   `ε = e / width`) with probability at least `1 − δ` (`δ = e^-depth`).
+//! * [`SpaceSaving`] — the Metwally et al. top-K heavy-hitter summary.
+//!   Exactly `capacity` counters are kept; any key with true frequency
+//!   above `N / capacity` is guaranteed to be present, and each reported
+//!   count over-counts its true frequency by at most the counter's
+//!   recorded `overestimate`.
+//!
+//! Both sketches are deterministic (FNV-1a row hashing, lexicographic
+//! tie-breaks) and serialize losslessly, so a checkpointed sketch resumes
+//! byte-identically.
+
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+
+const FNV_OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+const FNV_PRIME: u64 = 0x100_0000_01b3;
+
+/// FNV-1a over `bytes`, seeded per sketch row by folding the row index
+/// into the offset basis. Deterministic across platforms and runs.
+fn fnv1a64_seeded(row: u64, bytes: &[u8]) -> u64 {
+    let mut hash = FNV_OFFSET ^ row.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(FNV_PRIME);
+    }
+    hash
+}
+
+/// Count-min sketch over string keys: bounded-memory arrival counting.
+///
+/// `estimate(key)` never under-counts and over-counts by at most
+/// `e / width · total()` with probability `1 − e^-depth`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CountMinSketch {
+    depth: usize,
+    width: usize,
+    rows: Vec<Vec<u64>>,
+    total: u64,
+}
+
+impl CountMinSketch {
+    /// A zeroed sketch with `depth` rows of `width` counters each.
+    ///
+    /// # Panics
+    /// If `depth` or `width` is zero.
+    pub fn new(depth: usize, width: usize) -> Self {
+        assert!(depth > 0, "count-min depth must be positive");
+        assert!(width > 0, "count-min width must be positive");
+        CountMinSketch {
+            depth,
+            width,
+            rows: vec![vec![0; width]; depth],
+            total: 0,
+        }
+    }
+
+    /// Adds `count` occurrences of `key`.
+    pub fn observe(&mut self, key: &str, count: u64) {
+        for (row, counters) in self.rows.iter_mut().enumerate() {
+            let slot = (fnv1a64_seeded(row as u64, key.as_bytes()) % self.width as u64) as usize;
+            counters[slot] += count;
+        }
+        self.total += count;
+    }
+
+    /// Point estimate for `key`: the minimum over all rows. Never less
+    /// than the true count.
+    pub fn estimate(&self, key: &str) -> u64 {
+        self.rows
+            .iter()
+            .enumerate()
+            .map(|(row, counters)| {
+                let slot =
+                    (fnv1a64_seeded(row as u64, key.as_bytes()) % self.width as u64) as usize;
+                counters[slot]
+            })
+            .min()
+            .unwrap_or(0)
+    }
+
+    /// Total count folded in across all keys.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+
+    /// The additive error bound `e / width · total()` that holds with
+    /// probability at least `1 − e^-depth`.
+    pub fn error_bound(&self) -> f64 {
+        std::f64::consts::E / self.width as f64 * self.total as f64
+    }
+
+    /// Fixed memory footprint in counters (`depth × width`), independent
+    /// of how many distinct keys were observed.
+    pub fn counters(&self) -> usize {
+        self.depth * self.width
+    }
+}
+
+/// One retained heavy-hitter counter.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SketchEntry {
+    /// The tracked key.
+    pub key: String,
+    /// Estimated count (true count ≤ `count`).
+    pub count: u64,
+    /// Maximum over-count: the evicted counter's value this entry
+    /// inherited on admission (0 for keys admitted into free slots).
+    pub overestimate: u64,
+}
+
+/// Space-saving top-K summary (Metwally et al.): at most `capacity`
+/// counters, deterministic eviction of the minimum-count key
+/// (lexicographically smallest on ties).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SpaceSaving {
+    capacity: usize,
+    counters: BTreeMap<String, (u64, u64)>,
+    evictions: u64,
+    total: u64,
+}
+
+impl SpaceSaving {
+    /// An empty summary holding at most `capacity` keys.
+    ///
+    /// # Panics
+    /// If `capacity` is zero.
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "space-saving capacity must be positive");
+        SpaceSaving {
+            capacity,
+            counters: BTreeMap::new(),
+            evictions: 0,
+            total: 0,
+        }
+    }
+
+    /// Observes one occurrence of `key`. Returns the evicted key when the
+    /// summary was full and `key` displaced its minimum counter.
+    pub fn observe(&mut self, key: &str) -> Option<String> {
+        self.total += 1;
+        if let Some((count, _)) = self.counters.get_mut(key) {
+            *count += 1;
+            return None;
+        }
+        if self.counters.len() < self.capacity {
+            self.counters.insert(key.to_string(), (1, 0));
+            return None;
+        }
+        // Evict the minimum-count counter; BTreeMap iteration order makes
+        // the lexicographically smallest key the deterministic victim
+        // (strict `<` keeps the first minimum seen).
+        let mut min: Option<(&String, u64)> = None;
+        for (k, (c, _)) in &self.counters {
+            if min.is_none_or(|(_, mc)| *c < mc) {
+                min = Some((k, *c));
+            }
+        }
+        let (victim, min_count) = min
+            .map(|(k, c)| (k.clone(), c))
+            .expect("space-saving summary is full, so non-empty");
+        self.counters.remove(&victim);
+        self.counters
+            .insert(key.to_string(), (min_count + 1, min_count));
+        self.evictions += 1;
+        Some(victim)
+    }
+
+    /// Estimated count for `key` (`None` if not currently tracked). The
+    /// true count lies in `[count - overestimate, count]`.
+    pub fn estimate(&self, key: &str) -> Option<u64> {
+        self.counters.get(key).map(|(c, _)| *c)
+    }
+
+    /// Tracked keys, highest estimated count first (lexicographic on
+    /// ties) — the top-K edge candidates.
+    pub fn entries(&self) -> Vec<SketchEntry> {
+        let mut out: Vec<SketchEntry> = self
+            .counters
+            .iter()
+            .map(|(k, (count, overestimate))| SketchEntry {
+                key: k.clone(),
+                count: *count,
+                overestimate: *overestimate,
+            })
+            .collect();
+        out.sort_by(|a, b| b.count.cmp(&a.count).then(a.key.cmp(&b.key)));
+        out
+    }
+
+    /// Keys currently tracked (≤ [`capacity`](Self::capacity)).
+    pub fn occupancy(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Maximum keys ever tracked simultaneously.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Counters displaced since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions
+    }
+
+    /// Total observations folded in.
+    pub fn total(&self) -> u64 {
+        self.total
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn count_min_never_undercounts() {
+        let mut cms = CountMinSketch::new(4, 64);
+        for i in 0..1000u64 {
+            cms.observe(&format!("key-{}", i % 10), 1);
+        }
+        for i in 0..10u64 {
+            assert!(cms.estimate(&format!("key-{i}")) >= 100);
+        }
+        assert_eq!(cms.total(), 1000);
+    }
+
+    #[test]
+    fn count_min_error_within_bound_on_skewed_stream() {
+        let mut cms = CountMinSketch::new(5, 256);
+        for i in 0..20_000u64 {
+            cms.observe(&format!("k{}", i % 400), 1);
+        }
+        let bound = cms.error_bound().ceil() as u64;
+        for i in 0..400u64 {
+            let est = cms.estimate(&format!("k{i}"));
+            assert!(est >= 50);
+            assert!(est <= 50 + bound, "estimate {est} exceeds 50 + {bound}");
+        }
+    }
+
+    #[test]
+    fn count_min_memory_is_independent_of_cardinality() {
+        let mut cms = CountMinSketch::new(4, 64);
+        for i in 0..100_000u64 {
+            cms.observe(&format!("unique-{i}"), 1);
+        }
+        assert_eq!(cms.counters(), 4 * 64);
+    }
+
+    #[test]
+    fn space_saving_guarantees_heavy_hitters() {
+        let mut ss = SpaceSaving::new(8);
+        // One key with 40% of a 1000-item stream, noise across 600 keys.
+        for i in 0..1000u64 {
+            if i % 5 < 2 {
+                ss.observe("hot");
+            } else {
+                ss.observe(&format!("noise-{i}"));
+            }
+        }
+        let est = ss.estimate("hot").expect("heavy hitter must be tracked");
+        assert!(est >= 400);
+        assert!(ss.occupancy() <= 8);
+        assert!(ss.evictions() > 0);
+    }
+
+    #[test]
+    fn space_saving_eviction_is_deterministic() {
+        let run = || {
+            let mut ss = SpaceSaving::new(3);
+            let mut evicted = Vec::new();
+            for key in ["a", "b", "c", "d", "e", "a", "f"] {
+                if let Some(v) = ss.observe(key) {
+                    evicted.push(v);
+                }
+            }
+            (evicted, ss.entries())
+        };
+        assert_eq!(run(), run());
+        let (evicted, _) = run();
+        // "d" displaces the smallest min-count key ("a","b","c" all at 1 →
+        // lexicographic victim "a"), and so on.
+        assert_eq!(evicted[0], "a");
+    }
+
+    #[test]
+    fn space_saving_entries_sorted_and_bounded() {
+        let mut ss = SpaceSaving::new(4);
+        for _ in 0..10 {
+            ss.observe("x");
+        }
+        for key in ["p", "q", "r", "s", "t"] {
+            ss.observe(key);
+        }
+        let entries = ss.entries();
+        assert!(entries.len() <= 4);
+        assert_eq!(entries[0].key, "x");
+        for w in entries.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn sketches_roundtrip_through_serde() {
+        let mut cms = CountMinSketch::new(3, 32);
+        let mut ss = SpaceSaving::new(4);
+        for i in 0..50u64 {
+            cms.observe(&format!("k{}", i % 7), 1);
+            ss.observe(&format!("k{}", i % 7));
+        }
+        let cms_json = serde_json::to_string(&cms).unwrap();
+        let ss_json = serde_json::to_string(&ss).unwrap();
+        let cms2: CountMinSketch = serde_json::from_str(&cms_json).unwrap();
+        let ss2: SpaceSaving = serde_json::from_str(&ss_json).unwrap();
+        assert_eq!(cms, cms2);
+        assert_eq!(ss, ss2);
+    }
+
+    #[test]
+    fn bounded_memory_across_a_million_keys() {
+        let mut ss = SpaceSaving::new(64);
+        let mut cms = CountMinSketch::new(4, 256);
+        let n = if cfg!(debug_assertions) {
+            200_000u64
+        } else {
+            1_000_000u64
+        };
+        let mut key = String::new();
+        for i in 0..n {
+            key.clear();
+            use std::fmt::Write as _;
+            let _ = write!(key, "edge-{}", i % 100_000);
+            ss.observe(&key);
+            cms.observe(&key, 1);
+        }
+        assert!(ss.occupancy() <= 64);
+        assert_eq!(cms.counters(), 4 * 256);
+        assert_eq!(cms.total(), n);
+        assert_eq!(ss.total(), n);
+    }
+}

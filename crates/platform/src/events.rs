@@ -4,9 +4,10 @@
 //! over Kafka (§4) and derives the whole evaluation from them. Here those
 //! signals are a closed, typed vocabulary: every emission on the
 //! [`Bus`](crate::bus::Bus) is a [`BusEvent`] variant and every topic is a
-//! [`Topic`] constant. `serde_json::Value` appears only at the
+//! [`Topic`] constant. Untyped JSON values appear only at the
 //! serialization boundary (the [`export`](crate::export) module); nothing
-//! inside the dispatch path builds untyped JSON.
+//! inside the dispatch path builds untyped JSON — CI greps for the type's
+//! literal name to keep it that way.
 
 use serde::{Deserialize, Serialize};
 use std::fmt;
@@ -54,11 +55,17 @@ pub enum Topic {
     WorkerEvicted,
     /// The speculation policy made a planning decision (trigger or replan).
     PolicyDecision,
+    /// The service tier committed a checkpoint segment.
+    CheckpointWritten,
+    /// The service tier resumed from a checkpoint manifest.
+    CheckpointRestored,
+    /// A learning sketch evicted counters under capacity pressure.
+    SketchEviction,
 }
 
 impl Topic {
     /// Every topic, in declaration order.
-    pub const ALL: [Topic; 18] = [
+    pub const ALL: [Topic; 21] = [
         Topic::RequestTriggered,
         Topic::PlanComputed,
         Topic::FunctionInvoked,
@@ -77,6 +84,9 @@ impl Topic {
         Topic::WorkerPlaced,
         Topic::WorkerEvicted,
         Topic::PolicyDecision,
+        Topic::CheckpointWritten,
+        Topic::CheckpointRestored,
+        Topic::SketchEviction,
     ];
 
     /// The dotted wire name (what the Kafka topic would be called).
@@ -100,6 +110,9 @@ impl Topic {
             Topic::WorkerPlaced => "worker.placed",
             Topic::WorkerEvicted => "worker.evicted",
             Topic::PolicyDecision => "policy.decision",
+            Topic::CheckpointWritten => "checkpoint.written",
+            Topic::CheckpointRestored => "checkpoint.restored",
+            Topic::SketchEviction => "sketch.eviction",
         }
     }
 
@@ -306,6 +319,38 @@ pub enum BusEvent {
         /// Why the decision was taken: `trigger` or `miss`.
         reason: String,
     },
+    /// The service tier committed a checkpoint segment to the append-only
+    /// metastore log (learned state + audit + cursor are durable up to
+    /// `events`).
+    CheckpointWritten {
+        /// Checkpoint epoch just completed (0-based).
+        epoch: u64,
+        /// Sequence number of the segment file written.
+        segment: u64,
+        /// Documents captured in the segment.
+        docs: u64,
+        /// Stream events durable after this checkpoint.
+        events: u64,
+    },
+    /// The service tier resumed from an existing checkpoint manifest.
+    CheckpointRestored {
+        /// Epoch the service resumes into.
+        epoch: u64,
+        /// Segments replayed from the log.
+        segments: u64,
+        /// Stream events already accounted for by the checkpoint.
+        events: u64,
+    },
+    /// A learning sketch evicted counters under capacity pressure during
+    /// the just-finished epoch (bounded-memory guarantee at work).
+    SketchEviction {
+        /// Counters displaced this epoch.
+        evicted: u64,
+        /// Keys tracked after the epoch.
+        occupancy: u64,
+        /// The sketch's fixed capacity.
+        capacity: u64,
+    },
 }
 
 impl BusEvent {
@@ -330,6 +375,9 @@ impl BusEvent {
             BusEvent::WorkerPlaced { .. } => Topic::WorkerPlaced,
             BusEvent::WorkerEvicted { .. } => Topic::WorkerEvicted,
             BusEvent::PolicyDecision { .. } => Topic::PolicyDecision,
+            BusEvent::CheckpointWritten { .. } => Topic::CheckpointWritten,
+            BusEvent::CheckpointRestored { .. } => Topic::CheckpointRestored,
+            BusEvent::SketchEviction { .. } => Topic::SketchEviction,
         }
     }
 }
@@ -474,6 +522,22 @@ mod tests {
                 policy: "xanadu-jit".into(),
                 planned: 3,
                 reason: "trigger".into(),
+            },
+            BusEvent::CheckpointWritten {
+                epoch: 4,
+                segment: 4,
+                docs: 6,
+                events: 5000,
+            },
+            BusEvent::CheckpointRestored {
+                epoch: 5,
+                segments: 5,
+                events: 5000,
+            },
+            BusEvent::SketchEviction {
+                evicted: 12,
+                occupancy: 64,
+                capacity: 64,
             },
         ]
     }

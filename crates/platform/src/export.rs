@@ -13,7 +13,11 @@
 //!   (`tid`) per function.
 //! * [`metrics_json`] — a flat snapshot of a [`MetricsRegistry`]:
 //!   counters plus histogram buckets, means and interpolated
-//!   p50/p95/p99 quantiles.
+//!   p50/p95/p99/p99.9 quantiles.
+//! * [`alert_json_line`] / [`service_metrics_text`] — the service tier's
+//!   live surfaces: one compact JSONL line per SLO breach
+//!   (`docs/schemas/alerts.schema.json`) and a Prometheus-style text
+//!   exposition snapshot.
 //! * [`audit_json`] — the speculation [`Audit`] produced by the analysis
 //!   tier, serialized losslessly (the document round-trips back into an
 //!   `Audit` for `xanadu diff`).
@@ -26,7 +30,7 @@
 
 use crate::analysis::Audit;
 use crate::obs::{Histogram, MetricsRegistry};
-use crate::stream::{SloReport, StreamingAudit};
+use crate::stream::{SloAlert, SloReport, StreamingAudit, StreamingSummary};
 use crate::timeline::{SpanKind, SpanTree, Trace};
 use serde_json::{json, Map, Value};
 
@@ -141,6 +145,7 @@ fn histogram_json(h: &Histogram) -> Value {
         "p50_ms": h.quantile_ms(0.50),
         "p95_ms": h.quantile_ms(0.95),
         "p99_ms": h.quantile_ms(0.99),
+        "p99_9_ms": h.quantile_ms(0.999),
     })
 }
 
@@ -234,6 +239,141 @@ pub fn slo_json(report: &SloReport) -> Value {
 pub fn slo_json_string(report: &SloReport) -> String {
     let mut out = slo_json(report).to_json_string_pretty();
     out.push('\n');
+    out
+}
+
+/// Renders one [`SloAlert`] as a compact JSONL record (no trailing
+/// newline) matching `docs/schemas/alerts.schema.json`. The service tier
+/// appends one line per breach to `--alerts-out`; because the rendering
+/// is a pure function of the alert, an interrupted-and-resumed serve
+/// reproduces the log byte-identically.
+pub fn alert_json_line(alert: &SloAlert) -> String {
+    serde_json::to_value(alert)
+        .expect("SloAlert serializes infallibly: strings and finite floats")
+        .to_json_string()
+}
+
+/// Live counters of the service tier, paired with a
+/// [`StreamingSummary`] to render the text exposition.
+#[derive(Debug, Clone, Default)]
+pub struct ServiceStatus {
+    /// Stream time covered so far, milliseconds.
+    pub uptime_ms: f64,
+    /// Stream events ingested.
+    pub events: u64,
+    /// Requests completed.
+    pub requests: u64,
+    /// Checkpoint epochs committed.
+    pub checkpoints: u64,
+    /// SLO alerts raised.
+    pub alerts: u64,
+    /// Keys currently tracked by the edge sketch.
+    pub sketch_occupancy: u64,
+    /// The edge sketch's fixed capacity.
+    pub sketch_capacity: u64,
+    /// Sketch counters displaced so far.
+    pub sketch_evictions: u64,
+    /// Events ingested since the last durable checkpoint.
+    pub checkpoint_lag_events: u64,
+    /// Wall-clock ingest throughput, events per second.
+    pub events_per_sec: f64,
+}
+
+/// Renders the service tier's Prometheus-style text exposition: `# HELP`
+/// / `# TYPE` headers plus one sample per metric, latency quantiles as
+/// `xanadu_end_to_end_ms{quantile="..."}` gauges. The service rewrites
+/// the `--metrics-text` file atomically with this snapshot each flush.
+pub fn service_metrics_text(status: &ServiceStatus, summary: &StreamingSummary) -> String {
+    let mut out = String::new();
+    let mut counter = |name: &str, help: &str, value: f64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} counter\n{name} {value}\n"
+        ));
+    };
+    counter(
+        "xanadu_stream_events_total",
+        "Stream events ingested.",
+        status.events as f64,
+    );
+    counter(
+        "xanadu_requests_completed_total",
+        "Requests completed.",
+        status.requests as f64,
+    );
+    counter(
+        "xanadu_checkpoints_total",
+        "Checkpoint epochs committed.",
+        status.checkpoints as f64,
+    );
+    counter(
+        "xanadu_slo_alerts_total",
+        "SLO window breaches raised.",
+        status.alerts as f64,
+    );
+    counter(
+        "xanadu_sketch_evictions_total",
+        "Sketch counters displaced under capacity pressure.",
+        status.sketch_evictions as f64,
+    );
+    counter(
+        "xanadu_wasted_deploys_total",
+        "Speculative deployments that served no invocation.",
+        summary.waste.deploys as f64,
+    );
+    let mut gauge = |name: &str, help: &str, value: f64| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} gauge\n{name} {value}\n"
+        ));
+    };
+    gauge(
+        "xanadu_uptime_stream_ms",
+        "Stream time covered, milliseconds.",
+        status.uptime_ms,
+    );
+    gauge(
+        "xanadu_events_per_second",
+        "Wall-clock ingest throughput.",
+        status.events_per_sec,
+    );
+    gauge(
+        "xanadu_sketch_occupancy",
+        "Keys tracked by the edge sketch.",
+        status.sketch_occupancy as f64,
+    );
+    gauge(
+        "xanadu_sketch_capacity",
+        "Fixed capacity of the edge sketch.",
+        status.sketch_capacity as f64,
+    );
+    gauge(
+        "xanadu_checkpoint_lag_events",
+        "Events ingested since the last durable checkpoint.",
+        status.checkpoint_lag_events as f64,
+    );
+    gauge(
+        "xanadu_mlp_recall",
+        "Plan coverage over the whole stream.",
+        summary.mlp.recall,
+    );
+    out.push_str(concat!(
+        "# HELP xanadu_end_to_end_ms End-to-end latency, bucket-interpolated quantiles.\n",
+        "# TYPE xanadu_end_to_end_ms summary\n",
+    ));
+    for (label, q) in [
+        ("0.5", 0.50),
+        ("0.95", 0.95),
+        ("0.99", 0.99),
+        ("0.999", 0.999),
+    ] {
+        out.push_str(&format!(
+            "xanadu_end_to_end_ms{{quantile=\"{label}\"}} {}\n",
+            summary.end_to_end.quantile_ms(q)
+        ));
+    }
+    out.push_str(&format!(
+        "xanadu_end_to_end_ms_sum {}\nxanadu_end_to_end_ms_count {}\n",
+        summary.end_to_end.sum_ms, summary.end_to_end.count
+    ));
     out
 }
 
@@ -403,7 +543,7 @@ mod tests {
         }
         let doc = metrics_json(&reg);
         let hist = doc.get("histograms").unwrap().get("end_to_end_ms").unwrap();
-        for key in ["p50_ms", "p95_ms", "p99_ms"] {
+        for key in ["p50_ms", "p95_ms", "p99_ms", "p99_9_ms"] {
             let q = hist.get(key).unwrap().as_f64().unwrap();
             // All samples landed in the (100, 250] bucket.
             assert!((100.0..=250.0).contains(&q), "{key} = {q}");
@@ -452,6 +592,51 @@ mod tests {
         assert!(validate_schema(&json!({"a": 1, "z": 2}), &schema)
             .unwrap_err()
             .contains("unexpected property"));
+    }
+
+    #[test]
+    fn alert_lines_are_compact_and_deterministic() {
+        let alert = SloAlert {
+            window: 3,
+            path: "$.windows[3].end_to_end_ms.p95".into(),
+            baseline: 400.0,
+            candidate: 1300.0,
+            allowed: "+225.0% > allowed +10.0%".into(),
+        };
+        let line = alert_json_line(&alert);
+        assert!(!line.contains('\n'), "JSONL records are single-line");
+        assert_eq!(line, alert_json_line(&alert));
+        let parsed: SloAlert = serde_json::from_str(&line).unwrap();
+        assert_eq!(parsed, alert);
+    }
+
+    #[test]
+    fn service_metrics_text_is_prometheus_shaped() {
+        let mut summary = StreamingSummary::default();
+        summary.end_to_end.observe(120.0);
+        let status = ServiceStatus {
+            uptime_ms: 60_000.0,
+            events: 500,
+            requests: 480,
+            checkpoints: 5,
+            alerts: 1,
+            sketch_occupancy: 40,
+            sketch_capacity: 64,
+            sketch_evictions: 7,
+            checkpoint_lag_events: 0,
+            events_per_sec: 1234.5,
+        };
+        let text = service_metrics_text(&status, &summary);
+        assert!(text.contains("# TYPE xanadu_stream_events_total counter"));
+        assert!(text.contains("xanadu_stream_events_total 500"));
+        assert!(text.contains("xanadu_sketch_occupancy 40"));
+        assert!(text.contains("xanadu_end_to_end_ms{quantile=\"0.999\"}"));
+        // Every non-comment line is `name[{labels}] value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let mut parts = line.rsplitn(2, ' ');
+            let value = parts.next().unwrap();
+            assert!(value.parse::<f64>().is_ok(), "bad sample line: {line}");
+        }
     }
 
     #[test]

@@ -67,6 +67,7 @@ pub use hosts::{
     AutoscaleConfig, ClusterReport, HostId, HostRegistry, HostReport, HostSpec, PlacementError,
     PlacementPolicy, PlacementRequest, TenantConfig, TenantReport,
 };
+pub use metastore::{LogError, Manifest, MetaStore, SegmentLog, SegmentRef};
 pub use obs::{Histogram, MetricsRegistry, Observer, ObserverHandle};
 pub use result::{PlatformReport, RunResult};
 pub use shard::{
@@ -75,6 +76,6 @@ pub use shard::{
 };
 pub use sim::{report_total_costs, LearnedState, Platform, PlatformError};
 pub use stream::{
-    ClusterActivity, SloAlert, SloConfig, SloMonitor, SloReport, StreamingAudit, StreamingConfig,
-    StreamingSummary,
+    AuditCheckpoint, ClusterActivity, SloAlert, SloCheckpoint, SloConfig, SloMonitor, SloReport,
+    StreamingAudit, StreamingConfig, StreamingSummary,
 };

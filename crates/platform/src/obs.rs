@@ -323,6 +323,12 @@ impl Observer for MetricsRegistry {
             BusEvent::WorkerPlaced { .. } => self.incr("workers.placed", 1),
             BusEvent::WorkerEvicted { .. } => self.incr("workers.evicted", 1),
             BusEvent::PolicyDecision { .. } => self.incr("policy.decisions", 1),
+            BusEvent::CheckpointWritten { docs, .. } => {
+                self.incr("checkpoints.written", 1);
+                self.incr("checkpoints.docs", *docs);
+            }
+            BusEvent::CheckpointRestored { .. } => self.incr("checkpoints.restored", 1),
+            BusEvent::SketchEviction { evicted, .. } => self.incr("sketch.evictions", *evicted),
         }
     }
 }

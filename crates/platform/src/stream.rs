@@ -321,7 +321,10 @@ impl RequestTracker {
             | BusEvent::HostDown { .. }
             | BusEvent::WorkerPlaced { .. }
             | BusEvent::WorkerEvicted { .. }
-            | BusEvent::PolicyDecision { .. } => None,
+            | BusEvent::PolicyDecision { .. }
+            | BusEvent::CheckpointWritten { .. }
+            | BusEvent::CheckpointRestored { .. }
+            | BusEvent::SketchEviction { .. } => None,
         }
     }
 }
@@ -427,7 +430,8 @@ impl Default for StreamingConfig {
 
 /// One entry of the worst-request reservoir: the reconstructed timeline
 /// of a completed request, kept so its [`SpanTree`] can be exported.
-#[derive(Debug, Clone)]
+/// Serializable so the service tier can checkpoint the reservoir.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct Exemplar {
     /// Request id (global after a sharded merge).
     pub request: u64,
@@ -699,6 +703,14 @@ impl StreamingAudit {
         self.sort_exemplars();
     }
 
+    /// Shifts every exemplar's request id up by `base`. The service tier
+    /// runs each checkpoint epoch on a fresh platform whose trigger ids
+    /// restart at 0; offsetting by the global request count restores
+    /// stream-wide ids before epochs are merged.
+    pub fn offset_requests(&mut self, base: u64) {
+        self.remap_exemplar_requests(|r| r + base);
+    }
+
     /// Folds another audit's aggregates into this one. Both must be
     /// drained (no in-flight requests) — callers merge per-shard audits
     /// after the fleet is idle, in canonical shard order.
@@ -784,6 +796,123 @@ impl StreamingAudit {
             },
             cluster: self.cluster.clone(),
         }
+    }
+}
+
+/// Serializable snapshot of a drained [`StreamingAudit`] — everything
+/// but the (empty) in-flight tracker. Checkpoint → restore is lossless:
+/// floats round-trip through JSON via shortest-round-trip formatting, so
+/// a restored audit continues byte-identically.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AuditCheckpoint {
+    /// Exemplar-reservoir capacity the audit was configured with.
+    pub exemplars_cap: usize,
+    /// Completed requests folded in.
+    pub requests: u64,
+    /// End-to-end latency distribution.
+    pub end_to_end: Histogram,
+    /// Per-request exec-time distribution.
+    pub exec: Histogram,
+    /// Per-request cold-start-wait distribution.
+    pub cold_start_wait: Histogram,
+    /// Per-request warm-queueing distribution.
+    pub queue_wait: Histogram,
+    /// Per-request stall distribution.
+    pub stall: Histogram,
+    /// Total exec microseconds.
+    pub exec_us: u64,
+    /// Total cold-start-wait microseconds.
+    pub cold_us: u64,
+    /// Total warm-queueing microseconds.
+    pub queue_us: u64,
+    /// Total stall microseconds.
+    pub stall_us: u64,
+    /// MLP prediction quality.
+    pub mlp: MlpStats,
+    /// Unused speculative deployments.
+    pub waste_deploys: u64,
+    /// Wasted deploy CPU microseconds.
+    pub wasted_us: u64,
+    /// Planned deployments that served an invocation.
+    pub jit_planned: u64,
+    /// Of those, sandboxes ready after their invocation.
+    pub jit_late: u64,
+    /// Sandboxes ready at or before their invocation.
+    pub jit_on_time: u64,
+    /// Positive-lateness distribution (ms).
+    pub late_ms: Histogram,
+    /// Pre-warm slack distribution (ms).
+    pub slack_ms: Histogram,
+    /// Cluster scheduling activity.
+    pub cluster: ClusterActivity,
+    /// The worst-request reservoir.
+    pub exemplars: Vec<Exemplar>,
+}
+
+impl StreamingAudit {
+    /// Captures the audit as a serializable checkpoint.
+    ///
+    /// # Panics
+    /// If requests are still in flight — the service tier checkpoints
+    /// only at drained epoch boundaries.
+    pub fn checkpoint(&self) -> AuditCheckpoint {
+        assert!(
+            self.tracker.pending.is_empty(),
+            "checkpointing a streaming audit with in-flight requests"
+        );
+        AuditCheckpoint {
+            exemplars_cap: self.config.exemplars,
+            requests: self.requests,
+            end_to_end: self.end_to_end.clone(),
+            exec: self.exec.clone(),
+            cold_start_wait: self.cold_start_wait.clone(),
+            queue_wait: self.queue_wait.clone(),
+            stall: self.stall.clone(),
+            exec_us: self.exec_us,
+            cold_us: self.cold_us,
+            queue_us: self.queue_us,
+            stall_us: self.stall_us,
+            mlp: self.mlp.clone(),
+            waste_deploys: self.waste_deploys,
+            wasted_us: self.wasted_us,
+            jit_planned: self.jit_planned,
+            jit_late: self.jit_late,
+            jit_on_time: self.jit_on_time,
+            late_ms: self.late_ms.clone(),
+            slack_ms: self.slack_ms.clone(),
+            cluster: self.cluster.clone(),
+            exemplars: self.exemplars.clone(),
+        }
+    }
+
+    /// Rebuilds an audit from a checkpoint, with an empty in-flight
+    /// tracker — the exact state [`checkpoint`](Self::checkpoint)
+    /// captured.
+    pub fn from_checkpoint(c: &AuditCheckpoint) -> StreamingAudit {
+        let mut audit = StreamingAudit::new(StreamingConfig {
+            exemplars: c.exemplars_cap,
+        });
+        audit.requests = c.requests;
+        audit.end_to_end = c.end_to_end.clone();
+        audit.exec = c.exec.clone();
+        audit.cold_start_wait = c.cold_start_wait.clone();
+        audit.queue_wait = c.queue_wait.clone();
+        audit.stall = c.stall.clone();
+        audit.exec_us = c.exec_us;
+        audit.cold_us = c.cold_us;
+        audit.queue_us = c.queue_us;
+        audit.stall_us = c.stall_us;
+        audit.mlp = c.mlp.clone();
+        audit.waste_deploys = c.waste_deploys;
+        audit.wasted_us = c.wasted_us;
+        audit.jit_planned = c.jit_planned;
+        audit.jit_late = c.jit_late;
+        audit.jit_on_time = c.jit_on_time;
+        audit.late_ms = c.late_ms.clone();
+        audit.slack_ms = c.slack_ms.clone();
+        audit.cluster = c.cluster.clone();
+        audit.exemplars = c.exemplars.clone();
+        audit
     }
 }
 
@@ -958,6 +1087,25 @@ pub struct SloReport {
     pub alerts: Vec<SloAlert>,
 }
 
+/// Serializable snapshot of a drained [`SloMonitor`]: accumulated
+/// windows plus the evaluation cursor and alerts already raised, so a
+/// restored monitor neither re-raises nor skips alerts.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SloCheckpoint {
+    /// Tumbling-window width, integer microseconds.
+    pub window_us: u64,
+    /// The gates every window is held to.
+    pub thresholds: DiffThresholds,
+    /// Accumulated windows, index-ordered.
+    pub windows: Vec<SloWindow>,
+    /// Baseline (first non-empty) window index, if evaluation started.
+    pub baseline: Option<u64>,
+    /// Highest window index already evaluated.
+    pub evaluated: Option<u64>,
+    /// Alerts raised so far, in emission order.
+    pub alerts: Vec<SloAlert>,
+}
+
 /// Evaluates windowed telemetry against [`DiffThresholds`], live or
 /// post-merge.
 ///
@@ -1087,6 +1235,43 @@ impl SloMonitor {
         std::mem::take(&mut self.pending_alerts)
     }
 
+    /// Evaluates every not-yet-evaluated window strictly below `horizon`
+    /// and returns the fresh alerts, in (window, gate) order.
+    ///
+    /// The service tier calls this at checkpoint boundaries: completions
+    /// are *not* globally time-ordered across epochs (a draining epoch
+    /// emits completions later than the next epoch's first trigger), so
+    /// only windows below `floor(next trigger time / width)` are final —
+    /// every future completion lands at or above that index. Evaluation
+    /// is incremental and index-ordered against the same first-non-empty
+    /// baseline as [`report`](Self::report), so the union of all
+    /// `evaluate_below` results equals the report's alert list exactly.
+    ///
+    /// # Panics
+    /// If requests are still in flight.
+    pub fn evaluate_below(&mut self, horizon: u64) -> Vec<SloAlert> {
+        assert!(
+            self.tracker.pending.is_empty(),
+            "evaluating an SLO monitor with in-flight requests"
+        );
+        let ready: Vec<u64> = self
+            .windows
+            .keys()
+            .copied()
+            .filter(|&i| i < horizon && self.evaluated.is_none_or(|e| i > e))
+            .collect();
+        for index in ready {
+            self.evaluate_window(index);
+            self.evaluated = Some(index);
+        }
+        self.take_alerts()
+    }
+
+    /// Every alert raised so far, in emission order.
+    pub fn alerts(&self) -> &[SloAlert] {
+        &self.alerts
+    }
+
     /// Closes the stream: evaluates the final (still-open) window and
     /// returns any remaining alerts. Collector-mode monitors defer all
     /// evaluation to [`report`](Self::report) and return nothing.
@@ -1128,6 +1313,45 @@ impl SloMonitor {
             mine.invoked += theirs.invoked;
             mine.misses += theirs.misses;
         }
+    }
+
+    /// Captures the monitor as a serializable checkpoint (windows,
+    /// baseline, evaluation cursor, and alerts raised so far).
+    ///
+    /// # Panics
+    /// If requests are in flight or alerts are pending un-drained.
+    pub fn checkpoint(&self) -> SloCheckpoint {
+        assert!(
+            self.tracker.pending.is_empty(),
+            "checkpointing an SLO monitor with in-flight requests"
+        );
+        assert!(
+            self.pending_alerts.is_empty(),
+            "checkpointing an SLO monitor with undrained alerts"
+        );
+        SloCheckpoint {
+            window_us: self.config.window.as_micros(),
+            thresholds: self.config.thresholds.clone(),
+            windows: self.windows.values().cloned().collect(),
+            baseline: self.baseline,
+            evaluated: self.evaluated,
+            alerts: self.alerts.clone(),
+        }
+    }
+
+    /// Rebuilds a collector-mode monitor from a checkpoint — the exact
+    /// state [`checkpoint`](Self::checkpoint) captured, ready to resume
+    /// folding and incremental evaluation.
+    pub fn from_checkpoint(c: &SloCheckpoint) -> SloMonitor {
+        let mut monitor = SloMonitor::collector(SloConfig {
+            window: SimDuration::from_micros(c.window_us),
+            thresholds: c.thresholds.clone(),
+        });
+        monitor.windows = c.windows.iter().map(|w| (w.index, w.clone())).collect();
+        monitor.baseline = c.baseline;
+        monitor.evaluated = c.evaluated;
+        monitor.alerts = c.alerts.clone();
+        monitor
     }
 
     /// Builds the windowed export: every non-empty window summarized, plus

@@ -15,6 +15,8 @@
 //!   Figure 6, Poisson and closed-loop generators.
 //! * [`azure`] — the §2.3 Azure-trace characterization as a synthetic
 //!   mixed-popularity fleet (≈45 % of workflows invoked ≤ once/hour).
+//! * [`stream`] — unbounded request streams for the service tier: a
+//!   seeded generator and deterministic record/replay of stream files.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -25,6 +27,7 @@ pub mod case_studies;
 mod fan;
 mod fig8;
 mod random_tree;
+pub mod stream;
 
 pub use fan::{fan_out_fan_in, layered_fan};
 pub use fig8::fig8_dag;

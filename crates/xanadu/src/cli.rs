@@ -13,6 +13,7 @@
 //! lives here so it is unit-testable, with `src/bin/xanadu_cli.rs` as a
 //! thin shell.
 
+use crate::serve::{RecordArgs, ServeArgs};
 use std::fmt;
 use xanadu_baselines::BaselineKind;
 use xanadu_chain::{linear_chain, sdl, FunctionSpec};
@@ -59,6 +60,11 @@ pub enum Command {
     /// Compare two audit or metrics snapshots; exit non-zero when a
     /// threshold regresses.
     Diff(DiffArgs),
+    /// Record a seeded trigger stream to a JSONL file for `serve`.
+    Record(RecordArgs),
+    /// Run the service tier: ingest a trigger stream in checkpointed
+    /// epochs with live SLO alerting and Prometheus-style metrics.
+    Serve(ServeArgs),
     /// Print usage help.
     Help,
 }
@@ -433,6 +439,17 @@ USAGE:
                 [--audit-out <file>] [--metrics-out <file>]
                 [--slo <thresholds.json>] [--slo-out <file>]
                 [--slo-window-secs W] [--progress] [--bench-out <file>]
+  xanadu record --out <file> [--events N] [--workflows W] [--depth D]
+                [--rate-per-hour R] [--seed S]
+  xanadu serve --checkpoint-dir <dir> [--stream <file>]
+               [--events N] [--workflows W] [--depth D]
+               [--rate-per-hour R] [--seed S] [--mode cold|spec|jit]
+               [--checkpoint-every N] [--alerts-out <file.jsonl>]
+               [--metrics-text <file>] [--audit-out <file>]
+               [--slo <thresholds.json>] [--slo-out <file>]
+               [--slo-window-secs W] [--stop-after-checkpoints K]
+               [--status-every K] [--sketch-edges K]
+               [--bench-out <file>] [--fail-on-alert]
   xanadu diff --baseline <file> --candidate <file>
               [--max-p95-regress-pct P] [--max-wasted-cpu-regress-pct W]
               [--max-recall-drop D]
@@ -497,8 +514,28 @@ the candidate regresses past a threshold (p95 end-to-end +10%, wasted
 CPU-ms +25%, MLP recall −0.05 by default), printing the JSON path of
 each offending field.
 `inspect` prints the parsed structure and the predicted most-likely path.
+`record` writes a seeded trigger stream (JSONL: one header line, then
+one `{at_us, wf}` event per line) that `serve --stream` replays
+deterministically.
+`serve` is the service tier: it ingests the stream in `--checkpoint-every`
+event epochs, learns implicit chains online into bounded-memory sketches
+(`--sketch-edges` space-saving edge candidates plus count-min arrival
+rates) and appends the full service state to an atomic segment log under
+`--checkpoint-dir` after every epoch. Killing and rerunning the same
+command resumes from the last checkpoint with byte-identical final
+exports. `--alerts-out` appends one schema-validated JSON line per SLO
+breach the moment its window becomes final; `--metrics-text` atomically
+rewrites a Prometheus-style text exposition each flush; `--status-every
+K` prints a stderr status line (uptime, events/sec, window quantiles,
+open alerts, sketch occupancy, checkpoint lag) every K checkpoints.
+`--stop-after-checkpoints K` pauses at an exact boundary (the restart
+suites use this); `--fail-on-alert` exits non-zero when any alert was
+raised. `--bench-out` merges a `service` row (sustained events/sec,
+amortized checkpoint cost, streaming-vs-batch p95 delta) into the named
+BENCH_harness.json.
 `validate` checks a JSON document against a schema file and exits
-non-zero on mismatch (CI uses it on the exports).";
+non-zero on mismatch (CI uses it on the exports); a `.jsonl` document
+(e.g. the serve alerts stream) is validated line by line.";
 
 /// Parses raw arguments (without the program name).
 ///
@@ -520,6 +557,8 @@ pub fn parse_args(args: &[String]) -> Result<Command, CliError> {
         "run" => Ok(Command::Run(parse_run_flags(args)?)),
         "analyze" => Ok(Command::Analyze(parse_run_flags(args)?)),
         "replay" => Ok(Command::Replay(parse_replay_flags(args)?)),
+        "record" => Ok(Command::Record(parse_record_flags(args)?)),
+        "serve" => Ok(Command::Serve(parse_serve_flags(args)?)),
         "diff" => {
             let baseline_path = flag_value(args, "--baseline")?
                 .ok_or_else(|| CliError::MissingFlag("--baseline".into()))?;
@@ -726,6 +765,120 @@ fn parse_replay_flags(args: &[String]) -> Result<ReplayArgs, CliError> {
     })
 }
 
+/// Stream-population flags shared by `record` and `serve`:
+/// `(events, workflows, depth, rate_per_hour, seed)`.
+fn parse_stream_flags(args: &[String]) -> Result<(u64, u32, u32, f64, u64), CliError> {
+    let workflows = parse_num(args, "--workflows", 6)? as u32;
+    if workflows == 0 {
+        return Err(CliError::BadValue {
+            flag: "--workflows".into(),
+            value: "0".into(),
+            expected: "a non-empty workflow population".into(),
+        });
+    }
+    let depth = parse_num(args, "--depth", 4)? as u32;
+    if depth == 0 {
+        return Err(CliError::BadValue {
+            flag: "--depth".into(),
+            value: "0".into(),
+            expected: "a positive chain depth".into(),
+        });
+    }
+    let rate = parse_float(args, "--rate-per-hour", 120.0)?;
+    if rate <= 0.0 {
+        return Err(CliError::BadValue {
+            flag: "--rate-per-hour".into(),
+            value: format!("{rate}"),
+            expected: "a positive arrival rate".into(),
+        });
+    }
+    Ok((
+        parse_num(args, "--events", 600)?,
+        workflows,
+        depth,
+        rate,
+        parse_num(args, "--seed", 42)?,
+    ))
+}
+
+fn parse_record_flags(args: &[String]) -> Result<RecordArgs, CliError> {
+    let out = flag_value(args, "--out")?.ok_or_else(|| CliError::MissingFlag("--out".into()))?;
+    let (events, workflows, depth, rate_per_hour, seed) = parse_stream_flags(args)?;
+    Ok(RecordArgs {
+        out,
+        events,
+        workflows,
+        depth,
+        rate_per_hour,
+        seed,
+    })
+}
+
+fn parse_serve_flags(args: &[String]) -> Result<ServeArgs, CliError> {
+    let checkpoint_dir = flag_value(args, "--checkpoint-dir")?
+        .ok_or_else(|| CliError::MissingFlag("--checkpoint-dir".into()))?;
+    let (events, workflows, depth, rate_per_hour, seed) = parse_stream_flags(args)?;
+    let mode = match flag_value(args, "--mode")? {
+        None => ExecutionMode::Jit,
+        Some(v) => match PlatformChoice::parse(&v)? {
+            PlatformChoice::Xanadu(mode) => mode,
+            PlatformChoice::Baseline(_) => {
+                return Err(CliError::BadValue {
+                    flag: "--mode".into(),
+                    value: v,
+                    expected: "cold|spec|jit (the service tier is Xanadu-only)".into(),
+                })
+            }
+        },
+    };
+    let checkpoint_every = parse_num(args, "--checkpoint-every", 200)?;
+    if checkpoint_every == 0 {
+        return Err(CliError::BadValue {
+            flag: "--checkpoint-every".into(),
+            value: "0".into(),
+            expected: "a positive number of events per epoch".into(),
+        });
+    }
+    let slo_window_secs = parse_num(args, "--slo-window-secs", 60)?;
+    if slo_window_secs == 0 {
+        return Err(CliError::BadValue {
+            flag: "--slo-window-secs".into(),
+            value: "0".into(),
+            expected: "a positive number of simulated seconds".into(),
+        });
+    }
+    let sketch_edges = parse_num(args, "--sketch-edges", 64)? as usize;
+    if sketch_edges == 0 {
+        return Err(CliError::BadValue {
+            flag: "--sketch-edges".into(),
+            value: "0".into(),
+            expected: "a positive sketch capacity".into(),
+        });
+    }
+    Ok(ServeArgs {
+        stream: flag_value(args, "--stream")?,
+        events,
+        workflows,
+        depth,
+        rate_per_hour,
+        seed,
+        mode,
+        checkpoint_dir,
+        checkpoint_every,
+        alerts_out: flag_value(args, "--alerts-out")?,
+        metrics_text: flag_value(args, "--metrics-text")?,
+        audit_out: flag_value(args, "--audit-out")?,
+        slo_out: flag_value(args, "--slo-out")?,
+        slo: flag_value(args, "--slo")?,
+        slo_window_secs,
+        stop_after_checkpoints: parse_num(args, "--stop-after-checkpoints", 0)?,
+        status_every: parse_num(args, "--status-every", 0)?,
+        sketch_edges,
+        bench_out: flag_value(args, "--bench-out")?,
+        fail_on_alert: args.iter().any(|a| a == "--fail-on-alert"),
+    })
+}
+
 fn parse_miss_policy(args: &[String]) -> Result<MissPolicy, CliError> {
     match flag_value(args, "--miss-policy")?.as_deref() {
         None | Some("stop") => Ok(MissPolicy::StopSpeculation),
@@ -842,10 +995,28 @@ fn execute_inner(
         } => {
             let doc = sdl_source(json_path).map_err(CliError::Workflow)?;
             let schema = sdl_source(schema_path).map_err(CliError::Workflow)?;
-            let doc: serde_json::Value = serde_json::from_str(&doc)
-                .map_err(|e| CliError::Workflow(format!("{json_path}: {e}")))?;
             let schema: serde_json::Value = serde_json::from_str(&schema)
                 .map_err(|e| CliError::Workflow(format!("{schema_path}: {e}")))?;
+            // A `.jsonl` document (e.g. the serve alerts stream) holds one
+            // JSON value per line; every line must match the schema.
+            if json_path.ends_with(".jsonl") {
+                let mut checked = 0usize;
+                for (i, line) in doc.lines().enumerate() {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let value: serde_json::Value = serde_json::from_str(line)
+                        .map_err(|e| CliError::Workflow(format!("{json_path}:{}: {e}", i + 1)))?;
+                    xanadu_platform::export::validate_schema(&value, &schema)
+                        .map_err(|e| CliError::Workflow(format!("{json_path}:{}: {e}", i + 1)))?;
+                    checked += 1;
+                }
+                return Ok(format!(
+                    "{json_path}: {checked} line(s) valid against {schema_path}\n"
+                ));
+            }
+            let doc: serde_json::Value = serde_json::from_str(&doc)
+                .map_err(|e| CliError::Workflow(format!("{json_path}: {e}")))?;
             xanadu_platform::export::validate_schema(&doc, &schema)
                 .map_err(|e| CliError::Workflow(format!("{json_path}: {e}")))?;
             Ok(format!("{json_path}: valid against {schema_path}\n"))
@@ -968,6 +1139,8 @@ fn execute_inner(
             Ok(out)
         }
         Command::Replay(replay) => execute_replay(replay, &sdl_source, exports),
+        Command::Record(record) => crate::serve::run_record(record, exports),
+        Command::Serve(serve) => crate::serve::run_serve(serve, &sdl_source, exports),
         Command::Diff(diff) => {
             let baseline = load_snapshot(&diff.baseline_path, &sdl_source)?;
             let candidate = load_snapshot(&diff.candidate_path, &sdl_source)?;
@@ -1247,7 +1420,7 @@ fn execute_replay(
 
 /// One human-readable line per SLO breach, mirroring how `xanadu diff`
 /// renders a [`Regression`](xanadu_platform::Regression).
-fn render_slo_alert(alert: &xanadu_platform::SloAlert) -> String {
+pub(crate) fn render_slo_alert(alert: &xanadu_platform::SloAlert) -> String {
     format!(
         "window {}: {} {:.3} -> {:.3} ({})",
         alert.window, alert.path, alert.baseline, alert.candidate, alert.allowed

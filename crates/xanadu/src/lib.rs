@@ -58,6 +58,7 @@
 #![warn(missing_docs)]
 
 pub mod cli;
+pub mod serve;
 
 pub use xanadu_baselines;
 pub use xanadu_chain;

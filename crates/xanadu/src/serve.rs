@@ -1,0 +1,753 @@
+//! The `xanadu serve` daemon tier: unbounded stream ingest with
+//! incremental checkpointing and a live observability plane.
+//!
+//! `serve` turns the batch simulator into a long-running service. A
+//! trigger stream (replayed from a `xanadu record` file or regenerated
+//! from a seed) is consumed in fixed-size *epochs*; after each epoch the
+//! full service state — streaming audit, SLO windows, learning sketches,
+//! learned chain profiles and the stream cursor — is appended to a
+//! [`SegmentLog`] under `--checkpoint-dir`. Killing the process between
+//! checkpoints loses nothing that was durable: rerunning the same
+//! command replays the manifest, resumes at the recorded cursor and
+//! produces **byte-identical** final audit and alert exports, because
+//! every epoch's platform is seeded from `derive(seed, "serve-epoch")
+//! .child(epoch)` and never from wall-clock state.
+//!
+//! Observability while running:
+//!
+//! * `--alerts-out` — every SLO breach appended as one schema-validated
+//!   JSON line the moment its window becomes final (see
+//!   [`SloMonitor::evaluate_below`] for why a window is only final once
+//!   the next trigger time has passed it).
+//! * `--metrics-text` — a Prometheus-style text exposition rewritten
+//!   atomically (`.tmp` + rename) after every checkpoint.
+//! * `--status-every K` — a human status line on stderr every K
+//!   checkpoints (stream uptime, ingest rate, window quantiles, open
+//!   alerts, sketch occupancy, checkpoint lag).
+//!
+//! Unlike the other subcommands, `serve` touches the filesystem
+//! directly while running (the checkpoint log, the alerts stream and
+//! the metrics text are *live* artifacts, not end-of-run exports); only
+//! the final `--audit-out`/`--slo-out`/`--bench-out` documents go
+//! through the staged-[`ExportFile`] path.
+
+use std::io::Write as _;
+use std::time::Instant;
+
+use serde::{Deserialize, Serialize};
+use serde_json::Value;
+
+use crate::cli::{render_slo_alert, CliError, ExportFile};
+use xanadu_chain::{linear_chain, FunctionSpec};
+use xanadu_core::speculation::ExecutionMode;
+use xanadu_core::{CountMinSketch, SpaceSaving};
+use xanadu_platform::export::{
+    alert_json_line, service_metrics_text, slo_json_string, streaming_json_string, ServiceStatus,
+};
+use xanadu_platform::{
+    AuditCheckpoint, BusEvent, DiffThresholds, Platform, PlatformConfig, SegmentLog, SloCheckpoint,
+    SloConfig, SloMonitor, StreamingAudit, StreamingConfig,
+};
+use xanadu_simcore::{RngStream, SimDuration};
+use xanadu_workloads::stream::{
+    GeneratedStream, RecordedStream, StreamEvent, StreamHeader, StreamSource,
+};
+
+/// Arguments of `xanadu serve`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeArgs {
+    /// Path of a recorded stream file (`xanadu record`); when absent the
+    /// stream is regenerated from the population flags below.
+    pub stream: Option<String>,
+    /// Generated-stream length (ignored with `--stream`).
+    pub events: u64,
+    /// Generated-stream workflow population (ignored with `--stream`).
+    pub workflows: u32,
+    /// Linear-chain depth of every workflow (ignored with `--stream`).
+    pub depth: u32,
+    /// Per-workflow Poisson arrival rate (ignored with `--stream`).
+    pub rate_per_hour: f64,
+    /// Master seed: arrival processes and per-epoch platform seeds.
+    pub seed: u64,
+    /// Xanadu execution mode for every epoch platform.
+    pub mode: ExecutionMode,
+    /// Directory of the append-only checkpoint segment log.
+    pub checkpoint_dir: String,
+    /// Stream events per checkpoint epoch.
+    pub checkpoint_every: u64,
+    /// Append one JSON alert line here per SLO breach
+    /// (`docs/schemas/alerts.schema.json`).
+    pub alerts_out: Option<String>,
+    /// Rewrite this Prometheus-style text file atomically each flush.
+    pub metrics_text: Option<String>,
+    /// Write the final streaming-audit JSON here.
+    pub audit_out: Option<String>,
+    /// Write the final windowed SLO evaluation JSON here.
+    pub slo_out: Option<String>,
+    /// Path of a `DiffThresholds` JSON document gating the SLO windows.
+    pub slo: Option<String>,
+    /// Tumbling SLO window width in simulated seconds.
+    pub slo_window_secs: u64,
+    /// Stop after this many checkpoints (0 = run to stream end). The
+    /// kill-and-restart suites use this to pause at an exact boundary.
+    pub stop_after_checkpoints: u64,
+    /// Print a stderr status line every K checkpoints (0 = off).
+    pub status_every: u64,
+    /// Capacity of the space-saving edge sketch.
+    pub sketch_edges: usize,
+    /// Merge a `service` throughput row into this `BENCH_harness.json`.
+    pub bench_out: Option<String>,
+    /// Exit non-zero when the run ends with any SLO alert raised.
+    pub fail_on_alert: bool,
+}
+
+/// Arguments of `xanadu record`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecordArgs {
+    /// Destination stream file.
+    pub out: String,
+    /// Events to record.
+    pub events: u64,
+    /// Workflow population.
+    pub workflows: u32,
+    /// Linear-chain depth of every workflow.
+    pub depth: u32,
+    /// Per-workflow Poisson arrival rate.
+    pub rate_per_hour: f64,
+    /// Master seed.
+    pub seed: u64,
+}
+
+/// Checkpoint-document ids inside the segment log.
+const DOC_CURSOR: &str = "serve/cursor";
+const DOC_AUDIT: &str = "serve/audit";
+const DOC_SLO: &str = "serve/slo";
+const DOC_SKETCH: &str = "serve/sketch";
+const LEARNED_DOCS: [&str; 2] = ["learned/metrics", "learned/branches"];
+
+/// The resume cursor: where in the stream the durable state ends.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct ServeCursor {
+    /// Cursor format version.
+    version: u32,
+    /// Digest of the stream header — resuming against a different
+    /// stream (or epoch cadence) is a mechanical error, not a guess.
+    header_digest: String,
+    /// Epoch width the checkpoints were cut at.
+    checkpoint_every: u64,
+    /// Stream events durably consumed.
+    events_consumed: u64,
+    /// Requests completed across all epochs (the request-id base).
+    requests: u64,
+    /// Epochs completed.
+    epochs: u64,
+    /// Alerts emitted so far (sanity cross-check on resume).
+    alerts_emitted: u64,
+}
+
+/// The bounded-memory learning plane: hot invocation edges (candidates
+/// for speculative pre-warm across implicit chains) plus per-workflow
+/// arrival-rate estimates. Serialized whole into each checkpoint.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+struct SketchState {
+    /// Space-saving top-K over `caller>callee` edge keys.
+    edges: SpaceSaving,
+    /// Count-min per-workflow arrival counts.
+    rates: CountMinSketch,
+}
+
+/// Rows of the count-min arrival sketch (error bound `e/width · N` per
+/// estimate with probability `1 − e^−depth`).
+const RATE_SKETCH_DEPTH: usize = 4;
+const RATE_SKETCH_WIDTH: usize = 512;
+
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h = (h ^ b as u64).wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+fn workflow_err(e: impl std::fmt::Display) -> CliError {
+    CliError::Workflow(e.to_string())
+}
+
+/// Drains a stream source into its header and full event list.
+fn drain_stream(mut src: impl StreamSource) -> (StreamHeader, Vec<StreamEvent>) {
+    let header = src.header().clone();
+    let mut events = Vec::with_capacity(header.events as usize);
+    while let Some(ev) = src.next_event() {
+        events.push(ev);
+    }
+    (header, events)
+}
+
+/// Runs `xanadu record`: generate the seeded stream and stage it as a
+/// JSONL export.
+pub fn run_record(record: &RecordArgs, exports: &mut Vec<ExportFile>) -> Result<String, CliError> {
+    if record.workflows == 0 {
+        return Err(CliError::BadValue {
+            flag: "--workflows".into(),
+            value: "0".into(),
+            expected: "a non-empty workflow population".into(),
+        });
+    }
+    let (header, events) = drain_stream(GeneratedStream::new(
+        record.workflows,
+        record.depth,
+        record.rate_per_hour,
+        record.seed,
+        record.events,
+    ));
+    let contents = RecordedStream::render(&header, &events);
+    let span_s = events.last().map_or(0.0, |e| e.at_us as f64 / 1e6);
+    exports.push(ExportFile {
+        path: record.out.clone(),
+        contents,
+    });
+    Ok(format!(
+        "recorded {} events — {} workflows × depth {} at {}/h each (seed {}), \
+         spanning {span_s:.1}s of stream time\n",
+        events.len(),
+        header.workflows,
+        header.depth,
+        header.rate_per_hour,
+        header.seed,
+    ))
+}
+
+/// Everything `serve` accumulates across epochs.
+struct ServiceState {
+    audit: StreamingAudit,
+    slo: SloMonitor,
+    sketch: SketchState,
+    events_consumed: u64,
+    request_base: u64,
+    epoch: u64,
+}
+
+/// Loads the durable service state from a replayed checkpoint store, or
+/// builds the fresh epoch-zero state.
+fn load_state(
+    durable: &xanadu_platform::MetaStore,
+    serve: &ServeArgs,
+    slo_config: &SloConfig,
+    header_digest: &str,
+) -> Result<(ServiceState, bool), CliError> {
+    let Some((cursor_doc, _)) = durable.get(DOC_CURSOR) else {
+        return Ok((
+            ServiceState {
+                audit: StreamingAudit::new(StreamingConfig::default()),
+                slo: SloMonitor::collector(slo_config.clone()),
+                sketch: SketchState {
+                    edges: SpaceSaving::new(serve.sketch_edges),
+                    rates: CountMinSketch::new(RATE_SKETCH_DEPTH, RATE_SKETCH_WIDTH),
+                },
+                events_consumed: 0,
+                request_base: 0,
+                epoch: 0,
+            },
+            false,
+        ));
+    };
+    let bad_doc = |id: &str, e: &dyn std::fmt::Display| {
+        CliError::Workflow(format!("checkpoint document {id} is corrupt: {e}"))
+    };
+    let cursor: ServeCursor =
+        serde_json::from_value(cursor_doc.clone()).map_err(|e| bad_doc(DOC_CURSOR, &e))?;
+    if cursor.header_digest != header_digest {
+        return Err(CliError::Workflow(format!(
+            "checkpoint in {} was recorded from a different stream \
+             (header digest {} != {header_digest}); point --checkpoint-dir \
+             at a fresh directory or replay the original stream",
+            serve.checkpoint_dir, cursor.header_digest
+        )));
+    }
+    if cursor.checkpoint_every != serve.checkpoint_every {
+        return Err(CliError::Workflow(format!(
+            "checkpoint in {} was cut every {} events but --checkpoint-every \
+             is {}; epoch boundaries must match for a byte-identical resume",
+            serve.checkpoint_dir, cursor.checkpoint_every, serve.checkpoint_every
+        )));
+    }
+    let typed = |id: &str| -> Result<Value, CliError> {
+        durable
+            .get(id)
+            .map(|(doc, _)| doc.clone())
+            .ok_or_else(|| CliError::Workflow(format!("checkpoint document {id} is missing")))
+    };
+    let audit_cp: AuditCheckpoint =
+        serde_json::from_value(typed(DOC_AUDIT)?).map_err(|e| bad_doc(DOC_AUDIT, &e))?;
+    let slo_cp: SloCheckpoint =
+        serde_json::from_value(typed(DOC_SLO)?).map_err(|e| bad_doc(DOC_SLO, &e))?;
+    if slo_cp.window_us != slo_config.window.as_micros() {
+        return Err(CliError::Workflow(format!(
+            "checkpointed SLO window is {}µs but --slo-window-secs asks for \
+             {}µs; window widths must match to resume",
+            slo_cp.window_us,
+            slo_config.window.as_micros()
+        )));
+    }
+    let sketch: SketchState =
+        serde_json::from_value(typed(DOC_SKETCH)?).map_err(|e| bad_doc(DOC_SKETCH, &e))?;
+    let slo = SloMonitor::from_checkpoint(&slo_cp);
+    debug_assert_eq!(slo.alerts().len() as u64, cursor.alerts_emitted);
+    Ok((
+        ServiceState {
+            audit: StreamingAudit::from_checkpoint(&audit_cp),
+            slo,
+            sketch,
+            events_consumed: cursor.events_consumed,
+            request_base: cursor.requests,
+            epoch: cursor.epochs,
+        },
+        true,
+    ))
+}
+
+/// Builds one epoch's platform: reseeded config, the full implicit
+/// workflow population, and the learned chain profiles restored from the
+/// durable store (when any epoch has persisted them yet).
+fn epoch_platform(
+    config: &PlatformConfig,
+    header: &StreamHeader,
+    durable: &xanadu_platform::MetaStore,
+    epoch: u64,
+    base_seed: u64,
+) -> Result<Platform, CliError> {
+    let epoch_seed = RngStream::derive(base_seed, "serve-epoch")
+        .child(epoch)
+        .next_u64();
+    let mut platform = Platform::new(config.reseeded(epoch_seed));
+    for wf in 0..header.workflows {
+        let name = header.workflow_name(wf);
+        let template = FunctionSpec::new(format!("{name}-f")).service_ms(400.0);
+        let dag = linear_chain(&name, header.depth as usize, &template).map_err(workflow_err)?;
+        platform.deploy_implicit(dag).map_err(workflow_err)?;
+    }
+    if LEARNED_DOCS.iter().all(|id| durable.get(id).is_some()) {
+        platform
+            .restore_learned_state(durable)
+            .map_err(workflow_err)?;
+    }
+    Ok(platform)
+}
+
+/// Atomically replaces `path` with `contents` (`.tmp` + rename, same
+/// discipline as the checkpoint log) so scrapers never see a torn file.
+fn rewrite_atomic(path: &str, contents: &str) -> Result<(), CliError> {
+    let tmp = format!("{path}.tmp");
+    std::fs::write(&tmp, contents).map_err(|e| workflow_err(format!("{tmp}: {e}")))?;
+    std::fs::rename(&tmp, path).map_err(|e| workflow_err(format!("{path}: {e}")))
+}
+
+/// Runs `xanadu serve` end to end. See the module docs for the epoch
+/// protocol and which artifacts are live versus staged.
+///
+/// # Errors
+///
+/// [`CliError::Workflow`] on stream/checkpoint problems and
+/// [`CliError::SloBreach`] when `--fail-on-alert` is set and the run
+/// ends with alerts raised.
+pub fn run_serve(
+    serve: &ServeArgs,
+    source: &impl Fn(&str) -> Result<String, String>,
+    exports: &mut Vec<ExportFile>,
+) -> Result<String, CliError> {
+    let (header, events) = match &serve.stream {
+        Some(path) => {
+            let text = source(path).map_err(CliError::Workflow)?;
+            let recorded = RecordedStream::parse(&text)
+                .map_err(|e| CliError::Workflow(format!("{path}: {e}")))?;
+            drain_stream(recorded)
+        }
+        None => drain_stream(GeneratedStream::new(
+            serve.workflows,
+            serve.depth,
+            serve.rate_per_hour,
+            serve.seed,
+            serve.events,
+        )),
+    };
+    let header_json = serde_json::to_value(&header)
+        .expect("header serializes")
+        .to_json_string();
+    let header_digest = format!("fnv1a64:{:016x}", fnv1a64(header_json.as_bytes()));
+
+    let thresholds: DiffThresholds = match &serve.slo {
+        None => DiffThresholds::default(),
+        Some(path) => {
+            let text = source(path).map_err(CliError::Workflow)?;
+            serde_json::from_str(&text).map_err(|e| {
+                CliError::Workflow(format!("{path}: not a thresholds document: {e}"))
+            })?
+        }
+    };
+    let slo_config = SloConfig {
+        window: SimDuration::from_secs(serve.slo_window_secs),
+        thresholds,
+    };
+    let window_us = slo_config.window.as_micros();
+
+    let log = SegmentLog::open(&serve.checkpoint_dir)
+        .map_err(|e| workflow_err(format!("checkpoint log: {e}")))?;
+    let mut durable = log
+        .replay()
+        .map_err(|e| workflow_err(format!("checkpoint log: {e}")))?;
+    let mut segments = log
+        .manifest()
+        .map_err(|e| workflow_err(format!("checkpoint log: {e}")))?
+        .segments
+        .len() as u64;
+
+    let (mut state, resumed) = load_state(&durable, serve, &slo_config, &header_digest)?;
+    let mut restored_event = resumed.then_some(BusEvent::CheckpointRestored {
+        epoch: state.epoch,
+        segments,
+        events: state.events_consumed,
+    });
+
+    // The alerts stream is rewritten to exactly the durable alert list on
+    // startup: a crash after an append but before the matching checkpoint
+    // must not leave phantom lines behind.
+    if let Some(path) = &serve.alerts_out {
+        let mut text = String::new();
+        for alert in state.slo.alerts() {
+            text.push_str(&alert_json_line(alert));
+            text.push('\n');
+        }
+        std::fs::write(path, text).map_err(|e| workflow_err(format!("{path}: {e}")))?;
+    }
+
+    let config = PlatformConfig::builder()
+        .for_mode(serve.mode, serve.seed)
+        .record_traces(false)
+        .build()
+        .map_err(workflow_err)?;
+
+    let total = events.len() as u64;
+    let started = Instant::now();
+    let start_events = state.events_consumed;
+    let mut checkpoints_this_run = 0u64;
+
+    while state.events_consumed < total {
+        if serve.stop_after_checkpoints > 0 && checkpoints_this_run >= serve.stop_after_checkpoints
+        {
+            break;
+        }
+        let slice_end = (state.events_consumed + serve.checkpoint_every).min(total);
+        let slice = &events[state.events_consumed as usize..slice_end as usize];
+
+        let mut platform = epoch_platform(&config, &header, &durable, state.epoch, serve.seed)?;
+        if let Some(event) = restored_event.take() {
+            platform.announce(event);
+        }
+        let audit_handle =
+            platform.attach_observer(StreamingAudit::new(StreamingConfig::default()));
+        let slo_handle = platform.attach_observer(SloMonitor::collector(slo_config.clone()));
+
+        let evictions_before = state.sketch.edges.evictions();
+        for ev in slice {
+            let name = header.workflow_name(ev.wf);
+            state.sketch.rates.observe(&name, 1);
+            for hop in 1..header.depth {
+                let edge = format!("{name}-f{}>{name}-f{hop}", hop - 1);
+                state.sketch.edges.observe(&edge);
+            }
+            platform.trigger_at(&name, ev.at()).map_err(workflow_err)?;
+        }
+        platform.run_until_idle();
+        platform.roll_profile_window();
+
+        let mut epoch_audit = audit_handle.snapshot();
+        epoch_audit.offset_requests(state.request_base);
+        state.request_base += epoch_audit.summary().requests;
+        state.audit.merge_from(&epoch_audit);
+        state.slo.merge_from(&slo_handle.snapshot());
+        state.events_consumed = slice_end;
+        state.epoch += 1;
+
+        // A tumbling window is only final once every future completion
+        // must land past it: the next epoch's first trigger bounds all of
+        // its completions from below.
+        let horizon = if state.events_consumed < total {
+            events[state.events_consumed as usize].at_us / window_us
+        } else {
+            u64::MAX
+        };
+        let fresh_alerts = state.slo.evaluate_below(horizon);
+        if !fresh_alerts.is_empty() {
+            if let Some(path) = &serve.alerts_out {
+                let mut file = std::fs::OpenOptions::new()
+                    .append(true)
+                    .create(true)
+                    .open(path)
+                    .map_err(|e| workflow_err(format!("{path}: {e}")))?;
+                for alert in &fresh_alerts {
+                    writeln!(file, "{}", alert_json_line(alert))
+                        .map_err(|e| workflow_err(format!("{path}: {e}")))?;
+                }
+            }
+            for alert in fresh_alerts {
+                platform.announce(alert.into_event());
+            }
+        }
+        let evicted = state.sketch.edges.evictions() - evictions_before;
+        if evicted > 0 {
+            platform.announce(BusEvent::SketchEviction {
+                evicted,
+                occupancy: state.sketch.edges.occupancy() as u64,
+                capacity: state.sketch.edges.capacity() as u64,
+            });
+        }
+
+        platform.persist_learned_state();
+        for id in LEARNED_DOCS {
+            if let Some((doc, _)) = platform.metastore().get(id) {
+                durable.put(id, doc.clone());
+            }
+        }
+        let cursor = ServeCursor {
+            version: 1,
+            header_digest: header_digest.clone(),
+            checkpoint_every: serve.checkpoint_every,
+            events_consumed: state.events_consumed,
+            requests: state.request_base,
+            epochs: state.epoch,
+            alerts_emitted: state.slo.alerts().len() as u64,
+        };
+        let mut docs: Vec<(String, Value)> = Vec::with_capacity(6);
+        for id in LEARNED_DOCS {
+            if let Some((doc, _)) = durable.get(id) {
+                docs.push((id.to_string(), doc.clone()));
+            }
+        }
+        docs.push((
+            DOC_AUDIT.to_string(),
+            serde_json::to_value(state.audit.checkpoint()).expect("audit checkpoint serializes"),
+        ));
+        docs.push((
+            DOC_SLO.to_string(),
+            serde_json::to_value(state.slo.checkpoint()).expect("slo checkpoint serializes"),
+        ));
+        docs.push((
+            DOC_SKETCH.to_string(),
+            serde_json::to_value(&state.sketch).expect("sketch state serializes"),
+        ));
+        docs.push((
+            DOC_CURSOR.to_string(),
+            serde_json::to_value(&cursor).expect("cursor serializes"),
+        ));
+        let doc_count = docs.len() as u64;
+        log.append(&docs)
+            .map_err(|e| workflow_err(format!("checkpoint log: {e}")))?;
+        checkpoints_this_run += 1;
+        platform.announce(BusEvent::CheckpointWritten {
+            epoch: state.epoch - 1,
+            segment: segments,
+            docs: doc_count,
+            events: state.events_consumed,
+        });
+        segments += 1;
+
+        let summary = state.audit.summary();
+        let wall = started.elapsed().as_secs_f64();
+        let ingested = state.events_consumed - start_events;
+        let status = ServiceStatus {
+            uptime_ms: events[state.events_consumed as usize - 1].at_us as f64 / 1000.0,
+            events: state.events_consumed,
+            requests: state.request_base,
+            checkpoints: state.epoch,
+            alerts: state.slo.alerts().len() as u64,
+            sketch_occupancy: state.sketch.edges.occupancy() as u64,
+            sketch_capacity: state.sketch.edges.capacity() as u64,
+            sketch_evictions: state.sketch.edges.evictions(),
+            checkpoint_lag_events: total - state.events_consumed,
+            events_per_sec: if wall > 0.0 {
+                ingested as f64 / wall
+            } else {
+                0.0
+            },
+        };
+        if serve.status_every > 0 && checkpoints_this_run.is_multiple_of(serve.status_every) {
+            eprintln!(
+                "serve: epoch {} | stream {:.1}s | {}/{} events | {:.0} ev/s | \
+                 p50 {:.0}ms p95 {:.0}ms | alerts {} | sketch {}/{} | lag {}",
+                state.epoch - 1,
+                status.uptime_ms / 1000.0,
+                status.events,
+                total,
+                status.events_per_sec,
+                summary.end_to_end.quantile_ms(0.5),
+                summary.end_to_end.quantile_ms(0.95),
+                status.alerts,
+                status.sketch_occupancy,
+                status.sketch_capacity,
+                status.checkpoint_lag_events,
+            );
+        }
+        if let Some(path) = &serve.metrics_text {
+            rewrite_atomic(path, &service_metrics_text(&status, &summary))?;
+        }
+    }
+
+    let summary = state.audit.summary();
+    let slo_report = state.slo.report();
+    let audit_json = streaming_json_string(&state.audit);
+    let audit_digest = format!("fnv1a64:{:016x}", fnv1a64(audit_json.as_bytes()));
+    let wall = started.elapsed().as_secs_f64();
+    let ingested = state.events_consumed - start_events;
+    let events_per_sec = if wall > 0.0 {
+        ingested as f64 / wall
+    } else {
+        0.0
+    };
+
+    let mut out = format!(
+        "service — {} workflows × depth {}, {} stream events ({}, seed {}, \
+         checkpoint every {})\n",
+        header.workflows,
+        header.depth,
+        total,
+        serve.mode.label(),
+        serve.seed,
+        serve.checkpoint_every,
+    );
+    out.push_str(&format!(
+        "stream: {}\n",
+        match &serve.stream {
+            Some(path) => format!("recorded from {path}"),
+            None => format!("generated at {}/h per workflow", header.rate_per_hour),
+        }
+    ));
+    out.push_str(&format!(
+        "ingested: {}/{} events in {} epoch(s) ({} checkpoint(s) this run), \
+         wall {wall:.2}s, {events_per_sec:.0} events/sec\n",
+        state.events_consumed, total, state.epoch, checkpoints_this_run,
+    ));
+    out.push_str(&format!(
+        "requests: {}   p50 {:.0}ms   p95 {:.0}ms   p99.9 {:.0}ms\n",
+        summary.requests,
+        summary.end_to_end.quantile_ms(0.5),
+        summary.end_to_end.quantile_ms(0.95),
+        summary.end_to_end.quantile_ms(0.999),
+    ));
+    out.push_str(&format!(
+        "sketches: {}/{} edges tracked ({} evictions), {} arrivals counted \
+         (±{:.1} per estimate)\n",
+        state.sketch.edges.occupancy(),
+        state.sketch.edges.capacity(),
+        state.sketch.edges.evictions(),
+        state.sketch.rates.total(),
+        state.sketch.rates.error_bound(),
+    ));
+    out.push_str(&format!(
+        "slo: {} window(s) of {}s, {} alert(s)\n",
+        slo_report.windows.len(),
+        serve.slo_window_secs,
+        state.slo.alerts().len(),
+    ));
+    out.push_str(&format!(
+        "checkpoints: {} segment(s) in {}\n",
+        segments, serve.checkpoint_dir,
+    ));
+    if state.events_consumed < total {
+        out.push_str(&format!(
+            "paused after {checkpoints_this_run} checkpoint(s): {}/{} events \
+             durable — rerun the same command to resume\n",
+            state.events_consumed, total,
+        ));
+    }
+    out.push_str(&format!("audit digest: {audit_digest}\n"));
+
+    if let Some(path) = &serve.audit_out {
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: audit_json,
+        });
+    }
+    if let Some(path) = &serve.slo_out {
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: slo_json_string(&slo_report),
+        });
+    }
+    if let Some(path) = &serve.bench_out {
+        let delta = (state.events_consumed == total)
+            .then(|| {
+                batch_p95_delta_ms(
+                    &config,
+                    &header,
+                    &events,
+                    summary.end_to_end.quantile_ms(0.95),
+                )
+            })
+            .transpose()?;
+        let mut root: Value = source(path)
+            .ok()
+            .and_then(|s| serde_json::from_str(&s).ok())
+            .unwrap_or_else(|| serde_json::json!({}));
+        if let Some(obj) = root.as_object_mut() {
+            let amortized_ms = if state.epoch > 0 {
+                wall * 1000.0 / checkpoints_this_run.max(1) as f64
+            } else {
+                0.0
+            };
+            obj.insert(
+                "service".to_string(),
+                serde_json::json!({
+                    "events_per_sec": events_per_sec,
+                    "events": state.events_consumed,
+                    "requests": state.request_base,
+                    "checkpoints": state.epoch,
+                    "checkpoint_amortized_ms": amortized_ms,
+                    "streaming_vs_batch_p95_delta_ms": delta,
+                    "audit_digest": audit_digest,
+                    "source": "xanadu serve",
+                }),
+            );
+        }
+        exports.push(ExportFile {
+            path: path.clone(),
+            contents: root.to_json_string_pretty() + "\n",
+        });
+    }
+
+    if serve.fail_on_alert && !state.slo.alerts().is_empty() {
+        return Err(CliError::SloBreach {
+            windows: slo_report.windows.len(),
+            details: state.slo.alerts().iter().map(render_slo_alert).collect(),
+            exports: std::mem::take(exports),
+        });
+    }
+    Ok(out)
+}
+
+/// The `streaming_vs_batch_p95_delta_ms` bench figure: replays the whole
+/// stream through ONE platform (no epoch resets, warm state persists
+/// across what would have been checkpoint boundaries) and reports how
+/// far the epoch-generational service's p95 sits from that batch
+/// reference. This prices the service tier's restart-anywhere guarantee.
+fn batch_p95_delta_ms(
+    config: &PlatformConfig,
+    header: &StreamHeader,
+    events: &[StreamEvent],
+    streaming_p95_ms: f64,
+) -> Result<f64, CliError> {
+    let durable = xanadu_platform::MetaStore::new();
+    let mut platform = epoch_platform(config, header, &durable, 0, header.seed)?;
+    let audit_handle = platform.attach_observer(StreamingAudit::new(StreamingConfig::default()));
+    for ev in events {
+        platform
+            .trigger_at(&header.workflow_name(ev.wf), ev.at())
+            .map_err(workflow_err)?;
+    }
+    platform.run_until_idle();
+    let batch_p95 = audit_handle
+        .snapshot()
+        .summary()
+        .end_to_end
+        .quantile_ms(0.95);
+    Ok(streaming_p95_ms - batch_p95)
+}

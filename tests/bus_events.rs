@@ -99,6 +99,22 @@ fn sample_events() -> Vec<BusEvent> {
             planned: 3,
             reason: "trigger".into(),
         },
+        BusEvent::CheckpointWritten {
+            epoch: 4,
+            segment: 4,
+            docs: 6,
+            events: 1000,
+        },
+        BusEvent::CheckpointRestored {
+            epoch: 5,
+            segments: 5,
+            events: 1000,
+        },
+        BusEvent::SketchEviction {
+            evicted: 3,
+            occupancy: 64,
+            capacity: 64,
+        },
     ]
 }
 
@@ -176,16 +192,78 @@ fn chaos_run_emits_every_topic_at_least_once() {
     platform.run_until_idle();
 
     let (seen, events) = coverage.with(|c| (c.seen, c.events));
+    // `slo.alert` needs a live monitor and the `checkpoint.*`/`sketch.*`
+    // topics belong to the service tier (`xanadu serve`); the dedicated
+    // tests below cover them.
+    let service_only = [
+        Topic::SloAlert,
+        Topic::CheckpointWritten,
+        Topic::CheckpointRestored,
+        Topic::SketchEviction,
+    ];
     let missing: Vec<&str> = Topic::ALL
         .iter()
-        // `slo.alert` only fires with a live monitor attached; the
-        // dedicated test below covers it.
-        .filter(|&&t| t != Topic::SloAlert && !seen[t.index()])
+        .filter(|&&t| !service_only.contains(&t) && !seen[t.index()])
         .map(|t| t.name())
         .collect();
     assert!(missing.is_empty(), "topics never emitted: {missing:?}");
     assert!(events > 100, "a chaos run is chatty, saw only {events}");
-    assert!(!seen[Topic::SloAlert.index()], "no monitor, no slo alerts");
+    for t in service_only {
+        assert!(!seen[t.index()], "{} emitted without its tier", t.name());
+    }
+}
+
+/// The service-tier topics flow through `Platform::announce` to
+/// observers like any organically emitted event, and the metrics
+/// registry rolls them into its counters.
+#[test]
+fn announced_service_events_reach_observers_and_metrics() {
+    let config = PlatformConfig::builder()
+        .for_mode(ExecutionMode::Jit, 3)
+        .build()
+        .unwrap();
+    let mut platform = Platform::new(config);
+    let registry = platform.attach_metrics();
+    let coverage = platform.attach_observer(TopicCoverage {
+        seen: [false; Topic::ALL.len()],
+        events: 0,
+    });
+    platform.announce(BusEvent::CheckpointRestored {
+        epoch: 2,
+        segments: 2,
+        events: 400,
+    });
+    platform.announce(BusEvent::CheckpointWritten {
+        epoch: 2,
+        segment: 2,
+        docs: 6,
+        events: 600,
+    });
+    platform.announce(BusEvent::CheckpointWritten {
+        epoch: 3,
+        segment: 3,
+        docs: 6,
+        events: 800,
+    });
+    platform.announce(BusEvent::SketchEviction {
+        evicted: 5,
+        occupancy: 64,
+        capacity: 64,
+    });
+
+    let seen = coverage.with(|c| c.seen);
+    for t in [
+        Topic::CheckpointWritten,
+        Topic::CheckpointRestored,
+        Topic::SketchEviction,
+    ] {
+        assert!(seen[t.index()], "{} never delivered", t.name());
+    }
+    let snapshot = registry.snapshot();
+    assert_eq!(snapshot.counter("checkpoints.written"), 2);
+    assert_eq!(snapshot.counter("checkpoints.docs"), 12);
+    assert_eq!(snapshot.counter("checkpoints.restored"), 1);
+    assert_eq!(snapshot.counter("sketch.evictions"), 5);
 }
 
 /// A live [`SloMonitor`] re-emits breaches as typed [`BusEvent::SloAlert`]

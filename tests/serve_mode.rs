@@ -1,0 +1,379 @@
+//! The service tier end to end: kill-and-restart determinism at every
+//! checkpoint boundary, live-alert/offline-report equivalence,
+//! bounded-memory sketches at stream scale, and the resume guards.
+//!
+//! The core invariant is *mechanical restart equivalence*: a serve run
+//! interrupted after any number of checkpoints and resumed produces the
+//! final audit JSON, SLO evaluation JSON and alerts JSONL **byte for
+//! byte** identical to the uninterrupted run. No tolerance windows —
+//! `cmp`-grade equality, the same check CI's serve-soak job performs on
+//! the real binary.
+
+use std::path::{Path, PathBuf};
+use std::sync::OnceLock;
+
+use proptest::prelude::*;
+use xanadu::cli::{execute_with_exports, parse_args, CliError, Command, ExportFile};
+use xanadu::serve::{run_record, run_serve, RecordArgs, ServeArgs};
+use xanadu_core::{CountMinSketch, SpaceSaving};
+use xanadu_platform::{AuditCheckpoint, SegmentLog};
+use xanadu_workloads::stream::{GeneratedStream, StreamSource};
+
+/// Stream population every test below shares: 4 workflows × depth 3 at
+/// 240/h for 360 events cuts into 6 epochs of 60.
+const EVENTS: u64 = 360;
+const WORKFLOWS: u32 = 4;
+const DEPTH: u32 = 3;
+const RATE: f64 = 240.0;
+const SEED: u64 = 11;
+const EPOCH: u64 = 60;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("xanadu-serve-{}-{tag}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn read_file(path: &str) -> Result<String, String> {
+    std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))
+}
+
+/// Thresholds that breach on every non-baseline window (recall cannot
+/// drop below −1 of itself), so the alert plumbing always has traffic.
+const STRICT_SLO: &str = r#"{"max_p95_regress_pct": 1e9,
+  "max_wasted_cpu_regress_pct": 1e9, "max_recall_drop": -1.0}"#;
+
+fn base_args(dir: &Path, strict_slo: bool) -> ServeArgs {
+    let slo = strict_slo.then(|| {
+        let path = dir.join("slo.json");
+        std::fs::write(&path, STRICT_SLO).unwrap();
+        path.to_string_lossy().into_owned()
+    });
+    ServeArgs {
+        stream: None,
+        events: EVENTS,
+        workflows: WORKFLOWS,
+        depth: DEPTH,
+        rate_per_hour: RATE,
+        seed: SEED,
+        mode: xanadu_core::speculation::ExecutionMode::Jit,
+        checkpoint_dir: dir.join("ck").to_string_lossy().into_owned(),
+        checkpoint_every: EPOCH,
+        alerts_out: Some(dir.join("alerts.jsonl").to_string_lossy().into_owned()),
+        metrics_text: None,
+        audit_out: Some("audit.json".into()),
+        slo_out: Some("slo.json.out".into()),
+        slo,
+        slo_window_secs: 60,
+        stop_after_checkpoints: 0,
+        status_every: 0,
+        sketch_edges: 64,
+        bench_out: None,
+        fail_on_alert: false,
+    }
+}
+
+/// Runs serve to completion (optionally pausing after `pause_after`
+/// checkpoints first) and returns `(audit json, slo json, alerts jsonl)`.
+fn run_to_end(dir: &Path, strict_slo: bool, pause_after: Option<u64>) -> (String, String, String) {
+    let mut args = base_args(dir, strict_slo);
+    if let Some(k) = pause_after {
+        args.stop_after_checkpoints = k;
+        let mut exports = Vec::new();
+        run_serve(&args, &read_file, &mut exports).unwrap();
+        args.stop_after_checkpoints = 0;
+    }
+    let mut exports = Vec::new();
+    run_serve(&args, &read_file, &mut exports).unwrap();
+    let grab = |path: &str| -> String {
+        exports
+            .iter()
+            .find(|e: &&ExportFile| e.path == path)
+            .unwrap_or_else(|| panic!("missing export {path}"))
+            .contents
+            .clone()
+    };
+    let alerts = std::fs::read_to_string(dir.join("alerts.jsonl")).unwrap();
+    (grab("audit.json"), grab("slo.json.out"), alerts)
+}
+
+/// The uninterrupted reference run, computed once per test binary.
+fn golden() -> &'static (String, String, String) {
+    static GOLDEN: OnceLock<(String, String, String)> = OnceLock::new();
+    GOLDEN.get_or_init(|| run_to_end(&scratch_dir("golden"), true, None))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(5))]
+
+    /// Kill the service at a random checkpoint boundary, resume it, and
+    /// demand byte-identical final artifacts. Boundary 6 is the
+    /// degenerate "pause exactly at stream end" case.
+    #[test]
+    fn kill_and_restart_is_byte_identical(boundary in 1u64..=6) {
+        let dir = scratch_dir(&format!("restart-{boundary}"));
+        let (audit, slo, alerts) = run_to_end(&dir, true, Some(boundary));
+        let (g_audit, g_slo, g_alerts) = golden();
+        prop_assert_eq!(&audit, g_audit, "audit diverged at boundary {}", boundary);
+        prop_assert_eq!(&slo, g_slo, "slo diverged at boundary {}", boundary);
+        prop_assert_eq!(&alerts, g_alerts, "alerts diverged at boundary {}", boundary);
+    }
+}
+
+/// The live alert stream (appended window-by-window as each becomes
+/// final) must equal the offline report's alert list exactly — same
+/// breaches, same order, same bytes modulo JSONL framing.
+#[test]
+fn live_alerts_equal_offline_slo_report() {
+    let (_, slo_json, alerts_jsonl) = golden().clone();
+    let report: serde_json::Value = serde_json::from_str(&slo_json).unwrap();
+    let offline = report.get("alerts").and_then(|a| a.as_array()).unwrap();
+    let live: Vec<serde_json::Value> = alerts_jsonl
+        .lines()
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| serde_json::from_str(l).unwrap())
+        .collect();
+    assert!(!offline.is_empty(), "strict thresholds must breach");
+    assert_eq!(&live, offline, "live emission drifted from the report");
+}
+
+/// Live alerts are exactly the offline verdicts even without strict
+/// thresholds: a clean stream emits nothing.
+#[test]
+fn clean_stream_emits_no_alerts() {
+    let dir = scratch_dir("clean");
+    let (_, slo_json, alerts) = run_to_end(&dir, false, None);
+    let report: serde_json::Value = serde_json::from_str(&slo_json).unwrap();
+    assert_eq!(
+        report
+            .get("alerts")
+            .and_then(|a| a.as_array())
+            .map(Vec::len),
+        Some(0)
+    );
+    assert!(alerts.is_empty(), "phantom alert lines: {alerts}");
+}
+
+/// The learning plane stays flat across a million-event stream: the
+/// space-saving sketch never exceeds its capacity and the count-min
+/// grid never grows, no matter how many distinct workflows (and so
+/// edges) flow past. Debug builds shrink the stream to keep the tier-1
+/// suite quick; release CI runs the full million.
+#[test]
+fn sketches_stay_bounded_across_a_million_events() {
+    let n: u64 = if cfg!(debug_assertions) {
+        100_000
+    } else {
+        1_000_000
+    };
+    // 500 workflows × 2 edges each = 1000 distinct edge keys against a
+    // 64-counter sketch: eviction pressure is constant.
+    let mut src = GeneratedStream::new(500, DEPTH, 30.0, 9, n);
+    let header = src.header().clone();
+    let mut edges = SpaceSaving::new(64);
+    let mut rates = CountMinSketch::new(4, 512);
+    let mut seen = 0u64;
+    while let Some(ev) = src.next_event() {
+        let name = header.workflow_name(ev.wf);
+        rates.observe(&name, 1);
+        for hop in 1..header.depth {
+            edges.observe(&format!("{name}-f{}>{name}-f{hop}", hop - 1));
+        }
+        seen += 1;
+        if seen.is_multiple_of(100_000) {
+            assert!(edges.occupancy() <= 64, "sketch grew past capacity");
+        }
+    }
+    assert_eq!(seen, n);
+    assert_eq!(rates.total(), n, "count-min absorbed every arrival");
+    assert_eq!(rates.counters(), 4 * 512, "count-min grid never grows");
+    assert!(edges.occupancy() <= 64);
+    assert!(edges.evictions() > 0, "1000 keys vs 64 counters must evict");
+}
+
+/// Serve's own memory plane: every checkpoint proves the audit was
+/// drained (`checkpoint()` panics on in-flight requests), the exemplar
+/// reservoir respects its cap, and exemplar request ids are globally
+/// continuous across epochs rather than restarting at each epoch's zero.
+#[test]
+fn serve_audit_stays_drained_and_ids_stay_global() {
+    let dir = scratch_dir("drained");
+    run_to_end(&dir, false, None);
+    let store = SegmentLog::open(dir.join("ck")).unwrap().replay().unwrap();
+    let (doc, _) = store.get("serve/audit").expect("audit checkpoint doc");
+    let audit: AuditCheckpoint = serde_json::from_value(doc.clone()).unwrap();
+    assert_eq!(audit.requests, EVENTS, "every stream event completed");
+    assert!(audit.exemplars.len() <= audit.exemplars_cap);
+    assert!(!audit.exemplars.is_empty(), "reservoir captured nothing");
+    // Exemplar ids are global (offset per epoch before merging), so they
+    // index into 0..EVENTS without collisions. The worst requests land in
+    // epoch 0 — the first-ever triggers ride the full cold-start cascade
+    // before anything is learned — and the kill-and-restart proptest
+    // already proves the ids survive a resume byte-for-byte.
+    let mut ids: Vec<u64> = audit.exemplars.iter().map(|e| e.request).collect();
+    ids.sort_unstable();
+    ids.dedup();
+    assert_eq!(ids.len(), audit.exemplars.len(), "duplicate exemplar ids");
+    assert!(ids.iter().all(|&r| r < EVENTS), "id out of range: {ids:?}");
+    let (cursor, _) = store.get("serve/cursor").expect("cursor doc");
+    assert_eq!(
+        cursor.get("events_consumed").and_then(|v| v.as_u64()),
+        Some(EVENTS)
+    );
+}
+
+/// Resuming against a different stream or a different epoch cadence is
+/// a hard error, not a silent divergence.
+#[test]
+fn resume_guards_reject_mismatches() {
+    let dir = scratch_dir("guards");
+    let mut args = base_args(&dir, false);
+    args.stop_after_checkpoints = 1;
+    run_serve(&args, &read_file, &mut Vec::new()).unwrap();
+
+    let mut other_stream = args.clone();
+    other_stream.seed = SEED + 1;
+    let err = run_serve(&other_stream, &read_file, &mut Vec::new()).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Workflow(m) if m.contains("different stream")),
+        "{err}"
+    );
+
+    let mut other_cadence = args.clone();
+    other_cadence.checkpoint_every = EPOCH * 2;
+    let err = run_serve(&other_cadence, &read_file, &mut Vec::new()).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Workflow(m) if m.contains("boundaries must match")),
+        "{err}"
+    );
+}
+
+/// `record` → `serve --stream` replays the exact stream the generator
+/// flags would produce: both paths end in byte-identical audits.
+#[test]
+fn recorded_and_generated_streams_are_equivalent() {
+    let dir = scratch_dir("roundtrip");
+    let stream_path = dir.join("stream.jsonl");
+    let mut exports = Vec::new();
+    run_record(
+        &RecordArgs {
+            out: stream_path.to_string_lossy().into_owned(),
+            events: EVENTS,
+            workflows: WORKFLOWS,
+            depth: DEPTH,
+            rate_per_hour: RATE,
+            seed: SEED,
+        },
+        &mut exports,
+    )
+    .unwrap();
+    std::fs::write(&stream_path, &exports[0].contents).unwrap();
+
+    let replay_dir = scratch_dir("roundtrip-replay");
+    let mut args = base_args(&replay_dir, true);
+    args.stream = Some(stream_path.to_string_lossy().into_owned());
+    let mut exports = Vec::new();
+    run_serve(&args, &read_file, &mut exports).unwrap();
+    let audit = &exports
+        .iter()
+        .find(|e| e.path == "audit.json")
+        .unwrap()
+        .contents;
+    assert_eq!(
+        audit,
+        &golden().0,
+        "recorded stream diverged from generated"
+    );
+}
+
+/// `--fail-on-alert` turns raised alerts into a non-zero exit while
+/// still carrying the staged exports (the evidence survives failure).
+#[test]
+fn fail_on_alert_raises_slo_breach_with_exports() {
+    let dir = scratch_dir("breach");
+    let mut args = base_args(&dir, true);
+    args.fail_on_alert = true;
+    let err = run_serve(&args, &read_file, &mut Vec::new()).unwrap_err();
+    match err {
+        CliError::SloBreach {
+            details, exports, ..
+        } => {
+            assert!(!details.is_empty());
+            assert!(exports.iter().any(|e| e.path == "audit.json"));
+        }
+        other => panic!("expected SloBreach, got {other}"),
+    }
+}
+
+/// The serve/record CLI surface parses with its documented defaults and
+/// rejects the degenerate knobs.
+#[test]
+fn cli_parses_serve_and_record() {
+    let args: Vec<String> = ["serve", "--checkpoint-dir", "/tmp/ck"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    match parse_args(&args).unwrap() {
+        Command::Serve(s) => {
+            assert_eq!(s.checkpoint_every, 200);
+            assert_eq!(s.workflows, 6);
+            assert_eq!(s.sketch_edges, 64);
+            assert!(!s.fail_on_alert);
+        }
+        other => panic!("{other:?}"),
+    }
+    let args: Vec<String> = ["record", "--events", "10"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(matches!(
+        parse_args(&args),
+        Err(CliError::MissingFlag(f)) if f == "--out"
+    ));
+    let args: Vec<String> = ["serve", "--checkpoint-dir", "x", "--checkpoint-every", "0"]
+        .iter()
+        .map(|s| s.to_string())
+        .collect();
+    assert!(matches!(parse_args(&args), Err(CliError::BadValue { .. })));
+}
+
+/// `validate` checks a `.jsonl` document line by line against the
+/// alerts schema, failing on the first malformed or off-schema line.
+#[test]
+fn validate_checks_alert_streams_line_by_line() {
+    let schema = std::fs::read_to_string(
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .join("../../docs/schemas/alerts.schema.json"),
+    )
+    .unwrap();
+    let good = r#"{"allowed":"x","baseline":1.0,"candidate":2.0,"path":"$.p","window":1}
+{"allowed":"y","baseline":1.0,"candidate":3.0,"path":"$.q","window":2}
+"#;
+    let bad = r#"{"allowed":"x","baseline":1.0,"candidate":2.0,"path":"$.p","window":1}
+{"allowed":"x","baseline":1.0,"surprise":true,"path":"$.p","window":1}
+"#;
+    let source = move |path: &str| -> Result<String, String> {
+        match path {
+            "alerts.jsonl" => Ok(good.to_string()),
+            "bad.jsonl" => Ok(bad.to_string()),
+            "alerts.schema.json" => Ok(schema.clone()),
+            other => Err(format!("unexpected read of {other}")),
+        }
+    };
+    let cmd = Command::Validate {
+        json_path: "alerts.jsonl".into(),
+        schema_path: "alerts.schema.json".into(),
+    };
+    let (report, _) = execute_with_exports(&cmd, &source).unwrap();
+    assert!(report.contains("2 line(s) valid"), "{report}");
+    let cmd = Command::Validate {
+        json_path: "bad.jsonl".into(),
+        schema_path: "alerts.schema.json".into(),
+    };
+    let err = execute_with_exports(&cmd, &source).unwrap_err();
+    assert!(
+        matches!(&err, CliError::Workflow(m) if m.contains("bad.jsonl:2")),
+        "{err}"
+    );
+}
